@@ -1,0 +1,57 @@
+"""Ablation — how much history HB prediction actually needs.
+
+The paper asserts (Section 6.2, finding 1) that 10-20 sporadic samples
+suffice.  This ablation truncates every trace to its first N epochs and
+reports the RMSRE over the final 10 forecasts of each truncated trace,
+for N in {8, 15, 30, 60}.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis import hb_eval
+from repro.analysis.report import render_bar_table
+from repro.core.metrics import rmsre
+from repro.hb.evaluate import evaluate_predictor
+
+HISTORY_LENGTHS = (8, 15, 30, 60)
+EVAL_TAIL = 10
+
+
+def _history_sweep(dataset):
+    factory = hb_eval.with_lso(hb_eval.hw())
+    results = {}
+    for length in HISTORY_LENGTHS:
+        per_trace = []
+        for trace in dataset:
+            series = trace.throughput_series()
+            if len(series) < length:
+                continue
+            truncated = series[:length]
+            evaluation = evaluate_predictor(truncated, factory)
+            tail_errors = evaluation.valid_errors[-EVAL_TAIL:]
+            if tail_errors.size:
+                per_trace.append(rmsre(tail_errors))
+        results[f"N={length}"] = per_trace
+    return results
+
+
+def test_ablation_history_length(benchmark, may2004, report_sink):
+    results = run_once(benchmark, _history_sweep, may2004)
+    rows = [
+        (
+            label,
+            {
+                "median": float(np.median(values)),
+                "p90": float(np.quantile(values, 0.9)),
+                "traces": float(len(values)),
+            },
+        )
+        for label, values in results.items()
+    ]
+    table = render_bar_table(
+        rows, title="Ablation: HW-LSO RMSRE (last 10 forecasts) vs history length"
+    )
+    report_sink("ablation_history", table)
+    # A short history already performs within ~2x of a long one.
+    assert np.median(results["N=15"]) < 2.5 * np.median(results["N=60"])

@@ -1,0 +1,43 @@
+"""Ablation — the throughput model inside the FB predictor.
+
+Swaps Eq. (3)'s lossy-path core between the Mathis square-root formula
+(what RON used), the paper's PFTK approximation, the full PFTK model,
+and the revised PFTK.  The paper's Fig. 13 point generalizes: model
+choice barely moves the error CDF, because the inputs — not the model —
+dominate FB errors.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import fb_eval
+from repro.analysis.report import render_cdf_table
+from repro.core.metrics import Cdf
+from repro.formulas.fb_predictor import MODEL_VARIANTS, FormulaBasedPredictor
+from repro.formulas.params import TcpParameters
+
+
+def _compare(dataset):
+    tcp = TcpParameters.congestion_limited()
+    return {
+        model: Cdf.from_values(
+            [
+                r.error
+                for r in fb_eval.evaluate(
+                    dataset, FormulaBasedPredictor(tcp=tcp, model=model)
+                )
+            ],
+            label=model,
+        )
+        for model in sorted(MODEL_VARIANTS)
+    }
+
+
+def test_ablation_fb_model_choice(benchmark, may2004, report_sink):
+    cdfs = run_once(benchmark, _compare, may2004)
+    table = render_cdf_table(
+        cdfs,
+        thresholds=(-1.0, 0.0, 1.0, 3.0, 9.0),
+        title="Ablation: FB error CDFs across throughput models",
+    )
+    report_sink("ablation_models", table)
+    medians = [cdf.median() for cdf in cdfs.values()]
+    assert max(medians) - min(medians) < 1.0

@@ -1,0 +1,28 @@
+"""Fig. 2 — CDF of the FB prediction error E.
+
+Paper's series: all predictions, lossy-path (PFTK) predictions,
+lossless-path (avail-bw) predictions.  Headline numbers: ~40% of all
+predictions overestimate by more than 2x (E >= 1), ~10% by more than an
+order of magnitude (E >= 9), only ~8% underestimate by more than 2x.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import fb_eval
+from repro.analysis.report import render_cdf_table
+
+
+def test_fig02_fb_error_cdf(benchmark, may2004, report_sink):
+    cdfs = run_once(benchmark, fb_eval.error_cdfs, may2004)
+    table = render_cdf_table(
+        {
+            "all predictions": cdfs.all,
+            "lossy (PFTK)": cdfs.lossy,
+            "lossless (avail-bw)": cdfs.lossless,
+        },
+        thresholds=(-1.0, 0.0, 1.0, 2.0, 5.0, 9.0),
+        title="Fig. 2: CDF of relative prediction error E",
+    )
+    report_sink("fig02_fb_error_cdf", table + "\n" + cdfs.summary())
+    # Shape guards (paper Section 4.3, findings 1-2).
+    assert cdfs.all.fraction_above(0.0) > 0.6
+    assert cdfs.lossy.quantile(0.9) > cdfs.lossless.quantile(0.9)

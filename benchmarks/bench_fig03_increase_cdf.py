@@ -1,0 +1,27 @@
+"""Fig. 3 — CDF of the absolute RTT and loss-rate increase during the
+target flow.
+
+Paper: in ~50% of epochs the RTT did not increase significantly; in 10%
+it rose by more than 100 ms; the loss rate rose by 0.1-2% in almost all
+epochs.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import fb_eval
+from repro.analysis.report import render_cdf_table
+
+
+def test_fig03_increase_cdf(benchmark, may2004, report_sink):
+    inc = run_once(benchmark, fb_eval.increase_cdfs, may2004)
+    table = render_cdf_table(
+        {"RTT increase (s)": inc.rtt_absolute_s},
+        thresholds=(0.0, 0.005, 0.02, 0.06, 0.1),
+        title="Fig. 3a: absolute RTT increase during flow",
+    )
+    table += "\n\n" + render_cdf_table(
+        {"loss increase": inc.loss_absolute},
+        thresholds=(0.0, 0.001, 0.005, 0.02, 0.05),
+        title="Fig. 3b: absolute loss-rate increase during flow",
+    )
+    report_sink("fig03_increase_cdf", table)
+    assert inc.loss_absolute.fraction_above(0.0) > 0.3

@@ -1,0 +1,21 @@
+"""Fig. 4 — CDF of the relative RTT increase during the target flow.
+
+Paper: ~20% of epochs have a relative increase above 0.5; the mean RTT
+during the transfer is ~1.3x the pre-transfer RTT.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import fb_eval
+from repro.analysis.report import render_cdf_table
+
+
+def test_fig04_relative_rtt_increase(benchmark, may2004, report_sink):
+    inc = run_once(benchmark, fb_eval.increase_cdfs, may2004)
+    table = render_cdf_table(
+        {"relative RTT increase": inc.rtt_relative},
+        thresholds=(0.0, 0.1, 0.25, 0.5, 1.0, 2.0),
+        title="Fig. 4: relative RTT increase (T~ - T^)/T^",
+    )
+    table += f"\nmean RTT ratio during/before: {inc.mean_rtt_ratio:.2f} (paper ~1.3)"
+    report_sink("fig04_rel_rtt", table)
+    assert 1.0 < inc.mean_rtt_ratio < 2.5

@@ -1,0 +1,30 @@
+"""Fig. 7 — per-path median and 10/90th-percentile FB error.
+
+Paper: most paths overestimate; 4-5 paths mostly underestimate (mildly);
+about 10 of the 35 paths have much larger errors and wider ranges,
+reaching E = 10 and beyond (three more were excluded as excessive).
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import fb_eval
+from repro.analysis.report import render_bar_table
+
+
+def test_fig07_per_path_percentiles(benchmark, may2004, report_sink):
+    summaries = run_once(benchmark, fb_eval.per_path_percentiles, may2004)
+    rows = [
+        (s.path_id, {"p10": s.p10, "median": s.median, "p90": s.p90})
+        for s in summaries
+    ]
+    table = render_bar_table(
+        rows, title="Fig. 7: per-path FB error percentiles", value_format="{:+.2f}"
+    )
+    negative = [s.path_id for s in summaries if s.median < 0]
+    large = [s.path_id for s in summaries if s.p90 > 5.0]
+    notes = (
+        f"\npaths with negative median (underestimating): {negative} (paper: 4-5)"
+        f"\npaths with p90 > 5 (poorly predictable): {large} (paper: ~10+3 excluded)"
+    )
+    report_sink("fig07_per_path", table + notes)
+    assert 2 <= len(negative) <= 10
+    assert len(large) >= 6

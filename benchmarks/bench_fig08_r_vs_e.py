@@ -1,0 +1,24 @@
+"""Fig. 8 — actual throughput versus FB prediction error.
+
+Paper: the large overestimations concentrate at low throughputs — 42%
+of epochs with R <= 0.5 Mbps have E > 10, against 0.2% above 0.5 Mbps.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import fb_eval
+from repro.analysis.report import render_scatter_summary
+
+
+def test_fig08_throughput_vs_error(benchmark, may2004, report_sink):
+    scatter = run_once(benchmark, fb_eval.throughput_vs_error, may2004)
+    table = render_scatter_summary(
+        scatter.x, scatter.errors, "R (Mbps)", "E", n_bins=8
+    )
+    low = scatter.fraction_large_error(0.5, error_threshold=10.0)
+    high = scatter.fraction_large_error(0.5, error_threshold=10.0, below=False)
+    notes = (
+        f"\nP(E > 10 | R <= 0.5 Mbps) = {low:.2f} (paper 0.42)"
+        f"\nP(E > 10 | R > 0.5 Mbps)  = {high:.4f} (paper 0.002)"
+    )
+    report_sink("fig08_r_vs_e", "Fig. 8: R vs E (binned)\n" + table + notes)
+    assert low > 10 * max(high, 1e-3)

@@ -1,0 +1,19 @@
+"""Fig. 9 — a priori loss rate versus FB error (lossy epochs).
+
+Paper: no visible correlation between p^ and the prediction error.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import fb_eval
+from repro.analysis.report import render_scatter_summary
+
+
+def test_fig09_loss_vs_error(benchmark, may2004, report_sink):
+    scatter = run_once(benchmark, fb_eval.loss_vs_error, may2004)
+    table = render_scatter_summary(scatter.x, scatter.errors, "p^", "E", n_bins=6)
+    corr = scatter.correlation()
+    report_sink(
+        "fig09_p_vs_e",
+        f"Fig. 9: p^ vs E (binned)\n{table}\ncorrelation: {corr:+.2f} (paper: none)",
+    )
+    assert abs(corr) < 0.4

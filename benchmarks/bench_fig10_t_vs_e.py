@@ -1,0 +1,21 @@
+"""Fig. 10 — a priori RTT versus FB error.
+
+Paper: no positive correlation between T^ and the prediction error.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import fb_eval
+from repro.analysis.report import render_scatter_summary
+
+
+def test_fig10_rtt_vs_error(benchmark, may2004, report_sink):
+    scatter = run_once(benchmark, fb_eval.rtt_vs_error, may2004)
+    table = render_scatter_summary(
+        scatter.x, scatter.errors, "T^ (s)", "E", n_bins=6
+    )
+    corr = scatter.correlation()
+    report_sink(
+        "fig10_t_vs_e",
+        f"Fig. 10: T^ vs E (binned)\n{table}\ncorrelation: {corr:+.2f} (paper: none)",
+    )
+    assert corr < 0.4

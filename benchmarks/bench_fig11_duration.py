@@ -1,0 +1,22 @@
+"""Fig. 11 — FB accuracy against the first 30/60/120 s of each transfer
+(the second, March 2006 measurement set).
+
+Paper: no noticeable correlation between transfer duration and FB
+prediction error.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import fb_eval
+from repro.analysis.report import render_cdf_table
+
+
+def test_fig11_transfer_duration(benchmark, march2006, report_sink):
+    effect = run_once(benchmark, fb_eval.duration_effect, march2006)
+    table = render_cdf_table(
+        effect.cdfs,
+        thresholds=(-1.0, 0.0, 1.0, 3.0, 9.0),
+        title="Fig. 11: error CDFs at 30/60/120 s cuts (2006 set)",
+    )
+    report_sink("fig11_duration", table)
+    medians = [cdf.median() for cdf in effect.cdfs.values()]
+    assert max(medians) - min(medians) < 1.0

@@ -1,0 +1,22 @@
+"""Fig. 13 — FB error with the revised PFTK model.
+
+Paper: the difference between the original and the revised PFTK
+predictors is negligible compared to the overall FB errors — model
+refinements cannot fix input errors.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import fb_eval
+from repro.analysis.report import render_cdf_table
+
+
+def test_fig13_revised_pftk(benchmark, may2004, report_sink):
+    cdfs = run_once(benchmark, fb_eval.revised_model_comparison, may2004)
+    table = render_cdf_table(
+        cdfs,
+        thresholds=(-1.0, 0.0, 1.0, 3.0, 9.0),
+        title="Fig. 13: original vs revised PFTK error CDFs",
+    )
+    report_sink("fig13_revised_pftk", table)
+    original, revised = cdfs["original PFTK"], cdfs["revised PFTK"]
+    assert abs(revised.median() - original.median()) < 0.5

@@ -1,0 +1,21 @@
+"""Fig. 14 — FB with history-smoothed RTT and loss inputs.
+
+Paper: smoothing the a priori (T^, p^) with a 10-sample moving average
+changes the error CDF very little — estimation noise in the inputs is
+not where the FB errors come from.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import fb_eval
+from repro.analysis.report import render_cdf_table
+
+
+def test_fig14_smoothed_inputs(benchmark, may2004, report_sink):
+    cdfs = run_once(benchmark, fb_eval.smoothed_inputs, may2004)
+    table = render_cdf_table(
+        cdfs,
+        thresholds=(-1.0, 0.0, 1.0, 3.0, 9.0),
+        title="Fig. 14: FB with latest vs 10-MA-smoothed inputs",
+    )
+    report_sink("fig14_smoothed_fb", table)
+    assert abs(cdfs["smoothed"].median() - cdfs["plain"].median()) < 0.5

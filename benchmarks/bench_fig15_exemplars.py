@@ -1,0 +1,26 @@
+"""Fig. 15 — exemplar traces with level shifts / trends / outliers, and
+the RMSRE of candidate predictors on each.
+
+Paper panels (d)-(f): LSO materially reduces the error on traces with
+shifts and outliers, and makes the predictor choice secondary.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import hb_eval
+from repro.analysis.report import render_bar_table
+
+
+def test_fig15_exemplar_traces(benchmark, may2004, report_sink):
+    examples = run_once(benchmark, hb_eval.exemplar_traces, may2004)
+    rows = [
+        (
+            f"{e.trace_name} ({e.n_level_shifts} shifts, {e.n_outliers} outliers)",
+            e.rmsres,
+        )
+        for e in examples
+    ]
+    table = render_bar_table(
+        rows, title="Fig. 15d-f: RMSRE on traces with LSO structure"
+    )
+    report_sink("fig15_exemplars", table)
+    assert examples

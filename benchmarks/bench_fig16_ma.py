@@ -1,0 +1,23 @@
+"""Fig. 16 — per-trace RMSRE CDFs for the Moving Average family.
+
+Paper: the n-MA predictors (n < 20) perform very similarly except the
+trivial 1-MA; LSO reduces the RMSRE significantly and flattens the
+sensitivity to n.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import hb_eval
+from repro.analysis.report import render_quantile_table
+
+
+def test_fig16_moving_average(benchmark, may2004, report_sink):
+    cdfs = run_once(
+        benchmark, hb_eval.predictor_cdfs, may2004, hb_eval.ma_family((1, 5, 10, 20))
+    )
+    table = render_quantile_table(
+        cdfs, title="Fig. 16: per-trace RMSRE quantiles, MA family"
+    )
+    report_sink("fig16_ma", table)
+    # LSO must not hurt, and the non-trivial orders must be close.
+    assert cdfs["10-MA-LSO"].quantile(0.9) <= cdfs["10-MA"].quantile(0.9) * 1.15
+    assert abs(cdfs["5-MA"].median() - cdfs["20-MA"].median()) < 0.15

@@ -1,0 +1,21 @@
+"""Fig. 17 — per-trace RMSRE CDFs for the Holt-Winters family.
+
+Paper: alpha = 0.8 is close to optimal; LSO improves every variant; the
+HW-LSO predictor edges out MA-LSO only slightly (few traces have linear
+trends).
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import hb_eval
+from repro.analysis.report import render_quantile_table
+
+
+def test_fig17_holt_winters(benchmark, may2004, report_sink):
+    cdfs = run_once(
+        benchmark, hb_eval.predictor_cdfs, may2004, hb_eval.hw_family((0.2, 0.5, 0.8))
+    )
+    table = render_quantile_table(
+        cdfs, title="Fig. 17: per-trace RMSRE quantiles, HW family"
+    )
+    report_sink("fig17_hw", table)
+    assert cdfs["0.8-HW-LSO"].quantile(0.9) <= cdfs["0.8-HW"].quantile(0.9) * 1.15

@@ -1,0 +1,26 @@
+"""Fig. 18 — sensitivity of MA-5-LSO to the chi / psi thresholds.
+
+Paper: the |E| CDF is nearly identical across chi and psi settings —
+the LSO heuristics do not need tuning.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import hb_eval
+from repro.analysis.report import render_quantile_table
+
+
+def test_fig18_lso_parameter_sensitivity(benchmark, may2004, report_sink):
+    cdfs = run_once(
+        benchmark,
+        hb_eval.lso_sensitivity,
+        may2004,
+        5,
+        (0.2, 0.3, 0.4),
+        (0.3, 0.4, 0.5),
+    )
+    table = render_quantile_table(
+        cdfs, title="Fig. 18: |E| quantiles of 5-MA-LSO across chi/psi"
+    )
+    report_sink("fig18_lso_params", table)
+    medians = [cdf.median() for cdf in cdfs.values()]
+    assert max(medians) - min(medians) < 0.1

@@ -1,0 +1,20 @@
+"""Fig. 19 — per-trace RMSRE CDFs: FB versus HB prediction.
+
+Paper: HB gives RMSRE below 0.4 for ~90% of traces; the same percentile
+of FB RMSRE is ~20, with a median around 2.  Where history exists, HB
+should be preferred.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import hb_eval
+from repro.analysis.report import render_quantile_table
+
+
+def test_fig19_fb_vs_hb(benchmark, may2004, report_sink):
+    comp = run_once(benchmark, hb_eval.fb_vs_hb, may2004)
+    table = render_quantile_table(
+        {"FB": comp.fb, "HB (HW-LSO)": comp.hb},
+        title="Fig. 19: per-trace RMSRE quantiles, FB vs HB",
+    )
+    report_sink("fig19_fb_vs_hb", table + "\n" + comp.summary())
+    assert comp.hb.median() < comp.fb.median() / 2

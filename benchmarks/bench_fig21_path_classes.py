@@ -1,0 +1,32 @@
+"""Fig. 21 — per-path predictability classes.
+
+Paper: paths fall into four classes — predictable (low RMSRE), small
+stable errors, small but varying errors, and unpredictable (high
+RMSRE) — i.e. predictability is strongly path-dependent.
+"""
+
+import collections
+
+from benchmarks.conftest import run_once
+from repro.analysis import hb_eval
+from repro.analysis.report import render_bar_table
+
+
+def test_fig21_path_classes(benchmark, may2004, report_sink):
+    classes = run_once(benchmark, hb_eval.path_classes, may2004)
+    rows = [
+        (
+            f"{c.path_id} [{c.label}]",
+            {
+                name: sum(values) / len(values)
+                for name, values in c.rmsres_by_predictor.items()
+            },
+        )
+        for c in classes
+    ]
+    table = render_bar_table(
+        rows, title="Fig. 21: mean per-trace RMSRE by predictor and path"
+    )
+    histogram = collections.Counter(c.label for c in classes)
+    report_sink("fig21_path_classes", table + f"\nclass histogram: {dict(histogram)}")
+    assert len(histogram) >= 2

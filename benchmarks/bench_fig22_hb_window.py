@@ -1,0 +1,31 @@
+"""Fig. 22 — HB RMSRE per path: window-limited vs congestion-limited
+transfers.
+
+Paper: the W = 20 KB series has the lower RMSRE on essentially every
+path, though the margin shrinks where the congestion-limited RMSRE is
+already small.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import hb_eval
+from repro.analysis.report import render_bar_table
+
+
+def test_fig22_hb_window_limited(benchmark, may2004, report_sink):
+    comparisons = run_once(benchmark, hb_eval.window_limited_hb, may2004)
+    rows = [
+        (
+            c.path_id,
+            {"W=1MB": c.rmsre_large_window, "W=20KB": c.rmsre_small_window},
+        )
+        for c in comparisons
+    ]
+    table = render_bar_table(rows, title="Fig. 22: HB (HW-LSO) RMSRE per path")
+    better = sum(
+        c.rmsre_small_window < c.rmsre_large_window for c in comparisons
+    )
+    report_sink(
+        "fig22_hb_window",
+        table + f"\nsmall window lower on {better}/{len(comparisons)} paths",
+    )
+    assert better / len(comparisons) > 0.6

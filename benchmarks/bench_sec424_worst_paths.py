@@ -1,0 +1,18 @@
+"""Section 4.2.4 — drill-down into the ten worst-predicted paths.
+
+Paper: 77% of the predictions on the ten highest-median-error paths are
+PFTK-based, against 56% across all paths; on those paths the loss rate
+rises significantly once the target flow starts while the RTT barely
+moves — the signature of a bottleneck already congested before the
+transfer.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import fb_eval
+
+
+def test_sec424_worst_paths(benchmark, may2004, report_sink):
+    analysis = run_once(benchmark, fb_eval.worst_paths_analysis, may2004)
+    report_sink("sec424_worst_paths", analysis.summary())
+    assert analysis.lossy_fraction_worst > analysis.lossy_fraction_all
+    assert analysis.mean_loss_ratio_worst > analysis.mean_rtt_ratio_worst

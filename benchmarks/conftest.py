@@ -1,0 +1,82 @@
+"""Shared campaign datasets and reporting helpers for the benchmarks.
+
+Each ``bench_figNN_*.py`` regenerates one figure of the paper: it runs
+the corresponding analysis over a seeded campaign, prints the same
+rows/series the paper plots, and writes them to ``benchmarks/output/``.
+
+By default the campaign is reduced (the full 36 750-transfer campaign
+takes ~30 s to simulate but makes every analysis slower); set
+``REPRO_FULL_CAMPAIGN=1`` to run at the paper's full scale
+(35 paths x 7 traces x 150 epochs, plus the 24-path 2006 set).
+"""
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.paths.config import march_2006_catalog, may_2004_catalog  # noqa: E402
+from repro.testbed.campaign import Campaign, CampaignSettings  # noqa: E402
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+FULL = os.environ.get("REPRO_FULL_CAMPAIGN", "") == "1"
+
+#: Campaign scale: the paper's (7 x 150) or a fast reduced one (2 x 80).
+#: 80 epochs keep Fig. 23's 45-minute down-sampling meaningful.
+MAY_TRACES, MAY_EPOCHS = (7, 150) if FULL else (2, 80)
+MARCH_TRACES, MARCH_EPOCHS = (3, 150) if FULL else (1, 40)
+
+#: The seeds every benchmark (and EXPERIMENTS.md) uses.
+MAY_SEED = 2004
+MARCH_SEED = 2006
+
+
+@pytest.fixture(scope="session")
+def may2004():
+    """The May-2004-style measurement set (Figs. 2-10, 12-23)."""
+    campaign = Campaign(may_2004_catalog(), seed=MAY_SEED, label="may-2004")
+    return campaign.run(
+        CampaignSettings(n_traces=MAY_TRACES, epochs_per_trace=MAY_EPOCHS)
+    )
+
+
+@pytest.fixture(scope="session")
+def march2006():
+    """The March-2006-style set: 120 s transfers, 30/60/120 s cuts (Fig. 11)."""
+    campaign = Campaign(march_2006_catalog(), seed=MARCH_SEED, label="march-2006")
+    return campaign.run(
+        CampaignSettings(
+            n_traces=MARCH_TRACES,
+            epochs_per_trace=MARCH_EPOCHS,
+            transfer_duration_s=120.0,
+            run_small_window=False,
+            checkpoint_fractions=(0.25, 0.5, 1.0),
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Writes each figure's text rendering to benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}")
+
+    return write
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark a figure computation with a single timed round.
+
+    The analyses are deterministic; one round gives a faithful timing
+    without multiplying the suite's runtime by the calibration rounds.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

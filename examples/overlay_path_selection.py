@@ -1,0 +1,124 @@
+"""Overlay path selection — the paper's motivating application.
+
+An overlay node (think RON) must route a bulk transfer over one of
+several candidate paths and wants the highest-throughput one.  The paper
+observes that RON's throughput-optimizing router used the square-root
+formula for this; this example compares four selection policies over a
+sequence of decision rounds:
+
+* **oracle** — always picks the path with the highest actual throughput
+  (unobtainable; the regret baseline),
+* **fb** — picks by Formula-Based prediction from fresh ping/pathload
+  measurements (no history needed),
+* **hb** — picks by History-Based prediction (HW-LSO) over each path's
+  past transfers,
+* **random** — uniform choice (the sanity floor).
+
+Reported: mean achieved throughput and the fraction of rounds each
+policy picked the truly best path.
+
+Run:  python examples/overlay_path_selection.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.analysis.report import render_bar_table
+from repro.formulas import FormulaBasedPredictor, PathEstimates, TcpParameters
+from repro.hb import HoltWinters, LsoPredictor
+from repro.paths.config import may_2004_catalog
+from repro.testbed.campaign import Campaign, CampaignSettings
+
+#: Candidate paths between the "overlay entry" and the destination:
+#: a congested 10 Mbps path, a clean 100 Mbps path, a DSL detour, and a
+#: transatlantic route — realistically diverse alternatives.
+CANDIDATE_PATH_IDS = ["p08", "p22", "p03", "p31"]
+
+N_ROUNDS = 60
+HISTORY_WARMUP = 10
+
+
+def main() -> None:
+    catalog = [c for c in may_2004_catalog() if c.path_id in CANDIDATE_PATH_IDS]
+    campaign = Campaign(catalog, seed=21, label="overlay")
+    dataset = campaign.run(
+        CampaignSettings(n_traces=1, epochs_per_trace=N_ROUNDS + HISTORY_WARMUP)
+    )
+    epochs_by_path = {pid: dataset.epochs(pid) for pid in CANDIDATE_PATH_IDS}
+
+    fb = FormulaBasedPredictor(tcp=TcpParameters.congestion_limited())
+    hb_predictors = {
+        pid: LsoPredictor(lambda: HoltWinters(alpha=0.8, beta=0.2))
+        for pid in CANDIDATE_PATH_IDS
+    }
+    # Warm the HB predictors with the first few transfers on each path.
+    for pid, predictor in hb_predictors.items():
+        for epoch in epochs_by_path[pid][:HISTORY_WARMUP]:
+            predictor.update(epoch.throughput_mbps)
+
+    rng = np.random.default_rng(0)
+    achieved = {"oracle": [], "fb": [], "hb": [], "random": []}
+    correct = {"fb": 0, "hb": 0, "random": 0}
+
+    for round_index in range(N_ROUNDS):
+        epoch_of = {
+            pid: epochs_by_path[pid][HISTORY_WARMUP + round_index]
+            for pid in CANDIDATE_PATH_IDS
+        }
+        actual = {pid: e.throughput_mbps for pid, e in epoch_of.items()}
+        best_path = max(actual, key=actual.get)
+
+        fb_scores = {
+            pid: fb.predict(
+                PathEstimates(
+                    rtt_s=e.that_s, loss_rate=e.phat, availbw_mbps=e.ahat_mbps
+                )
+            )
+            for pid, e in epoch_of.items()
+        }
+        hb_scores = {
+            pid: hb_predictors[pid].forecast() for pid in CANDIDATE_PATH_IDS
+        }
+        choices = {
+            "oracle": best_path,
+            "fb": max(fb_scores, key=fb_scores.get),
+            "hb": max(hb_scores, key=hb_scores.get),
+            "random": CANDIDATE_PATH_IDS[rng.integers(len(CANDIDATE_PATH_IDS))],
+        }
+        for policy, chosen in choices.items():
+            achieved[policy].append(actual[chosen])
+            if policy != "oracle" and chosen == best_path:
+                correct[policy] += 1
+
+        # Every path's transfer happened this round (background
+        # measurement); all HB histories advance.
+        for pid, predictor in hb_predictors.items():
+            predictor.update(actual[pid])
+
+    rows = [
+        (
+            policy,
+            {
+                "mean Mbps": float(np.mean(values)),
+                "vs oracle": float(np.mean(values) / np.mean(achieved["oracle"])),
+                "top-1 rate": (
+                    correct.get(policy, N_ROUNDS) / N_ROUNDS
+                ),
+            },
+        )
+        for policy, values in achieved.items()
+    ]
+    print(render_bar_table(rows, title="Overlay path selection over 60 rounds"))
+    print(
+        "\nThe paper's conclusion in action: with per-path history, HB "
+        "selection approaches the oracle;\nFB selection suffers from the "
+        "overestimation errors on congested candidates."
+    )
+
+
+if __name__ == "__main__":
+    main()

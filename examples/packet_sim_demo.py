@@ -1,0 +1,83 @@
+"""One measurement epoch at packet granularity.
+
+Replays the paper's Fig. 1 timeline on the discrete-event packet
+simulator — a real TCP Reno flow, a drop-tail bottleneck with Poisson
+and elastic cross traffic, a pathload avail-bw measurement, and periodic
+ping probing before and during the transfer — then feeds the a priori
+measurements into the FB predictor of Eq. (3) and compares with what the
+transfer actually achieved.
+
+This is the validation substrate for the fluid model that runs the full
+campaign (DESIGN.md Section 5).
+
+Run:  python examples/packet_sim_demo.py
+"""
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.core.metrics import relative_error
+from repro.formulas import FormulaBasedPredictor, PathEstimates, TcpParameters
+from repro.paths.config import may_2004_catalog
+from repro.testbed.packet_epoch import PacketEpochRunner
+
+
+def run_scenario(path_id: str, utilization: float, tcp: TcpParameters) -> None:
+    config = next(c for c in may_2004_catalog() if c.path_id == path_id)
+    runner = PacketEpochRunner(config, np.random.default_rng(1))
+
+    started = time.perf_counter()
+    epoch = runner.run_epoch(
+        utilization=utilization,
+        tcp=tcp,
+        transfer_duration_s=30.0,
+        pre_probe_duration_s=30.0,
+    )
+    elapsed = time.perf_counter() - started
+
+    fb = FormulaBasedPredictor(tcp=tcp)
+    predicted = fb.predict(
+        PathEstimates(
+            rtt_s=epoch.that_s,
+            loss_rate=epoch.phat,
+            availbw_mbps=epoch.ahat_mbps,
+        )
+    )
+    error = relative_error(predicted, epoch.throughput_mbps)
+    window_label = f"W={tcp.max_window_bytes // 1000}KB"
+
+    print(f"\npath {path_id} ({config.name}), util={utilization:.0%}, {window_label}")
+    print(f"  capacity {config.capacity_mbps:g} Mbps, base RTT "
+          f"{config.base_rtt_s * 1000:.0f} ms  [{elapsed:.1f}s simulated]")
+    print(f"  pathload avail-bw:   {epoch.ahat_mbps:8.2f} Mbps")
+    print(f"  pre-flow ping:       RTT {epoch.that_s * 1000:6.1f} ms, "
+          f"loss {epoch.phat:.4f}")
+    print(f"  during-flow ping:    RTT {epoch.ttilde_s * 1000:6.1f} ms, "
+          f"loss {epoch.ptilde:.4f}")
+    print(f"  FB prediction:       {predicted:8.2f} Mbps")
+    print(f"  actual throughput:   {epoch.throughput_mbps:8.2f} Mbps")
+    print(f"  relative error E:    {error:+8.2f}")
+
+
+def main() -> None:
+    print("Packet-level measurement epochs (TCP Reno + drop-tail bottleneck)")
+
+    # A congested 10 Mbps path: the flow saturates it, inflating RTT and
+    # loss beyond what the pre-flow probes saw -> FB overestimates.
+    run_scenario("p12", utilization=0.6, tcp=TcpParameters.congestion_limited())
+
+    # The same path with the paper's W = 20 KB socket buffer: the flow
+    # is window-limited and the prediction lands close.
+    run_scenario("p12", utilization=0.6, tcp=TcpParameters.window_limited())
+
+    # A DSL bottleneck: low capacity, bloated buffer, inherent loss.
+    run_scenario("p01", utilization=0.5, tcp=TcpParameters.congestion_limited())
+
+
+if __name__ == "__main__":
+    main()

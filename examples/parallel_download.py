@@ -1,0 +1,131 @@
+"""Parallel downloading with throughput-proportional chunk allocation.
+
+The paper's introduction names peer-to-peer parallel downloads as a
+prime consumer of TCP throughput prediction: a client fetching a large
+file from several mirrors wants to split the byte ranges in proportion
+to each mirror's expected throughput, so all connections finish
+together.  A bad split leaves the client waiting on the slowest mirror.
+
+This example downloads a 2 GB file from four mirrors under three
+allocation policies and reports the completion time (the slowest
+chunk's finish time):
+
+* **equal** — naive 25/25/25/25 split,
+* **fb** — split proportional to Formula-Based predictions,
+* **hb** — split proportional to History-Based (HW-LSO) forecasts,
+* **oracle** — split proportional to the actual throughputs.
+
+Run:  python examples/parallel_download.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.analysis.report import render_bar_table
+from repro.formulas import FormulaBasedPredictor, PathEstimates, TcpParameters
+from repro.hb import HoltWinters, LsoPredictor
+from repro.paths.config import may_2004_catalog
+from repro.testbed.campaign import Campaign, CampaignSettings
+
+#: The four mirrors sit behind quite different paths.
+MIRROR_PATH_IDS = ["p19", "p24", "p12", "p30"]
+
+FILE_SIZE_GBIT = 16.0  # 2 GB
+HISTORY_LENGTH = 12
+N_DOWNLOADS = 40
+
+
+def completion_time_s(split: dict[str, float], rates: dict[str, float]) -> float:
+    """Finish time of the slowest chunk, seconds."""
+    return max(
+        FILE_SIZE_GBIT * 1000.0 * fraction / rates[mirror]
+        for mirror, fraction in split.items()
+        if fraction > 0
+    )
+
+
+def proportional(scores: dict[str, float]) -> dict[str, float]:
+    total = sum(scores.values())
+    return {mirror: score / total for mirror, score in scores.items()}
+
+
+def main() -> None:
+    catalog = [c for c in may_2004_catalog() if c.path_id in MIRROR_PATH_IDS]
+    campaign = Campaign(catalog, seed=33, label="mirrors")
+    dataset = campaign.run(
+        CampaignSettings(n_traces=1, epochs_per_trace=HISTORY_LENGTH + N_DOWNLOADS)
+    )
+    epochs_by_mirror = {pid: dataset.epochs(pid) for pid in MIRROR_PATH_IDS}
+
+    fb = FormulaBasedPredictor(tcp=TcpParameters.congestion_limited())
+    hb_predictors = {
+        pid: LsoPredictor(lambda: HoltWinters(alpha=0.8, beta=0.2))
+        for pid in MIRROR_PATH_IDS
+    }
+    for pid, predictor in hb_predictors.items():
+        for epoch in epochs_by_mirror[pid][:HISTORY_LENGTH]:
+            predictor.update(epoch.throughput_mbps)
+
+    times = {"equal": [], "fb": [], "hb": [], "oracle": []}
+    for download in range(N_DOWNLOADS):
+        epoch_of = {
+            pid: epochs_by_mirror[pid][HISTORY_LENGTH + download]
+            for pid in MIRROR_PATH_IDS
+        }
+        rates = {pid: e.throughput_mbps for pid, e in epoch_of.items()}
+
+        fb_scores = {
+            pid: fb.predict(
+                PathEstimates(
+                    rtt_s=e.that_s, loss_rate=e.phat, availbw_mbps=e.ahat_mbps
+                )
+            )
+            for pid, e in epoch_of.items()
+        }
+        hb_scores = {pid: hb_predictors[pid].forecast() for pid in MIRROR_PATH_IDS}
+
+        splits = {
+            "equal": {pid: 1.0 / len(MIRROR_PATH_IDS) for pid in MIRROR_PATH_IDS},
+            "fb": proportional(fb_scores),
+            "hb": proportional(hb_scores),
+            "oracle": proportional(rates),
+        }
+        for policy, split in splits.items():
+            times[policy].append(completion_time_s(split, rates))
+
+        for pid, predictor in hb_predictors.items():
+            predictor.update(rates[pid])
+
+    oracle_mean = float(np.mean(times["oracle"]))
+    rows = [
+        (
+            policy,
+            {
+                "mean (s)": float(np.mean(values)),
+                "p90 (s)": float(np.quantile(values, 0.9)),
+                "vs oracle": float(np.mean(values)) / oracle_mean,
+            },
+        )
+        for policy, values in times.items()
+    ]
+    print(
+        render_bar_table(
+            rows,
+            title=f"2 GB parallel download from {len(MIRROR_PATH_IDS)} mirrors "
+            f"({N_DOWNLOADS} runs)",
+            value_format="{:.2f}",
+        )
+    )
+    print(
+        "\nChunk allocation by HB forecasts nearly matches the oracle "
+        "split;\nFB allocation overweights congested mirrors it "
+        "overestimates (the paper's Section 4 errors)."
+    )
+
+
+if __name__ == "__main__":
+    main()

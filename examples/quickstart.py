@@ -1,0 +1,73 @@
+"""Quickstart: predict TCP throughput with both of the paper's methods.
+
+Runs a small measurement campaign over the synthetic RON-like testbed,
+then applies the Formula-Based predictor (PFTK + avail-bw, the paper's
+Eq. (3)) and a History-Based predictor (Holt-Winters with the
+Level-Shift/Outlier heuristics) to every epoch, and prints the accuracy
+comparison the paper's Fig. 19 makes.
+
+Run:  python examples/quickstart.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis import fb_eval, hb_eval
+from repro.analysis.report import render_quantile_table
+from repro.formulas import FormulaBasedPredictor, PathEstimates, TcpParameters
+from repro.hb import HoltWinters, LsoPredictor
+from repro.paths.config import may_2004_catalog, scaled_catalog
+from repro.testbed.campaign import Campaign, CampaignSettings
+
+
+def main() -> None:
+    # --- 1. Collect measurements on a few heterogeneous paths ---------
+    catalog = scaled_catalog(may_2004_catalog(), 10)
+    campaign = Campaign(catalog, seed=7, label="quickstart")
+    dataset = campaign.run(CampaignSettings(n_traces=2, epochs_per_trace=60))
+    print(dataset.summary())
+
+    # --- 2. One-off FB prediction on a single epoch --------------------
+    epoch = dataset.epochs()[0]
+    fb = FormulaBasedPredictor(tcp=TcpParameters.congestion_limited())
+    predicted = fb.predict(
+        PathEstimates(
+            rtt_s=epoch.that_s,
+            loss_rate=epoch.phat,
+            availbw_mbps=epoch.ahat_mbps,
+        )
+    )
+    print(
+        f"\nFB one-off: path {epoch.path_id}: predicted "
+        f"{predicted:.2f} Mbps, actual {epoch.throughput_mbps:.2f} Mbps"
+    )
+
+    # --- 3. One-off HB prediction from a short history -----------------
+    history = [e.throughput_mbps for e in dataset.epochs(epoch.path_id)[:10]]
+    hb = LsoPredictor(lambda: HoltWinters(alpha=0.8, beta=0.2))
+    hb.update_many(history)
+    print(
+        f"HB one-off: after {len(history)} samples, forecast "
+        f"{hb.forecast():.2f} Mbps"
+    )
+
+    # --- 4. Campaign-wide comparison (the paper's Fig. 19) -------------
+    comparison = hb_eval.fb_vs_hb(dataset)
+    print()
+    print(
+        render_quantile_table(
+            {"FB": comparison.fb, "HB (HW-LSO)": comparison.hb},
+            title="Per-trace RMSRE: Formula-Based vs History-Based",
+        )
+    )
+    print(f"\n{comparison.summary().splitlines()[-1]}")
+
+    # --- 5. The FB error structure (the paper's Fig. 2) ----------------
+    cdfs = fb_eval.error_cdfs(dataset)
+    print(f"\nFB error structure:\n{cdfs.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Reproduction of *On the predictability of large transfer TCP throughput*.
+
+He, Dovrolis, Ammar — ACM SIGCOMM 2005; extended version in Computer
+Networks 51 (2007) 3959-3977.
+
+The package is organised around the paper's two predictor families and the
+measurement substrate they were evaluated on:
+
+``repro.formulas``
+    Formula-Based (FB) prediction: the Mathis square-root model, the PFTK
+    model, the revised PFTK model, the Cardwell slow-start model, and the
+    combined FB predictor of the paper's Eq. (3).
+
+``repro.hb``
+    History-Based (HB) prediction: Moving Average, EWMA, non-seasonal
+    Holt-Winters, and the paper's Level-Shift/Outlier (LSO) heuristics.
+
+``repro.simnet`` / ``repro.tcp`` / ``repro.apps``
+    A discrete-event packet-level network simulator with a TCP Reno
+    implementation and the measurement tools the paper used (an IPerf-like
+    bulk transfer app, a ping-like periodic prober, a pathload-like
+    available-bandwidth estimator, and cross-traffic generators).
+
+``repro.fastpath``
+    A mechanistic fluid model of a wide-area path used to run the paper's
+    full-scale measurement campaign (36 750 transfers) in seconds.
+
+``repro.testbed``
+    A RON-like testbed emulation: path catalogs, the epoch/trace/campaign
+    measurement structure of the paper's Section 4.1.
+
+``repro.analysis``
+    The computations behind every figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro.testbed import Campaign, may_2004_catalog
+    from repro.testbed.campaign import CampaignSettings
+    from repro.analysis import fb_eval
+
+    campaign = Campaign(may_2004_catalog(), seed=1)
+    dataset = campaign.run(CampaignSettings(n_traces=2, epochs_per_trace=50))
+    print(fb_eval.error_cdfs(dataset).summary())
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

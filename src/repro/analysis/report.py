@@ -1,0 +1,118 @@
+"""Plain-text rendering of the reproduction's tables and figures.
+
+The benchmark harness prints what the paper plots: CDF tables, per-path
+bar summaries, and scatter statistics.  Everything renders to fixed-width
+text so benchmark output is diff-able and readable in a terminal.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.metrics import Cdf
+
+
+def render_cdf_table(
+    cdfs: Mapping[str, Cdf] | Sequence[Cdf],
+    thresholds: Sequence[float] = (-1.0, 0.0, 0.5, 1.0, 2.0, 5.0, 9.0),
+    title: str = "",
+) -> str:
+    """A table of P(X <= t) rows for each CDF at the given thresholds."""
+    if isinstance(cdfs, Mapping):
+        items = [(name, cdf) for name, cdf in cdfs.items()]
+    else:
+        items = [(cdf.label or f"cdf{i}", cdf) for i, cdf in enumerate(cdfs)]
+    name_width = max(12, max(len(name) for name, _ in items) + 1)
+    header = f"{'':<{name_width}}" + "".join(
+        f"P(<={t:g}) ".rjust(10) for t in thresholds
+    )
+    lines = [title, header] if title else [header]
+    for name, cdf in items:
+        row = f"{name:<{name_width}}" + "".join(
+            f"{cdf.fraction_below(t):.3f}".rjust(10) for t in thresholds
+        )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_quantile_table(
+    cdfs: Mapping[str, Cdf],
+    quantiles: Sequence[float] = (0.10, 0.25, 0.50, 0.75, 0.90),
+    title: str = "",
+) -> str:
+    """A table of quantiles for each CDF."""
+    name_width = max(12, max(len(name) for name in cdfs) + 1)
+    header = f"{'':<{name_width}}" + "".join(
+        f"q{int(q * 100):02d}".rjust(9) for q in quantiles
+    )
+    lines = [title, header] if title else [header]
+    for name, cdf in cdfs.items():
+        row = f"{name:<{name_width}}" + "".join(
+            f"{cdf.quantile(q):.3f}".rjust(9) for q in quantiles
+        )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_bar_table(
+    rows: Sequence[tuple[str, Mapping[str, float]]],
+    title: str = "",
+    value_format: str = "{:.3f}",
+) -> str:
+    """A table with one row per entity and one column per series."""
+    if not rows:
+        return title
+    columns = list(rows[0][1])
+    name_width = max(10, max(len(name) for name, _ in rows) + 1)
+    header = f"{'':<{name_width}}" + "".join(c.rjust(12) for c in columns)
+    lines = [title, header] if title else [header]
+    for name, values in rows:
+        row = f"{name:<{name_width}}" + "".join(
+            value_format.format(values[c]).rjust(12) for c in columns
+        )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_ascii_cdf(cdf: Cdf, width: int = 60, height: int = 12) -> str:
+    """A rough ASCII plot of one CDF (x: value, y: cumulative fraction)."""
+    xs, ps = cdf.points(width)
+    lo, hi = float(xs[0]), float(xs[-1])
+    if hi == lo:
+        return f"{cdf.label}: constant at {lo:.3g}"
+    grid = [[" "] * width for _ in range(height)]
+    for x, p in zip(xs, ps):
+        col = int((x - lo) / (hi - lo) * (width - 1))
+        row = height - 1 - int(p * (height - 1))
+        grid[row][col] = "*"
+    lines = ["".join(row) for row in grid]
+    lines.append(f"{lo:<.3g}{' ' * (width - 12)}{hi:>.3g}")
+    if cdf.label:
+        lines.insert(0, cdf.label)
+    return "\n".join(lines)
+
+
+def render_scatter_summary(
+    x: np.ndarray,
+    y: np.ndarray,
+    x_label: str,
+    y_label: str,
+    n_bins: int = 6,
+) -> str:
+    """Binned medians of y over x — a text rendering of a scatter plot."""
+    if x.size != y.size or x.size == 0:
+        raise ValueError("x and y must be equal-length, non-empty")
+    order = np.argsort(x)
+    xs, ys = x[order], y[order]
+    bins = np.array_split(np.arange(xs.size), n_bins)
+    lines = [f"{x_label:>16} {'n':>6} {f'median {y_label}':>16} {'p90':>9}"]
+    for idx in bins:
+        if idx.size == 0:
+            continue
+        lines.append(
+            f"{np.median(xs[idx]):16.4g} {idx.size:6d} "
+            f"{np.median(ys[idx]):16.3f} {np.quantile(ys[idx], 0.9):9.2f}"
+        )
+    return "\n".join(lines)

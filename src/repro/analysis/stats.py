@@ -1,0 +1,111 @@
+"""Resampling statistics for the headline numbers.
+
+The paper reports point estimates ("about 50% of predictions...").  For
+the reproduction's EXPERIMENTS.md comparisons it is useful to know how
+tight those numbers are under resampling — a gap between paper and
+reproduction only matters if it exceeds the estimate's own spread.
+
+Percentile-bootstrap confidence intervals over epochs (for fraction-type
+statistics) and over traces (for per-trace RMSRE quantiles).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import DataError
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A percentile-bootstrap interval around a point estimate."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return (
+            f"{self.estimate:.3f} "
+            f"[{self.low:.3f}, {self.high:.3f}] @ {self.confidence:.0%}"
+        )
+
+
+def bootstrap_ci(
+    values: Sequence[float] | np.ndarray,
+    statistic: Callable[[np.ndarray], float],
+    n_resamples: int = 2000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Percentile-bootstrap CI of ``statistic`` over ``values``.
+
+    Args:
+        values: the sample (epoch errors, per-trace RMSREs, ...).
+        statistic: reduces an array to one number (must be
+            deterministic).
+        n_resamples: bootstrap replicates.
+        confidence: two-sided coverage, in (0, 1).
+        seed: RNG seed — fixed by default so reported intervals are
+            reproducible.
+
+    Raises:
+        DataError: on an empty sample.
+    """
+    sample = np.asarray(values, dtype=float)
+    if sample.size == 0:
+        raise DataError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if n_resamples < 10:
+        raise ValueError(f"n_resamples must be >= 10, got {n_resamples}")
+
+    rng = np.random.default_rng(seed)
+    replicates = np.empty(n_resamples)
+    for i in range(n_resamples):
+        resample = sample[rng.integers(0, sample.size, sample.size)]
+        replicates[i] = statistic(resample)
+    alpha = (1.0 - confidence) / 2.0
+    return ConfidenceInterval(
+        estimate=float(statistic(sample)),
+        low=float(np.quantile(replicates, alpha)),
+        high=float(np.quantile(replicates, 1.0 - alpha)),
+        confidence=confidence,
+    )
+
+
+def fraction_above_ci(
+    values: Sequence[float] | np.ndarray,
+    threshold: float,
+    **kwargs,
+) -> ConfidenceInterval:
+    """CI for ``P(X > threshold)`` — the paper's CDF-style headlines."""
+    return bootstrap_ci(
+        values, lambda sample: float((sample > threshold).mean()), **kwargs
+    )
+
+
+def median_ci(
+    values: Sequence[float] | np.ndarray, **kwargs
+) -> ConfidenceInterval:
+    """CI for the sample median."""
+    return bootstrap_ci(values, lambda sample: float(np.median(sample)), **kwargs)
+
+
+def quantile_ci(
+    values: Sequence[float] | np.ndarray, q: float, **kwargs
+) -> ConfidenceInterval:
+    """CI for an arbitrary quantile."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    return bootstrap_ci(
+        values, lambda sample: float(np.quantile(sample, q)), **kwargs
+    )

@@ -1,0 +1,37 @@
+"""The measurement tools and traffic sources of the paper's testbed.
+
+* :class:`~repro.apps.iperf.BulkTransferApp` — the IPerf-like target
+  transfer: a TCP Reno bulk flow run for a fixed duration with a
+  configurable socket-buffer (maximum window) limit.
+* :class:`~repro.apps.pinger.Pinger` /
+  :class:`~repro.apps.pinger.PingResponder` — the homespun ping utility:
+  41-byte probes every 100 ms measuring RTT and loss rate.
+* :func:`~repro.apps.pathload.measure_availbw` — a SLoPS-style iterative
+  available-bandwidth estimator (pathload).
+* :mod:`repro.apps.cross` — cross-traffic sources: Poisson packet
+  arrivals, Pareto on/off bursts, and persistent elastic TCP flows.
+"""
+
+from repro.apps.cross import (
+    CrossTrafficSink,
+    ElasticCrossFlow,
+    ParetoOnOffSource,
+    PoissonSource,
+)
+from repro.apps.iperf import BulkTransferApp, TransferResult
+from repro.apps.pathload import PathloadResult, measure_availbw
+from repro.apps.pinger import PingResponder, Pinger, PingResult
+
+__all__ = [
+    "BulkTransferApp",
+    "CrossTrafficSink",
+    "ElasticCrossFlow",
+    "ParetoOnOffSource",
+    "PathloadResult",
+    "PingResponder",
+    "PingResult",
+    "Pinger",
+    "PoissonSource",
+    "TransferResult",
+    "measure_availbw",
+]

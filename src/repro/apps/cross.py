@@ -1,0 +1,254 @@
+"""Cross-traffic sources sharing the bottleneck with the target flow.
+
+Three source types cover the paper's cross-traffic taxonomy
+(Section 3.4 — the "congestion responsiveness" of cross traffic decides
+whether avail-bw under- or over-estimates TCP throughput):
+
+* :class:`PoissonSource` — inelastic background traffic: packets with
+  exponential inter-arrivals at a configurable mean rate.  The rate can
+  be changed at runtime, which is how the fluid-model-style level shifts
+  are injected into packet-level experiments.
+* :class:`ParetoOnOffSource` — bursty inelastic traffic: heavy-tailed ON
+  periods at a peak rate separated by exponential OFF periods, the
+  classic self-similar-traffic building block.
+* :class:`ElasticCrossFlow` — a persistent TCP Reno flow, the elastic
+  cross traffic that yields bandwidth to (and takes it from) the target
+  flow.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.core.units import mbps_to_bps
+from repro.simnet.engine import Simulator
+from repro.simnet.packet import Packet, PacketKind
+from repro.simnet.path import DumbbellPath
+from repro.tcp.reno import RenoSender
+from repro.tcp.sink import TcpSink
+
+#: Wire size of cross-traffic packets (full-size MTU frames).
+CROSS_PACKET_BYTES = 1500
+
+_source_ids = itertools.count()
+
+
+class CrossTrafficSink:
+    """A terminal endpoint that discards whatever it receives."""
+
+    def __init__(self) -> None:
+        self.packets_received = 0
+        self.bytes_received = 0
+
+    def receive(self, packet: Packet) -> None:
+        self.packets_received += 1
+        self.bytes_received += packet.size_bytes
+
+
+class PoissonSource:
+    """Inelastic cross traffic with Poisson packet arrivals.
+
+    Args:
+        sim: the event loop.
+        path: the shared path (traffic uses the forward bottleneck).
+        sink_name: address of a registered :class:`CrossTrafficSink`.
+        rate_mbps: mean offered rate; adjustable via :meth:`set_rate`.
+        rng: randomness for the inter-arrival draws.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        path: DumbbellPath,
+        sink_name: str,
+        rate_mbps: float,
+        rng: np.random.Generator,
+    ) -> None:
+        if rate_mbps < 0:
+            raise ValueError(f"rate_mbps must be >= 0, got {rate_mbps}")
+        self.sim = sim
+        self.path = path
+        self.sink_name = sink_name
+        self.rng = rng
+        self.name = f"poisson{next(_source_ids)}"
+        self._rate_bps = mbps_to_bps(rate_mbps)
+        self._running = False
+        self._seq = 0
+        self.packets_sent = 0
+
+    def set_rate(self, rate_mbps: float) -> None:
+        """Change the offered rate (takes effect at the next arrival)."""
+        if rate_mbps < 0:
+            raise ValueError(f"rate_mbps must be >= 0, got {rate_mbps}")
+        self._rate_bps = mbps_to_bps(rate_mbps)
+
+    def start(self) -> None:
+        """Begin emitting packets."""
+        if self._running:
+            return
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop emitting packets (pending arrival is skipped)."""
+        self._running = False
+
+    def _schedule_next(self) -> None:
+        if not self._running:
+            return
+        if self._rate_bps <= 0:
+            # Idle: poll again shortly in case the rate is raised.
+            self.sim.schedule(0.1, self._schedule_next)
+            return
+        mean_gap = CROSS_PACKET_BYTES * 8 / self._rate_bps
+        self.sim.schedule(self.rng.exponential(mean_gap), self._emit)
+
+    def _emit(self) -> None:
+        if not self._running:
+            return
+        packet = Packet(
+            src=self.name,
+            dst=self.sink_name,
+            kind=PacketKind.DATA,
+            size_bytes=CROSS_PACKET_BYTES,
+            seq=self._seq,
+            flow=self.name,
+            created_at=self.sim.now,
+        )
+        self._seq += 1
+        self.packets_sent += 1
+        self.path.send_forward(packet)
+        self._schedule_next()
+
+
+class ParetoOnOffSource:
+    """Bursty inelastic traffic: Pareto ON periods, exponential OFF.
+
+    Args:
+        sim: the event loop.
+        path: the shared path.
+        sink_name: address of a registered sink.
+        peak_rate_mbps: CBR rate during ON periods.
+        mean_on_s: mean ON duration (Pareto with the given shape).
+        mean_off_s: mean OFF duration (exponential).
+        shape: Pareto tail index; 1.5 gives the heavy tails used in
+            self-similar traffic models.
+        rng: randomness source.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        path: DumbbellPath,
+        sink_name: str,
+        peak_rate_mbps: float,
+        mean_on_s: float = 1.0,
+        mean_off_s: float = 2.0,
+        shape: float = 1.5,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if peak_rate_mbps <= 0:
+            raise ValueError(f"peak_rate_mbps must be positive, got {peak_rate_mbps}")
+        if shape <= 1.0:
+            raise ValueError(f"shape must exceed 1 for a finite mean, got {shape}")
+        if mean_on_s <= 0 or mean_off_s <= 0:
+            raise ValueError("mean_on_s and mean_off_s must be positive")
+        self.sim = sim
+        self.path = path
+        self.sink_name = sink_name
+        self.peak_rate_bps = mbps_to_bps(peak_rate_mbps)
+        self.mean_on_s = mean_on_s
+        self.mean_off_s = mean_off_s
+        self.shape = shape
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.name = f"pareto{next(_source_ids)}"
+        self._running = False
+        self._on = False
+        self._on_ends_at = 0.0
+        self._seq = 0
+        self.packets_sent = 0
+
+    def start(self) -> None:
+        """Begin the ON/OFF cycle (starts OFF)."""
+        if self._running:
+            return
+        self._running = True
+        self._begin_off()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _pareto_on_duration(self) -> float:
+        # Pareto with mean = xm * shape / (shape - 1)  =>  xm from mean.
+        xm = self.mean_on_s * (self.shape - 1.0) / self.shape
+        return float(xm * (1.0 + self.rng.pareto(self.shape)))
+
+    def _begin_off(self) -> None:
+        if not self._running:
+            return
+        self._on = False
+        self.sim.schedule(self.rng.exponential(self.mean_off_s), self._begin_on)
+
+    def _begin_on(self) -> None:
+        if not self._running:
+            return
+        self._on = True
+        self._on_ends_at = self.sim.now + self._pareto_on_duration()
+        self._emit()
+
+    def _emit(self) -> None:
+        if not self._running or not self._on:
+            return
+        if self.sim.now >= self._on_ends_at:
+            self._begin_off()
+            return
+        packet = Packet(
+            src=self.name,
+            dst=self.sink_name,
+            kind=PacketKind.DATA,
+            size_bytes=CROSS_PACKET_BYTES,
+            seq=self._seq,
+            flow=self.name,
+            created_at=self.sim.now,
+        )
+        self._seq += 1
+        self.packets_sent += 1
+        self.path.send_forward(packet)
+        self.sim.schedule(CROSS_PACKET_BYTES * 8 / self.peak_rate_bps, self._emit)
+
+
+class ElasticCrossFlow:
+    """A persistent TCP Reno cross flow (elastic background traffic)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        path: DumbbellPath,
+        mss_bytes: int = 1460,
+        max_window_bytes: int = 1_000_000,
+    ) -> None:
+        uid = next(_source_ids)
+        flow = f"elastic{uid}"
+        src = f"{flow}.snd"
+        dst = f"{flow}.rcv"
+        self.sink = TcpSink(sim, path, name=dst, peer=src, flow=flow)
+        self.sender = RenoSender(
+            sim,
+            path,
+            name=src,
+            peer=dst,
+            flow=flow,
+            mss_bytes=mss_bytes,
+            max_window_segments=max_window_bytes / mss_bytes,
+        )
+        path.register(src, self.sender)
+        path.register(dst, self.sink)
+
+    def start(self) -> None:
+        """Begin the persistent transfer."""
+        self.sender.start()
+
+    def stop(self) -> None:
+        self.sender.stop()

@@ -1,0 +1,197 @@
+"""The IPerf-like target transfer application.
+
+Runs a bulk TCP Reno flow for a fixed duration and reports the achieved
+throughput — delivered bytes at the receiver over the transfer duration,
+which is what IPerf reports and what the paper's ``R`` denotes.  The
+maximum window (socket buffer) is the knob the paper turns between 1 MB
+(congestion-limited) and 20 KB (window-limited).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core.units import bits_to_mbps, bytes_to_bits
+from repro.simnet.engine import Simulator
+from repro.simnet.path import DumbbellPath
+from repro.tcp.reno import RenoSender
+from repro.tcp.sink import TcpSink
+
+_transfer_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Outcome of one bulk transfer.
+
+    Attributes:
+        throughput_mbps: delivered payload over the duration, in Mbps.
+        duration_s: measured interval length.
+        bytes_delivered: payload bytes that reached the receiver in order.
+        retransmissions: sender retransmission count.
+        timeouts: sender RTO count.
+        mean_rtt_s: mean sender-side RTT sample, or None.
+        interval_throughputs: per-sub-interval throughput in Mbps when
+            checkpoints were requested (Section 4.2.7's 30/60/120 s cuts).
+    """
+
+    throughput_mbps: float
+    duration_s: float
+    bytes_delivered: int
+    retransmissions: int
+    timeouts: int
+    mean_rtt_s: float | None
+    interval_throughputs: tuple[float, ...] = ()
+
+
+class BulkTransferApp:
+    """A fixed-duration bulk TCP transfer on a path.
+
+    Args:
+        sim: the event loop.
+        path: the path to transfer over.
+        max_window_bytes: socket-buffer limit (the paper's ``W``).
+        mss_bytes: TCP segment size.
+        ack_every: receiver delayed-ACK factor (the models' ``b``).
+
+    The sender and sink endpoints register themselves on the path using
+    unique names, so several transfers can coexist.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        path: DumbbellPath,
+        max_window_bytes: int = 1_000_000,
+        mss_bytes: int = 1460,
+        ack_every: int = 2,
+        transfer_bytes: int | None = None,
+    ) -> None:
+        uid = next(_transfer_ids)
+        flow = f"bulk{uid}"
+        src = f"{flow}.snd"
+        dst = f"{flow}.rcv"
+        self.sim = sim
+        self.mss_bytes = mss_bytes
+        self._limit_segments = (
+            None
+            if transfer_bytes is None
+            else max(1, -(-transfer_bytes // mss_bytes))  # ceil division
+        )
+        self.sink = TcpSink(sim, path, name=dst, peer=src, flow=flow, ack_every=ack_every)
+        self.sender = RenoSender(
+            sim,
+            path,
+            name=src,
+            peer=dst,
+            flow=flow,
+            mss_bytes=mss_bytes,
+            max_window_segments=max_window_bytes / mss_bytes,
+            data_limit_segments=self._limit_segments,
+        )
+        path.register(src, self.sender)
+        path.register(dst, self.sink)
+        self._checkpoints: list[tuple[float, int]] = []
+
+    def run(
+        self,
+        duration_s: float,
+        start_delay_s: float = 0.0,
+        checkpoint_times_s: tuple[float, ...] = (),
+    ) -> TransferResult:
+        """Schedule the transfer and run the simulator through it.
+
+        Args:
+            duration_s: transfer length (the paper uses 50 s or 120 s).
+            start_delay_s: delay before the transfer begins.
+            checkpoint_times_s: offsets from the start at which cumulative
+                throughput snapshots are taken (e.g. ``(30, 60, 120)``).
+
+        Returns:
+            The transfer outcome.
+        """
+        if duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {duration_s}")
+        start_time = self.sim.now + start_delay_s
+        bytes_at_start: list[int] = []
+
+        def begin() -> None:
+            bytes_at_start.append(self.sink.bytes_delivered)
+            self.sender.start()
+
+        self.sim.schedule(start_delay_s, begin)
+        for offset in checkpoint_times_s:
+            if not 0 < offset <= duration_s:
+                raise ValueError(
+                    f"checkpoint {offset} outside transfer duration {duration_s}"
+                )
+            self.sim.schedule_at(
+                start_time + offset,
+                lambda off=offset: self._checkpoints.append(
+                    (off, self.sink.bytes_delivered)
+                ),
+            )
+
+        self.sim.run(until=start_time + duration_s)
+        self.sender.stop()
+
+
+        delivered = self.sink.bytes_delivered - bytes_at_start[0]
+        intervals = tuple(
+            bits_to_mbps(bytes_to_bits(nbytes - bytes_at_start[0]), off)
+            for off, nbytes in sorted(self._checkpoints)
+        )
+        return TransferResult(
+            throughput_mbps=bits_to_mbps(bytes_to_bits(delivered), duration_s),
+            duration_s=duration_s,
+            bytes_delivered=delivered,
+            retransmissions=self.sender.stats.retransmissions,
+            timeouts=self.sender.stats.timeouts,
+            mean_rtt_s=self.sender.stats.mean_rtt_s,
+            interval_throughputs=intervals,
+        )
+
+    def run_to_completion(
+        self, timeout_s: float = 600.0
+    ) -> TransferResult:
+        """Run a fixed-size transfer until every segment is delivered.
+
+        Requires the app to have been built with ``transfer_bytes``.
+        The reported duration is the time from the first transmission to
+        the delivery of the last segment — what a short-transfer latency
+        model (Cardwell et al.) predicts.
+
+        Raises:
+            ValueError: if the app has no size limit, or the transfer
+                does not complete within ``timeout_s`` (a dead path).
+        """
+        if self._limit_segments is None:
+            raise ValueError("run_to_completion needs transfer_bytes")
+        start_time = self.sim.now
+        deadline = start_time + timeout_s
+        self.sender.start()
+        # Advance in per-RTT-scale slices until everything arrived.
+        while self.sink.segments_delivered < self._limit_segments:
+            if self.sim.now >= deadline:
+                self.sender.stop()
+                raise ValueError(
+                    f"transfer incomplete after {timeout_s}s "
+                    f"({self.sink.segments_delivered}/{self._limit_segments})"
+                )
+            next_event = self.sim.peek_time()
+            if next_event is None:
+                self.sender.stop()
+                raise ValueError("simulation stalled before completion")
+            self.sim.run(until=min(next_event + 0.05, deadline))
+        self.sender.stop()
+        duration = self.sim.now - start_time
+        delivered = self.sink.bytes_delivered
+        return TransferResult(
+            throughput_mbps=bits_to_mbps(bytes_to_bits(delivered), duration),
+            duration_s=duration,
+            bytes_delivered=delivered,
+            retransmissions=self.sender.stats.retransmissions,
+            timeouts=self.sender.stats.timeouts,
+            mean_rtt_s=self.sender.stats.mean_rtt_s,
+        )

@@ -1,0 +1,175 @@
+"""The paper's homespun ping utility.
+
+A 41-byte probe every 100 ms; the responder echoes each probe back over
+the reverse direction.  The prober reports the mean RTT and the loss
+rate over the measurement interval — the paper's ``T_hat``/``p_hat``
+(before the target flow) and ``T_tilde``/``p_tilde`` (during it).
+
+Probe *replies* can in principle be lost too; on the paper's paths the
+reverse direction is uncongested, and in this simulator the reverse link
+is over-provisioned, so observed losses are forward-path losses.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simnet.engine import Simulator
+from repro.simnet.packet import Packet, PacketKind
+from repro.simnet.path import DumbbellPath
+
+#: The paper's probing parameters.
+PROBE_SIZE_BYTES = 41
+PROBE_PERIOD_S = 0.1
+
+#: A probe unanswered this long counts as lost.
+PROBE_TIMEOUT_S = 2.0
+
+_pinger_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class PingResult:
+    """Summary of one probing interval.
+
+    Attributes:
+        rtt_mean_s: mean RTT of answered probes (None if none answered).
+        rtt_median_s: median RTT of answered probes.
+        loss_rate: unanswered probes / probes sent.
+        probes_sent: number of probes emitted.
+        rtt_samples_s: the raw per-probe RTTs.
+    """
+
+    rtt_mean_s: float | None
+    rtt_median_s: float | None
+    loss_rate: float
+    probes_sent: int
+    rtt_samples_s: tuple[float, ...]
+
+
+class PingResponder:
+    """Echo endpoint: bounces probes back to their sender."""
+
+    def __init__(self, sim: Simulator, path: DumbbellPath, name: str) -> None:
+        self.sim = sim
+        self.path = path
+        self.name = name
+
+    def receive(self, packet: Packet) -> None:
+        if packet.kind is not PacketKind.PROBE:
+            return
+        reply = Packet(
+            src=self.name,
+            dst=packet.src,
+            kind=PacketKind.PROBE_REPLY,
+            size_bytes=packet.size_bytes,
+            seq=packet.seq,
+            flow=packet.flow,
+            created_at=packet.created_at,  # preserve the original send time
+        )
+        self.path.send_reverse(reply)
+
+
+class Pinger:
+    """Periodic prober measuring RTT and loss on a path.
+
+    Args:
+        sim: the event loop.
+        path: path to probe (forward direction to the responder).
+        responder_name: address of the :class:`PingResponder`.
+        period_s: inter-probe gap; the paper uses 100 ms.
+        probe_size_bytes: probe wire size; the paper uses 41 bytes.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        path: DumbbellPath,
+        responder_name: str,
+        period_s: float = PROBE_PERIOD_S,
+        probe_size_bytes: int = PROBE_SIZE_BYTES,
+    ) -> None:
+        if period_s <= 0:
+            raise ValueError(f"period_s must be positive, got {period_s}")
+        uid = next(_pinger_ids)
+        self.sim = sim
+        self.path = path
+        self.name = f"ping{uid}"
+        self.responder_name = responder_name
+        self.period_s = period_s
+        self.probe_size_bytes = probe_size_bytes
+        self._next_seq = 0
+        self._probes_sent = 0
+        self._rtts: list[float] = []
+        self._running = False
+        path.register(self.name, self)
+
+    def receive(self, packet: Packet) -> None:
+        if packet.kind is not PacketKind.PROBE_REPLY or packet.flow != self.name:
+            return
+        rtt = self.sim.now - packet.created_at
+        if rtt <= PROBE_TIMEOUT_S:
+            self._rtts.append(rtt)
+
+    def start(self, duration_s: float) -> None:
+        """Begin a probing interval of ``duration_s`` seconds.
+
+        Non-blocking: probes are emitted as the caller drives the
+        simulator.  Call :meth:`collect` after the interval (plus the
+        probe timeout) has elapsed.
+        """
+        if duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {duration_s}")
+        self._rtts = []
+        self._probes_sent = 0
+        self._running = True
+        # Fixed probe count (duration / period), immune to float drift in
+        # the accumulated schedule times — the paper's 60 s interval at
+        # 10 Hz is exactly 600 probes.
+        probe_budget = int(round(duration_s / self.period_s))
+
+        def send_probe() -> None:
+            if not self._running or self._probes_sent >= probe_budget:
+                return
+            probe = Packet(
+                src=self.name,
+                dst=self.responder_name,
+                kind=PacketKind.PROBE,
+                size_bytes=self.probe_size_bytes,
+                seq=self._next_seq,
+                flow=self.name,
+                created_at=self.sim.now,
+            )
+            self._next_seq += 1
+            self._probes_sent += 1
+            self.path.send_forward(probe)
+            self.sim.schedule(self.period_s, send_probe)
+
+        send_probe()
+
+    def collect(self) -> PingResult:
+        """Stop probing and summarize the answered probes."""
+        self._running = False
+        sent = self._probes_sent
+        answered = len(self._rtts)
+        rtts = np.asarray(self._rtts)
+        return PingResult(
+            rtt_mean_s=float(rtts.mean()) if answered else None,
+            rtt_median_s=float(np.median(rtts)) if answered else None,
+            loss_rate=(sent - answered) / sent if sent else 0.0,
+            probes_sent=sent,
+            rtt_samples_s=tuple(self._rtts),
+        )
+
+    def measure(self, duration_s: float) -> PingResult:
+        """Probe for ``duration_s`` seconds, driving the simulator.
+
+        Convenience wrapper: runs the simulator through the probing
+        interval plus the probe timeout so late replies are counted.
+        """
+        self.start(duration_s)
+        self.sim.run(until=self.sim.now + duration_s + PROBE_TIMEOUT_S)
+        return self.collect()

@@ -1,0 +1,13 @@
+"""Command-line interface.
+
+Three commands, installed as console scripts:
+
+* ``repro-campaign`` — run a measurement campaign over a catalog and
+  save the dataset to CSV.
+* ``repro-analyze`` — regenerate the paper's figures (or a subset) from
+  a saved dataset.
+* ``repro-predict`` — one-off Formula-Based prediction from measured
+  path characteristics.
+
+Each is also reachable as ``python -m repro.cli.<name>``.
+"""

@@ -1,0 +1,202 @@
+"""``repro-analyze``: regenerate the paper's figures from a saved dataset.
+
+Examples::
+
+    repro-analyze may.csv                      # every applicable figure
+    repro-analyze may.csv --figures 2 19 20    # a subset
+    repro-analyze march.csv --figures 11
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable
+
+from repro.analysis import fb_eval, hb_eval
+from repro.analysis.report import (
+    render_bar_table,
+    render_cdf_table,
+    render_quantile_table,
+    render_scatter_summary,
+)
+from repro.core.errors import ReproError
+from repro.paths.records import Dataset
+from repro.testbed.io import load_dataset
+
+
+def _fig2(ds: Dataset) -> str:
+    cdfs = fb_eval.error_cdfs(ds)
+    return render_cdf_table(
+        {"all": cdfs.all, "lossy": cdfs.lossy, "lossless": cdfs.lossless},
+        thresholds=(-1.0, 0.0, 1.0, 2.0, 5.0, 9.0),
+        title="Fig. 2: FB error CDFs",
+    ) + "\n" + cdfs.summary()
+
+
+def _fig3(ds: Dataset) -> str:
+    inc = fb_eval.increase_cdfs(ds)
+    return (
+        render_cdf_table(
+            {"RTT incr (s)": inc.rtt_absolute_s, "loss incr": inc.loss_absolute},
+            thresholds=(0.0, 0.005, 0.02, 0.1),
+            title="Fig. 3: absolute increases during flow",
+        )
+        + f"\nmean RTT ratio {inc.mean_rtt_ratio:.2f}, "
+        + f"mean loss ratio {inc.mean_loss_ratio:.2f}"
+    )
+
+
+def _fig6(ds: Dataset) -> str:
+    comp = fb_eval.during_flow_prediction(ds)
+    return render_cdf_table(
+        {"prior": comp.with_prior, "during": comp.with_during},
+        thresholds=(-3.0, -1.0, 0.0, 1.0, 3.0),
+        title="Fig. 6: prior vs during-flow inputs",
+    )
+
+
+def _fig7(ds: Dataset) -> str:
+    rows = [
+        (s.path_id, {"p10": s.p10, "median": s.median, "p90": s.p90})
+        for s in fb_eval.per_path_percentiles(ds)
+    ]
+    return render_bar_table(rows, title="Fig. 7: per-path FB error", value_format="{:+.2f}")
+
+
+def _fig8(ds: Dataset) -> str:
+    sc = fb_eval.throughput_vs_error(ds)
+    return "Fig. 8: R vs E\n" + render_scatter_summary(sc.x, sc.errors, "R", "E")
+
+
+def _fig11(ds: Dataset) -> str:
+    effect = fb_eval.duration_effect(ds)
+    return render_cdf_table(
+        effect.cdfs, thresholds=(-1.0, 0.0, 1.0, 3.0), title="Fig. 11: duration cuts"
+    )
+
+
+def _fig12(ds: Dataset) -> str:
+    rows = [
+        (c.path_id, {"W=1MB": c.rmsre_large_window, "W=20KB": c.rmsre_small_window})
+        for c in fb_eval.window_limited(ds)
+        if c.window_limited
+    ]
+    return render_bar_table(rows, title="Fig. 12: FB RMSRE by window")
+
+
+def _fig16(ds: Dataset) -> str:
+    cdfs = hb_eval.predictor_cdfs(ds, hb_eval.ma_family())
+    return render_quantile_table(cdfs, title="Fig. 16: MA family RMSRE")
+
+
+def _fig17(ds: Dataset) -> str:
+    cdfs = hb_eval.predictor_cdfs(ds, hb_eval.hw_family())
+    return render_quantile_table(cdfs, title="Fig. 17: HW family RMSRE")
+
+
+def _fig19(ds: Dataset) -> str:
+    comp = hb_eval.fb_vs_hb(ds)
+    return (
+        render_quantile_table(
+            {"FB": comp.fb, "HB": comp.hb}, title="Fig. 19: FB vs HB RMSRE"
+        )
+        + "\n"
+        + comp.summary()
+    )
+
+
+def _fig20(ds: Dataset) -> str:
+    rel = hb_eval.cov_correlation(ds)
+    return (
+        "Fig. 20: CoV vs RMSRE\n"
+        + render_scatter_summary(rel.covs, rel.rmsres, "CoV", "RMSRE")
+        + f"\ncorrelation: {rel.correlation():.2f}"
+    )
+
+
+def _fig21(ds: Dataset) -> str:
+    rows = [
+        (
+            f"{c.path_id} [{c.label}]",
+            {n: sum(v) / len(v) for n, v in c.rmsres_by_predictor.items()},
+        )
+        for c in hb_eval.path_classes(ds)
+    ]
+    return render_bar_table(rows, title="Fig. 21: path classes")
+
+
+def _fig22(ds: Dataset) -> str:
+    rows = [
+        (c.path_id, {"W=1MB": c.rmsre_large_window, "W=20KB": c.rmsre_small_window})
+        for c in hb_eval.window_limited_hb(ds)
+    ]
+    return render_bar_table(rows, title="Fig. 22: HB RMSRE by window")
+
+
+def _fig23(ds: Dataset) -> str:
+    cdfs = hb_eval.interval_effect(ds)
+    return render_quantile_table(cdfs, title="Fig. 23: transfer intervals")
+
+
+FIGURES: dict[int, Callable[[Dataset], str]] = {
+    2: _fig2,
+    3: _fig3,
+    6: _fig6,
+    7: _fig7,
+    8: _fig8,
+    11: _fig11,
+    12: _fig12,
+    16: _fig16,
+    17: _fig17,
+    19: _fig19,
+    20: _fig20,
+    21: _fig21,
+    22: _fig22,
+    23: _fig23,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="Regenerate the paper's figures from a saved campaign CSV.",
+    )
+    parser.add_argument("dataset", help="CSV written by repro-campaign")
+    parser.add_argument(
+        "--figures",
+        type=int,
+        nargs="+",
+        metavar="N",
+        help=f"figure numbers to produce (available: {sorted(FIGURES)})",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    dataset = load_dataset(args.dataset)
+
+    wanted = args.figures or sorted(FIGURES)
+    status = 0
+    try:
+        print(dataset.summary())
+        for number in wanted:
+            renderer = FIGURES.get(number)
+            if renderer is None:
+                print(f"\n[fig {number}] no renderer (available: {sorted(FIGURES)})")
+                status = 2
+                continue
+            print()
+            try:
+                print(renderer(dataset))
+            except ReproError as exc:
+                print(f"[fig {number}] not derivable from this dataset: {exc}")
+    except BrokenPipeError:
+        # Downstream pipe closed (e.g. `repro-analyze ds.csv | head`).
+        return 0
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,97 @@
+"""``repro-campaign``: run a measurement campaign and save the dataset.
+
+Examples::
+
+    repro-campaign --catalog may2004 --traces 2 --epochs 60 -o may.csv
+    repro-campaign --catalog march2006 --seed 7 -o march.csv
+    repro-campaign --catalog may2004 --paths 10 --quiet -o small.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.paths.config import march_2006_catalog, may_2004_catalog, scaled_catalog
+from repro.testbed.campaign import Campaign, CampaignSettings
+from repro.testbed.io import save_dataset
+
+CATALOGS = {
+    "may2004": may_2004_catalog,
+    "march2006": march_2006_catalog,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description="Run a TCP-throughput measurement campaign and save it as CSV.",
+    )
+    parser.add_argument(
+        "--catalog",
+        choices=sorted(CATALOGS),
+        default="may2004",
+        help="path catalog to measure (default: may2004)",
+    )
+    parser.add_argument(
+        "--paths",
+        type=int,
+        default=None,
+        metavar="N",
+        help="restrict to a stratified sample of N paths",
+    )
+    parser.add_argument("--traces", type=int, default=7, help="traces per path")
+    parser.add_argument(
+        "--epochs", type=int, default=150, help="epochs per trace"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="transfer duration (default: 50 s; march2006 default: 120 s)",
+    )
+    parser.add_argument(
+        "--no-small-window",
+        action="store_true",
+        help="skip the W=20KB companion transfers",
+    )
+    parser.add_argument(
+        "-o", "--output", required=True, metavar="FILE", help="output CSV path"
+    )
+    parser.add_argument("--quiet", action="store_true", help="suppress progress")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    catalog = CATALOGS[args.catalog]()
+    if args.paths is not None:
+        catalog = scaled_catalog(catalog, args.paths)
+
+    is_2006 = args.catalog == "march2006"
+    duration = args.duration if args.duration is not None else (120.0 if is_2006 else 50.0)
+    settings = CampaignSettings(
+        n_traces=args.traces,
+        epochs_per_trace=args.epochs,
+        transfer_duration_s=duration,
+        run_small_window=not args.no_small_window and not is_2006,
+        checkpoint_fractions=(0.25, 0.5, 1.0) if is_2006 else (),
+    )
+
+    campaign = Campaign(catalog, seed=args.seed, label=args.catalog)
+    started = time.perf_counter()
+    dataset = campaign.run(settings)
+    elapsed = time.perf_counter() - started
+    save_dataset(dataset, args.output)
+
+    if not args.quiet:
+        print(dataset.summary())
+        print(f"simulated in {elapsed:.1f}s -> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

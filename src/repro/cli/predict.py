@@ -1,0 +1,82 @@
+"""``repro-predict``: one-off FB throughput prediction (paper Eq. (3)).
+
+Examples::
+
+    repro-predict --rtt-ms 45 --loss 0.002
+    repro-predict --rtt-ms 80 --loss 0 --availbw 6.5 --window-kb 64
+    repro-predict --rtt-ms 45 --loss 0.002 --model mathis
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.errors import ReproError
+from repro.formulas.fb_predictor import MODEL_VARIANTS, FormulaBasedPredictor
+from repro.formulas.params import PathEstimates, TcpParameters
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-predict",
+        description="Predict bulk TCP throughput from a priori path measurements.",
+    )
+    parser.add_argument(
+        "--rtt-ms", type=float, required=True, help="measured RTT, milliseconds"
+    )
+    parser.add_argument(
+        "--loss", type=float, required=True, help="measured loss rate in [0, 1)"
+    )
+    parser.add_argument(
+        "--availbw",
+        type=float,
+        default=None,
+        metavar="MBPS",
+        help="measured avail-bw (required when --loss is 0)",
+    )
+    parser.add_argument(
+        "--window-kb",
+        type=float,
+        default=1000.0,
+        help="maximum window / socket buffer, kilobytes (default 1000)",
+    )
+    parser.add_argument(
+        "--mss", type=int, default=1460, help="segment size, bytes (default 1460)"
+    )
+    parser.add_argument(
+        "--model",
+        choices=sorted(MODEL_VARIANTS),
+        default="pftk",
+        help="throughput model for lossy paths (default pftk)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        tcp = TcpParameters(
+            mss_bytes=args.mss,
+            max_window_bytes=int(args.window_kb * 1000),
+        )
+        predictor = FormulaBasedPredictor(tcp=tcp, model=args.model)
+        estimates = PathEstimates(
+            rtt_s=args.rtt_ms / 1000.0,
+            loss_rate=args.loss,
+            availbw_mbps=args.availbw,
+        )
+        predicted = predictor.predict(estimates)
+    except (ReproError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    branch = "avail-bw (lossless path)" if estimates.lossless else f"{args.model} model"
+    print(f"predicted throughput: {predicted:.3f} Mbps  [{branch}]")
+    window_limit = tcp.max_window_bytes * 8 / estimates.rtt_s / 1e6
+    print(f"window ceiling W/T:   {window_limit:.3f} Mbps")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

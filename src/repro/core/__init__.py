@@ -1,0 +1,59 @@
+"""Shared foundations: units, errors, RNG streams, time series, metrics.
+
+This subpackage holds everything that more than one subsystem needs and
+that is not specific to either predictor family or to either simulator.
+"""
+
+from repro.core.errors import (
+    ConfigurationError,
+    DataError,
+    PredictionError,
+    ReproError,
+    SimulationError,
+)
+from repro.core.metrics import (
+    Cdf,
+    coefficient_of_variation,
+    pearson_correlation,
+    relative_error,
+    rmsre,
+    segmented_cov,
+)
+from repro.core.rng import RngStreams
+from repro.core.timeseries import TimeSeries
+from repro.core.units import (
+    BITS_PER_BYTE,
+    Bandwidth,
+    bits_to_mbps,
+    bytes_to_bits,
+    kbit,
+    kbyte,
+    mbit,
+    mbyte,
+    mbps_to_bps,
+)
+
+__all__ = [
+    "BITS_PER_BYTE",
+    "Bandwidth",
+    "Cdf",
+    "ConfigurationError",
+    "DataError",
+    "PredictionError",
+    "ReproError",
+    "RngStreams",
+    "SimulationError",
+    "TimeSeries",
+    "bits_to_mbps",
+    "bytes_to_bits",
+    "coefficient_of_variation",
+    "kbit",
+    "kbyte",
+    "mbit",
+    "mbps_to_bps",
+    "mbyte",
+    "pearson_correlation",
+    "relative_error",
+    "rmsre",
+    "segmented_cov",
+]

@@ -1,0 +1,30 @@
+"""Exception hierarchy for the reproduction package.
+
+All exceptions raised intentionally by this package derive from
+:class:`ReproError`, so callers can catch package-level failures with a
+single ``except`` clause while letting programming errors propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event or fluid simulation entered an invalid state."""
+
+
+class PredictionError(ReproError):
+    """A predictor was asked for a forecast it cannot produce.
+
+    For example, requesting a History-Based prediction before any history
+    samples have been observed.
+    """
+
+
+class DataError(ReproError):
+    """A dataset, trace, or serialized file is malformed or inconsistent."""

@@ -1,0 +1,194 @@
+"""Accuracy metrics from the paper's Section 4.1.
+
+* :func:`relative_error` — the paper's Eq. (4):
+  ``E = (R_hat - R) / min(R_hat, R)``, symmetric under over/under
+  estimation by the same factor.
+* :func:`rmsre` — Eq. (5), the Root Mean Square Relative Error over the
+  epochs of a trace.
+* :func:`coefficient_of_variation` and :func:`segmented_cov` — the CoV
+  statistic related to RMSRE in the paper's Fig. 20 (the segmented form
+  isolates stationary periods between detected level shifts and excludes
+  outliers, exactly as Section 6.1.3 describes).
+* :class:`Cdf` — an empirical CDF with the helpers the figures need.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import DataError
+
+
+def relative_error(predicted: float, actual: float) -> float:
+    """Relative prediction error ``E`` of one epoch (paper Eq. (4)).
+
+    ``E = (R_hat - R) / min(R_hat, R)``.  Overestimation by a factor
+    ``w`` and underestimation by the same factor both give ``|E| = w - 1``.
+
+    Args:
+        predicted: the predicted throughput ``R_hat`` (> 0).
+        actual: the measured throughput ``R`` (> 0).
+
+    Raises:
+        DataError: if either throughput is not positive — the metric is
+            undefined there, and a zero measured throughput would signal a
+            broken measurement epoch upstream.
+    """
+    if predicted <= 0 or actual <= 0:
+        raise DataError(
+            f"relative error undefined for non-positive throughputs "
+            f"(predicted={predicted!r}, actual={actual!r})"
+        )
+    return (predicted - actual) / min(predicted, actual)
+
+
+def relative_errors(
+    predicted: Sequence[float] | np.ndarray, actual: Sequence[float] | np.ndarray
+) -> np.ndarray:
+    """Vectorised :func:`relative_error` over matched sample arrays."""
+    pred = np.asarray(predicted, dtype=float)
+    act = np.asarray(actual, dtype=float)
+    if pred.shape != act.shape:
+        raise DataError(f"shape mismatch: {pred.shape} vs {act.shape}")
+    if np.any(pred <= 0) or np.any(act <= 0):
+        raise DataError("relative error undefined for non-positive throughputs")
+    return (pred - act) / np.minimum(pred, act)
+
+
+def rmsre(errors: Sequence[float] | np.ndarray) -> float:
+    """Root Mean Square Relative Error (paper Eq. (5)).
+
+    Args:
+        errors: per-epoch relative errors ``E_i``.
+
+    Raises:
+        DataError: for an empty error sequence.
+    """
+    errs = np.asarray(errors, dtype=float)
+    if errs.size == 0:
+        raise DataError("RMSRE undefined for an empty error sequence")
+    return float(np.sqrt(np.mean(np.square(errs))))
+
+
+def coefficient_of_variation(values: Sequence[float] | np.ndarray) -> float:
+    """CoV: the ratio of the standard deviation to the mean.
+
+    Raises:
+        DataError: for empty input or a zero mean.
+    """
+    vals = np.asarray(values, dtype=float)
+    if vals.size == 0:
+        raise DataError("CoV undefined for an empty sequence")
+    mean = float(vals.mean())
+    if mean == 0:
+        raise DataError("CoV undefined for a zero-mean sequence")
+    return float(vals.std()) / abs(mean)
+
+
+def segmented_cov(segments: Sequence[Sequence[float] | np.ndarray]) -> float:
+    """Weighted-average CoV over stationary segments (Section 6.1.3).
+
+    The paper computes a trace's CoV by isolating the stationary periods
+    between detected level shifts (after excluding outliers), computing
+    each period's CoV, and averaging them weighted by the number of
+    samples in each period.  Segments shorter than two samples contribute
+    no variability information and are skipped.
+
+    Raises:
+        DataError: if no segment has at least two samples.
+    """
+    weights: list[int] = []
+    covs: list[float] = []
+    for segment in segments:
+        seg = np.asarray(segment, dtype=float)
+        if seg.size < 2:
+            continue
+        covs.append(coefficient_of_variation(seg))
+        weights.append(int(seg.size))
+    if not covs:
+        raise DataError("segmented CoV needs at least one segment of length >= 2")
+    return float(np.average(covs, weights=weights))
+
+
+def pearson_correlation(
+    x: Sequence[float] | np.ndarray, y: Sequence[float] | np.ndarray
+) -> float:
+    """Pearson correlation coefficient between two equal-length samples.
+
+    Raises:
+        DataError: on length mismatch, fewer than two samples, or zero
+            variance in either input.
+    """
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    if x_arr.shape != y_arr.shape:
+        raise DataError(f"shape mismatch: {x_arr.shape} vs {y_arr.shape}")
+    if x_arr.size < 2:
+        raise DataError("correlation undefined for fewer than 2 samples")
+    if float(x_arr.std()) == 0 or float(y_arr.std()) == 0:
+        raise DataError("correlation undefined for zero-variance input")
+    return float(np.corrcoef(x_arr, y_arr)[0, 1])
+
+
+@dataclass(frozen=True)
+class Cdf:
+    """An empirical CDF over a sample of values.
+
+    The evaluation figures of the paper are mostly CDFs of relative
+    errors; this class provides the quantile/fraction lookups those
+    figures need plus a text rendering for reports.
+    """
+
+    sorted_values: np.ndarray
+    label: str = ""
+
+    @classmethod
+    def from_values(cls, values: Sequence[float] | np.ndarray, label: str = "") -> "Cdf":
+        """Build a CDF from unsorted sample values."""
+        vals = np.sort(np.asarray(values, dtype=float))
+        if vals.size == 0:
+            raise DataError("cannot build a CDF from an empty sample")
+        vals.setflags(write=False)
+        return cls(sorted_values=vals, label=label)
+
+    def __len__(self) -> int:
+        return int(self.sorted_values.size)
+
+    def fraction_below(self, threshold: float) -> float:
+        """P(X <= threshold) under the empirical distribution."""
+        return float(np.searchsorted(self.sorted_values, threshold, side="right")) / len(self)
+
+    def fraction_above(self, threshold: float) -> float:
+        """P(X > threshold) under the empirical distribution."""
+        return 1.0 - self.fraction_below(threshold)
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile of the sample, ``0 <= q <= 1``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        return float(np.quantile(self.sorted_values, q))
+
+    def median(self) -> float:
+        """The sample median."""
+        return self.quantile(0.5)
+
+    def points(self, n: int = 100) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(x, F(x))`` pairs suitable for plotting or printing."""
+        if n < 2:
+            raise ValueError(f"need at least 2 points, got {n}")
+        probs = np.linspace(0.0, 1.0, n)
+        xs = np.quantile(self.sorted_values, probs)
+        return xs, probs
+
+    def summary(self) -> str:
+        """One-line summary with the quantiles the paper quotes."""
+        q = self.quantile
+        label = f"{self.label}: " if self.label else ""
+        return (
+            f"{label}n={len(self)} "
+            f"p10={q(0.10):.3g} p50={q(0.50):.3g} p90={q(0.90):.3g} "
+            f"min={self.sorted_values[0]:.3g} max={self.sorted_values[-1]:.3g}"
+        )

@@ -1,0 +1,150 @@
+"""A small time-series container used by the HB predictors and analysis.
+
+The paper's HB predictors operate on a sequence of throughput samples
+taken at (roughly) regular intervals. :class:`TimeSeries` pairs sample
+values with their timestamps and supports the operations the paper needs:
+slicing, down-sampling to a longer measurement period (Section 6.1.6), and
+basic statistics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.errors import DataError
+
+
+class TimeSeries:
+    """An immutable series of ``(time, value)`` samples, sorted by time.
+
+    Args:
+        times: sample timestamps in seconds, strictly increasing.
+        values: sample values; same length as ``times``.
+        name: optional label used in reports.
+    """
+
+    __slots__ = ("_times", "_values", "name")
+
+    def __init__(
+        self,
+        times: Sequence[float] | np.ndarray,
+        values: Sequence[float] | np.ndarray,
+        name: str = "",
+    ) -> None:
+        times_arr = np.asarray(times, dtype=float)
+        values_arr = np.asarray(values, dtype=float)
+        if times_arr.ndim != 1 or values_arr.ndim != 1:
+            raise DataError("times and values must be one-dimensional")
+        if times_arr.shape != values_arr.shape:
+            raise DataError(
+                f"length mismatch: {times_arr.size} times vs {values_arr.size} values"
+            )
+        if times_arr.size > 1 and not np.all(np.diff(times_arr) > 0):
+            raise DataError("times must be strictly increasing")
+        # Copy so later mutation of the inputs cannot change the series.
+        self._times = times_arr.copy()
+        self._values = values_arr.copy()
+        self._times.setflags(write=False)
+        self._values.setflags(write=False)
+        self.name = name
+
+    @classmethod
+    def from_values(
+        cls, values: Iterable[float], period: float = 1.0, start: float = 0.0, name: str = ""
+    ) -> "TimeSeries":
+        """Build a series from values sampled every ``period`` seconds."""
+        values_list = list(values)
+        times = start + period * np.arange(len(values_list))
+        return cls(times, values_list, name=name)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample timestamps (read-only array)."""
+        return self._times
+
+    @property
+    def values(self) -> np.ndarray:
+        """Sample values (read-only array)."""
+        return self._values
+
+    def __len__(self) -> int:
+        return int(self._values.size)
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        return zip(self._times.tolist(), self._values.tolist())
+
+    def __getitem__(self, index: int | slice) -> "float | TimeSeries":
+        if isinstance(index, slice):
+            return TimeSeries(self._times[index], self._values[index], name=self.name)
+        return float(self._values[index])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimeSeries):
+            return NotImplemented
+        return bool(
+            np.array_equal(self._times, other._times)
+            and np.array_equal(self._values, other._values)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing is enough
+        return id(self)
+
+    def mean(self) -> float:
+        """Arithmetic mean of the values."""
+        self._require_nonempty()
+        return float(self._values.mean())
+
+    def std(self) -> float:
+        """Population standard deviation of the values."""
+        self._require_nonempty()
+        return float(self._values.std())
+
+    def median(self) -> float:
+        """Median of the values."""
+        self._require_nonempty()
+        return float(np.median(self._values))
+
+    def period(self) -> float:
+        """Median spacing between consecutive samples.
+
+        Raises:
+            DataError: for series with fewer than two samples.
+        """
+        if len(self) < 2:
+            raise DataError("period is undefined for series shorter than 2")
+        return float(np.median(np.diff(self._times)))
+
+    def downsample(self, factor: int) -> "TimeSeries":
+        """Keep every ``factor``-th sample, starting from the first.
+
+        This mirrors the paper's Section 6.1.6, which evaluates HB
+        prediction on traces down-sampled to longer transfer intervals.
+        """
+        if factor < 1:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        return TimeSeries(
+            self._times[::factor], self._values[::factor], name=self.name
+        )
+
+    def drop_indices(self, indices: Iterable[int]) -> "TimeSeries":
+        """Return a copy with the samples at ``indices`` removed."""
+        mask = np.ones(len(self), dtype=bool)
+        index_list = list(indices)
+        if index_list:
+            mask[np.asarray(index_list, dtype=int)] = False
+        return TimeSeries(self._times[mask], self._values[mask], name=self.name)
+
+    def window(self, start_time: float, end_time: float) -> "TimeSeries":
+        """Return the sub-series with ``start_time <= t < end_time``."""
+        mask = (self._times >= start_time) & (self._times < end_time)
+        return TimeSeries(self._times[mask], self._values[mask], name=self.name)
+
+    def _require_nonempty(self) -> None:
+        if len(self) == 0:
+            raise DataError("operation undefined on an empty series")
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"TimeSeries({len(self)} samples{label})"

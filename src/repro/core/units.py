@@ -1,0 +1,100 @@
+"""Unit helpers and conventions.
+
+Conventions used throughout the package:
+
+* time is in **seconds** (floats),
+* data sizes are in **bytes** unless a name says otherwise,
+* rates are in **bits per second** internally; the public API reports
+  throughput in **Mbps** because that is how the paper reports it.
+
+The helpers here exist so unit conversions are spelled out at call sites
+(``mbps_to_bps(10)`` rather than ``10 * 1e6``), which makes mistakes
+visible in review.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+BITS_PER_BYTE = 8
+
+#: Size multipliers (decimal, as used by network equipment and the paper).
+KILO = 1_000
+MEGA = 1_000_000
+
+
+def kbyte(n: float) -> int:
+    """Return ``n`` kilobytes expressed in bytes (decimal kilobytes)."""
+    return int(n * KILO)
+
+
+def mbyte(n: float) -> int:
+    """Return ``n`` megabytes expressed in bytes (decimal megabytes)."""
+    return int(n * MEGA)
+
+
+def kbit(n: float) -> float:
+    """Return ``n`` kilobits expressed in bits."""
+    return n * KILO
+
+
+def mbit(n: float) -> float:
+    """Return ``n`` megabits expressed in bits."""
+    return n * MEGA
+
+
+def bytes_to_bits(n_bytes: float) -> float:
+    """Convert a byte count to bits."""
+    return n_bytes * BITS_PER_BYTE
+
+
+def bits_to_mbps(bits: float, seconds: float) -> float:
+    """Average rate in Mbps for ``bits`` transferred over ``seconds``.
+
+    Raises:
+        ValueError: if ``seconds`` is not positive.
+    """
+    if seconds <= 0:
+        raise ValueError(f"seconds must be positive, got {seconds!r}")
+    return bits / seconds / MEGA
+
+
+def mbps_to_bps(mbps: float) -> float:
+    """Convert a rate in Mbps to bits per second."""
+    return mbps * MEGA
+
+
+@dataclass(frozen=True)
+class Bandwidth:
+    """A link or path bandwidth, stored in bits per second.
+
+    A tiny value class so signatures can say ``Bandwidth`` instead of a
+    bare float whose unit the reader has to guess.
+    """
+
+    bps: float
+
+    def __post_init__(self) -> None:
+        if self.bps < 0:
+            raise ValueError(f"bandwidth must be non-negative, got {self.bps!r}")
+
+    @classmethod
+    def from_mbps(cls, mbps: float) -> "Bandwidth":
+        """Build a :class:`Bandwidth` from a rate in Mbps."""
+        return cls(bps=mbps_to_bps(mbps))
+
+    @property
+    def mbps(self) -> float:
+        """The bandwidth expressed in Mbps."""
+        return self.bps / MEGA
+
+    def transmission_delay(self, n_bytes: int) -> float:
+        """Seconds needed to serialize ``n_bytes`` onto this link."""
+        if self.bps == 0:
+            raise ValueError("cannot transmit on a zero-bandwidth link")
+        return bytes_to_bits(n_bytes) / self.bps
+
+    def __mul__(self, factor: float) -> "Bandwidth":
+        return Bandwidth(bps=self.bps * factor)
+
+    __rmul__ = __mul__

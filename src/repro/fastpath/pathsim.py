@@ -1,0 +1,416 @@
+"""The fluid per-epoch path simulator.
+
+:class:`FluidPathSimulator` produces one :class:`EpochMeasurement` per
+call, following the paper's epoch timeline (Fig. 1): avail-bw
+measurement, 60 s of pre-transfer probing, the 50 s target transfer with
+concurrent probing, plus the companion small-window transfer.
+
+The transfer model distinguishes the three regimes that bound a bulk
+TCP flow:
+
+* **window-limited** — ``W/T`` below the available bandwidth: the flow
+  never saturates the path; its throughput is ``W/T`` with the mild
+  queueing the flow itself adds (the paper's most predictable case);
+* **loss-limited** — inherent random loss caps the flow below its
+  bandwidth share (PFTK applied to the true loss process);
+* **congestion-limited** — the flow saturates the bottleneck: it gets
+  its share of the capacity (avail-bw plus whatever elastic cross
+  traffic yields, discounted by buffer adequacy), fills the buffer
+  (RTT inflation), and *drives the loss process itself* — the loss
+  event rate is the one at which the TCP model equals the achieved
+  share (AIMD loss-throughput duality, computed by inverting PFTK).
+
+Every stochastic draw comes from the injected RNG stream, so campaigns
+are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fastpath.loadmodel import CrossLoadProcess, EpochLoad
+from repro.fastpath.queueing import (
+    mm1k_loss_probability,
+    mm1k_mean_queue_delay_s,
+    packets_for_buffer,
+    pollaczek_khinchine_factor,
+    service_rate_pps,
+)
+from repro.fastpath.sampling import (
+    pathload_estimate,
+    probe_loss_estimate,
+    probe_rtt_estimate,
+)
+from repro.formulas.params import TcpParameters
+from repro.formulas.pftk import pftk_loss_for_throughput, pftk_throughput
+from repro.paths.config import PathConfig
+from repro.paths.records import EpochMeasurement, EpochTruth
+
+#: Probe counts of the paper's methodology: 600 before (60 s at 10 Hz),
+#: 500 during the 50 s transfer.
+N_PROBES_PRE = 600
+N_PROBES_DURING = 500
+
+#: A flow is called window-limited when its window ceiling stays below
+#: this fraction of the available bandwidth.
+WINDOW_LIMITED_MARGIN = 0.92
+
+#: Epoch-to-epoch lognormal spread of the probe-vs-TCP loss sampling
+#: mismatch (Goyal et al. report order-of-magnitude discrepancies).
+PROBE_LOSS_LOGNORMAL_SIGMA = 1.5
+
+
+@dataclass(frozen=True)
+class _TransferOutcome:
+    """Internal result of the transfer model."""
+
+    throughput_mbps: float
+    mean_throughput_mbps: float
+    loss_event_rate: float
+    rtt_during_s: float
+    queue_delay_during_s: float
+    regime: str
+
+
+class FluidPathSimulator:
+    """Epoch-level simulator of one path.
+
+    Args:
+        config: the path's static parameters.
+        rng: this path/trace's random stream.
+        regime_mean: optional starting regime mean for the load process.
+        start_time_s: absolute start time, forwarded to the load process
+            (only observable when the config enables a diurnal cycle).
+    """
+
+    def __init__(
+        self,
+        config: PathConfig,
+        rng: np.random.Generator,
+        regime_mean: float | None = None,
+        start_time_s: float = 0.0,
+    ) -> None:
+        self.config = config
+        self.rng = rng
+        self.load = CrossLoadProcess(
+            config, rng, regime_mean, start_time_s=start_time_s
+        )
+        self._k_packets = packets_for_buffer(config.buffer_bytes)
+        self._mu_pps = service_rate_pps(config.capacity_mbps)
+        self._pk_factor = pollaczek_khinchine_factor(config.burstiness_scv)
+        # Elastic cross flows competing at the bottleneck: count and RTTs
+        # are drawn once per simulator (i.e. per trace).
+        n_elastic = int(round(config.elasticity * config.n_cross_flows))
+        self._elastic_rtts_s = [
+            float(config.base_rtt_s * rng.uniform(0.5, 2.5))
+            for _ in range(n_elastic)
+        ]
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run_epoch(
+        self,
+        path_id: str,
+        trace_index: int,
+        epoch_index: int,
+        start_time_s: float,
+        dt_s: float,
+        tcp: TcpParameters,
+        small_tcp: TcpParameters | None = None,
+        checkpoint_fractions: tuple[float, ...] = (),
+        transfer_duration_s: float = 50.0,
+    ) -> EpochMeasurement:
+        """Simulate one epoch and return its measurement record.
+
+        Args:
+            path_id/trace_index/epoch_index: identity of the epoch.
+            start_time_s: absolute epoch start time.
+            dt_s: time since the previous epoch (load evolution).
+            tcp: the main transfer's parameters (the paper's W = 1 MB).
+            small_tcp: when given, a companion small-window transfer is
+                simulated under the same load (the paper's W = 20 KB).
+            checkpoint_fractions: fractions of the transfer duration at
+                which cumulative throughput snapshots are reported
+                (Fig. 11's 30/60/120 s cuts, as fractions of 120 s).
+            transfer_duration_s: the transfer length.
+        """
+        load = self.load.advance(dt_s)
+
+        # --- pre-transfer measurements (pathload, then 60 s of ping) ---
+        dq_pre = self._queue_delay(load.util_pre)
+        that_s = probe_rtt_estimate(
+            self.rng, self.config.base_rtt_s, dq_pre, N_PROBES_PRE
+        )
+        loss_pre = min(
+            0.5,
+            self.config.random_loss
+            + mm1k_loss_probability(load.util_pre, self._k_packets),
+        )
+        phat = probe_loss_estimate(self.rng, loss_pre, N_PROBES_PRE)
+        availbw_pre = self.config.capacity_mbps * (1.0 - load.util_pre)
+        ahat_mbps = pathload_estimate(
+            self.rng,
+            availbw_pre,
+            self.config.capacity_mbps,
+            self.config.pathload_bias,
+            self.config.pathload_noise,
+        )
+
+        # --- the target transfer ---------------------------------------
+        outcome = self._transfer(load, tcp)
+
+        # --- probing during the transfer --------------------------------
+        ttilde_s = probe_rtt_estimate(
+            self.rng,
+            self.config.base_rtt_s,
+            outcome.queue_delay_during_s,
+            N_PROBES_DURING,
+        )
+        probe_loss_during = self._probe_observed_loss(outcome)
+        ptilde = probe_loss_estimate(self.rng, probe_loss_during, N_PROBES_DURING)
+
+        # --- companion small-window transfer ----------------------------
+        smallw = None
+        if small_tcp is not None:
+            smallw = self._transfer(load, small_tcp).throughput_mbps
+
+        # --- sub-duration throughputs (second measurement set) ----------
+        checkpoints = self._checkpoint_throughputs(
+            outcome, checkpoint_fractions, transfer_duration_s
+        )
+
+        return EpochMeasurement(
+            path_id=path_id,
+            trace_index=trace_index,
+            epoch_index=epoch_index,
+            start_time_s=start_time_s,
+            ahat_mbps=ahat_mbps,
+            phat=phat,
+            that_s=that_s,
+            throughput_mbps=outcome.throughput_mbps,
+            ptilde=ptilde,
+            ttilde_s=ttilde_s,
+            smallw_throughput_mbps=smallw,
+            duration_throughputs_mbps=checkpoints,
+            truth=EpochTruth(
+                utilization_pre=load.util_pre,
+                utilization_during=load.util_during,
+                loss_event_rate=outcome.loss_event_rate,
+                regime=outcome.regime,
+                outlier=load.outlier,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # The transfer model
+    # ------------------------------------------------------------------
+
+    def _transfer(self, load: EpochLoad, tcp: TcpParameters) -> _TransferOutcome:
+        cfg = self.config
+        u = load.util_during
+        capacity = cfg.capacity_mbps
+        availbw = capacity * (1.0 - u)
+        base_rtt = cfg.base_rtt_s
+        window_mbps_at = lambda rtt_s: tcp.max_window_bytes * 8.0 / rtt_s / 1e6
+
+        # First guess of the flow's RTT if it stays non-saturating.
+        dq_light = self._queue_delay(u)
+        window_cap = window_mbps_at(base_rtt + dq_light)
+
+        if window_cap < WINDOW_LIMITED_MARGIN * availbw:
+            return self._window_limited_transfer(u, tcp)
+
+        # The flow saturates (or tries to): compute its bandwidth share.
+        share = self._bandwidth_share(u, base_rtt)
+        rto_guess = max(1.0, 2.0 * base_rtt)
+        loss_cap = math.inf
+        if cfg.random_loss > 0:
+            loss_cap = pftk_throughput(
+                base_rtt + dq_light, cfg.random_loss, rto_guess, tcp
+            )
+
+        if loss_cap < share:
+            return self._loss_limited_transfer(u, tcp, loss_cap)
+        return self._congestion_limited_transfer(u, tcp, share)
+
+    def _window_limited_transfer(
+        self, util: float, tcp: TcpParameters
+    ) -> _TransferOutcome:
+        cfg = self.config
+        # The flow adds its own (small) load; recompute the queue with it.
+        window_mbps = tcp.max_window_bytes * 8.0 / cfg.base_rtt_s / 1e6
+        util_total = min(0.98, util + window_mbps / cfg.capacity_mbps)
+        dq = self._queue_delay(util_total)
+        rtt_during = cfg.base_rtt_s + dq
+        mean_rate = tcp.max_window_bytes * 8.0 / rtt_during / 1e6
+
+        loss = min(
+            0.4,
+            cfg.random_loss + mm1k_loss_probability(util_total, self._k_packets),
+        )
+        if loss > 0:
+            rto = max(1.0, 2.0 * rtt_during)
+            mean_rate = min(mean_rate, pftk_throughput(rtt_during, loss, rto, tcp))
+
+        sigma = 0.03 + 1.5 * math.sqrt(loss)
+        sample = mean_rate * float(self.rng.lognormal(0.0, min(sigma, 0.35)))
+        sample = min(sample, tcp.max_window_bytes * 8.0 / cfg.base_rtt_s / 1e6)
+        return _TransferOutcome(
+            throughput_mbps=max(sample, 1e-3),
+            mean_throughput_mbps=mean_rate,
+            loss_event_rate=loss,
+            rtt_during_s=rtt_during,
+            queue_delay_during_s=dq,
+            regime="window",
+        )
+
+    def _loss_limited_transfer(
+        self, util: float, tcp: TcpParameters, loss_cap_mbps: float
+    ) -> _TransferOutcome:
+        cfg = self.config
+        util_total = min(
+            0.99, util + loss_cap_mbps / cfg.capacity_mbps
+        )
+        dq = self._queue_delay(util_total)
+        rtt_during = cfg.base_rtt_s + dq
+        # Loss-limited flows have high throughput variance: the loss
+        # process, not the capacity, sets the pace.
+        sigma = 0.07 + 0.5 * math.sqrt(cfg.random_loss)
+        sample = loss_cap_mbps * float(self.rng.lognormal(0.0, min(sigma, 0.4)))
+        return _TransferOutcome(
+            throughput_mbps=max(sample, 1e-3),
+            mean_throughput_mbps=loss_cap_mbps,
+            loss_event_rate=cfg.random_loss,
+            rtt_during_s=rtt_during,
+            queue_delay_during_s=dq,
+            regime="loss",
+        )
+
+    def _congestion_limited_transfer(
+        self, util: float, tcp: TcpParameters, share_mbps: float
+    ) -> _TransferOutcome:
+        cfg = self.config
+        # Buffer adequacy: an AIMD sawtooth needs roughly a BDP of
+        # buffering to keep the link busy through window halvings.  The
+        # base efficiency sits well below 1 even with ample buffering:
+        # classic Reno loses whole RTO periods (1 s minimum) whenever a
+        # drop-tail overflow claims several segments of one window —
+        # calibrated against the packet-level simulator (see
+        # tests/integration/test_fluid_vs_packet.py).
+        bdp_bytes = share_mbps * 1e6 * cfg.base_rtt_s / 8.0
+        eta = 0.55 + 0.35 * min(1.0, cfg.buffer_bytes / max(bdp_bytes, 1.0))
+        mean_rate = share_mbps * eta
+
+        # Saturation keeps the buffer partially full; the fill level rises
+        # with how loaded the path already was.
+        fill = float(
+            np.clip(0.25 + 0.35 * util + self.rng.normal(0.0, 0.08), 0.15, 0.9)
+        )
+        dq = fill * self._k_packets / self._mu_pps
+        rtt_during = cfg.base_rtt_s + dq
+        mean_rate = min(mean_rate, tcp.max_window_bytes * 8.0 / rtt_during / 1e6)
+
+        # Short-term throughput variability: grows with utilization,
+        # shrinks with statistical multiplexing (the paper's queueing
+        # analysis, Section 6.1.4).
+        sigma = 0.03 + 0.35 * util * util / math.sqrt(max(1, cfg.n_cross_flows))
+        sample = mean_rate * float(self.rng.lognormal(0.0, min(sigma, 0.5)))
+        sample = max(sample, 1e-3)
+
+        # AIMD duality: the loss event rate is whatever makes the TCP
+        # model deliver the achieved rate at the experienced RTT.
+        rto = max(1.0, 2.0 * rtt_during)
+        p_event = pftk_loss_for_throughput(sample, rtt_during, rto, tcp)
+        p_event = max(p_event, cfg.random_loss)
+
+        return _TransferOutcome(
+            throughput_mbps=sample,
+            mean_throughput_mbps=mean_rate,
+            loss_event_rate=p_event,
+            rtt_during_s=rtt_during,
+            queue_delay_during_s=dq,
+            regime="congestion",
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _queue_delay(self, utilization: float) -> float:
+        """Mean queueing delay at the given load, with the PK burstiness
+        factor applied (neutral at the default ``burstiness_scv = 1``)."""
+        return self._pk_factor * mm1k_mean_queue_delay_s(
+            utilization, self._k_packets, self._mu_pps
+        )
+
+    def _bandwidth_share(self, util: float, target_rtt_s: float) -> float:
+        """The saturating flow's bandwidth share.
+
+        The flow gets the available bandwidth plus whatever the elastic
+        share of the cross traffic yields; the yield shrinks with the
+        number of elastic competitors and their RTT advantage
+        (Section 3.4).
+
+        The share is floored at 10% of capacity: even against a heavy
+        inelastic aggregate, a persistent Reno flow keeps pushing and
+        claims buffer slots, so full starvation does not happen on a
+        drop-tail bottleneck.
+        """
+        cfg = self.config
+        availbw = cfg.capacity_mbps * (1.0 - util)
+        if not self._elastic_rtts_s:
+            return max(availbw, 0.10 * cfg.capacity_mbps)
+        elastic_cross_mbps = util * cfg.elasticity * cfg.capacity_mbps
+        target_weight = 1.0 / target_rtt_s
+        cross_weight = sum(1.0 / rtt for rtt in self._elastic_rtts_s)
+        yielded = elastic_cross_mbps * target_weight / (target_weight + cross_weight)
+        return max(availbw + yielded, 0.10 * cfg.capacity_mbps)
+
+    def _probe_observed_loss(self, outcome: _TransferOutcome) -> float:
+        """Loss rate periodic probes see during the transfer.
+
+        In the congestion-limited regime the flow's own losses cluster in
+        its AIMD bursts; probes observe only a fraction, with large
+        epoch-to-epoch spread (Section 3.3).
+        """
+        cfg = self.config
+        if outcome.regime == "congestion":
+            packet_loss = outcome.loss_event_rate * cfg.burst_factor
+            mismatch = float(
+                self.rng.lognormal(0.0, PROBE_LOSS_LOGNORMAL_SIGMA)
+            )
+            observed = cfg.random_loss + cfg.probe_loss_factor * mismatch * packet_loss
+        else:
+            observed = outcome.loss_event_rate
+        return float(min(0.5, max(0.0, observed)))
+
+    def _checkpoint_throughputs(
+        self,
+        outcome: _TransferOutcome,
+        fractions: tuple[float, ...],
+        duration_s: float,
+    ) -> tuple[float, ...]:
+        """Cumulative throughput at intermediate cuts of the transfer.
+
+        A shorter averaging window sees more of the flow's short-term
+        variability, so the deviation from the full-transfer throughput
+        shrinks with the square root of the cut length.
+        """
+        if not fractions:
+            return ()
+        checkpoints = []
+        for fraction in fractions:
+            if not 0.0 < fraction <= 1.0:
+                raise ValueError(f"checkpoint fraction {fraction} outside (0, 1]")
+            rel_std = 0.08 / math.sqrt(fraction)
+            value = outcome.throughput_mbps * float(
+                self.rng.lognormal(0.0, min(rel_std, 0.5))
+            )
+            checkpoints.append(max(value, 1e-3))
+        del duration_s  # documented knob; the fractions carry the scale
+        return tuple(checkpoints)

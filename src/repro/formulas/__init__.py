@@ -1,0 +1,47 @@
+"""Formula-Based (FB) TCP throughput models and the paper's FB predictor.
+
+This subpackage implements the mathematical side of the paper's Section 3:
+
+* :mod:`repro.formulas.mathis` — the "square-root" model (paper Eq. (1)).
+* :mod:`repro.formulas.pftk` — the PFTK model of Padhye et al. (Eq. (2)),
+  plus the full (non-approximate) PFTK model.
+* :mod:`repro.formulas.pftk_revised` — the revised PFTK variant used for
+  the paper's Fig. 13.
+* :mod:`repro.formulas.cardwell` — the Cardwell et al. slow-start model
+  used in Section 4.2.7.
+* :mod:`repro.formulas.availbw` — the available-bandwidth predictor for
+  lossless paths.
+* :mod:`repro.formulas.fb_predictor` — the combined predictor of Eq. (3).
+
+All models take path characteristics in SI units (seconds, bytes,
+probabilities) and return throughput in **Mbps**.
+"""
+
+from repro.formulas.availbw import availbw_prediction
+from repro.formulas.cardwell import (
+    expected_short_transfer_throughput_mbps,
+    expected_slow_start_segments,
+    expected_transfer_time_s,
+    slow_start_fraction,
+)
+from repro.formulas.fb_predictor import FormulaBasedPredictor, estimate_rto
+from repro.formulas.mathis import mathis_throughput
+from repro.formulas.params import PathEstimates, TcpParameters
+from repro.formulas.pftk import pftk_full_throughput, pftk_throughput
+from repro.formulas.pftk_revised import pftk_revised_throughput
+
+__all__ = [
+    "FormulaBasedPredictor",
+    "PathEstimates",
+    "TcpParameters",
+    "availbw_prediction",
+    "estimate_rto",
+    "expected_short_transfer_throughput_mbps",
+    "expected_slow_start_segments",
+    "expected_transfer_time_s",
+    "mathis_throughput",
+    "pftk_full_throughput",
+    "pftk_revised_throughput",
+    "pftk_throughput",
+    "slow_start_fraction",
+]

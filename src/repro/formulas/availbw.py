@@ -1,0 +1,60 @@
+"""Avail-bw based prediction for lossless paths (paper Section 3.1).
+
+When the a priori probing sees no losses (``p_hat = 0``) the PFTK model
+degenerates to ``W / T_hat``, which can be unrelated to the realized
+throughput if ``W`` exceeds the path's bandwidth-delay product.  The
+paper's Eq. (3) therefore predicts ``min(W / T_hat, A_hat)`` on lossless
+paths, where ``A_hat`` is the measured available bandwidth.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import PredictionError
+from repro.core.units import BITS_PER_BYTE, MEGA
+from repro.formulas.params import TcpParameters
+
+
+def window_limit_mbps(rtt_s: float, tcp: TcpParameters | None = None) -> float:
+    """The hard window-imposed throughput ceiling ``W / T`` in Mbps."""
+    tcp = tcp or TcpParameters()
+    if rtt_s <= 0:
+        raise ValueError(f"rtt_s must be positive, got {rtt_s}")
+    return tcp.max_window_bytes * BITS_PER_BYTE / rtt_s / MEGA
+
+
+def availbw_prediction(
+    rtt_s: float,
+    availbw_mbps: float,
+    tcp: TcpParameters | None = None,
+) -> float:
+    """Lossless-path FB prediction ``min(W / T_hat, A_hat)`` in Mbps.
+
+    Args:
+        rtt_s: a priori RTT ``T_hat`` in seconds.
+        availbw_mbps: a priori avail-bw ``A_hat`` in Mbps.
+        tcp: transfer parameters (provides ``W``).
+
+    Raises:
+        PredictionError: if no positive avail-bw estimate is supplied.
+    """
+    if availbw_mbps is None or availbw_mbps <= 0:
+        raise PredictionError(
+            "lossless-path prediction requires a positive avail-bw estimate"
+        )
+    return min(window_limit_mbps(rtt_s, tcp), availbw_mbps)
+
+
+def is_window_limited(
+    rtt_s: float,
+    availbw_mbps: float,
+    tcp: TcpParameters | None = None,
+) -> bool:
+    """True when ``W / T_hat < A_hat``, the paper's window-limited test.
+
+    Window-limited flows do not attempt to saturate the path, and both
+    Sections 4.2.8 and 6.1.5 show their throughput is far more
+    predictable.
+    """
+    if availbw_mbps <= 0:
+        raise ValueError(f"availbw_mbps must be positive, got {availbw_mbps}")
+    return window_limit_mbps(rtt_s, tcp) < availbw_mbps

@@ -1,0 +1,163 @@
+"""The Cardwell et al. slow-start model (paper Section 4.2.7).
+
+The paper uses the result of Cardwell, Savage, Anderson (INFOCOM 2000)
+to reason about when a transfer is long enough that its initial slow
+start contributes negligibly to the average throughput::
+
+    E[d_ss] = (1 - (1-p)^d) (1-p) / p + 1
+
+where ``d`` is the total number of segments in the transfer, ``p`` the
+loss rate, and ``E[d_ss]`` the expected number of segments sent during
+the initial slow start (i.e. before the first loss).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def expected_slow_start_segments(total_segments: int, loss_rate: float) -> float:
+    """Expected number of segments transferred during initial slow start.
+
+    Args:
+        total_segments: ``d``, the flow's total size in segments.
+        loss_rate: ``p`` in [0, 1).
+
+    For a lossless flow slow start only ends at the maximum window, so the
+    model's answer is the whole transfer (``d``).
+    """
+    if total_segments < 1:
+        raise ValueError(f"total_segments must be >= 1, got {total_segments}")
+    if not 0.0 <= loss_rate < 1.0:
+        raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+    if loss_rate == 0.0:
+        return float(total_segments)
+    p = loss_rate
+    d = total_segments
+    expected = (1.0 - (1.0 - p) ** d) * (1.0 - p) / p + 1.0
+    return min(expected, float(d))
+
+
+def slow_start_fraction(total_segments: int, loss_rate: float) -> float:
+    """Fraction of the transfer expected to happen during slow start."""
+    return expected_slow_start_segments(total_segments, loss_rate) / total_segments
+
+
+def slow_start_negligible(
+    total_segments: int, loss_rate: float, threshold: float = 0.1
+) -> bool:
+    """True when slow start covers at most ``threshold`` of the transfer.
+
+    The paper uses this criterion to decide whether the steady-state
+    models (Mathis/PFTK) apply, or whether a short-transfer latency model
+    is needed instead.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+    return slow_start_fraction(total_segments, loss_rate) <= threshold
+
+
+def slow_start_duration_rtts(segments_in_slow_start: float, ack_every: int = 2) -> float:
+    """Approximate number of RTTs slow start takes to send ``n`` segments.
+
+    With delayed ACKs the window grows by a factor ``gamma = 1 + 1/b``
+    per RTT, so ``n`` segments take roughly ``log_gamma(n (gamma-1) + 1)``
+    rounds (Cardwell et al., eq. for ``E[T_ss]`` without loss).
+    """
+    if segments_in_slow_start < 1:
+        raise ValueError(
+            f"segments_in_slow_start must be >= 1, got {segments_in_slow_start}"
+        )
+    if ack_every < 1:
+        raise ValueError(f"ack_every must be >= 1, got {ack_every}")
+    gamma = 1.0 + 1.0 / ack_every
+    return math.log(segments_in_slow_start * (gamma - 1.0) + 1.0, gamma)
+
+
+def expected_transfer_time_s(
+    total_segments: int,
+    rtt_s: float,
+    loss_rate: float,
+    steady_rate_mbps: float,
+    mss_bytes: int = 1460,
+    ack_every: int = 2,
+    initial_window: float = 2.0,
+) -> float:
+    """Expected completion time of a fixed-size transfer.
+
+    A Cardwell-style composite (the approach Arlitt et al. apply for
+    short-transfer prediction, per the paper's Section 2): the first
+    ``E[d_ss]`` segments travel in slow-start rounds of one RTT each,
+    the remainder at the steady-state rate the long-flow models predict.
+
+    Args:
+        total_segments: transfer size ``d`` in segments.
+        rtt_s: round-trip time the flow experiences.
+        loss_rate: loss rate ``p`` (bounds the slow-start phase).
+        steady_rate_mbps: post-slow-start throughput — typically a PFTK
+            or avail-bw prediction from
+            :class:`~repro.formulas.fb_predictor.FormulaBasedPredictor`.
+        mss_bytes: segment size.
+        ack_every: delayed-ACK factor ``b``.
+        initial_window: slow start's initial window in segments.
+
+    Returns:
+        Expected transfer duration in seconds.
+    """
+    if rtt_s <= 0:
+        raise ValueError(f"rtt_s must be positive, got {rtt_s}")
+    if steady_rate_mbps <= 0:
+        raise ValueError(
+            f"steady_rate_mbps must be positive, got {steady_rate_mbps}"
+        )
+    if initial_window < 1:
+        raise ValueError(f"initial_window must be >= 1, got {initial_window}")
+
+    # Slow start cannot outrun the steady-state ceiling: cap it at the
+    # window the steady rate corresponds to.
+    ceiling_segments = max(
+        initial_window, steady_rate_mbps * 1e6 * rtt_s / (mss_bytes * 8)
+    )
+    gamma = 1.0 + 1.0 / ack_every
+
+    slow_start_segments = min(
+        expected_slow_start_segments(total_segments, loss_rate),
+        total_segments,
+    )
+    # Segments sent while the window grows from w1 to the ceiling.
+    growth_budget = initial_window * (ceiling_segments * gamma / initial_window - 1.0) / (
+        gamma - 1.0
+    )
+    ss_segments = min(slow_start_segments, max(growth_budget, initial_window))
+
+    # Rounds to send ss_segments with geometric window growth.
+    rounds = math.log(ss_segments * (gamma - 1.0) / initial_window + 1.0, gamma)
+    slow_start_time = max(1.0, rounds) * rtt_s
+
+    remaining = max(0.0, total_segments - ss_segments)
+    steady_time = remaining * mss_bytes * 8 / (steady_rate_mbps * 1e6)
+    return slow_start_time + steady_time
+
+
+def expected_short_transfer_throughput_mbps(
+    total_bytes: int,
+    rtt_s: float,
+    loss_rate: float,
+    steady_rate_mbps: float,
+    mss_bytes: int = 1460,
+    ack_every: int = 2,
+) -> float:
+    """Throughput of a fixed-size transfer implied by the latency model.
+
+    For small transfers this sits far below the steady-state rate (the
+    slow-start penalty the paper's Section 1 notes makes short flows a
+    different prediction problem); it converges to ``steady_rate_mbps``
+    as the size grows.
+    """
+    if total_bytes < 1:
+        raise ValueError(f"total_bytes must be >= 1, got {total_bytes}")
+    segments = max(1, -(-total_bytes // mss_bytes))
+    duration = expected_transfer_time_s(
+        segments, rtt_s, loss_rate, steady_rate_mbps, mss_bytes, ack_every
+    )
+    return total_bytes * 8 / duration / 1e6

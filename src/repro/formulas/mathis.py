@@ -1,0 +1,49 @@
+"""The Mathis "square-root" TCP throughput model (paper Eq. (1)).
+
+``E[R] = M / (T * sqrt(2 b p / 3))``
+
+Accurate for bulk transfers whose losses are recovered by Fast Retransmit
+(no timeouts) and that are not window-limited.  The paper uses it both as
+the historical baseline for FB prediction (it is what RON's route
+selection used) and to analyse how RTT/loss increases translate into
+prediction error (Section 4.2.2).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.errors import PredictionError
+from repro.core.units import BITS_PER_BYTE, MEGA
+from repro.formulas.params import TcpParameters
+
+
+def mathis_throughput(
+    rtt_s: float,
+    loss_rate: float,
+    tcp: TcpParameters | None = None,
+) -> float:
+    """Expected bulk TCP throughput in Mbps under the square-root model.
+
+    Args:
+        rtt_s: round-trip time ``T`` in seconds.
+        loss_rate: packet loss rate ``p`` in (0, 1).
+        tcp: transfer parameters; defaults to the paper's defaults.
+
+    Raises:
+        PredictionError: if ``loss_rate`` is zero — the square-root model
+            diverges there; lossless paths need the avail-bw predictor.
+        ValueError: if ``rtt_s`` is not positive or ``loss_rate`` outside
+            ``[0, 1)``.
+    """
+    tcp = tcp or TcpParameters()
+    if rtt_s <= 0:
+        raise ValueError(f"rtt_s must be positive, got {rtt_s}")
+    if not 0.0 <= loss_rate < 1.0:
+        raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+    if loss_rate == 0.0:
+        raise PredictionError("square-root model undefined for a lossless path")
+    segments_per_second = 1.0 / (
+        rtt_s * math.sqrt(2.0 * tcp.ack_every * loss_rate / 3.0)
+    )
+    return segments_per_second * tcp.mss_bytes * BITS_PER_BYTE / MEGA

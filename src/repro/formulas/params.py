@@ -1,0 +1,104 @@
+"""Parameter bundles shared by the FB models.
+
+Two small frozen dataclasses keep model signatures readable:
+
+* :class:`TcpParameters` — properties of the *transfer* (segment size,
+  delayed-ACK factor ``b``, maximum window ``W``), the knobs the paper
+  varies (W = 1 MB vs W = 20 KB).
+* :class:`PathEstimates` — the *a priori* measurements of the path
+  (RTT ``T_hat``, loss rate ``p_hat``, avail-bw ``A_hat``) that the FB
+  predictor of Eq. (3) consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigurationError
+from repro.core.units import kbyte, mbyte
+
+#: Standard Ethernet-derived maximum segment size, bytes.
+DEFAULT_MSS_BYTES = 1460
+
+#: Delayed ACKs acknowledge every other segment (paper's ``b``).
+DEFAULT_ACK_EVERY = 2
+
+
+@dataclass(frozen=True)
+class TcpParameters:
+    """Transfer-side parameters of the TCP throughput models.
+
+    Attributes:
+        mss_bytes: maximum segment size ``M`` in bytes.
+        ack_every: segments per new ACK, the models' ``b`` (2 with
+            delayed ACKs, 1 without).
+        max_window_bytes: maximum window ``W`` in bytes — in practice the
+            smaller of the sender buffer and the receiver's advertised
+            window, which the paper controls through IPerf's socket
+            buffer size.
+    """
+
+    mss_bytes: int = DEFAULT_MSS_BYTES
+    ack_every: int = DEFAULT_ACK_EVERY
+    max_window_bytes: int = mbyte(1)
+
+    def __post_init__(self) -> None:
+        if self.mss_bytes <= 0:
+            raise ConfigurationError(f"mss_bytes must be positive, got {self.mss_bytes}")
+        if self.ack_every < 1:
+            raise ConfigurationError(f"ack_every must be >= 1, got {self.ack_every}")
+        if self.max_window_bytes < self.mss_bytes:
+            raise ConfigurationError(
+                "max_window_bytes must hold at least one segment "
+                f"({self.max_window_bytes} < {self.mss_bytes})"
+            )
+
+    @classmethod
+    def congestion_limited(cls) -> "TcpParameters":
+        """The paper's default: W = 1 MB, large enough to saturate paths."""
+        return cls(max_window_bytes=mbyte(1))
+
+    @classmethod
+    def window_limited(cls) -> "TcpParameters":
+        """The paper's small-window setting: W = 20 KB."""
+        return cls(max_window_bytes=kbyte(20))
+
+    @property
+    def max_window_segments(self) -> float:
+        """Maximum window expressed in segments."""
+        return self.max_window_bytes / self.mss_bytes
+
+
+@dataclass(frozen=True)
+class PathEstimates:
+    """A priori path measurements feeding the FB predictor (Eq. (3)).
+
+    Attributes:
+        rtt_s: measured round-trip time ``T_hat`` in seconds.
+        loss_rate: measured loss rate ``p_hat`` in [0, 1]; zero means the
+            probing observed a lossless path.
+        availbw_mbps: measured available bandwidth ``A_hat`` in Mbps, or
+            ``None`` if no avail-bw measurement was taken.  Required by
+            the predictor only on lossless paths.
+    """
+
+    rtt_s: float
+    loss_rate: float
+    availbw_mbps: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.rtt_s <= 0:
+            raise ConfigurationError(f"rtt_s must be positive, got {self.rtt_s}")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ConfigurationError(
+                f"loss_rate must be in [0, 1), got {self.loss_rate}"
+            )
+        if self.availbw_mbps is not None and self.availbw_mbps <= 0:
+            raise ConfigurationError(
+                f"availbw_mbps must be positive when given, got {self.availbw_mbps}"
+            )
+
+    @property
+    def lossless(self) -> bool:
+        """True when the a priori probing saw no losses."""
+        return self.loss_rate == 0.0

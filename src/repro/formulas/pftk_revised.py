@@ -1,0 +1,71 @@
+"""The revised PFTK model used in the paper's Section 4.2.9 (Fig. 13).
+
+The paper cites Chen, Bu, Ammar, Towsley, *Comments on modeling TCP Reno
+performance: a simple model and its empirical validation* (ToN 2005),
+which corrects derivation errors in the original PFTK model.  The precise
+corrected closed form is not reprinted in the paper; what the paper
+establishes with Fig. 13 is that replacing the original Eq. (2) with the
+corrected model changes FB prediction accuracy negligibly, because FB
+errors are dominated by the *input* estimates (a priori RTT/loss), not by
+model refinements.
+
+Our revision applies the two corrections Chen et al. identify that are
+visible at the closed-form level:
+
+1. the duration of the fast-retransmit recovery period is accounted for
+   (one extra RTT per triple-duplicate-ACK loss event), and
+2. the timeout-probability weighting uses the full ``Q(p, W(p))`` term of
+   the complete PFTK derivation instead of the
+   ``min(1, sqrt(3bp/8))`` shortcut.
+
+This keeps the revised predictor a strict refinement of Eq. (2) whose
+difference is second-order — exactly the property Fig. 13 tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.errors import PredictionError
+from repro.core.units import BITS_PER_BYTE, MEGA
+from repro.formulas.params import TcpParameters
+from repro.formulas.pftk import backoff_factor, expected_window, timeout_probability
+
+
+def pftk_revised_throughput(
+    rtt_s: float,
+    loss_rate: float,
+    rto_s: float,
+    tcp: TcpParameters | None = None,
+) -> float:
+    """Revised-PFTK throughput in Mbps.
+
+    Same signature and units as
+    :func:`repro.formulas.pftk.pftk_throughput`.
+
+    Raises:
+        PredictionError: if ``loss_rate`` is zero.
+    """
+    tcp = tcp or TcpParameters()
+    if rtt_s <= 0:
+        raise ValueError(f"rtt_s must be positive, got {rtt_s}")
+    if not 0.0 <= loss_rate < 1.0:
+        raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+    if rto_s <= 0:
+        raise ValueError(f"rto_s must be positive, got {rto_s}")
+    if loss_rate == 0.0:
+        raise PredictionError("revised PFTK model undefined for a lossless path")
+
+    p = loss_rate
+    b = tcp.ack_every
+    w_p = expected_window(p, b)
+    q = timeout_probability(p, w_p)
+
+    # Correction (1): a fast-recovery round adds one RTT per congestion
+    # avoidance cycle.  Correction (2): weight timeouts by Q(p, W(p)).
+    fast_retransmit_term = rtt_s * (math.sqrt(2.0 * b * p / 3.0) + p)
+    timeout_term = q * p * backoff_factor(p) * rto_s
+    congestion_limited = 1.0 / (fast_retransmit_term + timeout_term)
+    window_limited = tcp.max_window_segments / rtt_s
+    segments_per_second = min(congestion_limited, window_limited)
+    return segments_per_second * tcp.mss_bytes * BITS_PER_BYTE / MEGA

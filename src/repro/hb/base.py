@@ -1,0 +1,75 @@
+"""The common interface of History-Based predictors.
+
+A predictor is an incremental one-step forecaster: feed it observations
+with :meth:`~HistoryPredictor.update` and ask for the forecast of the
+*next* observation with :meth:`~HistoryPredictor.forecast`.  Each
+predictor declares how many observations it needs before it can produce
+its first forecast (``min_history``).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Callable, Iterable
+
+from repro.core.errors import PredictionError
+
+
+class HistoryPredictor(abc.ABC):
+    """Abstract base of one-step time-series forecasters."""
+
+    #: Human-readable predictor name used in reports (e.g. "10-MA").
+    name: str = "predictor"
+
+    @property
+    @abc.abstractmethod
+    def min_history(self) -> int:
+        """Observations needed before :meth:`forecast` is defined."""
+
+    @property
+    @abc.abstractmethod
+    def n_observed(self) -> int:
+        """Number of observations seen since the last reset."""
+
+    @abc.abstractmethod
+    def update(self, value: float) -> None:
+        """Record one observation."""
+
+    @abc.abstractmethod
+    def forecast(self) -> float:
+        """Forecast the next observation.
+
+        Raises:
+            PredictionError: if fewer than ``min_history`` observations
+                have been recorded.
+        """
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Discard all history, returning to the initial state."""
+
+    @property
+    def ready(self) -> bool:
+        """True once enough history exists to forecast."""
+        return self.n_observed >= self.min_history
+
+    def update_many(self, values: Iterable[float]) -> None:
+        """Record a batch of observations, oldest first."""
+        for value in values:
+            self.update(value)
+
+    def _require_ready(self) -> None:
+        if not self.ready:
+            raise PredictionError(
+                f"{self.name} needs {self.min_history} observations, "
+                f"has {self.n_observed}"
+            )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, observed={self.n_observed})"
+
+
+#: A zero-argument callable producing a fresh predictor instance.  The LSO
+#: wrapper and the evaluation harness take factories so each trace (and
+#: each restart after a level shift) starts from clean state.
+PredictorFactory = Callable[[], HistoryPredictor]

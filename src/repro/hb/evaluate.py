@@ -1,0 +1,194 @@
+"""One-step evaluation of HB predictors over throughput traces.
+
+:func:`evaluate_predictor` performs the walk-forward evaluation behind
+every HB figure of the paper: at each epoch the predictor (built fresh
+for the trace) forecasts the next throughput from the history so far,
+the relative error (Eq. 4) is recorded, and the trace's accuracy is
+summarised with RMSRE (Eq. 5).
+
+:func:`lso_segmentation` re-runs the paper's LSO heuristics over a whole
+trace and reports the final outlier indices and stationary segments —
+what Section 6.1.3 needs to compute a trace's CoV (weighted across
+stationary periods, outliers excluded) and to exclude outliers from the
+RMSRE of Fig. 20.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import DataError
+from repro.core.metrics import relative_error, rmsre, segmented_cov
+from repro.core.timeseries import TimeSeries
+from repro.hb.base import PredictorFactory
+from repro.hb.lso import LsoConfig, detect_level_shift, detect_outliers
+
+
+@dataclass(frozen=True)
+class HbEvaluation:
+    """Result of walking one predictor over one trace.
+
+    Attributes:
+        predictor_name: label of the evaluated predictor.
+        series_name: label of the trace.
+        predictions: per-epoch forecasts; NaN before the predictor had
+            enough history.
+        errors: per-epoch relative errors (Eq. 4); NaN where no forecast
+            was made.
+        outlier_indices: epochs flagged as outliers by the final LSO
+            segmentation of the trace (empty when LSO is not used).
+    """
+
+    predictor_name: str
+    series_name: str
+    predictions: np.ndarray
+    errors: np.ndarray
+    outlier_indices: frozenset[int] = field(default_factory=frozenset)
+
+    @property
+    def valid_errors(self) -> np.ndarray:
+        """All recorded errors (forecast epochs only)."""
+        return self.errors[~np.isnan(self.errors)]
+
+    def rmsre(self, exclude_outliers: bool = False) -> float:
+        """Trace RMSRE (Eq. 5) over the forecast epochs.
+
+        Args:
+            exclude_outliers: drop epochs flagged as outliers, as the
+                paper does when comparing RMSRE against CoV (Fig. 20).
+        """
+        mask = ~np.isnan(self.errors)
+        if exclude_outliers and self.outlier_indices:
+            keep = np.ones_like(mask)
+            keep[list(self.outlier_indices)] = False
+            mask &= keep
+        errors = self.errors[mask]
+        if errors.size == 0:
+            raise DataError("no forecast epochs to compute RMSRE over")
+        return rmsre(errors)
+
+    def mean_absolute_error(self) -> float:
+        """Mean |E| over the forecast epochs."""
+        errors = self.valid_errors
+        if errors.size == 0:
+            raise DataError("no forecast epochs")
+        return float(np.mean(np.abs(errors)))
+
+
+def evaluate_predictor(
+    series: TimeSeries,
+    factory: PredictorFactory,
+    lso_config: LsoConfig | None = None,
+) -> HbEvaluation:
+    """Walk-forward one-step evaluation of a predictor over a trace.
+
+    Args:
+        series: the throughput trace (values must be positive).
+        factory: builds the predictor instance evaluated on this trace.
+        lso_config: when given, the trace's final LSO segmentation is
+            computed so outlier epochs can be excluded from RMSRE (used
+            for Fig. 20).  This does not wrap the predictor in LSO — pass
+            an :class:`~repro.hb.wrappers.LsoPredictor` factory for that.
+
+    Returns:
+        The per-epoch forecasts and errors.
+    """
+    predictor = factory()
+    values = series.values
+    n = len(series)
+    predictions = np.full(n, np.nan)
+    errors = np.full(n, np.nan)
+    for i in range(n):
+        if predictor.ready:
+            forecast = predictor.forecast()
+            predictions[i] = forecast
+            errors[i] = relative_error(forecast, float(values[i]))
+        predictor.update(float(values[i]))
+
+    outliers: frozenset[int] = frozenset()
+    if lso_config is not None:
+        outliers = frozenset(lso_segmentation(values, lso_config).outlier_indices)
+
+    return HbEvaluation(
+        predictor_name=getattr(predictor, "name", type(predictor).__name__),
+        series_name=series.name,
+        predictions=predictions,
+        errors=errors,
+        outlier_indices=outliers,
+    )
+
+
+@dataclass(frozen=True)
+class LsoSegmentation:
+    """Final LSO structure of a trace.
+
+    Attributes:
+        outlier_indices: original epoch indices flagged as outliers.
+        shift_indices: original epoch indices at which a level shift was
+            detected (index of the first post-shift sample).
+        segments: the stationary segments — values of consecutive
+            non-outlier epochs between shift boundaries.
+    """
+
+    outlier_indices: tuple[int, ...]
+    shift_indices: tuple[int, ...]
+    segments: tuple[tuple[float, ...], ...]
+
+    def weighted_cov(self) -> float:
+        """Trace CoV per Section 6.1.3: segment CoVs weighted by length."""
+        return segmented_cov([list(seg) for seg in self.segments])
+
+
+def lso_segmentation(
+    values: np.ndarray | list[float], config: LsoConfig | None = None
+) -> LsoSegmentation:
+    """Run the incremental LSO pass over a full trace.
+
+    Replays the same online algorithm the :class:`LsoPredictor` uses,
+    but keeps track of original indices so the caller learns *which*
+    epochs were outliers and where the stationary segments lie.
+    """
+    config = config or LsoConfig()
+    history: list[tuple[int, float]] = []  # (original index, value)
+    outlier_indices: list[int] = []
+    shift_indices: list[int] = []
+
+    for idx, raw in enumerate(np.asarray(values, dtype=float)):
+        value = float(raw)
+        if value <= 0:
+            raise DataError(f"throughput must be positive, got {value} at epoch {idx}")
+        history.append((idx, value))
+
+        flagged = detect_outliers([v for _, v in history], config)
+        if flagged:
+            flagged_set = set(flagged)
+            outlier_indices.extend(history[k][0] for k in flagged)
+            history = [item for k, item in enumerate(history) if k not in flagged_set]
+
+        shift = detect_level_shift([v for _, v in history], config)
+        if shift is not None:
+            shift_indices.append(history[shift][0])
+            history = history[shift:]
+
+    # Build segments: non-outlier indices partitioned at shift boundaries.
+    outlier_set = set(outlier_indices)
+    n = len(np.asarray(values))
+    boundaries = sorted(set(shift_indices))
+    segments: list[tuple[float, ...]] = []
+    start = 0
+    vals = np.asarray(values, dtype=float)
+    for boundary in [*boundaries, n]:
+        segment = tuple(
+            float(vals[i]) for i in range(start, boundary) if i not in outlier_set
+        )
+        if segment:
+            segments.append(segment)
+        start = boundary
+
+    return LsoSegmentation(
+        outlier_indices=tuple(sorted(outlier_set)),
+        shift_indices=tuple(boundaries),
+        segments=tuple(segments),
+    )

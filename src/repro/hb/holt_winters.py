@@ -1,0 +1,95 @@
+"""The non-seasonal Holt-Winters predictor (paper Section 5.1.3).
+
+Maintains a smoothing component ``s`` (an EWMA of the sample values) and
+a trend component ``t`` (an EWMA of consecutive-sample differences)::
+
+    forecast[i] = s[i] + t[i]
+    s[i+1] = alpha * X[i] + (1 - alpha) * forecast[i]
+    t[i+1] = beta * (s[i+1] - s[i]) + (1 - beta) * t[i]
+
+with initial values ``s = X[0]`` and ``t = X[1] - X[0]``, exactly as the
+paper specifies.  Two observations are therefore required before the
+first forecast.
+
+Throughput is positive, but ``s + t`` can go negative after a sharp
+drop (a strongly negative trend component).  The forecast is therefore
+clamped: when ``s + t <= 0`` the level alone is used, and the level is
+kept positive.  The clamped forecast is also what the next level update
+smooths against, keeping the recursion consistent.
+"""
+
+from __future__ import annotations
+
+from repro.hb.base import HistoryPredictor
+
+#: Floor for clamped forecasts, far below any plausible throughput.
+_MIN_FORECAST = 1e-9
+
+
+class HoltWinters(HistoryPredictor):
+    """One-step non-seasonal Holt-Winters forecaster.
+
+    Args:
+        alpha: level smoothing weight in (0, 1).  The paper finds
+            ``alpha = 0.8`` close to optimal on its dataset.
+        beta: trend smoothing weight in (0, 1); the paper uses 0.2 and
+            reports low sensitivity.
+    """
+
+    def __init__(self, alpha: float = 0.8, beta: float = 0.2) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        if not 0.0 < beta < 1.0:
+            raise ValueError(f"beta must be in (0, 1), got {beta}")
+        self.alpha = alpha
+        self.beta = beta
+        self.name = f"{alpha:g}-HW"
+        self._level: float | None = None
+        self._trend: float | None = None
+        self._first_value: float | None = None
+        self._count = 0
+
+    @property
+    def min_history(self) -> int:
+        """Two samples are needed to initialise the trend component."""
+        return 2
+
+    @property
+    def n_observed(self) -> int:
+        return self._count
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        if self._count == 0:
+            self._first_value = value
+        elif self._count == 1:
+            assert self._first_value is not None
+            self._level = value
+            self._trend = value - self._first_value
+        else:
+            assert self._level is not None and self._trend is not None
+            forecast = self._clamped_forecast()
+            new_level = self.alpha * value + (1.0 - self.alpha) * forecast
+            self._trend = (
+                self.beta * (new_level - self._level) + (1.0 - self.beta) * self._trend
+            )
+            self._level = new_level
+        self._count += 1
+
+    def forecast(self) -> float:
+        self._require_ready()
+        return self._clamped_forecast()
+
+    def _clamped_forecast(self) -> float:
+        """``s + t``, falling back to the (positive) level when negative."""
+        assert self._level is not None and self._trend is not None
+        raw = self._level + self._trend
+        if raw > 0:
+            return raw
+        return max(self._level, _MIN_FORECAST)
+
+    def reset(self) -> None:
+        self._level = None
+        self._trend = None
+        self._first_value = None
+        self._count = 0

@@ -1,0 +1,146 @@
+"""A hybrid FB + HB predictor — the paper's primary future-work item.
+
+    "In future work, it would be interesting to examine hybrid
+    predictors, which rely on TCP models as well as on recent history."
+    (Section 7)
+
+:class:`HybridPredictor` implements the natural design:
+
+* with **no usable history** it returns the Formula-Based prediction —
+  the only information available before the first transfers;
+* once history exists, it learns the FB predictor's *multiplicative
+  bias* on this path (the paper shows FB errors are persistent and
+  path-specific — overestimation on congested paths, occasionally
+  underestimation) as an EWMA of ``R / R_hat_FB`` and corrects the
+  fresh FB prediction with it;
+* the final forecast blends the bias-corrected FB prediction with the
+  pure HB forecast, weighted by each component's *trailing accuracy* on
+  this path (inverse mean absolute relative error) — whichever source
+  has been predicting better lately dominates.
+
+The FB input keeps the predictor responsive to measured path changes
+(a fresh avail-bw drop moves the forecast immediately), while the HB
+component supplies the level accuracy FB lacks.
+"""
+
+from __future__ import annotations
+
+from repro.formulas.fb_predictor import FormulaBasedPredictor
+from repro.formulas.params import PathEstimates
+from repro.hb.base import HistoryPredictor, PredictorFactory
+from repro.hb.wrappers import LsoPredictor
+
+
+class HybridPredictor:
+    """Blend of Eq. (3) FB prediction and an HB forecast.
+
+    Unlike pure HB predictors, updates carry the epoch's a priori
+    measurements alongside the realized throughput, so the predictor can
+    track the FB bias.
+
+    Args:
+        fb: the Formula-Based predictor to correct.
+        hb_factory: base HB predictor factory (wrapped in LSO).
+        bias_alpha: EWMA weight for the FB-bias estimate.
+        error_alpha: EWMA weight for the per-component trailing errors.
+    """
+
+    def __init__(
+        self,
+        fb: FormulaBasedPredictor,
+        hb_factory: PredictorFactory,
+        bias_alpha: float = 0.25,
+        error_alpha: float = 0.3,
+    ) -> None:
+        if not 0.0 < bias_alpha <= 1.0:
+            raise ValueError(f"bias_alpha must be in (0, 1], got {bias_alpha}")
+        if not 0.0 < error_alpha <= 1.0:
+            raise ValueError(f"error_alpha must be in (0, 1], got {error_alpha}")
+        self.fb = fb
+        self.bias_alpha = bias_alpha
+        self.error_alpha = error_alpha
+        self._hb: HistoryPredictor = LsoPredictor(hb_factory)
+        self._fb_bias: float | None = None
+        self._fb_error: float | None = None
+        self._hb_error: float | None = None
+        self._n_updates = 0
+
+    @property
+    def n_observed(self) -> int:
+        """Epochs recorded so far."""
+        return self._n_updates
+
+    def update(self, estimates: PathEstimates, actual_mbps: float) -> None:
+        """Record one completed transfer and its a priori measurements."""
+        if actual_mbps <= 0:
+            raise ValueError(f"actual_mbps must be positive, got {actual_mbps}")
+        # Score both components on this epoch before absorbing it.
+        corrected_fb = self._corrected_fb(estimates)
+        self._fb_error = self._ewma_error(self._fb_error, corrected_fb, actual_mbps)
+        if self._hb.ready:
+            self._hb_error = self._ewma_error(
+                self._hb_error, self._hb.forecast(), actual_mbps
+            )
+
+        fb_prediction = self.fb.predict(estimates)
+        ratio = actual_mbps / fb_prediction
+        if self._fb_bias is None:
+            self._fb_bias = ratio
+        else:
+            self._fb_bias = (
+                self.bias_alpha * ratio + (1.0 - self.bias_alpha) * self._fb_bias
+            )
+        self._hb.update(actual_mbps)
+        self._n_updates += 1
+
+    def _ewma_error(
+        self, current: float | None, predicted: float, actual: float
+    ) -> float:
+        error = abs(predicted - actual) / min(predicted, actual)
+        if current is None:
+            return error
+        return self.error_alpha * error + (1.0 - self.error_alpha) * current
+
+    def _corrected_fb(self, estimates: PathEstimates) -> float:
+        prediction = self.fb.predict(estimates)
+        if self._fb_bias is not None:
+            prediction *= self._fb_bias
+        return prediction
+
+    #: Error floor in the inverse-error weighting, so a lucky streak
+    #: cannot hand one component all the weight.
+    ERROR_FLOOR = 0.02
+
+    def forecast(self, estimates: PathEstimates) -> float:
+        """Predict the next transfer's throughput from fresh estimates.
+
+        Works with zero history (falls back to pure FB).
+        """
+        fb_prediction = self._corrected_fb(estimates)
+        if not self._hb.ready or self._hb_error is None:
+            return fb_prediction
+        hb_forecast = self._hb.forecast()
+        # Precision weighting: inverse squared trailing error, the
+        # optimal combination for independent unbiased estimators.
+        fb_score = 1.0 / max(self._fb_error or 1.0, self.ERROR_FLOOR) ** 2
+        hb_score = 1.0 / max(self._hb_error, self.ERROR_FLOOR) ** 2
+        weight = hb_score / (hb_score + fb_score)
+        return weight * hb_forecast + (1.0 - weight) * fb_prediction
+
+    def forecast_or_fb(self, estimates: PathEstimates) -> float:
+        """Alias making call sites explicit about the fallback."""
+        return self.forecast(estimates)
+
+    def reset(self) -> None:
+        """Drop all learned state (path change)."""
+        self._hb.reset()
+        self._fb_bias = None
+        self._fb_error = None
+        self._hb_error = None
+        self._n_updates = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"HybridPredictor(n={self._n_updates}, "
+            f"bias={self._fb_bias if self._fb_bias is None else round(self._fb_bias, 3)})"
+        )

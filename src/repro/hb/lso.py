@@ -1,0 +1,160 @@
+"""Level-Shift and Outlier detection heuristics (paper Section 5.2).
+
+Given the history ``{X_1, ..., X_n}`` of past measurements since the last
+detected level shift (outliers already excluded), the paper declares
+``X_k`` an *increasing* (resp. decreasing) **level shift** when:
+
+1. all of ``{X_1, ..., X_{k-1}}`` are lower (higher) than all of
+   ``{X_k, ..., X_n}``,
+2. the median of the prefix differs from the median of the suffix by more
+   than a relative difference ``chi`` (the paper's ``γ``/``χ``,
+   default 0.3), and
+3. ``k + 2 <= n`` — at least three samples after the shift, so a lone
+   outlier is not mistaken for a shift.
+
+A measurement ``X_k`` with ``k < n`` is an **outlier** when it differs
+from the median of ``{X_1, ..., X_n}`` by more than a relative difference
+``psi`` (default 0.4).  The most recent sample is never judged an outlier
+(it may be the start of a level shift instead).
+
+Relative difference between ``a`` and ``b`` is measured as
+``|a - b| / min(a, b)`` — symmetric, consistent with the paper's error
+metric (Eq. 4).  Throughputs are positive so the denominator is safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import median
+from typing import Sequence
+
+#: The paper's empirically chosen defaults (Section 5.3).
+DEFAULT_LEVEL_SHIFT_THRESHOLD = 0.3
+DEFAULT_OUTLIER_THRESHOLD = 0.4
+
+
+@dataclass(frozen=True)
+class LsoConfig:
+    """Thresholds of the LSO heuristics.
+
+    Attributes:
+        level_shift_threshold: the paper's ``χ`` — minimum relative
+            difference between prefix and suffix medians for a shift.
+        outlier_threshold: the paper's ``ψ`` — minimum relative
+            difference from the history median for an outlier.
+    """
+
+    level_shift_threshold: float = DEFAULT_LEVEL_SHIFT_THRESHOLD
+    outlier_threshold: float = DEFAULT_OUTLIER_THRESHOLD
+
+    def __post_init__(self) -> None:
+        if self.level_shift_threshold <= 0:
+            raise ValueError(
+                f"level_shift_threshold must be positive, "
+                f"got {self.level_shift_threshold}"
+            )
+        if self.outlier_threshold <= 0:
+            raise ValueError(
+                f"outlier_threshold must be positive, got {self.outlier_threshold}"
+            )
+
+
+def relative_difference(a: float, b: float) -> float:
+    """Symmetric relative difference ``|a - b| / min(a, b)``.
+
+    Defined for positive values (TCP throughputs).
+    """
+    if a <= 0 or b <= 0:
+        raise ValueError(f"relative difference needs positive values, got {a}, {b}")
+    return abs(a - b) / min(a, b)
+
+
+def detect_outliers(
+    history: Sequence[float], config: LsoConfig | None = None
+) -> list[int]:
+    """Indices of outliers in ``history`` per the paper's rule.
+
+    Only interior samples (``k < n``, zero-based ``k < len - 1``) can be
+    outliers.  Returns indices into ``history``, ascending.
+
+    Implementation note: an outlier must be an *isolated* deviation.  A
+    deviating sample whose successor also deviates from the median in the
+    same direction is left in place — it may be the beginning of a level
+    shift, which the level-shift rule (not the outlier rule) must judge
+    once three post-shift samples exist.  Without this guard, a level
+    shift larger than the outlier threshold ``ψ`` would have its samples
+    discarded one by one as each became interior, and the shift could
+    never be detected.
+    """
+    config = config or LsoConfig()
+    n = len(history)
+    if n < 2:
+        return []
+    med = median(history)
+    if med <= 0:
+        raise ValueError("outlier detection needs positive measurements")
+
+    def deviates(value: float) -> bool:
+        return relative_difference(value, med) > config.outlier_threshold
+
+    outliers = []
+    for k in range(n - 1):
+        if history[k] <= 0:
+            raise ValueError("outlier detection needs positive measurements")
+        if not deviates(history[k]):
+            continue
+        successor = history[k + 1]
+        same_direction_run = deviates(successor) and (
+            (history[k] > med) == (successor > med)
+        )
+        if not same_direction_run:
+            outliers.append(k)
+    return outliers
+
+
+def detect_level_shift(
+    history: Sequence[float], config: LsoConfig | None = None
+) -> int | None:
+    """Index ``k`` of a detected level shift in ``history``, or ``None``.
+
+    ``history`` must already have outliers removed (the caller's job —
+    :class:`repro.hb.wrappers.LsoPredictor` maintains that invariant).
+    When several indices satisfy the conditions, the one with the
+    widest separation gap between prefix and suffix values is returned:
+    that split lands on the true boundary rather than one sample early
+    or late.
+    """
+    config = config or LsoConfig()
+    n = len(history)
+    # Condition 3 requires k + 2 <= n (one-based k): at least three
+    # post-shift samples.  We additionally require two pre-shift samples
+    # — with a single one, any unusually low/high first measurement after
+    # a restart re-triggers the detector on plain noise, shredding the
+    # history into spurious "regimes".  Minimum history: n >= 5.
+    if n < 5:
+        return None
+
+    # Zero-based k ranges over 2 .. n-3 (one-based 3 .. n-2).
+    best_k: int | None = None
+    best_gap = 0.0
+    for k in range(2, n - 2):
+        prefix = history[:k]
+        suffix = history[k:]
+        if max(prefix) < min(suffix):
+            gap = min(suffix) - max(prefix)  # increasing shift
+        elif min(prefix) > max(suffix):
+            gap = min(prefix) - max(suffix)  # decreasing shift
+        else:
+            continue
+        med_prefix = median(prefix)
+        med_suffix = median(suffix)
+        if med_prefix <= 0 or med_suffix <= 0:
+            raise ValueError("level-shift detection needs positive measurements")
+        if relative_difference(med_prefix, med_suffix) <= config.level_shift_threshold:
+            continue
+        # Ties go to the later split: the suffix is then the purest
+        # post-shift history to restart from.
+        if best_k is None or gap > best_gap or (gap == best_gap and k > best_k):
+            best_gap = gap
+            best_k = k
+    return best_k

@@ -1,0 +1,29 @@
+"""Path descriptions and measurement records.
+
+This layer sits below both the fluid model (``repro.fastpath``) and the
+campaign runner (``repro.testbed``):
+
+* :mod:`repro.paths.config` — :class:`PathConfig` and the two RON-like
+  catalogs (May 2004, March 2006).
+* :mod:`repro.paths.records` — the per-epoch measurement record and the
+  trace/dataset containers.
+"""
+
+from repro.paths.config import (
+    PathConfig,
+    march_2006_catalog,
+    may_2004_catalog,
+    scaled_catalog,
+)
+from repro.paths.records import Dataset, EpochMeasurement, EpochTruth, Trace
+
+__all__ = [
+    "Dataset",
+    "EpochMeasurement",
+    "EpochTruth",
+    "PathConfig",
+    "Trace",
+    "march_2006_catalog",
+    "may_2004_catalog",
+    "scaled_catalog",
+]

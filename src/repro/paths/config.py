@@ -1,0 +1,425 @@
+"""Path configurations: the synthetic RON-like testbed.
+
+The paper's May 2004 measurement set used 35 Internet paths between RON
+hosts: mostly US universities, two European nodes and one Korean node,
+seven paths with DSL bottlenecks, the rest with capacities of at least
+10 Mbps.  The March 2006 set used 24 paths between 12 US hosts, one of
+them DSL-connected.
+
+We cannot measure the 2004 Internet, so each path is parameterised by
+the characteristics that drive everything the paper observes:
+
+* bottleneck capacity and buffering,
+* round-trip propagation delay (region),
+* the cross-traffic load process: mean utilization, trace-to-trace
+  regime variation, within-trace AR(1) dynamics, level-shift hazard and
+  outlier-burst rate,
+* inherent random loss (noisy DSL lines, lossy international links),
+* cross-traffic elasticity and degree of statistical multiplexing,
+* probing idiosyncrasies: how differently periodic probes sample the
+  loss process compared to TCP, and pathload's bias/noise.
+
+The catalogs are deliberately heterogeneous — the paper's key HB finding
+is that predictability is strongly path-dependent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.errors import ConfigurationError
+from repro.core.units import kbyte
+
+
+@dataclass(frozen=True)
+class PathConfig:
+    """Static description of one wide-area path.
+
+    Attributes:
+        path_id: short unique id ("p03").
+        name: human-readable endpoints ("mit -> gatech").
+        region: 'us', 'eu-us', or 'asia-us'.
+        dsl: True when the bottleneck is a DSL line.
+        dataset: which measurement set the path belongs to.
+        capacity_mbps: bottleneck capacity.
+        buffer_bytes: bottleneck drop-tail buffer.
+        base_rtt_s: round-trip propagation delay.
+        base_util: long-run mean bottleneck utilization from cross
+            traffic.
+        util_spread: std-dev of the per-trace regime mean around
+            ``base_util`` (diurnal variation between the 7 traces).
+        ar_phi: AR(1) coefficient of epoch-to-epoch utilization.
+        ar_sigma: AR(1) innovation std-dev.
+        shift_rate_per_hour: Poisson hazard of cross-load level shifts.
+        outlier_rate: probability that an epoch carries a transient
+            congestion burst.
+        random_loss: inherent per-packet random loss probability.
+        elasticity: fraction of cross traffic that is elastic
+            (persistent TCP) and yields bandwidth to the target flow.
+        n_cross_flows: statistical-multiplexing degree at the bottleneck.
+        probe_loss_factor: ratio of the loss rate periodic probes observe
+            during saturation to the packet loss TCP inflicts — probes
+            sample uniformly in time while TCP's losses cluster in its
+            own bursts, so this is usually below 1 (Section 3.3).
+        burst_factor: mean packets lost per congestion event, converting
+            the event rate into a packet loss rate.
+        pathload_bias: mean fractional bias of avail-bw estimates
+            (slightly positive: pathload tends to overestimate).
+        pathload_noise: fractional std-dev of avail-bw estimates.
+        diurnal_amplitude: optional sinusoidal (24 h period) modulation
+            of the regime mean, as an absolute utilization amplitude.
+            Zero (the default) disables it; the catalogs ship with it
+            off so the calibrated shapes are unaffected — it exists for
+            non-stationarity experiments (see
+            ``benchmarks/bench_ablation_nonstationarity.py``).
+        burstiness_scv: squared coefficient of variation of cross-
+            traffic service/arrival burstiness. 1.0 (default) is the
+            M/M/1/K baseline; larger values scale queueing delays by
+            the Pollaczek-Khinchine factor ``(1 + scv) / 2``.
+    """
+
+    path_id: str
+    name: str
+    region: str
+    dsl: bool
+    dataset: str
+    capacity_mbps: float
+    buffer_bytes: int
+    base_rtt_s: float
+    base_util: float
+    util_spread: float
+    ar_phi: float
+    ar_sigma: float
+    shift_rate_per_hour: float
+    outlier_rate: float
+    random_loss: float
+    elasticity: float
+    n_cross_flows: int
+    probe_loss_factor: float
+    burst_factor: float
+    pathload_bias: float
+    pathload_noise: float
+    diurnal_amplitude: float = 0.0
+    burstiness_scv: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_mbps <= 0:
+            raise ConfigurationError("capacity_mbps must be positive")
+        if self.buffer_bytes <= 0:
+            raise ConfigurationError("buffer_bytes must be positive")
+        if self.base_rtt_s <= 0:
+            raise ConfigurationError("base_rtt_s must be positive")
+        if not 0.0 <= self.base_util < 1.0:
+            raise ConfigurationError("base_util must be in [0, 1)")
+        if not 0.0 <= self.ar_phi < 1.0:
+            raise ConfigurationError("ar_phi must be in [0, 1)")
+        if not 0.0 <= self.elasticity <= 1.0:
+            raise ConfigurationError("elasticity must be in [0, 1]")
+        if not 0.0 <= self.random_loss < 0.1:
+            raise ConfigurationError("random_loss must be in [0, 0.1)")
+        if self.diurnal_amplitude < 0:
+            raise ConfigurationError("diurnal_amplitude must be >= 0")
+        if self.burstiness_scv < 0.1:
+            raise ConfigurationError("burstiness_scv must be >= 0.1")
+
+    @property
+    def bdp_bytes(self) -> float:
+        """Bandwidth-delay product of the raw path."""
+        return self.capacity_mbps * 1e6 * self.base_rtt_s / 8.0
+
+
+def _dsl(
+    path_id: str,
+    name: str,
+    rtt_ms: float,
+    util: float,
+    capacity_mbps: float = 1.0,
+    random_loss: float = 2e-3,
+    outlier_rate: float = 0.015,
+    shift_rate: float = 0.25,
+    dataset: str = "2004",
+) -> PathConfig:
+    """A DSL-bottleneck path: low capacity, bloated modem buffer, noisy line."""
+    return PathConfig(
+        path_id=path_id,
+        name=name,
+        region="us",
+        dsl=True,
+        dataset=dataset,
+        capacity_mbps=capacity_mbps,
+        buffer_bytes=kbyte(32),
+        base_rtt_s=rtt_ms / 1000.0,
+        base_util=util,
+        util_spread=0.08,
+        ar_phi=0.75,
+        ar_sigma=0.02,
+        shift_rate_per_hour=shift_rate,
+        outlier_rate=outlier_rate,
+        random_loss=random_loss,
+        elasticity=0.2,
+        n_cross_flows=3,
+        probe_loss_factor=0.35,
+        burst_factor=2.0,
+        pathload_bias=0.06,
+        pathload_noise=0.10,
+    )
+
+
+def _congested(
+    path_id: str,
+    name: str,
+    rtt_ms: float,
+    util: float,
+    capacity_mbps: float = 10.0,
+    region: str = "us",
+    random_loss: float = 1e-4,
+    elasticity: float = 0.3,
+    n_cross: int = 15,
+    shift_rate: float = 0.4,
+    outlier_rate: float = 0.012,
+    ar_sigma: float = 0.015,
+    dataset: str = "2004",
+) -> PathConfig:
+    """A moderately provisioned path running at substantial load."""
+    return PathConfig(
+        path_id=path_id,
+        name=name,
+        region=region,
+        dsl=False,
+        dataset=dataset,
+        capacity_mbps=capacity_mbps,
+        buffer_bytes=kbyte(64),
+        base_rtt_s=rtt_ms / 1000.0,
+        base_util=util,
+        util_spread=0.10,
+        ar_phi=0.8,
+        ar_sigma=ar_sigma,
+        shift_rate_per_hour=shift_rate,
+        outlier_rate=outlier_rate,
+        random_loss=random_loss,
+        elasticity=elasticity,
+        n_cross_flows=n_cross,
+        probe_loss_factor=0.4,
+        burst_factor=2.5,
+        pathload_bias=0.05,
+        pathload_noise=0.12,
+    )
+
+
+def _provisioned(
+    path_id: str,
+    name: str,
+    rtt_ms: float,
+    util: float,
+    capacity_mbps: float = 100.0,
+    region: str = "us",
+    n_cross: int = 60,
+    shift_rate: float = 0.15,
+    outlier_rate: float = 0.006,
+    ar_sigma: float = 0.01,
+    random_loss: float = 0.0,
+    dataset: str = "2004",
+) -> PathConfig:
+    """A well-provisioned research-network path: lossless most of the time."""
+    return PathConfig(
+        path_id=path_id,
+        name=name,
+        region=region,
+        dsl=False,
+        dataset=dataset,
+        capacity_mbps=capacity_mbps,
+        buffer_bytes=kbyte(150),
+        base_rtt_s=rtt_ms / 1000.0,
+        base_util=util,
+        util_spread=0.05,
+        ar_phi=0.85,
+        ar_sigma=ar_sigma,
+        shift_rate_per_hour=shift_rate,
+        outlier_rate=outlier_rate,
+        random_loss=random_loss,
+        elasticity=0.6,
+        n_cross_flows=n_cross,
+        probe_loss_factor=0.5,
+        burst_factor=2.0,
+        pathload_bias=0.04,
+        pathload_noise=0.08,
+    )
+
+
+def _international(
+    path_id: str,
+    name: str,
+    rtt_ms: float,
+    util: float,
+    capacity_mbps: float = 34.0,
+    region: str = "eu-us",
+    random_loss: float = 1e-3,
+    shift_rate: float = 0.3,
+    outlier_rate: float = 0.02,
+    dataset: str = "2004",
+) -> PathConfig:
+    """A transoceanic path: long RTT, some inherent loss."""
+    return PathConfig(
+        path_id=path_id,
+        name=name,
+        region=region,
+        dsl=False,
+        dataset=dataset,
+        capacity_mbps=capacity_mbps,
+        buffer_bytes=kbyte(250),
+        base_rtt_s=rtt_ms / 1000.0,
+        base_util=util,
+        util_spread=0.08,
+        ar_phi=0.8,
+        ar_sigma=0.015,
+        shift_rate_per_hour=shift_rate,
+        outlier_rate=outlier_rate,
+        random_loss=random_loss,
+        elasticity=0.4,
+        n_cross_flows=30,
+        probe_loss_factor=0.3,
+        burst_factor=2.5,
+        pathload_bias=0.05,
+        pathload_noise=0.12,
+    )
+
+
+def may_2004_catalog() -> list[PathConfig]:
+    """The 35-path first measurement set (paper Section 4.1).
+
+    Composition mirrors the paper: seven DSL-bottlenecked paths, five
+    transatlantic paths, one Korea-US path, the rest US paths of at
+    least 10 Mbps with a wide range of load levels and dynamics.
+    """
+    return [
+        # --- seven DSL-bottleneck paths --------------------------------
+        _dsl("p01", "dsl-ca -> gatech", rtt_ms=28, util=0.76, random_loss=1.2e-3,
+             outlier_rate=0.06),
+        _dsl("p02", "dsl-ca -> mit", rtt_ms=75, util=0.74, random_loss=1.8e-3),
+        _dsl("p03", "dsl-nc -> cornell", rtt_ms=35, util=0.75, outlier_rate=0.05,
+             random_loss=1.5e-3),
+        _dsl("p04", "dsl-ma -> nyu", rtt_ms=22, util=0.66, capacity_mbps=1.5,
+             random_loss=1.2e-3),
+        _dsl("p05", "dsl-ma -> utah", rtt_ms=62, util=0.78, capacity_mbps=0.8,
+             random_loss=1.2e-3, outlier_rate=0.06),
+        _dsl("p06", "gatech -> dsl-ca", rtt_ms=30, util=0.73, shift_rate=0.5,
+             random_loss=1.5e-3),
+        _dsl("p07", "nyu -> dsl-nc", rtt_ms=33, util=0.70, random_loss=1.8e-3),
+        # --- congested / moderately provisioned US paths ---------------
+        _congested("p08", "gatech -> cmu", rtt_ms=25, util=0.88, random_loss=1e-3,
+                   elasticity=0.15),
+        _congested("p09", "cornell -> ucsd", rtt_ms=68, util=0.84,
+                   outlier_rate=0.04, ar_sigma=0.035, random_loss=3e-4),
+        _congested("p10", "mit -> utah", rtt_ms=55, util=0.92, shift_rate=0.6,
+                   ar_sigma=0.025, random_loss=5e-4, elasticity=0.15),
+        # p11/p14: few, aggressive elastic competitors — the target flow
+        # grabs well beyond the avail-bw, the paper's underestimation case.
+        _congested("p11", "nyu -> gatech", rtt_ms=32, util=0.76,
+                   elasticity=0.9, n_cross=3, random_loss=6e-4),
+        _congested("p12", "ucsd -> cornell", rtt_ms=70, util=0.72,
+                   random_loss=4e-4),
+        _congested("p13", "utah -> mit", rtt_ms=52, util=0.87, random_loss=6e-4,
+                   outlier_rate=0.05, ar_sigma=0.04, elasticity=0.2),
+        _congested("p14", "cmu -> nyu", rtt_ms=18, util=0.70, elasticity=0.85,
+                   n_cross=4, random_loss=5e-4),
+        _congested("p15", "aros -> utah", rtt_ms=12, util=0.90, shift_rate=0.8,
+                   ar_sigma=0.06, outlier_rate=0.05, random_loss=4e-4,
+                   elasticity=0.2),
+        _congested("p16", "gblx -> cornell", rtt_ms=40, util=0.62,
+                   capacity_mbps=45.0, n_cross=40, random_loss=3e-4),
+        _congested("p17", "speakeasy -> gatech", rtt_ms=48, util=0.88,
+                   random_loss=7e-4),
+        # --- well-provisioned US paths ---------------------------------
+        _provisioned("p18", "mit -> cmu", rtt_ms=16, util=0.12),
+        _provisioned("p19", "gatech -> cornell", rtt_ms=27, util=0.20),
+        _provisioned("p20", "nyu -> ucsd", rtt_ms=65, util=0.15),
+        _provisioned("p21", "cornell -> mit", rtt_ms=14, util=0.08),
+        _provisioned("p22", "ucsd -> gatech", rtt_ms=50, util=0.25,
+                     outlier_rate=0.03, random_loss=3e-4),
+        _provisioned("p23", "utah -> cornell", rtt_ms=47, util=0.18),
+        _provisioned("p24", "cmu -> ucsd", rtt_ms=58, util=0.30, shift_rate=0.3,
+                     capacity_mbps=45.0, random_loss=6e-4),
+        _provisioned("p25", "mit -> nyu", rtt_ms=9, util=0.10),
+        _provisioned("p26", "gatech -> utah", rtt_ms=44, util=0.22),
+        _provisioned("p27", "cornell -> cmu", rtt_ms=13, util=0.35,
+                     ar_sigma=0.05),
+        _provisioned("p28", "nyu -> mit", rtt_ms=10, util=0.16),
+        _provisioned("p29", "ucsd -> utah", rtt_ms=21, util=0.28,
+                     capacity_mbps=45.0, n_cross=35, random_loss=5e-4),
+        # --- five transatlantic paths ----------------------------------
+        _international("p30", "lulea -> mit", rtt_ms=105, util=0.45),
+        _international("p31", "amsterdam -> gatech", rtt_ms=112, util=0.55,
+                       random_loss=1.2e-3, outlier_rate=0.05),
+        _international("p32", "mit -> lulea", rtt_ms=108, util=0.35,
+                       random_loss=6e-4),
+        _international("p33", "gatech -> amsterdam", rtt_ms=118, util=0.68,
+                       shift_rate=0.5, random_loss=8e-4),
+        _international("p34", "amsterdam -> cornell", rtt_ms=98, util=0.40,
+                       capacity_mbps=16.0),
+        # --- one Korea - US path ----------------------------------------
+        _international("p35", "kaist -> nyu", rtt_ms=215, util=0.62,
+                       region="asia-us", capacity_mbps=10.0,
+                       random_loss=1.5e-3, outlier_rate=0.05),
+    ]
+
+
+def march_2006_catalog() -> list[PathConfig]:
+    """The 24-path second measurement set: 12 US hosts, one DSL-connected.
+
+    Used by the paper for the transfer-duration experiment (Fig. 11);
+    transfers in this set run 120 s with 30/60/120 s checkpoints.
+    """
+    hosts = [
+        "gatech", "mit", "cornell", "nyu", "cmu", "ucsd",
+        "utah", "umich", "rice", "uwash", "wisc", "dsl-tx",
+    ]
+    paths: list[PathConfig] = []
+    # 24 directed pairs over the 12 hosts, with varied provisioning.
+    pairs = [
+        (0, 1, 24), (1, 0, 24), (0, 2, 28), (2, 3, 16), (3, 4, 14),
+        (4, 5, 60), (5, 6, 22), (6, 7, 39), (7, 8, 33), (8, 9, 52),
+        (9, 10, 41), (10, 1, 30), (1, 5, 72), (5, 0, 51), (2, 8, 36),
+        (8, 3, 35), (4, 9, 55), (9, 6, 26), (10, 7, 18), (7, 2, 31),
+        (3, 10, 23), (6, 4, 45), (0, 11, 29), (11, 0, 29),
+    ]
+    for i, (src, dst, rtt_ms) in enumerate(pairs, start=1):
+        path_id = f"q{i:02d}"
+        name = f"{hosts[src]} -> {hosts[dst]}"
+        if hosts[src].startswith("dsl") or hosts[dst].startswith("dsl"):
+            paths.append(
+                _dsl(path_id, name, rtt_ms=rtt_ms, util=0.35, dataset="2006")
+            )
+        elif i % 3 == 0:
+            paths.append(
+                _congested(
+                    path_id, name, rtt_ms=rtt_ms,
+                    util=0.55 + 0.04 * (i % 5), dataset="2006",
+                )
+            )
+        else:
+            paths.append(
+                _provisioned(
+                    path_id, name, rtt_ms=rtt_ms,
+                    util=0.10 + 0.03 * (i % 6), dataset="2006",
+                )
+            )
+    return paths
+
+
+def scaled_catalog(catalog: list[PathConfig], n_paths: int) -> list[PathConfig]:
+    """The first ``n_paths`` entries — for quick runs and tests.
+
+    Takes a stratified sample (every ``len/n``-th path) so the reduced
+    catalog keeps the full catalog's heterogeneity.
+    """
+    if n_paths <= 0:
+        raise ConfigurationError(f"n_paths must be positive, got {n_paths}")
+    if n_paths >= len(catalog):
+        return list(catalog)
+    stride = len(catalog) / n_paths
+    return [catalog[int(i * stride)] for i in range(n_paths)]
+
+
+def with_dataset(config: PathConfig, dataset: str) -> PathConfig:
+    """A copy of ``config`` assigned to another dataset label."""
+    return replace(config, dataset=dataset)

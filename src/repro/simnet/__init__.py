@@ -1,0 +1,34 @@
+"""A small discrete-event packet-level network simulator.
+
+``simnet`` provides the substrate the paper's measurements ran on — a
+wide-area network path — at packet granularity:
+
+* :class:`~repro.simnet.engine.Simulator` — the event loop.
+* :class:`~repro.simnet.packet.Packet` — what flows through the network.
+* :class:`~repro.simnet.queue.DropTailQueue` — finite FIFO buffering.
+* :class:`~repro.simnet.link.Link` — a serializing transmitter with a
+  propagation delay and an attached queue.
+* :class:`~repro.simnet.path.DumbbellPath` — the two-directional path
+  (bottleneck forward link + return link) every experiment uses, with
+  endpoint agents dispatched by destination address.
+
+The packet simulator validates the fluid model (``repro.fastpath``) that
+runs the paper's full-size campaign; see DESIGN.md Section 5.
+"""
+
+from repro.simnet.engine import Simulator
+from repro.simnet.link import Link
+from repro.simnet.packet import Packet, PacketKind
+from repro.simnet.path import DumbbellPath, Endpoint
+from repro.simnet.queue import DropTailQueue, QueueStats
+
+__all__ = [
+    "DropTailQueue",
+    "DumbbellPath",
+    "Endpoint",
+    "Link",
+    "Packet",
+    "PacketKind",
+    "QueueStats",
+    "Simulator",
+]

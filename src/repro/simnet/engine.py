@@ -1,0 +1,128 @@
+"""The discrete-event simulation engine.
+
+A classic heap-based event loop.  Events are callbacks scheduled at
+absolute times; ties are broken by insertion order so the simulation is
+deterministic.  Cancellation is supported through handles (lazy deletion:
+cancelled events stay in the heap but are skipped), which is what TCP
+retransmission timers need.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.errors import SimulationError
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """A handle to a scheduled event, usable to cancel it."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Cancel the event; a no-op if it already fired or was cancelled."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        """Absolute simulation time the event is scheduled for."""
+        return self._event.time
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Example::
+
+        sim = Simulator()
+        sim.schedule(1.0, lambda: print("one second in"))
+        sim.run(until=10.0)
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[_Event] = []
+        self._counter = itertools.count()
+        self._n_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total events executed so far (diagnostics)."""
+        return self._n_processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute simulation time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} (now is {self._now})"
+            )
+        event = _Event(time=time, seq=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run events in time order.
+
+        Args:
+            until: stop once the next event is later than this time (the
+                clock is advanced to ``until``).  ``None`` runs to
+                exhaustion.
+            max_events: safety valve — raise if more than this many
+                events execute.
+
+        Raises:
+            SimulationError: if ``max_events`` is exceeded.
+        """
+        executed = 0
+        while self._heap:
+            event = self._heap[0]
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self._n_processed += 1
+            executed += 1
+            if max_events is not None and executed > max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; runaway simulation?"
+                )
+        if until is not None and self._now < until:
+            self._now = until
+
+    def peek_time(self) -> float | None:
+        """Time of the next pending (non-cancelled) event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

@@ -1,0 +1,90 @@
+"""A link: drop-tail queue + serializing transmitter + propagation delay.
+
+The link pulls packets from its queue one at a time, holds each for its
+serialization time (``size / capacity``), then delivers it to the
+downstream receiver after the propagation delay.  This is the standard
+output-queued router port model.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.units import Bandwidth
+from repro.simnet.engine import Simulator
+from repro.simnet.packet import Packet
+from repro.simnet.queue import DropTailQueue
+
+#: A packet consumer at the far end of a link.
+Receiver = Callable[[Packet], None]
+
+
+class Link:
+    """A unidirectional link.
+
+    Args:
+        sim: the event loop.
+        capacity: transmission rate.
+        prop_delay_s: one-way propagation delay in seconds.
+        queue: the attached drop-tail buffer.
+        receiver: called with each packet when it arrives downstream.
+        name: label for diagnostics.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: Bandwidth,
+        prop_delay_s: float,
+        queue: DropTailQueue,
+        receiver: Receiver,
+        name: str = "link",
+    ) -> None:
+        if prop_delay_s < 0:
+            raise ValueError(f"prop_delay_s must be >= 0, got {prop_delay_s}")
+        if capacity.bps <= 0:
+            raise ValueError("link capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.prop_delay_s = prop_delay_s
+        self.queue = queue
+        self.receiver = receiver
+        self.name = name
+        self._busy = False
+        self.bytes_delivered = 0
+
+    def send(self, packet: Packet) -> bool:
+        """Offer a packet to the link.
+
+        Returns:
+            True if the packet entered the buffer (it will eventually be
+            delivered), False if it was dropped.
+        """
+        accepted = self.queue.offer(packet, self.sim.now)
+        if accepted and not self._busy:
+            self._start_transmission()
+        return accepted
+
+    def _start_transmission(self) -> None:
+        packet = self.queue.pop(self.sim.now)
+        self._busy = True
+        tx_time = self.capacity.transmission_delay(packet.size_bytes)
+        self.sim.schedule(tx_time, lambda: self._finish_transmission(packet))
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        self.bytes_delivered += packet.size_bytes
+        # Propagation: the packet arrives downstream prop_delay later.
+        self.sim.schedule(self.prop_delay_s, lambda: self.receiver(packet))
+        if not self.queue.is_empty:
+            self._start_transmission()
+        else:
+            self._busy = False
+
+    def utilization(self, interval: float) -> float:
+        """Fraction of ``interval`` spent transmitting (from delivered bytes).
+
+        Valid when ``bytes_delivered`` was zeroed at the interval start.
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        return min(1.0, self.bytes_delivered * 8 / (self.capacity.bps * interval))

@@ -1,0 +1,61 @@
+"""Packets: the unit of transfer in the simulator.
+
+Packets carry addressing (``src``/``dst`` endpoint names used by
+:class:`~repro.simnet.path.DumbbellPath` dispatch), a kind tag, a
+sequence number whose meaning belongs to the sending agent (TCP segment
+number, probe id, ...), and a creation timestamp for delay measurement.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+_packet_ids = itertools.count()
+
+
+class PacketKind(enum.Enum):
+    """Coarse packet classification used by endpoint dispatch and stats."""
+
+    DATA = "data"
+    ACK = "ack"
+    PROBE = "probe"
+    PROBE_REPLY = "probe-reply"
+
+
+@dataclass
+class Packet:
+    """One packet.
+
+    Attributes:
+        src: name of the sending endpoint.
+        dst: name of the destination endpoint.
+        kind: coarse type tag.
+        size_bytes: wire size, used for serialization delay and buffers.
+        seq: sender-defined sequence number.
+        flow: sender-defined flow label, letting several agents share an
+            endpoint.
+        created_at: simulation time the packet was created (delay
+            measurements).
+        uid: globally unique id (diagnostics).
+    """
+
+    src: str
+    dst: str
+    kind: PacketKind
+    size_bytes: int
+    seq: int = 0
+    flow: str = ""
+    created_at: float = 0.0
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"size_bytes must be positive, got {self.size_bytes}")
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet({self.kind.value} {self.src}->{self.dst} "
+            f"flow={self.flow!r} seq={self.seq} {self.size_bytes}B)"
+        )

@@ -1,0 +1,146 @@
+"""The dumbbell path every experiment runs on.
+
+A :class:`DumbbellPath` models one wide-area path the way the paper's
+analysis does: a single bottleneck in the forward direction (capacity
+``C``, finite drop-tail buffer ``B``, propagation delay), and a return
+link that is fast and generously buffered (ACKs and probe replies rarely
+queue).  Endpoints register by name; packets are dispatched to the
+endpoint named in their ``dst`` field when they pop out of a link.
+
+Cross traffic shares the forward bottleneck queue with the target flow
+and the probes, which is precisely the interaction the paper studies.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol
+
+from repro.core.errors import ConfigurationError, SimulationError
+
+if TYPE_CHECKING:
+    import numpy as np
+from repro.core.units import Bandwidth
+from repro.simnet.engine import Simulator
+from repro.simnet.link import Link
+from repro.simnet.packet import Packet
+from repro.simnet.queue import DropTailQueue
+
+
+class Endpoint(Protocol):
+    """Anything that can receive packets at a path end."""
+
+    def receive(self, packet: Packet) -> None:
+        """Handle an arriving packet."""
+
+
+class DumbbellPath:
+    """A bidirectional path with a forward bottleneck.
+
+    Args:
+        sim: the event loop.
+        capacity: bottleneck capacity (forward direction).
+        buffer_bytes: forward drop-tail buffer size.
+        one_way_delay_s: forward propagation delay; the reverse direction
+            uses the same value, so the base RTT is twice this.
+        reverse_capacity_factor: the return link's capacity as a multiple
+            of the forward capacity (default 10x — effectively
+            uncongested, as on real paths where ACK traffic is light).
+        random_loss: probability that a forward packet is dropped
+            independently of queue state (noisy DSL lines, lossy
+            international links).  Requires ``rng`` when positive.
+        rng: randomness source for the loss process (and RED).
+        aqm: bottleneck queue discipline — ``"droptail"`` (the paper's
+            testbed) or ``"red"`` (gentle RED; requires ``rng``).
+    """
+
+    #: Reverse buffer is ample: ACKs are small and should rarely drop.
+    REVERSE_BUFFER_BYTES = 4_000_000
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: Bandwidth,
+        buffer_bytes: int,
+        one_way_delay_s: float,
+        reverse_capacity_factor: float = 10.0,
+        random_loss: float = 0.0,
+        rng: "np.random.Generator | None" = None,
+        aqm: str = "droptail",
+    ) -> None:
+        if reverse_capacity_factor <= 0:
+            raise ConfigurationError("reverse_capacity_factor must be positive")
+        if not 0.0 <= random_loss < 1.0:
+            raise ConfigurationError(f"random_loss must be in [0, 1), got {random_loss}")
+        if random_loss > 0 and rng is None:
+            raise ConfigurationError("random_loss needs an rng")
+        if aqm not in ("droptail", "red"):
+            raise ConfigurationError(f"unknown aqm {aqm!r}")
+        if aqm == "red" and rng is None:
+            raise ConfigurationError("RED needs an rng")
+        self.sim = sim
+        self.capacity = capacity
+        self.random_loss = random_loss
+        self._rng = rng
+        self._endpoints: dict[str, Endpoint] = {}
+
+        # Slot-based buffering: every packet, probe or MTU-sized, takes
+        # one slot — see DropTailQueue.
+        slots = max(1, buffer_bytes // 1500)
+        if aqm == "red":
+            from repro.simnet.red import RedQueue
+
+            self.forward_queue: DropTailQueue = RedQueue(
+                buffer_bytes, slot_capacity=slots, rng=rng
+            )
+        else:
+            self.forward_queue = DropTailQueue(buffer_bytes, slot_capacity=slots)
+        self.forward_link = Link(
+            sim,
+            capacity,
+            one_way_delay_s,
+            self.forward_queue,
+            self._deliver,
+            name="forward",
+        )
+        self.reverse_queue = DropTailQueue(self.REVERSE_BUFFER_BYTES)
+        self.reverse_link = Link(
+            sim,
+            capacity * reverse_capacity_factor,
+            one_way_delay_s,
+            self.reverse_queue,
+            self._deliver,
+            name="reverse",
+        )
+
+    @property
+    def base_rtt_s(self) -> float:
+        """Round-trip propagation delay, with no queueing."""
+        return self.forward_link.prop_delay_s + self.reverse_link.prop_delay_s
+
+    def register(self, name: str, endpoint: Endpoint) -> None:
+        """Attach an endpoint; packets with ``dst == name`` go to it."""
+        if name in self._endpoints:
+            raise ConfigurationError(f"endpoint {name!r} already registered")
+        self._endpoints[name] = endpoint
+
+    def send_forward(self, packet: Packet) -> bool:
+        """Send a packet through the bottleneck (sender -> receiver side).
+
+        Returns False if the packet was lost — either to the random-loss
+        process or to a full bottleneck buffer.
+        """
+        if self.random_loss > 0 and self._rng.random() < self.random_loss:
+            return False
+        return self.forward_link.send(packet)
+
+    def send_reverse(self, packet: Packet) -> bool:
+        """Send a packet on the return direction (receiver -> sender side)."""
+        return self.reverse_link.send(packet)
+
+    def _deliver(self, packet: Packet) -> None:
+        endpoint = self._endpoints.get(packet.dst)
+        if endpoint is None:
+            raise SimulationError(
+                f"packet addressed to unknown endpoint {packet.dst!r}: {packet!r}"
+            )
+        endpoint.receive(packet)

@@ -1,0 +1,126 @@
+"""Drop-tail FIFO queues with occupancy statistics.
+
+The bottleneck buffer is the place where everything the paper studies
+happens: queueing delay (RTT inflation), overflow loss, and the
+interaction between the target flow and cross traffic.  The queue tracks
+the counters the analysis needs (arrivals, drops, byte-occupancy time
+integral for mean occupancy).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.simnet.packet import Packet
+
+
+@dataclass
+class QueueStats:
+    """Counters accumulated by a :class:`DropTailQueue`.
+
+    Attributes:
+        arrivals: packets offered to the queue.
+        drops: packets rejected because the buffer was full.
+        bytes_accepted: total bytes of accepted packets.
+        occupancy_integral: time integral of byte occupancy, for
+            computing mean occupancy over an interval.
+    """
+
+    arrivals: int = 0
+    drops: int = 0
+    bytes_accepted: int = 0
+    occupancy_integral: float = 0.0
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of offered packets dropped (0 if nothing offered)."""
+        return self.drops / self.arrivals if self.arrivals else 0.0
+
+
+class DropTailQueue:
+    """A FIFO queue bounded in bytes and, optionally, in packet slots.
+
+    Args:
+        capacity_bytes: maximum total bytes buffered; a packet that does
+            not fit entirely is dropped (drop-tail).
+        slot_capacity: when given, also bound the queue to this many
+            packets regardless of their size.  Router line cards of the
+            paper's era allocated fixed-size buffers per packet, so a
+            41-byte ping contends for the same slot as a 1500-byte data
+            packet — which is why probes observe overflow loss at all.
+    """
+
+    def __init__(self, capacity_bytes: int, slot_capacity: int | None = None) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity_bytes must be positive, got {capacity_bytes}")
+        if slot_capacity is not None and slot_capacity < 1:
+            raise ValueError(f"slot_capacity must be >= 1, got {slot_capacity}")
+        self.capacity_bytes = capacity_bytes
+        self.slot_capacity = slot_capacity
+        self._queue: deque[Packet] = deque()
+        self._occupancy_bytes = 0
+        self._last_change_time = 0.0
+        self.stats = QueueStats()
+
+    @property
+    def occupancy_bytes(self) -> int:
+        """Bytes currently buffered."""
+        return self._occupancy_bytes
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._queue
+
+    def offer(self, packet: Packet, now: float) -> bool:
+        """Try to enqueue ``packet`` at time ``now``.
+
+        Returns:
+            True if accepted, False if dropped (buffer full).
+        """
+        self._integrate(now)
+        self.stats.arrivals += 1
+        slot_full = (
+            self.slot_capacity is not None and len(self._queue) >= self.slot_capacity
+        )
+        if slot_full or self._occupancy_bytes + packet.size_bytes > self.capacity_bytes:
+            self.stats.drops += 1
+            return False
+        self._queue.append(packet)
+        self._occupancy_bytes += packet.size_bytes
+        self.stats.bytes_accepted += packet.size_bytes
+        return True
+
+    def pop(self, now: float) -> Packet:
+        """Dequeue the head packet at time ``now``.
+
+        Raises:
+            IndexError: if the queue is empty.
+        """
+        self._integrate(now)
+        packet = self._queue.popleft()
+        self._occupancy_bytes -= packet.size_bytes
+        return packet
+
+    def mean_occupancy_bytes(self, interval: float) -> float:
+        """Mean byte occupancy over the last ``interval`` seconds.
+
+        Valid when the stats were reset at the start of the interval.
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        return self.stats.occupancy_integral / interval
+
+    def reset_stats(self, now: float) -> None:
+        """Zero the counters, starting a new measurement interval."""
+        self.stats = QueueStats()
+        self._last_change_time = now
+
+    def _integrate(self, now: float) -> None:
+        dt = now - self._last_change_time
+        if dt > 0:
+            self.stats.occupancy_integral += self._occupancy_bytes * dt
+            self._last_change_time = now

@@ -1,0 +1,20 @@
+"""TCP Reno over the packet simulator.
+
+:class:`~repro.tcp.reno.RenoSender` implements the sender side the way
+the paper's measurement era ran it: slow start, congestion avoidance,
+fast retransmit / fast recovery (classic Reno — multiple losses in one
+window typically force a retransmission timeout, which is exactly the
+regime the PFTK model covers), an RFC 6298 retransmission timer with a
+1-second floor and exponential backoff, and a maximum window ``W``
+(the socket-buffer limit IPerf controls in the paper).
+
+:class:`~repro.tcp.sink.TcpSink` is the receiver: cumulative ACKs,
+delayed ACKs (``b = 2``), immediate duplicate ACKs on out-of-order
+arrivals, and delivered-byte accounting for throughput measurement.
+"""
+
+from repro.tcp.newreno import NewRenoSender
+from repro.tcp.reno import RenoSender, RenoStats
+from repro.tcp.sink import TcpSink
+
+__all__ = ["NewRenoSender", "RenoSender", "RenoStats", "TcpSink"]

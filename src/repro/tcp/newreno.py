@@ -1,0 +1,50 @@
+"""TCP NewReno sender (RFC 3782 fast-recovery semantics).
+
+Classic Reno (the default in this package, matching the paper's era and
+the PFTK model's assumptions) exits fast recovery on the *first* new
+ACK, so a window with several losses usually ends in a retransmission
+timeout.  NewReno instead interprets a *partial* ACK — one that
+advances ``una`` but not past the recovery point — as proof of another
+hole, retransmits it immediately, and stays in recovery until the whole
+pre-loss window is acknowledged.
+
+Provided as a comparison point: the difference between the two senders
+on a lossy bottleneck is a direct measurement of how much of the
+"TCP cannot use the avail-bw" effect (the paper's Section 3.4) is
+Reno's multi-loss timeout behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.reno import RenoSender
+
+
+class NewRenoSender(RenoSender):
+    """Reno sender with NewReno partial-ACK handling.
+
+    Same constructor and interface as
+    :class:`~repro.tcp.reno.RenoSender`.
+    """
+
+    def _handle_new_ack(self, ack: int) -> None:
+        if not self.in_recovery:
+            super()._handle_new_ack(ack)
+            return
+
+        if ack >= self.recover_seq:
+            # Full acknowledgement: the whole pre-loss window arrived.
+            super()._handle_new_ack(ack)
+            return
+
+        # Partial ACK: deflate by the amount acknowledged, retransmit
+        # the next hole, stay in recovery (RFC 3782, Section 3 step 5).
+        self._sample_rtt(ack)
+        newly_acked = ack - self.una
+        self.una = ack
+        self.next_seq = max(self.next_seq, ack)
+        self._forget_below(ack)
+        self.cwnd = max(self.cwnd - newly_acked + 1.0, 2.0)
+        self._retransmit_segment(self.una)
+        self._rto_backoff = 1.0
+        self._restart_rto()
+        self._try_send()

@@ -1,0 +1,326 @@
+"""TCP Reno sender.
+
+Implements the early-2000s Reno behaviour the paper's models assume:
+
+* slow start (cwnd += 1 per new ACK) until ``ssthresh``,
+* congestion avoidance (cwnd += 1/cwnd per new ACK),
+* fast retransmit on the third duplicate ACK,
+* classic-Reno fast recovery — window inflation per duplicate ACK,
+  deflation to ``ssthresh`` on the first new ACK; multiple losses in one
+  window therefore usually end in a retransmission timeout, the regime
+  PFTK's timeout term models,
+* an RFC 6298 retransmission timer with the 1-second floor and
+  exponential backoff, and Karn's rule for RTT sampling,
+* a maximum window ``W`` (socket-buffer limit), the paper's key knob.
+
+Sequence numbers count MSS-sized segments.  The sender transmits as long
+as its application (:class:`~repro.apps.iperf.BulkTransferApp`) keeps it
+running — a bulk transfer with unlimited data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigurationError
+from repro.simnet.engine import EventHandle, Simulator
+from repro.simnet.packet import Packet, PacketKind
+from repro.simnet.path import DumbbellPath
+
+#: RFC 6298 constants.
+RTO_ALPHA = 0.125
+RTO_BETA = 0.25
+MIN_RTO_S = 1.0
+MAX_RTO_S = 60.0
+
+#: Initial congestion window, segments (RFC 2581 allowed 2).
+INITIAL_CWND = 2.0
+
+#: Data segment overhead is folded into the MSS-sized wire packets.
+DEFAULT_MSS_BYTES = 1460
+
+
+@dataclass
+class RenoStats:
+    """Sender-side counters.
+
+    Attributes:
+        segments_sent: all transmissions, including retransmissions.
+        retransmissions: fast retransmits plus timeout retransmissions.
+        fast_retransmits: losses recovered by triple-duplicate ACK.
+        timeouts: RTO expirations.
+        rtt_samples: RTT measurements taken (Karn-filtered).
+        srtt_s: final smoothed RTT, or None if never sampled.
+    """
+
+    segments_sent: int = 0
+    retransmissions: int = 0
+    fast_retransmits: int = 0
+    timeouts: int = 0
+    rtt_samples: int = 0
+    srtt_s: float | None = None
+    rtt_sum_s: float = 0.0
+
+    @property
+    def mean_rtt_s(self) -> float | None:
+        """Mean of the RTT samples, or None without samples."""
+        if self.rtt_samples == 0:
+            return None
+        return self.rtt_sum_s / self.rtt_samples
+
+
+class RenoSender:
+    """Sender side of a bulk TCP Reno transfer.
+
+    Args:
+        sim: the event loop.
+        path: the network path (data forward, ACKs reverse).
+        name: this endpoint's address.
+        peer: the receiver's address.
+        flow: flow label stamped on segments.
+        mss_bytes: segment size.
+        max_window_segments: the maximum window ``W`` in segments.
+        data_limit_segments: stop offering new data after this many
+            segments (None = unlimited bulk data).  Used for
+            fixed-size (short) transfers.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        path: DumbbellPath,
+        name: str,
+        peer: str,
+        flow: str,
+        mss_bytes: int = DEFAULT_MSS_BYTES,
+        max_window_segments: float = 700.0,
+        data_limit_segments: int | None = None,
+    ) -> None:
+        if max_window_segments < 1:
+            raise ConfigurationError(
+                f"max_window_segments must be >= 1, got {max_window_segments}"
+            )
+        self.sim = sim
+        self.path = path
+        self.name = name
+        self.peer = peer
+        self.flow = flow
+        self.mss_bytes = mss_bytes
+        self.max_window_segments = max_window_segments
+        if data_limit_segments is not None and data_limit_segments < 1:
+            raise ConfigurationError(
+                f"data_limit_segments must be >= 1, got {data_limit_segments}"
+            )
+        self.data_limit_segments = data_limit_segments
+
+        self.una = 0  # lowest unacknowledged segment
+        self.next_seq = 0  # next segment to send
+        self.highest_sent = 0  # one past the highest segment ever sent
+        self.cwnd = INITIAL_CWND
+        self.ssthresh = max_window_segments
+        self.dup_acks = 0
+        self.in_recovery = False
+        self.recover_seq = 0
+
+        self.srtt: float | None = None
+        self.rttvar = 0.0
+        self.rto = 3.0  # RFC 6298 initial value
+        self._rto_backoff = 1.0
+        self._rto_handle: EventHandle | None = None
+
+        self._send_times: dict[int, float] = {}
+        self._retransmitted: set[int] = set()
+        self._running = False
+        self.stats = RenoStats()
+
+    # ------------------------------------------------------------------
+    # Application control
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin transmitting (bulk data, no end until :meth:`stop`)."""
+        self._running = True
+        self._try_send()
+
+    def stop(self) -> None:
+        """Stop offering new data and cancel the retransmission timer."""
+        self._running = False
+        self._cancel_rto()
+
+    @property
+    def window_segments(self) -> float:
+        """The effective window: ``min(cwnd, W)``."""
+        return min(self.cwnd, self.max_window_segments)
+
+    @property
+    def flight_size(self) -> int:
+        """Segments in flight (sent but unacknowledged)."""
+        return self.highest_sent - self.una
+
+    # ------------------------------------------------------------------
+    # Receiving ACKs
+    # ------------------------------------------------------------------
+
+    def receive(self, packet: Packet) -> None:
+        """Handle an arriving ACK."""
+        if packet.kind is not PacketKind.ACK or packet.flow != self.flow:
+            return
+        ack = packet.seq  # cumulative: all segments < ack received
+        if ack > self.una:
+            self._handle_new_ack(ack)
+        elif ack == self.una and self.flight_size > 0:
+            self._handle_dup_ack()
+
+    def _handle_new_ack(self, ack: int) -> None:
+        self._sample_rtt(ack)
+        newly_acked = ack - self.una
+        self.una = ack
+        # A cumulative ACK can jump past a post-timeout rollback point.
+        self.next_seq = max(self.next_seq, ack)
+        self._forget_below(ack)
+
+        if self.in_recovery:
+            # Classic Reno: the first new ACK ends recovery and deflates
+            # the window to ssthresh.
+            self.in_recovery = False
+            self.cwnd = self.ssthresh
+            self.dup_acks = 0
+        else:
+            self.dup_acks = 0
+            if self.cwnd < self.ssthresh:
+                self.cwnd = min(
+                    self.cwnd + newly_acked, self.max_window_segments
+                )
+            else:
+                self.cwnd = min(
+                    self.cwnd + newly_acked / self.cwnd, self.max_window_segments
+                )
+
+        self._rto_backoff = 1.0
+        if self.flight_size > 0:
+            self._restart_rto()
+        else:
+            self._cancel_rto()
+        self._try_send()
+
+    def _handle_dup_ack(self) -> None:
+        self.dup_acks += 1
+        if self.in_recovery:
+            # Window inflation: each dup ACK signals a departed segment.
+            self.cwnd += 1.0
+            self._try_send()
+        elif self.dup_acks == 3:
+            self._fast_retransmit()
+
+    def _fast_retransmit(self) -> None:
+        self.stats.fast_retransmits += 1
+        self.ssthresh = max(self.flight_size / 2.0, 2.0)
+        self.recover_seq = self.next_seq
+        self.in_recovery = True
+        self._retransmit_segment(self.una)
+        self.cwnd = self.ssthresh + 3.0
+        self._restart_rto()
+        self._try_send()
+
+    # ------------------------------------------------------------------
+    # Retransmission timer
+    # ------------------------------------------------------------------
+
+    def _on_rto(self) -> None:
+        self._rto_handle = None
+        if not self._running and self.flight_size == 0:
+            return
+        self.stats.timeouts += 1
+        self.ssthresh = max(self.flight_size / 2.0, 2.0)
+        self.cwnd = 1.0
+        self.dup_acks = 0
+        self.in_recovery = False
+        self._rto_backoff = min(self._rto_backoff * 2.0, MAX_RTO_S / self.rto)
+        # Go-back-N: retransmit from the first unacknowledged segment,
+        # growing the window again under slow start.  Cumulative ACKs jump
+        # over segments the receiver already buffered.
+        self.next_seq = self.una
+        self._restart_rto()
+        self._try_send()
+
+    def _restart_rto(self) -> None:
+        self._cancel_rto()
+        timeout = min(self.rto * self._rto_backoff, MAX_RTO_S)
+        self._rto_handle = self.sim.schedule(timeout, self._on_rto)
+
+    def _cancel_rto(self) -> None:
+        if self._rto_handle is not None:
+            self._rto_handle.cancel()
+            self._rto_handle = None
+
+    # ------------------------------------------------------------------
+    # RTT estimation (RFC 6298 + Karn's rule)
+    # ------------------------------------------------------------------
+
+    def _sample_rtt(self, ack: int) -> None:
+        # The newest cumulatively-acked segment is ack - 1; sample it if
+        # it was transmitted exactly once.
+        seq = ack - 1
+        sent_at = self._send_times.get(seq)
+        if sent_at is None or seq in self._retransmitted:
+            return
+        sample = self.sim.now - sent_at
+        self.stats.rtt_samples += 1
+        self.stats.rtt_sum_s += sample
+        if self.srtt is None:
+            self.srtt = sample
+            self.rttvar = sample / 2.0
+        else:
+            self.rttvar = (1 - RTO_BETA) * self.rttvar + RTO_BETA * abs(
+                self.srtt - sample
+            )
+            self.srtt = (1 - RTO_ALPHA) * self.srtt + RTO_ALPHA * sample
+        self.stats.srtt_s = self.srtt
+        self.rto = max(MIN_RTO_S, self.srtt + 4.0 * self.rttvar)
+
+    def _forget_below(self, ack: int) -> None:
+        for seq in [s for s in self._send_times if s < ack]:
+            del self._send_times[seq]
+        self._retransmitted = {s for s in self._retransmitted if s >= ack}
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+
+    def _try_send(self) -> None:
+        if not self._running:
+            return
+        while self.next_seq < self.una + int(self.window_segments):
+            if (
+                self.data_limit_segments is not None
+                and self.next_seq >= self.data_limit_segments
+            ):
+                return
+            self._transmit(self.next_seq)
+            self.next_seq += 1
+            if self._rto_handle is None:
+                self._restart_rto()
+
+    def _retransmit_segment(self, seq: int) -> None:
+        self._transmit(seq)
+
+    def _transmit(self, seq: int) -> None:
+        if seq < self.highest_sent:
+            # Any segment sent before counts as a retransmission; Karn's
+            # rule excludes it from RTT sampling.
+            self.stats.retransmissions += 1
+            self._retransmitted.add(seq)
+        else:
+            self._send_times[seq] = self.sim.now
+            self.highest_sent = seq + 1
+        packet = Packet(
+            src=self.name,
+            dst=self.peer,
+            kind=PacketKind.DATA,
+            size_bytes=self.mss_bytes,
+            seq=seq,
+            flow=self.flow,
+            created_at=self.sim.now,
+        )
+        self.stats.segments_sent += 1
+        self.path.send_forward(packet)

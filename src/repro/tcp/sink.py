@@ -1,0 +1,113 @@
+"""The TCP receiver: cumulative + delayed ACKs, delivery accounting."""
+
+from __future__ import annotations
+
+from repro.simnet.engine import EventHandle, Simulator
+from repro.simnet.packet import Packet, PacketKind
+from repro.simnet.path import DumbbellPath
+
+#: Wire size of a pure ACK (IP + TCP headers).
+ACK_SIZE_BYTES = 40
+
+#: Delayed-ACK timer, a typical early-2000s stack value.
+DELAYED_ACK_TIMEOUT_S = 0.1
+
+
+class TcpSink:
+    """Receiver side of a TCP connection.
+
+    In-order data advances ``rcv_next`` (absorbing any buffered
+    out-of-order segments); every second in-order segment — or the
+    delayed-ACK timer — triggers a cumulative ACK; out-of-order segments
+    trigger an immediate duplicate ACK, which is what drives the sender's
+    fast retransmit.
+
+    Args:
+        sim: the event loop.
+        path: the path ACKs travel back over (reverse direction).
+        name: this endpoint's address.
+        peer: the sender's address (ACK destination).
+        flow: flow label copied into ACKs.
+        ack_every: in-order segments per ACK (the models' ``b``).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        path: DumbbellPath,
+        name: str,
+        peer: str,
+        flow: str,
+        ack_every: int = 2,
+    ) -> None:
+        if ack_every < 1:
+            raise ValueError(f"ack_every must be >= 1, got {ack_every}")
+        self.sim = sim
+        self.path = path
+        self.name = name
+        self.peer = peer
+        self.flow = flow
+        self.ack_every = ack_every
+        self.rcv_next = 0
+        self.segments_delivered = 0
+        self.bytes_delivered = 0
+        self._out_of_order: set[int] = set()
+        self._pending_acks = 0
+        self._delayed_handle: EventHandle | None = None
+        self.acks_sent = 0
+
+    def receive(self, packet: Packet) -> None:
+        """Handle an arriving data segment."""
+        if packet.kind is not PacketKind.DATA or packet.flow != self.flow:
+            return
+        seq = packet.seq
+        if seq == self.rcv_next:
+            self.rcv_next += 1
+            self._absorb_buffered()
+            self.segments_delivered += 1 + self._drain_count
+            self.bytes_delivered += packet.size_bytes * (1 + self._drain_count)
+            self._pending_acks += 1
+            if self._pending_acks >= self.ack_every or self._drain_count:
+                self._send_ack()
+            elif self._delayed_handle is None or self._delayed_handle.cancelled:
+                self._delayed_handle = self.sim.schedule(
+                    DELAYED_ACK_TIMEOUT_S, self._delayed_ack_fire
+                )
+        elif seq > self.rcv_next:
+            # Out of order: buffer and emit an immediate duplicate ACK.
+            self._out_of_order.add(seq)
+            self._send_ack()
+        else:
+            # Below rcv_next: a spurious retransmission; re-ACK so the
+            # sender learns its state.
+            self._send_ack()
+
+    def _absorb_buffered(self) -> None:
+        self._drain_count = 0
+        while self.rcv_next in self._out_of_order:
+            self._out_of_order.remove(self.rcv_next)
+            self.rcv_next += 1
+            self._drain_count += 1
+
+    _drain_count = 0
+
+    def _delayed_ack_fire(self) -> None:
+        if self._pending_acks > 0:
+            self._send_ack()
+
+    def _send_ack(self) -> None:
+        self._pending_acks = 0
+        if self._delayed_handle is not None:
+            self._delayed_handle.cancel()
+            self._delayed_handle = None
+        ack = Packet(
+            src=self.name,
+            dst=self.peer,
+            kind=PacketKind.ACK,
+            size_bytes=ACK_SIZE_BYTES,
+            seq=self.rcv_next,
+            flow=self.flow,
+            created_at=self.sim.now,
+        )
+        self.acks_sent += 1
+        self.path.send_reverse(ack)

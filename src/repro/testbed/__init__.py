@@ -1,0 +1,24 @@
+"""The RON-like testbed emulation (paper Section 4.1).
+
+* :mod:`repro.testbed.campaign` — the epoch/trace/campaign runner that
+  reproduces the paper's measurement structure (150 epochs per trace,
+  7 traces per path).
+* :mod:`repro.testbed.io` — CSV serialization of datasets.
+
+Path catalogs and measurement records live in :mod:`repro.paths` and are
+re-exported here for convenience.
+"""
+
+from repro.paths.config import PathConfig, march_2006_catalog, may_2004_catalog
+from repro.paths.records import Dataset, EpochMeasurement, Trace
+from repro.testbed.campaign import Campaign
+
+__all__ = [
+    "Campaign",
+    "Dataset",
+    "EpochMeasurement",
+    "PathConfig",
+    "Trace",
+    "march_2006_catalog",
+    "may_2004_catalog",
+]

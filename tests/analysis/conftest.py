@@ -1,0 +1,23 @@
+"""Shared small datasets for the analysis tests."""
+
+import pytest
+
+from repro.paths.config import may_2004_catalog
+from repro.testbed.campaign import Campaign, CampaignSettings, run_march_2006
+
+
+@pytest.fixture(scope="package")
+def dataset():
+    """A reduced May-2004 campaign: all 35 paths, 2 traces x 80 epochs.
+
+    80 epochs keep the 45-minute down-sampling of Fig. 23 meaningful
+    (factor 15 leaves 6 samples per trace).
+    """
+    campaign = Campaign(may_2004_catalog(), seed=11, label="analysis-test")
+    return campaign.run(CampaignSettings(n_traces=2, epochs_per_trace=80))
+
+
+@pytest.fixture(scope="package")
+def dataset_2006():
+    """A reduced March-2006 campaign (checkpoints enabled)."""
+    return run_march_2006(seed=12, n_traces=1, epochs_per_trace=30)

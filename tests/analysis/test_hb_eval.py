@@ -1,0 +1,143 @@
+"""HB evaluation computations (Figs. 15-23)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import hb_eval
+
+
+class TestTraceRmsre:
+    def test_positive(self, dataset):
+        value = hb_eval.trace_rmsre(dataset.traces[0], hb_eval.ma(10))
+        assert value > 0
+
+    def test_per_trace_count(self, dataset):
+        values = hb_eval.rmsre_per_trace(dataset, hb_eval.ma(10))
+        assert len(values) == len(dataset.traces)
+
+
+class TestExemplars:
+    def test_finds_structured_traces(self, dataset):
+        examples = hb_eval.exemplar_traces(dataset, max_examples=3)
+        assert 1 <= len(examples) <= 3
+        for example in examples:
+            assert example.n_level_shifts + example.n_outliers > 0
+            assert set(example.rmsres) == {
+                "10-MA", "10-MA-LSO", "0.8-EWMA", "HW", "HW-LSO",
+            }
+
+
+class TestPredictorFamilies:
+    def test_ma_family_members(self):
+        family = hb_eval.ma_family((1, 10))
+        assert set(family) == {"1-MA", "1-MA-LSO", "10-MA", "10-MA-LSO"}
+
+    def test_hw_family_members(self):
+        family = hb_eval.hw_family((0.5,))
+        assert set(family) == {"0.5-HW", "0.5-HW-LSO"}
+
+    def test_cdfs_computed_for_each(self, dataset):
+        cdfs = hb_eval.predictor_cdfs(dataset, hb_eval.ma_family((10,)))
+        assert set(cdfs) == {"10-MA", "10-MA-LSO"}
+        for cdf in cdfs.values():
+            assert len(cdf) == len(dataset.traces)
+
+    def test_lso_does_not_hurt_much(self, dataset):
+        """Paper: LSO reduces (or at worst matches) the RMSRE."""
+        cdfs = hb_eval.predictor_cdfs(dataset, hb_eval.hw_family((0.8,)))
+        assert cdfs["0.8-HW-LSO"].quantile(0.9) <= cdfs["0.8-HW"].quantile(0.9) * 1.1
+
+
+class TestLsoSensitivity:
+    def test_insensitive_to_thresholds(self, dataset):
+        """Fig. 18: chi/psi settings barely change the error CDF."""
+        cdfs = hb_eval.lso_sensitivity(
+            dataset, chi_values=(0.2, 0.4), psi_values=(0.3, 0.5)
+        )
+        medians = [cdf.median() for cdf in cdfs.values()]
+        assert max(medians) - min(medians) < 0.1
+
+
+class TestFbVsHb:
+    def test_hb_dominates_fb(self, dataset):
+        comp = hb_eval.fb_vs_hb(dataset)
+        assert comp.hb.median() < comp.fb.median()
+        assert comp.hb.fraction_below(0.4) > comp.fb.fraction_below(0.4)
+
+    def test_summary_renders(self, dataset):
+        assert "RMSRE" in hb_eval.fb_vs_hb(dataset).summary()
+
+
+class TestCovCorrelation:
+    def test_positive_correlation(self, dataset):
+        relation = hb_eval.cov_correlation(dataset)
+        assert relation.correlation() > 0.3
+
+    def test_pairs_aligned(self, dataset):
+        relation = hb_eval.cov_correlation(dataset)
+        assert relation.covs.shape == relation.rmsres.shape
+
+
+class TestPathClasses:
+    def test_all_paths_classified(self, dataset):
+        classes = hb_eval.path_classes(dataset)
+        assert len(classes) == len(dataset.path_ids)
+        valid = {"predictable", "stable-errors", "varying-errors", "unpredictable"}
+        assert all(c.label in valid for c in classes)
+
+    def test_multiple_classes_present(self, dataset):
+        """The paper's Fig. 21 point: paths differ in predictability."""
+        labels = {c.label for c in hb_eval.path_classes(dataset)}
+        assert len(labels) >= 2
+
+    def test_classifier_thresholds(self):
+        assert hb_eval.classify_path(0.1, 0.5) == "predictable"
+        assert hb_eval.classify_path(0.4, 0.05) == "stable-errors"
+        assert hb_eval.classify_path(0.4, 0.5) == "varying-errors"
+        assert hb_eval.classify_path(2.0, 0.0) == "unpredictable"
+
+
+class TestWindowLimitedHb:
+    def test_small_window_more_predictable(self, dataset):
+        comparisons = hb_eval.window_limited_hb(dataset)
+        better = sum(
+            c.rmsre_small_window < c.rmsre_large_window for c in comparisons
+        )
+        assert better / len(comparisons) > 0.6
+
+
+class TestIntervalEffect:
+    def test_accuracy_degrades_with_interval(self, dataset):
+        cdfs = hb_eval.interval_effect(dataset)
+        assert cdfs["3min"].fraction_below(0.4) >= cdfs["45min"].fraction_below(0.4)
+
+    def test_remains_usable_at_45min(self, dataset):
+        """The paper's headline: sporadic history still predicts."""
+        cdfs = hb_eval.interval_effect(dataset)
+        assert cdfs["45min"].fraction_below(1.0) > 0.6
+
+    def test_custom_factors(self, dataset):
+        cdfs = hb_eval.interval_effect(dataset, {"x": 1, "y": 3})
+        assert set(cdfs) == {"x", "y"}
+
+
+class TestLossyPathCorrelation:
+    def test_positive_correlation_on_lossy_paths(self, dataset):
+        """Section 6.1.4: on paths with measurable a priori loss, the HB
+        RMSRE correlates with the loss rate."""
+        relation = hb_eval.lossy_path_correlation(dataset, min_loss=0.001)
+        assert relation.correlation() > 0.2
+
+    def test_pairs_aligned(self, dataset):
+        relation = hb_eval.lossy_path_correlation(dataset, min_loss=0.001)
+        assert relation.loss_rates.shape == relation.rmsres.shape
+        assert len(relation.path_ids) == relation.loss_rates.size
+
+    def test_threshold_filters_paths(self, dataset):
+        loose = hb_eval.lossy_path_correlation(dataset, min_loss=0.0005)
+        strict = hb_eval.lossy_path_correlation(dataset, min_loss=0.002)
+        assert len(strict.path_ids) < len(loose.path_ids)
+
+    def test_impossible_threshold_rejected(self, dataset):
+        with pytest.raises(Exception):
+            hb_eval.lossy_path_correlation(dataset, min_loss=0.9)

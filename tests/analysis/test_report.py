@@ -1,0 +1,78 @@
+"""Plain-text report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import (
+    render_ascii_cdf,
+    render_bar_table,
+    render_cdf_table,
+    render_quantile_table,
+    render_scatter_summary,
+)
+from repro.core.metrics import Cdf
+
+
+@pytest.fixture
+def cdfs():
+    rng = np.random.default_rng(0)
+    return {
+        "alpha": Cdf.from_values(rng.normal(0, 1, 100), label="alpha"),
+        "beta": Cdf.from_values(rng.normal(1, 2, 100), label="beta"),
+    }
+
+
+class TestCdfTable:
+    def test_contains_all_series(self, cdfs):
+        text = render_cdf_table(cdfs, title="My table")
+        assert "My table" in text
+        assert "alpha" in text and "beta" in text
+
+    def test_thresholds_in_header(self, cdfs):
+        text = render_cdf_table(cdfs, thresholds=(0.0, 2.5))
+        assert "P(<=0)" in text and "P(<=2.5)" in text
+
+    def test_accepts_sequence(self, cdfs):
+        text = render_cdf_table(list(cdfs.values()))
+        assert "alpha" in text
+
+
+class TestQuantileTable:
+    def test_quantile_columns(self, cdfs):
+        text = render_quantile_table(cdfs, quantiles=(0.5, 0.9))
+        assert "q50" in text and "q90" in text
+
+
+class TestBarTable:
+    def test_rows_and_columns(self):
+        rows = [("p01", {"a": 1.0, "b": 2.0}), ("p02", {"a": 3.0, "b": 4.0})]
+        text = render_bar_table(rows, title="Bars")
+        assert "p01" in text and "p02" in text
+        assert "1.000" in text and "4.000" in text
+
+    def test_empty_rows(self):
+        assert render_bar_table([], title="t") == "t"
+
+
+class TestAsciiCdf:
+    def test_renders_grid(self, cdfs):
+        text = render_ascii_cdf(cdfs["alpha"])
+        assert "*" in text
+        assert "alpha" in text
+
+    def test_constant_cdf(self):
+        cdf = Cdf.from_values([5.0, 5.0], label="flat")
+        assert "constant" in render_ascii_cdf(cdf)
+
+
+class TestScatterSummary:
+    def test_binned_rows(self):
+        x = np.linspace(0, 10, 60)
+        y = x * 2
+        text = render_scatter_summary(x, y, "x", "y", n_bins=4)
+        assert "median y" in text
+        assert len(text.splitlines()) == 5
+
+    def test_validates_shapes(self):
+        with pytest.raises(ValueError):
+            render_scatter_summary(np.array([1.0]), np.array([]), "x", "y")

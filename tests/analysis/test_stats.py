@@ -1,0 +1,88 @@
+"""Bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import (
+    bootstrap_ci,
+    fraction_above_ci,
+    median_ci,
+    quantile_ci,
+)
+from repro.core.errors import DataError
+
+
+class TestBootstrapCi:
+    def test_estimate_matches_statistic(self):
+        ci = median_ci([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert ci.estimate == 3.0
+
+    def test_interval_brackets_estimate(self):
+        rng = np.random.default_rng(0)
+        ci = median_ci(rng.normal(10, 2, 200))
+        assert ci.low <= ci.estimate <= ci.high
+
+    def test_interval_shrinks_with_sample_size(self):
+        rng = np.random.default_rng(1)
+        small = median_ci(rng.normal(10, 2, 20))
+        large = median_ci(rng.normal(10, 2, 2000))
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_reproducible(self):
+        values = np.random.default_rng(2).normal(size=50)
+        a, b = median_ci(values), median_ci(values)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_coverage_roughly_nominal(self):
+        """~95% of intervals should contain the true mean."""
+        rng = np.random.default_rng(3)
+        hits = 0
+        trials = 200
+        for trial in range(trials):
+            sample = rng.normal(0.0, 1.0, 60)
+            ci = bootstrap_ci(
+                sample, lambda s: float(s.mean()), n_resamples=300, seed=trial
+            )
+            hits += ci.contains(0.0)
+        assert hits / trials > 0.85
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            median_ci([])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            median_ci([1.0], confidence=1.0)
+
+    def test_bad_resamples_rejected(self):
+        with pytest.raises(ValueError):
+            median_ci([1.0], n_resamples=1)
+
+    def test_str_rendering(self):
+        text = str(median_ci([1.0, 2.0, 3.0]))
+        assert "[" in text and "95%" in text
+
+
+class TestConvenienceWrappers:
+    def test_fraction_above(self):
+        ci = fraction_above_ci([0.0, 1.0, 2.0, 3.0], threshold=1.5)
+        assert ci.estimate == 0.5
+
+    def test_quantile(self):
+        ci = quantile_ci(list(range(101)), q=0.9)
+        assert ci.estimate == pytest.approx(90.0)
+
+    def test_quantile_validated(self):
+        with pytest.raises(ValueError):
+            quantile_ci([1.0], q=1.5)
+
+    @given(
+        st.lists(st.floats(min_value=-100, max_value=100), min_size=5, max_size=50),
+        st.floats(min_value=-100, max_value=100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_fraction_ci_bounded(self, values, threshold):
+        ci = fraction_above_ci(values, threshold, n_resamples=100)
+        assert 0.0 <= ci.low <= ci.estimate <= ci.high <= 1.0

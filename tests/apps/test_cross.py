@@ -1,0 +1,162 @@
+"""Cross-traffic sources."""
+
+import numpy as np
+import pytest
+
+from repro.apps.cross import (
+    CrossTrafficSink,
+    ElasticCrossFlow,
+    ParetoOnOffSource,
+    PoissonSource,
+)
+from repro.core.units import Bandwidth
+from repro.simnet import DumbbellPath, Simulator
+
+
+def make_path(sim, mbps=10.0):
+    return DumbbellPath(
+        sim, Bandwidth.from_mbps(mbps), buffer_bytes=100_000, one_way_delay_s=0.01
+    )
+
+
+class TestPoissonSource:
+    def test_mean_rate_approximately_respected(self):
+        sim = Simulator()
+        path = make_path(sim)
+        sink = CrossTrafficSink()
+        path.register("sink", sink)
+        source = PoissonSource(
+            sim, path, "sink", rate_mbps=4.0, rng=np.random.default_rng(0)
+        )
+        source.start()
+        sim.run(until=30.0)
+        source.stop()
+        achieved = sink.bytes_received * 8 / 30.0 / 1e6
+        assert achieved == pytest.approx(4.0, rel=0.1)
+
+    def test_rate_change_takes_effect(self):
+        sim = Simulator()
+        path = make_path(sim)
+        sink = CrossTrafficSink()
+        path.register("sink", sink)
+        source = PoissonSource(
+            sim, path, "sink", rate_mbps=1.0, rng=np.random.default_rng(0)
+        )
+        source.start()
+        sim.run(until=10.0)
+        at_low = sink.bytes_received
+        source.set_rate(5.0)
+        sim.run(until=20.0)
+        delta = sink.bytes_received - at_low
+        assert delta * 8 / 10.0 / 1e6 == pytest.approx(5.0, rel=0.2)
+
+    def test_zero_rate_sends_nothing(self):
+        sim = Simulator()
+        path = make_path(sim)
+        sink = CrossTrafficSink()
+        path.register("sink", sink)
+        source = PoissonSource(
+            sim, path, "sink", rate_mbps=0.0, rng=np.random.default_rng(0)
+        )
+        source.start()
+        sim.run(until=5.0)
+        assert sink.packets_received == 0
+
+    def test_stop_halts_traffic(self):
+        sim = Simulator()
+        path = make_path(sim)
+        sink = CrossTrafficSink()
+        path.register("sink", sink)
+        source = PoissonSource(
+            sim, path, "sink", rate_mbps=5.0, rng=np.random.default_rng(0)
+        )
+        source.start()
+        sim.run(until=5.0)
+        source.stop()
+        emitted = source.packets_sent
+        sim.run(until=10.0)
+        # No new emissions after stop (in-flight packets may still land).
+        assert source.packets_sent == emitted
+        assert sink.packets_received <= emitted
+
+    def test_negative_rate_rejected(self):
+        sim = Simulator()
+        path = make_path(sim)
+        with pytest.raises(ValueError):
+            PoissonSource(sim, path, "s", rate_mbps=-1.0, rng=np.random.default_rng(0))
+
+
+class TestParetoOnOff:
+    def test_long_run_rate_below_peak(self):
+        sim = Simulator()
+        path = make_path(sim)
+        sink = CrossTrafficSink()
+        path.register("sink", sink)
+        source = ParetoOnOffSource(
+            sim,
+            path,
+            "sink",
+            peak_rate_mbps=6.0,
+            mean_on_s=1.0,
+            mean_off_s=2.0,
+            rng=np.random.default_rng(3),
+        )
+        source.start()
+        sim.run(until=60.0)
+        source.stop()
+        mean_rate = sink.bytes_received * 8 / 60.0 / 1e6
+        # Duty cycle ~1/3 of the 6 Mbps peak: ~2 Mbps, heavy-tail noisy.
+        assert 0.5 < mean_rate < 4.5
+
+    def test_traffic_is_bursty(self):
+        """Some seconds idle, some at peak."""
+        sim = Simulator()
+        path = make_path(sim)
+        sink = CrossTrafficSink()
+        path.register("sink", sink)
+        source = ParetoOnOffSource(
+            sim, path, "sink", peak_rate_mbps=6.0, rng=np.random.default_rng(4)
+        )
+        source.start()
+        per_second = []
+        last = 0
+        for second in range(1, 41):
+            sim.run(until=float(second))
+            per_second.append(sink.packets_received - last)
+            last = sink.packets_received
+        assert min(per_second) == 0
+        assert max(per_second) > 100
+
+    def test_parameter_validation(self):
+        sim = Simulator()
+        path = make_path(sim)
+        with pytest.raises(ValueError):
+            ParetoOnOffSource(sim, path, "s", peak_rate_mbps=0.0)
+        with pytest.raises(ValueError):
+            ParetoOnOffSource(sim, path, "s", peak_rate_mbps=1.0, shape=1.0)
+        with pytest.raises(ValueError):
+            ParetoOnOffSource(sim, path, "s", peak_rate_mbps=1.0, mean_on_s=0.0)
+
+
+class TestElasticCrossFlow:
+    def test_persistent_flow_consumes_bandwidth(self):
+        sim = Simulator()
+        path = make_path(sim, mbps=10.0)
+        flow = ElasticCrossFlow(sim, path)
+        flow.start()
+        sim.run(until=10.0)
+        flow.stop()
+        throughput = flow.sink.bytes_delivered * 8 / 10.0 / 1e6
+        assert throughput > 4.0
+
+    def test_two_elastic_flows_share(self):
+        sim = Simulator()
+        path = make_path(sim, mbps=10.0)
+        flows = [ElasticCrossFlow(sim, path) for _ in range(2)]
+        for flow in flows:
+            flow.start()
+        sim.run(until=20.0)
+        rates = [f.sink.bytes_delivered * 8 / 20.0 / 1e6 for f in flows]
+        assert sum(rates) > 5.0
+        # Equal RTTs: neither flow gets starved.
+        assert min(rates) / max(rates) > 0.25

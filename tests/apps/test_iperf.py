@@ -1,0 +1,73 @@
+"""The IPerf-like bulk transfer application."""
+
+import pytest
+
+from repro.core.units import Bandwidth
+from repro.simnet import DumbbellPath, Simulator
+from repro.apps.iperf import BulkTransferApp
+
+
+def make_path(sim, mbps=10.0, buffer_bytes=80_000, delay=0.02):
+    return DumbbellPath(
+        sim, Bandwidth.from_mbps(mbps), buffer_bytes=buffer_bytes, one_way_delay_s=delay
+    )
+
+
+class TestBulkTransfer:
+    def test_reports_positive_throughput(self):
+        sim = Simulator()
+        app = BulkTransferApp(sim, make_path(sim))
+        result = app.run(duration_s=5.0)
+        assert result.throughput_mbps > 1.0
+        assert result.bytes_delivered > 0
+
+    def test_throughput_bounded_by_capacity(self):
+        sim = Simulator()
+        app = BulkTransferApp(sim, make_path(sim, mbps=5.0))
+        result = app.run(duration_s=5.0)
+        assert result.throughput_mbps <= 5.0
+
+    def test_window_limited_transfer(self):
+        """W = 20 KB on a fast path: throughput = W / RTT."""
+        sim = Simulator()
+        app = BulkTransferApp(
+            sim, make_path(sim, mbps=100.0), max_window_bytes=20_000
+        )
+        result = app.run(duration_s=5.0)
+        assert result.throughput_mbps == pytest.approx(20_000 * 8 / 0.04 / 1e6, rel=0.2)
+
+    def test_checkpoints_recorded(self):
+        sim = Simulator()
+        app = BulkTransferApp(sim, make_path(sim))
+        result = app.run(duration_s=4.0, checkpoint_times_s=(1.0, 2.0, 4.0))
+        assert len(result.interval_throughputs) == 3
+        assert all(v > 0 for v in result.interval_throughputs)
+
+    def test_checkpoint_outside_duration_rejected(self):
+        sim = Simulator()
+        app = BulkTransferApp(sim, make_path(sim))
+        with pytest.raises(ValueError):
+            app.run(duration_s=2.0, checkpoint_times_s=(3.0,))
+
+    def test_invalid_duration_rejected(self):
+        sim = Simulator()
+        app = BulkTransferApp(sim, make_path(sim))
+        with pytest.raises(ValueError):
+            app.run(duration_s=0.0)
+
+    def test_two_transfers_can_share_a_path(self):
+        sim = Simulator()
+        path = make_path(sim)
+        first = BulkTransferApp(sim, path)
+        second = BulkTransferApp(sim, path)
+        # Run them back to back on the same path (unique endpoints).
+        r1 = first.run(duration_s=2.0)
+        r2 = second.run(duration_s=2.0)
+        assert r1.throughput_mbps > 0 and r2.throughput_mbps > 0
+
+    def test_start_delay(self):
+        sim = Simulator()
+        app = BulkTransferApp(sim, make_path(sim))
+        result = app.run(duration_s=2.0, start_delay_s=1.0)
+        assert sim.now == pytest.approx(3.0)
+        assert result.throughput_mbps > 0

@@ -1,0 +1,72 @@
+"""The SLoPS-style avail-bw estimator."""
+
+import numpy as np
+import pytest
+
+from repro.apps.cross import CrossTrafficSink, PoissonSource
+from repro.apps.pathload import measure_availbw
+from repro.core.units import Bandwidth
+from repro.simnet import DumbbellPath, Simulator
+
+
+def loaded_path(cross_mbps, capacity_mbps=10.0, seed=7):
+    sim = Simulator()
+    path = DumbbellPath(
+        sim,
+        Bandwidth.from_mbps(capacity_mbps),
+        buffer_bytes=75_000,
+        one_way_delay_s=0.025,
+    )
+    sink = CrossTrafficSink()
+    path.register("xsink", sink)
+    if cross_mbps > 0:
+        source = PoissonSource(
+            sim, path, "xsink", rate_mbps=cross_mbps, rng=np.random.default_rng(seed)
+        )
+        source.start()
+    sim.run(until=3.0)  # warm up the cross traffic
+    return sim, path
+
+
+class TestPathload:
+    @pytest.mark.parametrize(
+        "cross,expected", [(4.0, 6.0), (7.0, 3.0), (1.0, 9.0)]
+    )
+    def test_estimates_availbw(self, cross, expected):
+        sim, path = loaded_path(cross)
+        result = measure_availbw(sim, path, max_rate_mbps=12.0)
+        assert result.availbw_mbps == pytest.approx(expected, abs=1.5)
+
+    def test_idle_path_estimates_capacity(self):
+        sim, path = loaded_path(0.0)
+        result = measure_availbw(sim, path, max_rate_mbps=12.0)
+        assert result.availbw_mbps > 8.5
+
+    def test_bracket_contains_estimate(self):
+        sim, path = loaded_path(4.0)
+        result = measure_availbw(sim, path, max_rate_mbps=12.0)
+        assert result.low_mbps <= result.availbw_mbps <= result.high_mbps
+
+    def test_iterations_bounded(self):
+        sim, path = loaded_path(4.0)
+        result = measure_availbw(sim, path, max_rate_mbps=12.0, max_iterations=5)
+        assert result.iterations <= 5
+
+    def test_resolution_controls_convergence(self):
+        sim, path = loaded_path(4.0)
+        coarse = measure_availbw(sim, path, max_rate_mbps=12.0, resolution_mbps=3.0)
+        assert coarse.high_mbps - coarse.low_mbps <= 3.0 * 2  # one halving late
+
+    def test_measurement_takes_simulated_time(self):
+        sim, path = loaded_path(4.0)
+        before = sim.now
+        result = measure_availbw(sim, path, max_rate_mbps=12.0)
+        assert sim.now > before
+        assert result.duration_s == pytest.approx(sim.now - before)
+
+    def test_invalid_arguments(self):
+        sim, path = loaded_path(0.0)
+        with pytest.raises(ValueError):
+            measure_availbw(sim, path, max_rate_mbps=0.0)
+        with pytest.raises(ValueError):
+            measure_availbw(sim, path, max_rate_mbps=10.0, resolution_mbps=0.0)

@@ -1,0 +1,89 @@
+"""The periodic ping prober."""
+
+import pytest
+
+from repro.core.units import Bandwidth
+from repro.simnet import DumbbellPath, Simulator
+from repro.apps.pinger import PingResponder, Pinger
+
+
+def make_setup(mbps=10.0, delay=0.02, buffer_bytes=80_000):
+    sim = Simulator()
+    path = DumbbellPath(
+        sim, Bandwidth.from_mbps(mbps), buffer_bytes=buffer_bytes, one_way_delay_s=delay
+    )
+    responder = PingResponder(sim, path, "pingd")
+    path.register("pingd", responder)
+    return sim, path
+
+
+class TestPinger:
+    def test_measures_base_rtt_on_idle_path(self):
+        sim, path = make_setup(delay=0.025)
+        pinger = Pinger(sim, path, "pingd")
+        result = pinger.measure(10.0)
+        assert result.loss_rate == 0.0
+        # Base RTT 50 ms plus serialization of probe + reply.
+        assert result.rtt_mean_s == pytest.approx(0.05, rel=0.02)
+
+    def test_probe_count_matches_rate(self):
+        sim, path = make_setup()
+        pinger = Pinger(sim, path, "pingd", period_s=0.1)
+        result = pinger.measure(30.0)
+        assert result.probes_sent == 300
+
+    def test_loss_on_saturated_path(self):
+        """Saturate the bottleneck so some probes drop."""
+        from repro.apps.cross import CrossTrafficSink, PoissonSource
+        import numpy as np
+
+        sim, path = make_setup(mbps=1.0, buffer_bytes=6_000)
+        sink = CrossTrafficSink()
+        path.register("xsink", sink)
+        source = PoissonSource(
+            sim, path, "xsink", rate_mbps=1.4, rng=np.random.default_rng(1)
+        )
+        source.start()
+        pinger = Pinger(sim, path, "pingd")
+        result = pinger.measure(30.0)
+        source.stop()
+        assert result.loss_rate > 0.05
+
+    def test_rtt_rises_under_load(self):
+        from repro.apps.cross import CrossTrafficSink, PoissonSource
+        import numpy as np
+
+        sim, path = make_setup(mbps=2.0, buffer_bytes=30_000)
+        sink = CrossTrafficSink()
+        path.register("xsink", sink)
+        source = PoissonSource(
+            sim, path, "xsink", rate_mbps=1.6, rng=np.random.default_rng(2)
+        )
+        source.start()
+        pinger = Pinger(sim, path, "pingd")
+        loaded = pinger.measure(30.0)
+        assert loaded.rtt_mean_s > 0.045  # base 40 ms + queueing
+
+    def test_non_blocking_start_collect(self):
+        sim, path = make_setup()
+        pinger = Pinger(sim, path, "pingd")
+        pinger.start(5.0)
+        sim.run(until=sim.now + 7.0)
+        result = pinger.collect()
+        assert result.probes_sent == 50
+        assert result.loss_rate == 0.0
+
+    def test_median_reported(self):
+        sim, path = make_setup()
+        result = Pinger(sim, path, "pingd").measure(5.0)
+        assert result.rtt_median_s == pytest.approx(result.rtt_mean_s, rel=0.1)
+
+    def test_invalid_duration(self):
+        sim, path = make_setup()
+        with pytest.raises(ValueError):
+            Pinger(sim, path, "pingd").measure(0.0)
+
+    def test_invalid_period(self):
+        sim, path = make_setup()
+        with pytest.raises(ValueError):
+            Pinger(sim, path, "pingd", period_s=0.0)

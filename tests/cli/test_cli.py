@@ -1,0 +1,121 @@
+"""The three console commands."""
+
+import pytest
+
+from repro.cli import analyze, campaign, predict
+
+
+class TestCampaignCommand:
+    def test_runs_and_saves(self, tmp_path, capsys):
+        out = tmp_path / "ds.csv"
+        code = campaign.main(
+            [
+                "--catalog", "may2004", "--paths", "3",
+                "--traces", "1", "--epochs", "5",
+                "-o", str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "3 paths" in capsys.readouterr().out
+
+    def test_march2006_defaults(self, tmp_path):
+        out = tmp_path / "m.csv"
+        code = campaign.main(
+            [
+                "--catalog", "march2006", "--paths", "2",
+                "--traces", "1", "--epochs", "3",
+                "--quiet", "-o", str(out),
+            ]
+        )
+        assert code == 0
+        from repro.testbed.io import load_dataset
+
+        dataset = load_dataset(out)
+        epoch = dataset.epochs()[0]
+        assert len(epoch.duration_throughputs_mbps) == 3
+        assert epoch.smallw_throughput_mbps is None
+
+    def test_seed_changes_output(self, tmp_path):
+        outs = []
+        for seed in (1, 2):
+            out = tmp_path / f"s{seed}.csv"
+            campaign.main(
+                [
+                    "--paths", "2", "--traces", "1", "--epochs", "3",
+                    "--seed", str(seed), "--quiet", "-o", str(out),
+                ]
+            )
+            outs.append(out.read_text())
+        assert outs[0] != outs[1]
+
+
+@pytest.fixture(scope="module")
+def saved_dataset(tmp_path_factory):
+    out = tmp_path_factory.mktemp("cli") / "ds.csv"
+    campaign.main(
+        [
+            "--paths", "5", "--traces", "2", "--epochs", "30",
+            "--quiet", "-o", str(out),
+        ]
+    )
+    return out
+
+
+class TestAnalyzeCommand:
+    def test_selected_figures(self, saved_dataset, capsys):
+        code = analyze.main([str(saved_dataset), "--figures", "2", "19"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out and "Fig. 19" in out
+
+    def test_all_figures_run(self, saved_dataset, capsys):
+        code = analyze.main([str(saved_dataset)])
+        assert code == 0
+        out = capsys.readouterr().out
+        # Fig. 11 needs the 2006 set; it must degrade gracefully.
+        assert "not derivable" in out
+
+    def test_unknown_figure_number(self, saved_dataset, capsys):
+        code = analyze.main([str(saved_dataset), "--figures", "99"])
+        assert code == 2
+        assert "no renderer" in capsys.readouterr().out
+
+
+class TestPredictCommand:
+    def test_lossy_prediction(self, capsys):
+        code = predict.main(["--rtt-ms", "45", "--loss", "0.002"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "predicted throughput" in out and "pftk model" in out
+
+    def test_lossless_needs_availbw(self, capsys):
+        code = predict.main(["--rtt-ms", "45", "--loss", "0"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_lossless_with_availbw(self, capsys):
+        code = predict.main(
+            ["--rtt-ms", "45", "--loss", "0", "--availbw", "6.5"]
+        )
+        assert code == 0
+        assert "avail-bw" in capsys.readouterr().out
+
+    def test_window_caps_prediction(self, capsys):
+        predict.main(
+            ["--rtt-ms", "100", "--loss", "0", "--availbw", "50",
+             "--window-kb", "20"]
+        )
+        out = capsys.readouterr().out
+        assert "1.600" in out  # 20 KB * 8 / 0.1 s = 1.6 Mbps
+
+    def test_model_choice(self, capsys):
+        code = predict.main(
+            ["--rtt-ms", "45", "--loss", "0.002", "--model", "mathis"]
+        )
+        assert code == 0
+        assert "mathis" in capsys.readouterr().out
+
+    def test_invalid_loss_rejected(self, capsys):
+        code = predict.main(["--rtt-ms", "45", "--loss", "1.5"])
+        assert code == 2

@@ -1,0 +1,167 @@
+"""Error metrics: Eq. (4), Eq. (5), CoV, the empirical CDF."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import DataError
+from repro.core.metrics import (
+    Cdf,
+    coefficient_of_variation,
+    pearson_correlation,
+    relative_error,
+    rmsre,
+    segmented_cov,
+)
+from repro.core.metrics import relative_errors
+
+positive = st.floats(min_value=1e-3, max_value=1e4)
+
+
+class TestRelativeError:
+    def test_exact_prediction_is_zero(self):
+        assert relative_error(5.0, 5.0) == 0.0
+
+    def test_overestimation_positive(self):
+        assert relative_error(10.0, 5.0) == 1.0
+
+    def test_underestimation_negative(self):
+        assert relative_error(5.0, 10.0) == -1.0
+
+    @given(positive, st.floats(min_value=1.01, max_value=100))
+    def test_symmetry_property(self, actual, factor):
+        """Over/underestimation by the same factor give the same |E|."""
+        over = relative_error(actual * factor, actual)
+        under = relative_error(actual / factor, actual)
+        assert over == pytest.approx(-under, rel=1e-9)
+        assert over == pytest.approx(factor - 1, rel=1e-9)
+
+    def test_zero_actual_rejected(self):
+        with pytest.raises(DataError):
+            relative_error(1.0, 0.0)
+
+    def test_negative_prediction_rejected(self):
+        with pytest.raises(DataError):
+            relative_error(-1.0, 1.0)
+
+    def test_vectorised_matches_scalar(self):
+        pred = np.array([1.0, 4.0, 2.0])
+        act = np.array([2.0, 2.0, 2.0])
+        expected = [relative_error(p, a) for p, a in zip(pred, act)]
+        assert relative_errors(pred, act).tolist() == pytest.approx(expected)
+
+    def test_vectorised_shape_mismatch(self):
+        with pytest.raises(DataError):
+            relative_errors([1.0], [1.0, 2.0])
+
+
+class TestRmsre:
+    def test_single_error(self):
+        assert rmsre([2.0]) == 2.0
+
+    def test_known_value(self):
+        assert rmsre([3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            rmsre([])
+
+    @given(st.lists(st.floats(min_value=-10, max_value=10), min_size=1, max_size=30))
+    def test_bounded_by_max_abs(self, errors):
+        value = rmsre(errors)
+        assert value <= max(abs(e) for e in errors) + 1e-12
+        assert value >= 0
+
+
+class TestCov:
+    def test_constant_series_zero(self):
+        assert coefficient_of_variation([4.0, 4.0, 4.0]) == 0.0
+
+    def test_known_value(self):
+        vals = [1.0, 3.0]
+        assert coefficient_of_variation(vals) == pytest.approx(1.0 / 2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            coefficient_of_variation([])
+
+    def test_zero_mean_rejected(self):
+        with pytest.raises(DataError):
+            coefficient_of_variation([-1.0, 1.0])
+
+    def test_segmented_weighted_average(self):
+        seg1 = [1.0, 3.0]  # CoV 0.5, weight 2
+        seg2 = [2.0, 2.0, 2.0, 2.0]  # CoV 0, weight 4
+        assert segmented_cov([seg1, seg2]) == pytest.approx(0.5 * 2 / 6)
+
+    def test_segmented_skips_short_segments(self):
+        assert segmented_cov([[5.0], [1.0, 3.0]]) == pytest.approx(0.5)
+
+    def test_segmented_all_short_rejected(self):
+        with pytest.raises(DataError):
+            segmented_cov([[1.0], [2.0]])
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        assert pearson_correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_anti_correlation(self):
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_zero_variance_rejected(self):
+        with pytest.raises(DataError):
+            pearson_correlation([1, 1, 1], [1, 2, 3])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            pearson_correlation([1, 2], [1, 2, 3])
+
+    def test_too_short_rejected(self):
+        with pytest.raises(DataError):
+            pearson_correlation([1], [2])
+
+
+class TestCdf:
+    def test_fraction_below(self):
+        cdf = Cdf.from_values([1.0, 2.0, 3.0, 4.0])
+        assert cdf.fraction_below(2.0) == 0.5
+        assert cdf.fraction_below(0.0) == 0.0
+        assert cdf.fraction_below(10.0) == 1.0
+
+    def test_fraction_above_complements(self):
+        cdf = Cdf.from_values([1.0, 2.0, 3.0, 4.0])
+        assert cdf.fraction_above(2.0) == 0.5
+
+    def test_median(self):
+        assert Cdf.from_values([1.0, 2.0, 3.0]).median() == 2.0
+
+    def test_quantile_bounds_checked(self):
+        cdf = Cdf.from_values([1.0])
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            Cdf.from_values([])
+
+    def test_points_monotone(self):
+        cdf = Cdf.from_values(np.random.default_rng(0).normal(size=100))
+        xs, ps = cdf.points(20)
+        assert np.all(np.diff(xs) >= 0)
+        assert np.all(np.diff(ps) > 0)
+
+    def test_points_needs_two(self):
+        with pytest.raises(ValueError):
+            Cdf.from_values([1.0]).points(1)
+
+    def test_summary_contains_label(self):
+        assert "mycdf" in Cdf.from_values([1.0], label="mycdf").summary()
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=50),
+           st.floats(min_value=-100, max_value=100))
+    def test_fraction_below_matches_count(self, values, threshold):
+        cdf = Cdf.from_values(values)
+        expected = sum(1 for v in values if v <= threshold) / len(values)
+        assert cdf.fraction_below(threshold) == pytest.approx(expected)

@@ -1,0 +1,61 @@
+"""Named RNG streams: reproducibility and independence."""
+
+import numpy as np
+import pytest
+
+from repro.core.rng import RngStreams
+
+
+class TestRngStreams:
+    def test_same_seed_same_stream(self):
+        a = RngStreams(7).get("load").random(5)
+        b = RngStreams(7).get("load").random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(7).get("load").random(5)
+        b = RngStreams(8).get("load").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_names_differ(self):
+        streams = RngStreams(7)
+        a = streams.get("load").random(5)
+        b = streams.get("probe").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_stream_is_cached(self):
+        streams = RngStreams(7)
+        assert streams.get("x") is streams.get("x")
+
+    def test_creation_order_does_not_matter(self):
+        s1 = RngStreams(7)
+        s1.get("a")
+        first = s1.get("b").random(3)
+        s2 = RngStreams(7)
+        second = s2.get("b").random(3)  # "a" never created here
+        assert np.array_equal(first, second)
+
+    def test_seed_property(self):
+        assert RngStreams(42).seed == 42
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RngStreams("seed")  # type: ignore[arg-type]
+
+    def test_numpy_integer_seed_accepted(self):
+        assert RngStreams(np.int64(5)).seed == 5
+
+
+class TestScopedStreams:
+    def test_scoped_equals_full_path(self):
+        root = RngStreams(3)
+        scoped = root.child("p1")
+        assert scoped.get("load") is root.get("p1/load")
+
+    def test_nested_scope(self):
+        root = RngStreams(3)
+        nested = root.child("p1").child("trace0")
+        assert nested.get("x") is root.get("p1/trace0/x")
+
+    def test_repr_mentions_prefix(self):
+        assert "p1" in repr(RngStreams(0).child("p1"))

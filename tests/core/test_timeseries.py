@@ -1,0 +1,124 @@
+"""TimeSeries container behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import DataError
+from repro.core.timeseries import TimeSeries
+
+
+def series(values, period=1.0):
+    return TimeSeries.from_values(values, period=period)
+
+
+class TestConstruction:
+    def test_from_values_builds_regular_times(self):
+        ts = TimeSeries.from_values([1.0, 2.0, 3.0], period=2.0, start=1.0)
+        assert ts.times.tolist() == [1.0, 3.0, 5.0]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            TimeSeries([0, 1], [1.0])
+
+    def test_non_increasing_times_rejected(self):
+        with pytest.raises(DataError):
+            TimeSeries([0.0, 0.0], [1.0, 2.0])
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(DataError):
+            TimeSeries(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_input_mutation_does_not_leak(self):
+        values = np.array([1.0, 2.0])
+        ts = TimeSeries([0.0, 1.0], values)
+        values[0] = 99.0
+        assert ts.values[0] == 1.0
+
+    def test_values_are_read_only(self):
+        ts = series([1.0, 2.0])
+        with pytest.raises(ValueError):
+            ts.values[0] = 5.0
+
+    def test_empty_series_allowed(self):
+        assert len(TimeSeries([], [])) == 0
+
+
+class TestAccessors:
+    def test_len_and_iter(self):
+        ts = series([1.0, 2.0, 3.0])
+        assert len(ts) == 3
+        assert list(ts) == [(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)]
+
+    def test_index_returns_value(self):
+        assert series([5.0, 6.0])[1] == 6.0
+
+    def test_slice_returns_series(self):
+        sliced = series([1.0, 2.0, 3.0, 4.0])[1:3]
+        assert isinstance(sliced, TimeSeries)
+        assert sliced.values.tolist() == [2.0, 3.0]
+
+    def test_equality(self):
+        assert series([1.0, 2.0]) == series([1.0, 2.0])
+        assert series([1.0, 2.0]) != series([1.0, 3.0])
+
+    def test_stats(self):
+        ts = series([2.0, 4.0, 6.0])
+        assert ts.mean() == 4.0
+        assert ts.median() == 4.0
+        assert ts.std() == pytest.approx(np.std([2.0, 4.0, 6.0]))
+
+    def test_stats_on_empty_raise(self):
+        empty = TimeSeries([], [])
+        with pytest.raises(DataError):
+            empty.mean()
+
+    def test_period(self):
+        assert series([1.0, 2.0, 3.0], period=180.0).period() == 180.0
+
+    def test_period_needs_two_samples(self):
+        with pytest.raises(DataError):
+            series([1.0]).period()
+
+
+class TestTransforms:
+    def test_downsample_keeps_every_kth(self):
+        ts = series([1.0, 2.0, 3.0, 4.0, 5.0])
+        down = ts.downsample(2)
+        assert down.values.tolist() == [1.0, 3.0, 5.0]
+
+    def test_downsample_factor_one_is_identity(self):
+        ts = series([1.0, 2.0])
+        assert ts.downsample(1) == ts
+
+    def test_downsample_rejects_zero(self):
+        with pytest.raises(ValueError):
+            series([1.0]).downsample(0)
+
+    def test_drop_indices(self):
+        ts = series([1.0, 2.0, 3.0, 4.0])
+        assert ts.drop_indices([1, 3]).values.tolist() == [1.0, 3.0]
+
+    def test_drop_no_indices(self):
+        ts = series([1.0, 2.0])
+        assert ts.drop_indices([]) == ts
+
+    def test_window(self):
+        ts = series([1.0, 2.0, 3.0, 4.0], period=10.0)
+        assert ts.window(10.0, 30.0).values.tolist() == [2.0, 3.0]
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=100), min_size=1, max_size=50),
+       st.integers(min_value=1, max_value=10))
+def test_downsample_length_property(values, factor):
+    ts = TimeSeries.from_values(values)
+    down = ts.downsample(factor)
+    assert len(down) == (len(values) + factor - 1) // factor
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=100), min_size=2, max_size=50))
+def test_mean_between_min_and_max(values):
+    ts = TimeSeries.from_values(values)
+    # Last-bit tolerance: the float mean of equal values can round past them.
+    assert min(values) * (1 - 1e-12) <= ts.mean() <= max(values) * (1 + 1e-12)

@@ -1,0 +1,73 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro.core.units import (
+    Bandwidth,
+    bits_to_mbps,
+    bytes_to_bits,
+    kbit,
+    kbyte,
+    mbit,
+    mbps_to_bps,
+    mbyte,
+)
+
+
+class TestConversions:
+    def test_kbyte_is_decimal(self):
+        assert kbyte(20) == 20_000
+
+    def test_mbyte_is_decimal(self):
+        assert mbyte(1) == 1_000_000
+
+    def test_kbit(self):
+        assert kbit(3) == 3_000
+
+    def test_mbit(self):
+        assert mbit(2.5) == 2_500_000
+
+    def test_bytes_to_bits(self):
+        assert bytes_to_bits(10) == 80
+
+    def test_bits_to_mbps(self):
+        assert bits_to_mbps(10_000_000, 2.0) == 5.0
+
+    def test_bits_to_mbps_rejects_zero_duration(self):
+        with pytest.raises(ValueError):
+            bits_to_mbps(1, 0.0)
+
+    def test_bits_to_mbps_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            bits_to_mbps(1, -1.0)
+
+    def test_mbps_to_bps(self):
+        assert mbps_to_bps(1.5) == 1_500_000
+
+
+class TestBandwidth:
+    def test_from_mbps_roundtrip(self):
+        assert Bandwidth.from_mbps(10).mbps == 10.0
+
+    def test_transmission_delay(self):
+        # 1500 bytes at 12 Mbps = 1 ms.
+        bw = Bandwidth.from_mbps(12)
+        assert bw.transmission_delay(1500) == pytest.approx(1e-3)
+
+    def test_zero_bandwidth_cannot_transmit(self):
+        with pytest.raises(ValueError):
+            Bandwidth(0).transmission_delay(100)
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            Bandwidth(-1)
+
+    def test_multiplication(self):
+        assert (Bandwidth.from_mbps(10) * 2).mbps == 20.0
+
+    def test_right_multiplication(self):
+        assert (3 * Bandwidth.from_mbps(10)).mbps == 30.0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Bandwidth.from_mbps(10).bps = 5

@@ -1,0 +1,71 @@
+"""The stochastic cross-load process."""
+
+import numpy as np
+import pytest
+
+from repro.fastpath.loadmodel import MAX_CROSS_UTIL, CrossLoadProcess
+from repro.paths.config import may_2004_catalog
+
+
+def config(**overrides):
+    from dataclasses import replace
+
+    base = may_2004_catalog()[0]
+    return replace(base, **overrides) if overrides else base
+
+
+class TestCrossLoadProcess:
+    def test_reproducible(self):
+        cfg = config()
+        a = CrossLoadProcess(cfg, np.random.default_rng(1))
+        b = CrossLoadProcess(cfg, np.random.default_rng(1))
+        for _ in range(20):
+            la, lb = a.advance(180.0), b.advance(180.0)
+            assert la == lb
+
+    def test_utilization_bounds(self):
+        process = CrossLoadProcess(config(), np.random.default_rng(2))
+        for _ in range(500):
+            load = process.advance(180.0)
+            assert 0.0 <= load.util_pre <= MAX_CROSS_UTIL
+            assert 0.0 <= load.util_during <= MAX_CROSS_UTIL
+
+    def test_mean_tracks_configured_util(self):
+        cfg = config(shift_rate_per_hour=0.0, outlier_rate=0.0)
+        process = CrossLoadProcess(cfg, np.random.default_rng(3), regime_mean=cfg.base_util)
+        samples = [process.advance(180.0).util_pre for _ in range(2000)]
+        assert np.mean(samples) == pytest.approx(cfg.base_util, abs=0.05)
+
+    def test_shifts_occur_at_configured_hazard(self):
+        cfg = config(shift_rate_per_hour=2.0, outlier_rate=0.0)
+        process = CrossLoadProcess(cfg, np.random.default_rng(4))
+        shifts = sum(process.advance(1800.0).shifted for _ in range(1000))
+        # One 30-minute step with hazard 2/h shifts with p = 1 - e^-1.
+        assert shifts == pytest.approx(1000 * (1 - np.exp(-1)), rel=0.1)
+
+    def test_no_shifts_when_rate_zero(self):
+        cfg = config(shift_rate_per_hour=0.0)
+        process = CrossLoadProcess(cfg, np.random.default_rng(5))
+        assert not any(process.advance(3600.0).shifted for _ in range(200))
+
+    def test_outlier_rate_respected(self):
+        cfg = config(outlier_rate=0.25, shift_rate_per_hour=0.0)
+        process = CrossLoadProcess(cfg, np.random.default_rng(6))
+        outliers = sum(process.advance(180.0).outlier for _ in range(2000))
+        assert outliers == pytest.approx(500, rel=0.15)
+
+    def test_outlier_raises_load_during_transfer(self):
+        cfg = config(outlier_rate=1.0, base_util=0.3, shift_rate_per_hour=0.0)
+        process = CrossLoadProcess(cfg, np.random.default_rng(7))
+        load = process.advance(180.0)
+        assert load.outlier
+        assert load.util_during > load.util_pre
+
+    def test_negative_dt_rejected(self):
+        process = CrossLoadProcess(config(), np.random.default_rng(8))
+        with pytest.raises(ValueError):
+            process.advance(-1.0)
+
+    def test_explicit_regime_mean_respected(self):
+        process = CrossLoadProcess(config(), np.random.default_rng(9), regime_mean=0.5)
+        assert process.regime_mean == 0.5

@@ -1,0 +1,112 @@
+"""M/M/1/K queueing formulas."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fastpath.queueing import (
+    mm1k_loss_probability,
+    mm1k_mean_queue_delay_s,
+    mm1k_mean_system_occupancy,
+    packets_for_buffer,
+    service_rate_pps,
+)
+
+loads = st.floats(min_value=0.0, max_value=3.0)
+buffers = st.integers(min_value=1, max_value=500)
+
+
+class TestLossProbability:
+    def test_zero_load_no_loss(self):
+        assert mm1k_loss_probability(0.0, 10) == 0.0
+
+    def test_critical_load_closed_form(self):
+        """At rho = 1 the blocking probability is 1/(K+1)."""
+        assert mm1k_loss_probability(1.0, 9) == pytest.approx(0.1)
+
+    def test_known_value(self):
+        # K=2, rho=0.5: P = 0.5 * 0.25 / (1 - 0.125) = 1/7.
+        assert mm1k_loss_probability(0.5, 2) == pytest.approx(1.0 / 7.0)
+
+    def test_overload_loses_excess(self):
+        """At heavy overload the loss approaches 1 - 1/rho."""
+        assert mm1k_loss_probability(2.0, 100) == pytest.approx(0.5, rel=0.01)
+
+    def test_underflow_guard(self):
+        assert mm1k_loss_probability(0.5, 5000) == 0.0
+
+    @given(loads, buffers)
+    def test_bounded(self, rho, k):
+        assert 0.0 <= mm1k_loss_probability(rho, k) <= 1.0
+
+    @given(st.floats(min_value=0.05, max_value=2.5), buffers)
+    def test_monotone_in_load(self, rho, k):
+        assert mm1k_loss_probability(rho, k) <= mm1k_loss_probability(rho * 1.2, k) + 1e-12
+
+    @given(st.floats(min_value=0.3, max_value=1.5), st.integers(min_value=2, max_value=200))
+    def test_bigger_buffer_less_loss(self, rho, k):
+        assert mm1k_loss_probability(rho, k + 1) <= mm1k_loss_probability(rho, k) + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mm1k_loss_probability(-0.1, 10)
+        with pytest.raises(ValueError):
+            mm1k_loss_probability(0.5, 0)
+
+
+class TestOccupancy:
+    def test_empty_at_zero_load(self):
+        assert mm1k_mean_system_occupancy(0.0, 10) == 0.0
+
+    def test_critical_load_half_full(self):
+        assert mm1k_mean_system_occupancy(1.0, 10) == pytest.approx(5.0)
+
+    def test_matches_mm1_for_large_buffer(self):
+        """With a huge buffer at rho<1 the M/M/1 L = rho/(1-rho)."""
+        assert mm1k_mean_system_occupancy(0.5, 10_000) == pytest.approx(1.0)
+
+    @given(loads, buffers)
+    def test_bounded_by_buffer(self, rho, k):
+        assert 0.0 <= mm1k_mean_system_occupancy(rho, k) <= k
+
+    @given(st.floats(min_value=0.05, max_value=2.0), st.integers(min_value=2, max_value=300))
+    def test_monotone_in_load(self, rho, k):
+        low = mm1k_mean_system_occupancy(rho, k)
+        high = mm1k_mean_system_occupancy(min(rho * 1.3, 3.0), k)
+        assert high >= low - 1e-9
+
+
+class TestQueueDelay:
+    def test_zero_load_no_delay(self):
+        assert mm1k_mean_queue_delay_s(0.0, 10, 1000.0) == 0.0
+
+    def test_scales_inversely_with_service_rate(self):
+        slow = mm1k_mean_queue_delay_s(0.8, 50, 100.0)
+        fast = mm1k_mean_queue_delay_s(0.8, 50, 1000.0)
+        assert slow == pytest.approx(fast * 10, rel=0.01)
+
+    @given(st.floats(min_value=0.05, max_value=2.5), buffers)
+    def test_bounded_by_full_buffer(self, rho, k):
+        mu = 833.0
+        delay = mm1k_mean_queue_delay_s(rho, k, mu)
+        assert 0.0 <= delay <= k / mu + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mm1k_mean_queue_delay_s(0.5, 10, 0.0)
+
+
+class TestHelpers:
+    def test_packets_for_buffer(self):
+        assert packets_for_buffer(75_000) == 50
+        assert packets_for_buffer(100) == 1  # at least one slot
+
+    def test_service_rate(self):
+        # 10 Mbps at 1500 B packets: 833.3 pps.
+        assert service_rate_pps(10.0) == pytest.approx(833.33, rel=0.001)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            packets_for_buffer(0)
+        with pytest.raises(ValueError):
+            service_rate_pps(0.0)

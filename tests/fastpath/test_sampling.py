@@ -1,0 +1,91 @@
+"""Probe sampling models."""
+
+import numpy as np
+import pytest
+
+from repro.fastpath.sampling import (
+    pathload_estimate,
+    probe_loss_estimate,
+    probe_rtt_estimate,
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestProbeLoss:
+    def test_quantized_to_probe_count(self):
+        estimate = probe_loss_estimate(rng(), 0.01, 600)
+        assert (estimate * 600) == pytest.approx(round(estimate * 600))
+
+    def test_zero_loss_measures_zero(self):
+        assert probe_loss_estimate(rng(), 0.0, 600) == 0.0
+
+    def test_unbiased_over_many_draws(self):
+        r = rng(1)
+        estimates = [probe_loss_estimate(r, 0.01, 600) for _ in range(2000)]
+        assert np.mean(estimates) == pytest.approx(0.01, rel=0.05)
+
+    def test_small_loss_often_measures_lossless(self):
+        """Rates below 1/n frequently produce a zero estimate — the
+        reason mildly lossy paths are classified lossless (Section 4)."""
+        r = rng(2)
+        zeros = sum(probe_loss_estimate(r, 5e-4, 600) == 0.0 for _ in range(1000))
+        assert zeros > 500
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            probe_loss_estimate(rng(), 1.5, 600)
+        with pytest.raises(ValueError):
+            probe_loss_estimate(rng(), 0.1, 0)
+
+
+class TestProbeRtt:
+    def test_at_least_base_rtt(self):
+        r = rng(3)
+        for _ in range(100):
+            assert probe_rtt_estimate(r, 0.05, 0.01, 600) >= 0.05
+
+    def test_mean_close_to_true_rtt(self):
+        r = rng(4)
+        estimates = [probe_rtt_estimate(r, 0.05, 0.02, 600) for _ in range(500)]
+        assert np.mean(estimates) == pytest.approx(0.07, rel=0.02)
+
+    def test_more_probes_less_noise(self):
+        few = np.std([probe_rtt_estimate(rng(i), 0.05, 0.02, 10) for i in range(300)])
+        many = np.std([probe_rtt_estimate(rng(i), 0.05, 0.02, 1000) for i in range(300)])
+        assert many < few
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            probe_rtt_estimate(rng(), 0.0, 0.01, 600)
+        with pytest.raises(ValueError):
+            probe_rtt_estimate(rng(), 0.05, -0.01, 600)
+
+
+class TestPathload:
+    def test_bias_shifts_estimate(self):
+        r = rng(5)
+        estimates = [
+            pathload_estimate(r, 10.0, 100.0, bias=0.10, noise=0.01)
+            for _ in range(500)
+        ]
+        assert np.mean(estimates) == pytest.approx(11.0, rel=0.02)
+
+    def test_clipped_to_capacity_region(self):
+        r = rng(6)
+        for _ in range(200):
+            estimate = pathload_estimate(r, 99.0, 100.0, bias=0.3, noise=0.3)
+            assert estimate <= 105.0
+
+    def test_never_non_positive(self):
+        r = rng(7)
+        for _ in range(200):
+            assert pathload_estimate(r, 0.1, 100.0, bias=-0.5, noise=0.5) > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pathload_estimate(rng(), -1.0, 100.0, 0.0, 0.1)
+        with pytest.raises(ValueError):
+            pathload_estimate(rng(), 1.0, 0.0, 0.0, 0.1)

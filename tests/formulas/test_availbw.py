@@ -1,0 +1,51 @@
+"""Avail-bw prediction for lossless paths."""
+
+import pytest
+
+from repro.core.errors import PredictionError
+from repro.formulas.availbw import (
+    availbw_prediction,
+    is_window_limited,
+    window_limit_mbps,
+)
+from repro.formulas.params import TcpParameters
+
+
+class TestWindowLimit:
+    def test_known_value(self):
+        # 1 MB window over 100 ms: 80 Mbps.
+        tcp = TcpParameters(max_window_bytes=1_000_000)
+        assert window_limit_mbps(0.1, tcp) == pytest.approx(80.0)
+
+    def test_rejects_bad_rtt(self):
+        with pytest.raises(ValueError):
+            window_limit_mbps(0.0)
+
+
+class TestAvailbwPrediction:
+    def test_availbw_binds_when_smaller(self):
+        tcp = TcpParameters(max_window_bytes=1_000_000)
+        assert availbw_prediction(0.1, 10.0, tcp) == 10.0
+
+    def test_window_binds_when_smaller(self):
+        tcp = TcpParameters(max_window_bytes=20_000)
+        # W/T = 20 KB * 8 / 50 ms = 3.2 Mbps < 10 Mbps avail-bw.
+        assert availbw_prediction(0.05, 10.0, tcp) == pytest.approx(3.2)
+
+    def test_missing_availbw_rejected(self):
+        with pytest.raises(PredictionError):
+            availbw_prediction(0.1, 0.0)
+
+
+class TestWindowLimitedTest:
+    def test_small_window_fast_path(self):
+        tcp = TcpParameters(max_window_bytes=20_000)
+        assert is_window_limited(0.05, 50.0, tcp)
+
+    def test_large_window_slow_path(self):
+        tcp = TcpParameters(max_window_bytes=1_000_000)
+        assert not is_window_limited(0.05, 50.0, tcp)
+
+    def test_rejects_bad_availbw(self):
+        with pytest.raises(ValueError):
+            is_window_limited(0.05, 0.0)

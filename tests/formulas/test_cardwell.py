@@ -1,0 +1,76 @@
+"""The Cardwell slow-start model (paper Section 4.2.7)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.formulas.cardwell import (
+    expected_slow_start_segments,
+    slow_start_duration_rtts,
+    slow_start_fraction,
+    slow_start_negligible,
+)
+
+losses = st.floats(min_value=1e-5, max_value=0.3)
+sizes = st.integers(min_value=1, max_value=10**6)
+
+
+class TestSlowStartSegments:
+    def test_paper_formula(self):
+        """E[d_ss] = (1 - (1-p)^d)(1-p)/p + 1."""
+        p, d = 0.01, 1000
+        expected = (1 - (1 - p) ** d) * (1 - p) / p + 1
+        assert expected_slow_start_segments(d, p) == pytest.approx(expected)
+
+    def test_lossless_covers_whole_transfer(self):
+        assert expected_slow_start_segments(500, 0.0) == 500.0
+
+    def test_capped_at_transfer_size(self):
+        # Tiny transfer with tiny loss: expectation capped at d.
+        assert expected_slow_start_segments(5, 1e-5) <= 5.0
+
+    def test_high_loss_short_slow_start(self):
+        assert expected_slow_start_segments(10**6, 0.1) < 12
+
+    @given(sizes, losses)
+    def test_bounds(self, d, p):
+        value = expected_slow_start_segments(d, p)
+        assert 1.0 <= value <= d or d == 1
+
+    @given(sizes, losses)
+    def test_fraction_in_unit_interval(self, d, p):
+        assert 0.0 < slow_start_fraction(d, p) <= 1.0
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            expected_slow_start_segments(0, 0.01)
+
+
+class TestNegligible:
+    def test_long_lossy_transfer_negligible(self):
+        # A 50 s transfer at ~3000 segments with 1% loss: slow start tiny.
+        assert slow_start_negligible(3000, 0.01)
+
+    def test_short_transfer_not_negligible(self):
+        assert not slow_start_negligible(50, 0.001)
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            slow_start_negligible(100, 0.01, threshold=0.0)
+
+
+class TestDuration:
+    def test_grows_with_segments(self):
+        assert slow_start_duration_rtts(1000) > slow_start_duration_rtts(10)
+
+    def test_delayed_acks_slower(self):
+        assert slow_start_duration_rtts(100, ack_every=2) > slow_start_duration_rtts(
+            100, ack_every=1
+        )
+
+    def test_one_segment(self):
+        assert slow_start_duration_rtts(1) >= 0
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            slow_start_duration_rtts(0)

@@ -1,0 +1,109 @@
+"""The combined FB predictor (paper Eq. (3))."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError, PredictionError
+from repro.formulas.fb_predictor import (
+    MODEL_VARIANTS,
+    FormulaBasedPredictor,
+    estimate_rto,
+)
+from repro.formulas.params import PathEstimates, TcpParameters
+from repro.formulas.pftk import pftk_throughput
+
+
+class TestEstimateRto:
+    def test_floor_at_one_second(self):
+        assert estimate_rto(0.05) == 1.0
+
+    def test_twice_srtt_above_floor(self):
+        assert estimate_rto(0.8) == pytest.approx(1.6)
+
+    def test_rejects_bad_rtt(self):
+        with pytest.raises(ValueError):
+            estimate_rto(0.0)
+
+
+class TestPathEstimates:
+    def test_lossless_flag(self):
+        assert PathEstimates(rtt_s=0.1, loss_rate=0.0, availbw_mbps=5.0).lossless
+        assert not PathEstimates(rtt_s=0.1, loss_rate=0.01).lossless
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PathEstimates(rtt_s=0.0, loss_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            PathEstimates(rtt_s=0.1, loss_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            PathEstimates(rtt_s=0.1, loss_rate=0.0, availbw_mbps=-1.0)
+
+
+class TestTcpParameters:
+    def test_paper_presets(self):
+        assert TcpParameters.congestion_limited().max_window_bytes == 1_000_000
+        assert TcpParameters.window_limited().max_window_bytes == 20_000
+
+    def test_window_segments(self):
+        tcp = TcpParameters(mss_bytes=1000, max_window_bytes=20_000)
+        assert tcp.max_window_segments == 20.0
+
+    def test_window_smaller_than_mss_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TcpParameters(mss_bytes=1460, max_window_bytes=1000)
+
+
+class TestFbPredictor:
+    def test_lossy_path_uses_pftk(self):
+        fb = FormulaBasedPredictor()
+        estimates = PathEstimates(rtt_s=0.1, loss_rate=0.01)
+        expected = pftk_throughput(0.1, 0.01, estimate_rto(0.1), fb.tcp)
+        assert fb.predict(estimates) == pytest.approx(expected)
+
+    def test_lossless_path_uses_availbw(self):
+        fb = FormulaBasedPredictor()
+        estimates = PathEstimates(rtt_s=0.1, loss_rate=0.0, availbw_mbps=7.0)
+        assert fb.predict(estimates) == 7.0
+
+    def test_lossless_without_availbw_rejected(self):
+        fb = FormulaBasedPredictor()
+        with pytest.raises(PredictionError):
+            fb.predict(PathEstimates(rtt_s=0.1, loss_rate=0.0))
+
+    def test_window_cap_on_lossless(self):
+        fb = FormulaBasedPredictor(tcp=TcpParameters.window_limited())
+        estimates = PathEstimates(rtt_s=0.05, loss_rate=0.0, availbw_mbps=50.0)
+        assert fb.predict(estimates) == pytest.approx(3.2)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FormulaBasedPredictor(model="nonsense")
+
+    @pytest.mark.parametrize("model", sorted(MODEL_VARIANTS))
+    def test_all_variants_predict_positive(self, model):
+        fb = FormulaBasedPredictor(model=model)
+        assert fb.predict_from(rtt_s=0.1, loss_rate=0.01) > 0
+
+    def test_predict_from_convenience(self):
+        fb = FormulaBasedPredictor()
+        direct = fb.predict(PathEstimates(rtt_s=0.1, loss_rate=0.02))
+        assert fb.predict_from(0.1, 0.02) == direct
+
+    @given(
+        st.floats(min_value=5e-3, max_value=0.5),
+        st.floats(min_value=1e-5, max_value=0.2),
+    )
+    @settings(max_examples=50)
+    def test_never_exceeds_window_limit(self, rtt, loss):
+        tcp = TcpParameters.congestion_limited()
+        fb = FormulaBasedPredictor(tcp=tcp)
+        limit = tcp.max_window_bytes * 8 / rtt / 1e6
+        assert fb.predict_from(rtt, loss) <= limit * 1.0001
+
+    def test_mathis_variant_respects_window(self):
+        fb = FormulaBasedPredictor(
+            tcp=TcpParameters(max_window_bytes=20_000), model="mathis"
+        )
+        limit = 20_000 * 8 / 0.1 / 1e6
+        assert fb.predict_from(0.1, 1e-6) <= limit * 1.0001

@@ -1,0 +1,62 @@
+"""The square-root model (paper Eq. (1))."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import PredictionError
+from repro.formulas.mathis import mathis_throughput
+from repro.formulas.params import TcpParameters
+
+rtts = st.floats(min_value=1e-3, max_value=2.0)
+losses = st.floats(min_value=1e-6, max_value=0.3)
+
+
+class TestMathis:
+    def test_known_value(self):
+        # M=1460B, b=2, T=100ms, p=0.01: R = M / (T * sqrt(2bp/3)).
+        tcp = TcpParameters()
+        expected_bps = 1460 * 8 / (0.1 * math.sqrt(2 * 2 * 0.01 / 3))
+        assert mathis_throughput(0.1, 0.01, tcp) == pytest.approx(expected_bps / 1e6)
+
+    def test_lossless_rejected(self):
+        with pytest.raises(PredictionError):
+            mathis_throughput(0.1, 0.0)
+
+    def test_bad_rtt_rejected(self):
+        with pytest.raises(ValueError):
+            mathis_throughput(0.0, 0.01)
+
+    def test_bad_loss_rejected(self):
+        with pytest.raises(ValueError):
+            mathis_throughput(0.1, 1.5)
+
+    @given(rtts, losses)
+    def test_positive(self, rtt, loss):
+        assert mathis_throughput(rtt, loss) > 0
+
+    @given(rtts, losses, st.floats(min_value=1.1, max_value=10))
+    def test_decreasing_in_loss(self, rtt, loss, factor):
+        if loss * factor >= 1.0:
+            return
+        assert mathis_throughput(rtt, loss) > mathis_throughput(rtt, loss * factor)
+
+    @given(rtts, losses, st.floats(min_value=1.1, max_value=10))
+    def test_decreasing_in_rtt(self, rtt, loss, factor):
+        assert mathis_throughput(rtt, loss) > mathis_throughput(rtt * factor, loss)
+
+    @given(rtts, losses)
+    def test_quadruple_loss_halves_throughput(self, rtt, loss):
+        """R ~ 1/sqrt(p): scaling p by 4 halves the throughput."""
+        if loss * 4 >= 1.0:
+            return
+        full = mathis_throughput(rtt, loss)
+        quartered = mathis_throughput(rtt, loss * 4)
+        assert quartered == pytest.approx(full / 2, rel=1e-9)
+
+    def test_no_delayed_acks_is_faster(self):
+        with_delack = mathis_throughput(0.1, 0.01, TcpParameters(ack_every=2))
+        without = mathis_throughput(0.1, 0.01, TcpParameters(ack_every=1))
+        assert without == pytest.approx(with_delack * math.sqrt(2), rel=1e-9)

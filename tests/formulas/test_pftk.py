@@ -1,0 +1,150 @@
+"""The PFTK model (paper Eq. (2)), the full model, and the inversion."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import PredictionError
+from repro.formulas.mathis import mathis_throughput
+from repro.formulas.params import TcpParameters
+from repro.formulas.pftk import (
+    backoff_factor,
+    expected_window,
+    pftk_full_throughput,
+    pftk_loss_for_throughput,
+    pftk_throughput,
+    timeout_probability,
+)
+
+rtts = st.floats(min_value=5e-3, max_value=1.0)
+losses = st.floats(min_value=1e-6, max_value=0.2)
+rtos = st.floats(min_value=0.2, max_value=5.0)
+
+
+class TestPftkApprox:
+    def test_matches_mathis_at_low_loss(self):
+        """With negligible timeouts the PFTK model approaches Eq. (1)."""
+        tcp = TcpParameters(max_window_bytes=10**9)
+        p, t = 1e-5, 0.1
+        assert pftk_throughput(t, p, 1.0, tcp) == pytest.approx(
+            mathis_throughput(t, p, tcp), rel=0.05
+        )
+
+    def test_below_mathis_generally(self):
+        """The timeout term only subtracts throughput."""
+        tcp = TcpParameters(max_window_bytes=10**9)
+        assert pftk_throughput(0.1, 0.02, 1.0, tcp) < mathis_throughput(0.1, 0.02, tcp)
+
+    def test_window_cap_applies(self):
+        tcp = TcpParameters(max_window_bytes=20_000)
+        window_limit = 20_000 * 8 / 0.1 / 1e6
+        assert pftk_throughput(0.1, 1e-6, 1.0, tcp) == pytest.approx(window_limit, rel=0.01)
+
+    def test_lossless_rejected(self):
+        with pytest.raises(PredictionError):
+            pftk_throughput(0.1, 0.0, 1.0)
+
+    def test_invalid_rto_rejected(self):
+        with pytest.raises(ValueError):
+            pftk_throughput(0.1, 0.01, 0.0)
+
+    def test_timeout_factor_three_is_slower(self):
+        """The original PFTK publication's factor-3 timeout term."""
+        base = pftk_throughput(0.1, 0.01, 1.0)
+        factor3 = pftk_throughput(0.1, 0.01, 1.0, timeout_factor=3.0)
+        assert factor3 < base
+
+    @given(rtts, losses, rtos)
+    @settings(max_examples=50)
+    def test_positive(self, rtt, loss, rto):
+        assert pftk_throughput(rtt, loss, rto) > 0
+
+    @given(rtts, losses, rtos, st.floats(min_value=1.2, max_value=5))
+    @settings(max_examples=50)
+    def test_monotone_decreasing_in_loss(self, rtt, loss, rto, factor):
+        if loss * factor >= 0.5:
+            return
+        assert pftk_throughput(rtt, loss, rto) >= pftk_throughput(
+            rtt, loss * factor, rto
+        )
+
+
+class TestPftkComponents:
+    def test_expected_window_decreases_with_loss(self):
+        assert expected_window(0.001, 2) > expected_window(0.01, 2)
+
+    def test_expected_window_known_shape(self):
+        """W(p) ~ sqrt(8/(3bp)) for small p."""
+        p = 1e-6
+        assert expected_window(p, 2) == pytest.approx(
+            math.sqrt(8 / (3 * 2 * p)), rel=0.01
+        )
+
+    def test_timeout_probability_small_window_is_one(self):
+        assert timeout_probability(0.01, 3.0) == 1.0
+
+    def test_timeout_probability_bounded(self):
+        for w in (4.0, 10.0, 100.0):
+            q = timeout_probability(0.01, w)
+            assert 0.0 < q <= 1.0
+
+    def test_timeout_probability_decreases_with_window(self):
+        assert timeout_probability(0.01, 5.0) > timeout_probability(0.01, 50.0)
+
+    def test_backoff_factor_at_zero(self):
+        assert backoff_factor(0.0) == 1.0
+
+    def test_backoff_factor_increases(self):
+        assert backoff_factor(0.1) > backoff_factor(0.01)
+
+
+class TestPftkFull:
+    @given(rtts, losses, rtos)
+    @settings(max_examples=50)
+    def test_positive_and_window_bounded(self, rtt, loss, rto):
+        tcp = TcpParameters()
+        rate = pftk_full_throughput(rtt, loss, rto, tcp)
+        window_limit = tcp.max_window_bytes * 8 / rtt / 1e6
+        assert 0 < rate <= window_limit * 1.0001
+
+    def test_close_to_approx_at_moderate_loss(self):
+        """Full and approximate models agree within a small factor."""
+        tcp = TcpParameters(max_window_bytes=10**8)
+        full = pftk_full_throughput(0.08, 0.01, 1.0, tcp)
+        approx = pftk_throughput(0.08, 0.01, 1.0, tcp)
+        assert 0.3 < full / approx < 3.0
+
+    def test_window_limited_branch(self):
+        tcp = TcpParameters(max_window_bytes=30_000)
+        rate = pftk_full_throughput(0.05, 1e-4, 1.0, tcp)
+        window_limit = tcp.max_window_bytes * 8 / 0.05 / 1e6
+        assert rate <= window_limit
+
+    def test_lossless_rejected(self):
+        with pytest.raises(PredictionError):
+            pftk_full_throughput(0.1, 0.0, 1.0)
+
+
+class TestInversion:
+    @given(rtts, losses, rtos)
+    @settings(max_examples=50)
+    def test_roundtrip(self, rtt, loss, rto):
+        """invert(PFTK(p)) == p within the bisection tolerance."""
+        tcp = TcpParameters(max_window_bytes=10**9)
+        rate = pftk_throughput(rtt, loss, rto, tcp)
+        recovered = pftk_loss_for_throughput(rate, rtt, rto, tcp)
+        assert recovered == pytest.approx(loss, rel=0.01)
+
+    def test_too_fast_clamps_low(self):
+        tcp = TcpParameters(max_window_bytes=10**9)
+        assert pftk_loss_for_throughput(1e9, 0.1, 1.0, tcp) == pytest.approx(1e-8)
+
+    def test_too_slow_clamps_high(self):
+        tcp = TcpParameters(max_window_bytes=10**9)
+        assert pftk_loss_for_throughput(1e-9, 0.1, 1.0, tcp) == pytest.approx(0.49)
+
+    def test_rejects_non_positive_target(self):
+        with pytest.raises(ValueError):
+            pftk_loss_for_throughput(0.0, 0.1, 1.0)

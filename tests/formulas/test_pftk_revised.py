@@ -1,0 +1,55 @@
+"""The revised PFTK variant (paper Fig. 13's predictor)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import PredictionError
+from repro.formulas.params import TcpParameters
+from repro.formulas.pftk import pftk_throughput
+from repro.formulas.pftk_revised import pftk_revised_throughput
+
+rtts = st.floats(min_value=5e-3, max_value=1.0)
+losses = st.floats(min_value=1e-6, max_value=0.2)
+
+
+class TestRevisedPftk:
+    @given(rtts, losses)
+    @settings(max_examples=50)
+    def test_positive(self, rtt, loss):
+        assert pftk_revised_throughput(rtt, loss, 1.0) > 0
+
+    @given(rtts, losses)
+    @settings(max_examples=50)
+    def test_close_to_original(self, rtt, loss):
+        """The revision is a refinement: same order of magnitude.
+
+        This is the property Fig. 13 relies on — the difference between
+        the two predictors is negligible relative to FB input errors.
+        """
+        original = pftk_throughput(rtt, loss, 1.0)
+        revised = pftk_revised_throughput(rtt, loss, 1.0)
+        assert 0.2 < revised / original <= 1.5
+
+    @given(rtts, losses)
+    @settings(max_examples=50)
+    def test_never_faster_than_fast_retransmit_only(self, rtt, loss):
+        """The extra recovery-RTT term only slows the model down."""
+        tcp = TcpParameters(max_window_bytes=10**9)
+        revised = pftk_revised_throughput(rtt, loss, 1.0, tcp)
+        original = pftk_throughput(rtt, loss, 1.0, tcp)
+        assert revised <= original * 1.0001
+
+    def test_window_cap(self):
+        tcp = TcpParameters(max_window_bytes=20_000)
+        cap = 20_000 * 8 / 0.1 / 1e6
+        assert pftk_revised_throughput(0.1, 1e-6, 1.0, tcp) <= cap * 1.0001
+
+    def test_lossless_rejected(self):
+        with pytest.raises(PredictionError):
+            pftk_revised_throughput(0.1, 0.0, 1.0)
+
+    def test_monotone_in_loss(self):
+        assert pftk_revised_throughput(0.1, 0.001, 1.0) > pftk_revised_throughput(
+            0.1, 0.01, 1.0
+        )

@@ -1,0 +1,104 @@
+"""The short-transfer latency model, validated against the packet sim."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.units import Bandwidth
+from repro.formulas.cardwell import (
+    expected_short_transfer_throughput_mbps,
+    expected_transfer_time_s,
+)
+from repro.simnet.engine import Simulator
+from repro.simnet.path import DumbbellPath
+from repro.apps.iperf import BulkTransferApp
+
+
+class TestLatencyModel:
+    def test_more_data_takes_longer(self):
+        short = expected_transfer_time_s(10, 0.05, 0.001, 8.0)
+        long = expected_transfer_time_s(1000, 0.05, 0.001, 8.0)
+        assert long > short
+
+    def test_tiny_transfer_costs_about_one_rtt(self):
+        duration = expected_transfer_time_s(2, 0.05, 0.0, 8.0)
+        assert duration == pytest.approx(0.05, rel=0.5)
+
+    def test_throughput_converges_to_steady_rate(self):
+        rate = expected_short_transfer_throughput_mbps(
+            10**9, rtt_s=0.05, loss_rate=0.001, steady_rate_mbps=8.0
+        )
+        assert rate == pytest.approx(8.0, rel=0.02)
+
+    def test_short_transfer_far_below_steady_rate(self):
+        rate = expected_short_transfer_throughput_mbps(
+            20_000, rtt_s=0.05, loss_rate=0.0, steady_rate_mbps=8.0
+        )
+        assert rate < 4.0
+
+    def test_longer_rtt_slower_short_transfer(self):
+        fast = expected_short_transfer_throughput_mbps(50_000, 0.02, 0.0, 8.0)
+        slow = expected_short_transfer_throughput_mbps(50_000, 0.2, 0.0, 8.0)
+        assert slow < fast
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_transfer_time_s(10, 0.0, 0.001, 8.0)
+        with pytest.raises(ValueError):
+            expected_transfer_time_s(10, 0.05, 0.001, 0.0)
+        with pytest.raises(ValueError):
+            expected_short_transfer_throughput_mbps(0, 0.05, 0.0, 8.0)
+
+    @given(
+        st.integers(min_value=1, max_value=10**5),
+        st.floats(min_value=0.005, max_value=0.3),
+        st.floats(min_value=0.0, max_value=0.05),
+        st.floats(min_value=0.5, max_value=100.0),
+    )
+    @settings(max_examples=60)
+    def test_throughput_bounded(self, segs, rtt, loss, rate):
+        predicted = expected_short_transfer_throughput_mbps(
+            segs * 1460, rtt, loss, rate
+        )
+        # Slow start only slows a LARGE transfer down; a tiny transfer
+        # (about one RTT end to end) can legitimately beat a
+        # loss-limited steady rate, but never the slow-start ceiling of
+        # its final window per RTT.
+        one_rtt_rate = segs * 1460 * 8 / rtt / 1e6
+        assert predicted <= max(rate, one_rtt_rate) * 1.001
+
+
+class TestAgainstPacketSim:
+    @pytest.mark.slow
+    @pytest.mark.parametrize("size_bytes", [30_000, 200_000, 2_000_000])
+    def test_model_matches_simulated_completion(self, size_bytes):
+        """On an idle 10 Mbps path the model predicts the simulated
+        completion time within a factor of two across sizes spanning
+        pure-slow-start to steady-state-dominated transfers."""
+        sim = Simulator()
+        path = DumbbellPath(
+            sim,
+            Bandwidth.from_mbps(10),
+            buffer_bytes=80_000,
+            one_way_delay_s=0.025,
+        )
+        app = BulkTransferApp(sim, path, transfer_bytes=size_bytes)
+        result = app.run_to_completion()
+
+        segments = -(-size_bytes // 1460)
+        # Idle path: the steady rate is roughly the capacity (minus the
+        # classic-Reno inefficiency measured elsewhere).
+        predicted = expected_transfer_time_s(
+            segments, rtt_s=0.05, loss_rate=0.0, steady_rate_mbps=8.0
+        )
+        assert predicted == pytest.approx(result.duration_s, rel=1.0)
+
+    @pytest.mark.slow
+    def test_run_to_completion_requires_size(self):
+        sim = Simulator()
+        path = DumbbellPath(
+            sim, Bandwidth.from_mbps(10), buffer_bytes=80_000, one_way_delay_s=0.025
+        )
+        app = BulkTransferApp(sim, path)
+        with pytest.raises(ValueError):
+            app.run_to_completion()

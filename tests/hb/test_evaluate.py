@@ -1,0 +1,86 @@
+"""Walk-forward evaluation and LSO segmentation."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DataError
+from repro.core.timeseries import TimeSeries
+from repro.hb.evaluate import evaluate_predictor, lso_segmentation
+from repro.hb.lso import LsoConfig
+from repro.hb.moving_average import MovingAverage
+from repro.hb.wrappers import LsoPredictor
+
+
+def series(values):
+    return TimeSeries.from_values(values, period=180.0, name="test")
+
+
+class TestEvaluatePredictor:
+    def test_first_epoch_never_forecast(self):
+        ev = evaluate_predictor(series([1.0, 2.0, 3.0]), lambda: MovingAverage(1))
+        assert np.isnan(ev.predictions[0])
+        assert not np.isnan(ev.predictions[1])
+
+    def test_one_step_semantics(self):
+        """Forecast for epoch i uses only epochs < i."""
+        ev = evaluate_predictor(series([2.0, 4.0, 6.0]), lambda: MovingAverage(10))
+        assert ev.predictions[1] == 2.0
+        assert ev.predictions[2] == 3.0
+
+    def test_errors_match_definition(self):
+        ev = evaluate_predictor(series([2.0, 4.0]), lambda: MovingAverage(1))
+        assert ev.errors[1] == pytest.approx((2.0 - 4.0) / 2.0)
+
+    def test_rmsre_over_valid_epochs(self):
+        ev = evaluate_predictor(series([2.0, 2.0, 2.0]), lambda: MovingAverage(1))
+        assert ev.rmsre() == 0.0
+
+    def test_rmsre_excluding_outliers(self):
+        values = [10.0, 10.2, 9.9, 10.1, 40.0, 10.0, 10.1, 9.9]
+        ev = evaluate_predictor(
+            series(values), lambda: LsoPredictor(lambda: MovingAverage(5)),
+            lso_config=LsoConfig(),
+        )
+        with_outlier = ev.rmsre(exclude_outliers=False)
+        without = ev.rmsre(exclude_outliers=True)
+        assert without < with_outlier
+
+    def test_predictor_name_recorded(self):
+        ev = evaluate_predictor(series([1.0, 2.0]), lambda: MovingAverage(7))
+        assert ev.predictor_name == "7-MA"
+
+    def test_mean_absolute_error(self):
+        ev = evaluate_predictor(series([2.0, 4.0, 2.0]), lambda: MovingAverage(1))
+        assert ev.mean_absolute_error() == pytest.approx(1.0)
+
+
+class TestLsoSegmentation:
+    def test_clean_trace_single_segment(self):
+        seg = lso_segmentation([10.0, 10.2, 9.9, 10.1, 10.0])
+        assert len(seg.segments) == 1
+        assert seg.shift_indices == ()
+        assert seg.outlier_indices == ()
+
+    def test_shift_splits_segments(self):
+        values = [10.0, 10.2, 9.9, 10.1, 20.0, 20.2, 19.9, 20.1]
+        seg = lso_segmentation(values)
+        assert seg.shift_indices == (4,)
+        assert len(seg.segments) == 2
+        assert seg.segments[0] == tuple(values[:4])
+        assert seg.segments[1] == tuple(values[4:])
+
+    def test_outlier_excluded_from_segments(self):
+        values = [10.0, 10.2, 40.0, 9.9, 10.1, 10.0]
+        seg = lso_segmentation(values)
+        assert 2 in seg.outlier_indices
+        assert 40.0 not in seg.segments[0]
+
+    def test_weighted_cov_matches_manual(self):
+        values = [10.0, 12.0, 10.0, 12.0, 10.0, 12.0]
+        seg = lso_segmentation(values)
+        expected = np.std(values) / np.mean(values)
+        assert seg.weighted_cov() == pytest.approx(expected)
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(DataError):
+            lso_segmentation([1.0, 0.0, 2.0])

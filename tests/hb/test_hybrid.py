@@ -1,0 +1,100 @@
+"""The hybrid FB + HB predictor (paper Section 7, future work)."""
+
+import pytest
+
+from repro.formulas.fb_predictor import FormulaBasedPredictor
+from repro.formulas.params import PathEstimates, TcpParameters
+from repro.hb.holt_winters import HoltWinters
+from repro.hb.hybrid import HybridPredictor
+
+
+def make_hybrid(**kwargs):
+    return HybridPredictor(
+        fb=FormulaBasedPredictor(tcp=TcpParameters.congestion_limited()),
+        hb_factory=lambda: HoltWinters(0.8, 0.2),
+        **kwargs,
+    )
+
+
+def estimates(rtt=0.05, loss=0.002, availbw=5.0):
+    return PathEstimates(rtt_s=rtt, loss_rate=loss, availbw_mbps=availbw)
+
+
+class TestColdStart:
+    def test_no_history_equals_fb(self):
+        hybrid = make_hybrid()
+        fb = FormulaBasedPredictor(tcp=TcpParameters.congestion_limited())
+        assert hybrid.forecast(estimates()) == fb.predict(estimates())
+
+    def test_lossless_cold_start_uses_availbw(self):
+        hybrid = make_hybrid()
+        assert hybrid.forecast(estimates(loss=0.0, availbw=7.0)) == 7.0
+
+
+class TestBiasLearning:
+    def test_learns_persistent_overestimation(self):
+        """FB overestimates 5x on this path; the hybrid corrects it."""
+        hybrid = make_hybrid()
+        fb = FormulaBasedPredictor(tcp=TcpParameters.congestion_limited())
+        fb_raw = fb.predict(estimates())
+        actual = fb_raw / 5.0
+        for _ in range(15):
+            hybrid.update(estimates(), actual)
+        forecast = hybrid.forecast(estimates())
+        assert forecast == pytest.approx(actual, rel=0.25)
+
+    def test_blends_toward_hb_with_history(self):
+        hybrid = make_hybrid()
+        for _ in range(10):
+            hybrid.update(estimates(), 2.0)
+        # Both components converge on a constant path: forecast = level.
+        assert hybrid.forecast(estimates()) == pytest.approx(2.0, rel=0.05)
+
+    def test_weight_follows_component_accuracy(self):
+        """When FB inputs are erratic but throughput is stable, the HB
+        component must dominate the blend."""
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        hybrid = make_hybrid()
+        for _ in range(25):
+            # Wildly varying measured loss rate -> erratic FB predictions.
+            loss = float(rng.choice([0.0005, 0.002, 0.01, 0.03]))
+            hybrid.update(estimates(loss=loss), 2.0)
+        forecast = hybrid.forecast(estimates(loss=0.05))
+        assert forecast == pytest.approx(2.0, rel=0.25)
+
+    def test_reacts_to_fresh_measurements(self):
+        """A fresh avail-bw collapse moves the forecast, unlike pure HB."""
+        hybrid = make_hybrid()
+        for _ in range(10):
+            hybrid.update(estimates(loss=0.0, availbw=8.0), 8.0)
+        stable = hybrid.forecast(estimates(loss=0.0, availbw=8.0))
+        collapsed = hybrid.forecast(estimates(loss=0.0, availbw=1.0))
+        assert collapsed < stable
+
+
+class TestLifecycle:
+    def test_reset_returns_to_cold_start(self):
+        hybrid = make_hybrid()
+        for _ in range(5):
+            hybrid.update(estimates(), 1.0)
+        hybrid.reset()
+        fb = FormulaBasedPredictor(tcp=TcpParameters.congestion_limited())
+        assert hybrid.forecast(estimates()) == fb.predict(estimates())
+        assert hybrid.n_observed == 0
+
+    def test_invalid_actual_rejected(self):
+        with pytest.raises(ValueError):
+            make_hybrid().update(estimates(), 0.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            make_hybrid(bias_alpha=0.0)
+        with pytest.raises(ValueError):
+            make_hybrid(error_alpha=0.0)
+
+    def test_repr(self):
+        hybrid = make_hybrid()
+        hybrid.update(estimates(), 1.0)
+        assert "HybridPredictor" in repr(hybrid)

@@ -1,0 +1,88 @@
+"""Every HB predictor honours the HistoryPredictor contract.
+
+One parametrized suite over all predictor variants (including LSO
+wrappers, the AR extension, and the NWS ensemble) asserting the shared
+behavioural contract — so adding a predictor that subtly breaks the
+interface fails loudly here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import PredictionError
+from repro.core.timeseries import TimeSeries
+from repro.hb import (
+    AdaptiveEnsemble,
+    AutoRegressive,
+    Ewma,
+    HoltWinters,
+    LsoPredictor,
+    MovingAverage,
+    evaluate_predictor,
+)
+
+FACTORIES = {
+    "1-MA": lambda: MovingAverage(1),
+    "10-MA": lambda: MovingAverage(10),
+    "EWMA": lambda: Ewma(0.5),
+    "HW": lambda: HoltWinters(0.8, 0.2),
+    "AR(3)": lambda: AutoRegressive(order=3),
+    "NWS": AdaptiveEnsemble,
+    "MA-LSO": lambda: LsoPredictor(lambda: MovingAverage(10)),
+    "HW-LSO": lambda: LsoPredictor(lambda: HoltWinters(0.8, 0.2)),
+    "AR-LSO": lambda: LsoPredictor(lambda: AutoRegressive(order=2)),
+}
+
+
+@pytest.fixture(params=sorted(FACTORIES), ids=sorted(FACTORIES))
+def factory(request):
+    return FACTORIES[request.param]
+
+
+class TestContract:
+    def test_fresh_predictor_not_ready(self, factory):
+        predictor = factory()
+        assert predictor.n_observed == 0
+        assert not predictor.ready
+        with pytest.raises(PredictionError):
+            predictor.forecast()
+
+    def test_ready_after_min_history(self, factory):
+        predictor = factory()
+        for value in [5.0, 5.1, 4.9, 5.05, 5.0]:
+            predictor.update(value)
+        assert predictor.ready
+        assert predictor.n_observed == 5
+
+    def test_forecast_positive_on_positive_series(self, factory):
+        predictor = factory()
+        rng = np.random.default_rng(0)
+        predictor.update_many(np.abs(rng.normal(10, 3, 40)) + 0.1)
+        assert predictor.forecast() > 0
+
+    def test_forecast_is_pure(self, factory):
+        """Calling forecast twice without updates gives the same value."""
+        predictor = factory()
+        predictor.update_many([3.0, 3.1, 2.9, 3.0, 3.2])
+        assert predictor.forecast() == predictor.forecast()
+
+    def test_reset_restores_initial_state(self, factory):
+        predictor = factory()
+        predictor.update_many([1.0, 2.0, 3.0, 4.0])
+        predictor.reset()
+        assert predictor.n_observed == 0
+        assert not predictor.ready
+
+    def test_tracks_constant_series(self, factory):
+        predictor = factory()
+        predictor.update_many([7.5] * 30)
+        assert predictor.forecast() == pytest.approx(7.5, rel=0.05)
+
+    def test_evaluate_predictor_integration(self, factory):
+        series = TimeSeries.from_values(
+            np.abs(np.random.default_rng(1).normal(5, 1, 60)) + 0.1,
+            period=180.0,
+        )
+        evaluation = evaluate_predictor(series, factory)
+        assert evaluation.valid_errors.size > 40
+        assert np.isfinite(evaluation.rmsre())

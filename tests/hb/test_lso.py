@@ -1,0 +1,139 @@
+"""Level-shift and outlier detection (paper Section 5.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hb.lso import (
+    LsoConfig,
+    detect_level_shift,
+    detect_outliers,
+    relative_difference,
+)
+
+
+class TestRelativeDifference:
+    def test_symmetric(self):
+        assert relative_difference(2.0, 4.0) == relative_difference(4.0, 2.0) == 1.0
+
+    def test_zero_for_equal(self):
+        assert relative_difference(3.0, 3.0) == 0.0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            relative_difference(0.0, 1.0)
+
+
+class TestOutlierDetection:
+    def test_isolated_spike_flagged(self):
+        history = [10.0, 10.5, 30.0, 9.8, 10.2]
+        assert detect_outliers(history) == [2]
+
+    def test_isolated_dip_flagged(self):
+        history = [10.0, 10.5, 2.0, 9.8, 10.2]
+        assert detect_outliers(history) == [2]
+
+    def test_last_sample_never_flagged(self):
+        """The newest sample may be the start of a level shift."""
+        history = [10.0, 10.5, 9.8, 30.0]
+        assert detect_outliers(history) == []
+
+    def test_run_toward_end_protected(self):
+        """Consecutive same-direction deviations are a shift candidate."""
+        history = [10.0, 10.5, 9.8, 30.0, 31.0]
+        assert detect_outliers(history) == []
+
+    def test_opposite_direction_deviations_both_flagged(self):
+        history = [10.0, 10.2, 30.0, 2.0, 10.1, 9.9]
+        assert set(detect_outliers(history)) == {2, 3}
+
+    def test_clean_history_no_outliers(self):
+        assert detect_outliers([10.0, 10.4, 9.7, 10.2, 9.9]) == []
+
+    def test_threshold_respected(self):
+        history = [10.0, 13.0, 10.0, 10.0]  # 30% off median
+        strict = LsoConfig(outlier_threshold=0.25)
+        lax = LsoConfig(outlier_threshold=0.5)
+        assert detect_outliers(history, strict) == [1]
+        assert detect_outliers(history, lax) == []
+
+    def test_short_history(self):
+        assert detect_outliers([10.0]) == []
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            detect_outliers([1.0, -1.0, 1.0, 1.0])
+
+
+class TestLevelShiftDetection:
+    def test_increasing_shift(self):
+        history = [10.0, 10.5, 9.8, 20.0, 20.5, 19.8]
+        assert detect_level_shift(history) == 3
+
+    def test_decreasing_shift(self):
+        history = [20.0, 20.5, 19.8, 10.0, 10.5, 9.8]
+        assert detect_level_shift(history) == 3
+
+    def test_small_shift_ignored(self):
+        """Condition 2: medians must differ by more than chi."""
+        history = [10.0, 10.2, 9.9, 11.0, 11.2, 11.1]
+        assert detect_level_shift(history) is None
+
+    def test_needs_three_post_shift_samples(self):
+        """Condition 3: a fresh jump is not yet a shift."""
+        history = [10.0, 10.2, 9.9, 20.0, 20.4]
+        assert detect_level_shift(history) is None
+
+    def test_needs_two_pre_shift_samples(self):
+        """One odd first sample must not shred the history."""
+        history = [8.0, 20.0, 20.4, 19.9, 20.2]
+        assert detect_level_shift(history) is None
+
+    def test_overlap_blocks_detection(self):
+        """Condition 1: prefix and suffix must be fully separated."""
+        history = [10.0, 21.0, 9.8, 20.0, 20.5, 19.8]
+        assert detect_level_shift(history) is None
+
+    def test_earliest_shift_returned(self):
+        history = [10.0, 10.1, 20.0, 20.2, 20.1, 20.4, 20.3]
+        assert detect_level_shift(history) == 2
+
+    def test_short_history(self):
+        assert detect_level_shift([10.0, 20.0, 20.1, 20.2]) is None
+
+    def test_custom_threshold(self):
+        history = [10.0, 10.1, 12.4, 12.6, 12.5, 12.3]
+        lax = LsoConfig(level_shift_threshold=0.5)
+        strict = LsoConfig(level_shift_threshold=0.1)
+        assert detect_level_shift(history, lax) is None
+        assert detect_level_shift(history, strict) == 2
+
+
+class TestLsoConfig:
+    def test_defaults_match_paper(self):
+        config = LsoConfig()
+        assert config.level_shift_threshold == 0.3
+        assert config.outlier_threshold == 0.4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LsoConfig(level_shift_threshold=0.0)
+        with pytest.raises(ValueError):
+            LsoConfig(outlier_threshold=-0.1)
+
+
+@given(
+    st.lists(st.floats(min_value=9.0, max_value=11.0), min_size=5, max_size=40)
+)
+def test_no_shift_in_tight_band(values):
+    """A series confined to +-10% of its level never triggers a shift."""
+    assert detect_level_shift(values) is None
+
+
+@given(
+    st.lists(st.floats(min_value=9.0, max_value=11.0), min_size=2, max_size=20),
+    st.lists(st.floats(min_value=29.0, max_value=31.0), min_size=3, max_size=20),
+)
+def test_clear_shift_always_detected(before, after):
+    """A 3x jump with enough samples on both sides is always a shift."""
+    assert detect_level_shift(before + after) == len(before)

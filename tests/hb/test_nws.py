@@ -1,0 +1,119 @@
+"""The NWS-style adaptive ensemble."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError, PredictionError
+from repro.hb.ewma import Ewma
+from repro.hb.holt_winters import HoltWinters
+from repro.hb.moving_average import MovingAverage
+from repro.hb.nws import AdaptiveEnsemble, default_members
+
+
+class TestMechanics:
+    def test_ready_with_one_sample(self):
+        ensemble = AdaptiveEnsemble()
+        ensemble.update(5.0)
+        assert ensemble.ready
+        assert ensemble.forecast() == 5.0
+
+    def test_not_ready_raises(self):
+        with pytest.raises(PredictionError):
+            AdaptiveEnsemble().forecast()
+
+    def test_empty_members_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveEnsemble(members={})
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveEnsemble(error_window=0)
+
+    def test_non_positive_observation_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveEnsemble().update(0.0)
+
+    def test_reset(self):
+        ensemble = AdaptiveEnsemble()
+        ensemble.update_many([1.0, 2.0, 3.0])
+        ensemble.reset()
+        assert ensemble.n_observed == 0
+        assert not ensemble.ready
+
+    def test_member_scores_reported(self):
+        ensemble = AdaptiveEnsemble()
+        ensemble.update_many([5.0, 5.1, 4.9, 5.0])
+        scores = ensemble.member_scores()
+        assert set(scores) == set(default_members())
+
+
+class TestAdaptation:
+    def test_picks_smoother_on_noisy_stationary_series(self):
+        rng = np.random.default_rng(0)
+        ensemble = AdaptiveEnsemble(
+            members={"last": lambda: MovingAverage(1), "10-MA": lambda: MovingAverage(10)}
+        )
+        for value in 10.0 + rng.normal(0, 1.0, 80):
+            ensemble.update(max(value, 0.1))
+        assert ensemble.best_member() == "10-MA"
+
+    def test_picks_tracker_on_trending_series(self):
+        ensemble = AdaptiveEnsemble(
+            members={
+                "10-MA": lambda: MovingAverage(10),
+                "HW": lambda: HoltWinters(0.8, 0.2),
+            }
+        )
+        for i in range(60):
+            ensemble.update(10.0 + 2.0 * i)
+        assert ensemble.best_member() == "HW"
+
+    def test_switches_after_regime_change(self):
+        """The winner can change as the series' character changes."""
+        ensemble = AdaptiveEnsemble(
+            members={
+                "10-MA": lambda: MovingAverage(10),
+                "HW": lambda: HoltWinters(0.8, 0.2),
+            },
+            error_window=8,
+        )
+        for i in range(40):  # trend: HW wins
+            ensemble.update(10.0 + 2.0 * i)
+        trending_winner = ensemble.best_member()
+        rng = np.random.default_rng(1)
+        for value in 90.0 + rng.normal(0, 1.0, 40):  # noise: MA wins
+            ensemble.update(max(value, 0.1))
+        stationary_winner = ensemble.best_member()
+        assert trending_winner == "HW"
+        assert stationary_winner == "10-MA"
+
+    def test_never_much_worse_than_best_member(self):
+        """On an arbitrary series the ensemble tracks the best member."""
+        rng = np.random.default_rng(2)
+        values = np.abs(10 + np.cumsum(rng.normal(0, 0.5, 150))) + 0.1
+
+        members = {
+            "last": lambda: MovingAverage(1),
+            "10-MA": lambda: MovingAverage(10),
+            "0.5-EWMA": lambda: Ewma(0.5),
+        }
+        solo_errors = {}
+        for name, factory in members.items():
+            predictor = factory()
+            errors = []
+            for value in values:
+                if predictor.ready:
+                    f = predictor.forecast()
+                    errors.append(abs(f - value) / min(f, value))
+                predictor.update(value)
+            solo_errors[name] = np.mean(errors)
+
+        ensemble = AdaptiveEnsemble(members=members)
+        errors = []
+        for value in values:
+            if ensemble.ready:
+                f = ensemble.forecast()
+                errors.append(abs(f - value) / min(f, value))
+            ensemble.update(value)
+        ensemble_error = np.mean(errors)
+        assert ensemble_error < min(solo_errors.values()) * 1.3

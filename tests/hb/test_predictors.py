@@ -1,0 +1,144 @@
+"""MA, EWMA, Holt-Winters predictor mechanics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import PredictionError
+from repro.hb.ewma import Ewma
+from repro.hb.holt_winters import HoltWinters
+from repro.hb.moving_average import MovingAverage
+
+positive_values = st.lists(
+    st.floats(min_value=0.01, max_value=1000), min_size=1, max_size=50
+)
+
+
+class TestMovingAverage:
+    def test_forecast_is_window_mean(self):
+        ma = MovingAverage(3)
+        ma.update_many([1.0, 2.0, 3.0, 4.0])
+        assert ma.forecast() == pytest.approx(3.0)
+
+    def test_partial_window(self):
+        ma = MovingAverage(10)
+        ma.update_many([2.0, 4.0])
+        assert ma.forecast() == 3.0
+
+    def test_order_one_is_last_value(self):
+        ma = MovingAverage(1)
+        ma.update_many([5.0, 7.0])
+        assert ma.forecast() == 7.0
+
+    def test_not_ready_raises(self):
+        with pytest.raises(PredictionError):
+            MovingAverage(3).forecast()
+
+    def test_reset(self):
+        ma = MovingAverage(3)
+        ma.update(1.0)
+        ma.reset()
+        assert ma.n_observed == 0
+        assert not ma.ready
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            MovingAverage(0)
+
+    def test_name(self):
+        assert MovingAverage(10).name == "10-MA"
+
+    @given(positive_values)
+    def test_forecast_within_observed_range(self, values):
+        ma = MovingAverage(5)
+        ma.update_many(values)
+        # Tolerance: the float mean of identical values can differ from
+        # them in the last bit.
+        assert min(values) * (1 - 1e-12) <= ma.forecast() <= max(values) * (1 + 1e-12)
+
+
+class TestEwma:
+    def test_first_forecast_is_first_value(self):
+        ew = Ewma(0.5)
+        ew.update(4.0)
+        assert ew.forecast() == 4.0
+
+    def test_recursion(self):
+        ew = Ewma(0.5)
+        ew.update_many([4.0, 8.0])
+        assert ew.forecast() == pytest.approx(6.0)
+
+    def test_high_alpha_tracks_last(self):
+        ew = Ewma(0.99)
+        ew.update_many([1.0, 100.0])
+        assert ew.forecast() == pytest.approx(100.0, rel=0.02)
+
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            Ewma(0.0)
+        with pytest.raises(ValueError):
+            Ewma(1.0)
+
+    def test_not_ready_raises(self):
+        with pytest.raises(PredictionError):
+            Ewma(0.5).forecast()
+
+    @given(positive_values, st.floats(min_value=0.05, max_value=0.95))
+    def test_forecast_within_observed_range(self, values, alpha):
+        ew = Ewma(alpha)
+        ew.update_many(values)
+        assert min(values) - 1e-9 <= ew.forecast() <= max(values) + 1e-9
+
+
+class TestHoltWinters:
+    def test_needs_two_samples(self):
+        hw = HoltWinters()
+        hw.update(1.0)
+        assert not hw.ready
+        with pytest.raises(PredictionError):
+            hw.forecast()
+
+    def test_initialisation_per_paper(self):
+        """s0 = X0 is replaced by s=X1, t=X1-X0; forecast = s + t."""
+        hw = HoltWinters(alpha=0.5, beta=0.5)
+        hw.update_many([10.0, 12.0])
+        assert hw.forecast() == pytest.approx(14.0)  # 12 + (12 - 10)
+
+    def test_tracks_linear_trend(self):
+        """On a clean linear series HW converges to exact one-step ahead."""
+        hw = HoltWinters(alpha=0.8, beta=0.2)
+        series = [10.0 + 2.0 * i for i in range(50)]
+        for value in series:
+            hw.update(value)
+        assert hw.forecast() == pytest.approx(10.0 + 2.0 * 50, rel=0.02)
+
+    def test_constant_series(self):
+        hw = HoltWinters()
+        hw.update_many([5.0] * 20)
+        assert hw.forecast() == pytest.approx(5.0, rel=1e-6)
+
+    def test_negative_forecast_clamped(self):
+        """A crash in the series must not produce a negative forecast."""
+        hw = HoltWinters(alpha=0.9, beta=0.9)
+        hw.update_many([100.0, 50.0, 5.0, 0.5])
+        assert hw.forecast() > 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            HoltWinters(alpha=1.5)
+        with pytest.raises(ValueError):
+            HoltWinters(beta=0.0)
+
+    def test_reset(self):
+        hw = HoltWinters()
+        hw.update_many([1.0, 2.0, 3.0])
+        hw.reset()
+        assert hw.n_observed == 0
+        assert not hw.ready
+
+    @given(positive_values)
+    def test_always_positive_forecast(self, values):
+        hw = HoltWinters(alpha=0.8, beta=0.2)
+        hw.update_many(values)
+        if hw.ready:
+            assert hw.forecast() > 0

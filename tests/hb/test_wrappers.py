@@ -1,0 +1,90 @@
+"""The LSO wrapper around base predictors."""
+
+import pytest
+
+from repro.core.errors import PredictionError
+from repro.hb.holt_winters import HoltWinters
+from repro.hb.lso import LsoConfig
+from repro.hb.moving_average import MovingAverage
+from repro.hb.wrappers import LsoPredictor
+
+
+def ma_factory(order=5):
+    return lambda: MovingAverage(order)
+
+
+class TestLsoPredictor:
+    def test_name(self):
+        assert LsoPredictor(ma_factory(5)).name == "5-MA-LSO"
+
+    def test_behaves_like_base_on_clean_data(self):
+        lso = LsoPredictor(ma_factory(3))
+        base = MovingAverage(3)
+        for value in [10.0, 10.2, 9.9, 10.1]:
+            lso.update(value)
+            base.update(value)
+        assert lso.forecast() == base.forecast()
+
+    def test_restart_on_level_shift(self):
+        lso = LsoPredictor(ma_factory(20))
+        for value in [10.0, 10.2, 9.9, 10.1, 10.0]:
+            lso.update(value)
+        for value in [20.0, 20.3, 19.9, 20.1]:
+            lso.update(value)
+        assert lso.n_level_shifts == 1
+        # Only post-shift samples remain: forecast near the new level.
+        assert lso.forecast() == pytest.approx(20.0, abs=0.5)
+
+    def test_outlier_discarded(self):
+        lso = LsoPredictor(ma_factory(20))
+        for value in [10.0, 10.2, 9.9, 40.0, 10.1, 10.0]:
+            lso.update(value)
+        assert lso.n_outliers == 1
+        assert 40.0 not in lso.clean_history
+        assert lso.forecast() == pytest.approx(10.0, abs=0.3)
+
+    def test_quarantine_of_suspect_trailing_sample(self):
+        """A fresh large deviation must not pollute the next forecast."""
+        lso = LsoPredictor(ma_factory(3))
+        for value in [10.0, 10.2, 9.9, 40.0]:
+            lso.update(value)
+        # 40.0 is in the history (it may start a shift) but quarantined
+        # from the base predictor.
+        assert 40.0 in lso.clean_history
+        assert lso.forecast() == pytest.approx(10.03, abs=0.2)
+
+    def test_forecast_clamped_to_history_range(self):
+        """HW trend overshoot is bounded by the observed range."""
+        lso = LsoPredictor(lambda: HoltWinters(alpha=0.9, beta=0.9))
+        for value in [10.0, 9.0, 5.0, 2.0, 0.8]:
+            lso.update(value)
+        assert lso.forecast() >= min(lso.clean_history) / 2
+
+    def test_counts_across_multiple_shifts(self):
+        lso = LsoPredictor(ma_factory(30), LsoConfig())
+        for level in (10.0, 20.0, 40.0):
+            for delta in (0.0, 0.2, -0.1, 0.1, 0.05):
+                lso.update(level + delta)
+        assert lso.n_level_shifts == 2
+
+    def test_not_ready_raises(self):
+        with pytest.raises(PredictionError):
+            LsoPredictor(ma_factory()).forecast()
+
+    def test_rejects_non_positive(self):
+        lso = LsoPredictor(ma_factory())
+        with pytest.raises(ValueError):
+            lso.update(0.0)
+
+    def test_reset(self):
+        lso = LsoPredictor(ma_factory())
+        lso.update_many([1.0, 2.0, 3.0])
+        lso.reset()
+        assert lso.n_observed == 0
+        assert lso.clean_history == ()
+
+    def test_n_observed_counts_everything(self):
+        lso = LsoPredictor(ma_factory(20))
+        lso.update_many([10.0, 10.1, 40.0, 10.0, 10.2])
+        assert lso.n_observed == 5  # outliers still count as observed
+        assert len(lso.clean_history) == 4

@@ -1,0 +1,128 @@
+"""The paper's headline findings, asserted on a seeded reduced campaign.
+
+These are the *shape* claims from the paper's Sections 4.3 and 6.2 — who
+wins, in which direction errors fall, which factors matter.  Absolute
+numbers are recorded in EXPERIMENTS.md; the assertions here use bands
+wide enough to be robust across seeds yet tight enough that a regression
+in any of the mechanisms (load-increase errors, sampling mismatch,
+window limiting, LSO) trips them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import fb_eval, hb_eval
+from repro.paths.config import may_2004_catalog
+from repro.testbed.campaign import Campaign, CampaignSettings
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    campaign = Campaign(may_2004_catalog(), seed=2004, label="headline")
+    return campaign.run(CampaignSettings(n_traces=3, epochs_per_trace=100))
+
+
+class TestFbFindings:
+    """Paper Section 4.3."""
+
+    def test_finding1_fb_often_wrong_by_factor_two(self, dataset):
+        """~half of FB predictions off by more than a factor of two."""
+        cdf = fb_eval.error_cdfs(dataset).all
+        wrong_2x = cdf.fraction_above(1.0) + cdf.fraction_below(-1.0)
+        assert 0.25 < wrong_2x < 0.65
+
+    def test_finding1_heavy_tail(self, dataset):
+        """A noticeable fraction wrong by about an order of magnitude."""
+        cdf = fb_eval.error_cdfs(dataset).all
+        assert cdf.fraction_above(9.0) > 0.02
+
+    def test_finding2_overestimation_dominates(self, dataset):
+        cdf = fb_eval.error_cdfs(dataset).all
+        assert cdf.fraction_above(0.0) > 0.65
+        # Overestimation errors larger than underestimation errors.
+        assert abs(cdf.quantile(0.95)) > abs(cdf.quantile(0.05))
+
+    def test_finding3_loss_increase_is_primary_cause(self, dataset):
+        inc = fb_eval.increase_cdfs(dataset)
+        assert inc.mean_loss_ratio > 3.0
+        assert 1.1 < inc.mean_rtt_ratio < 2.5
+        assert inc.mean_loss_ratio > inc.mean_rtt_ratio
+
+    def test_finding4_during_flow_estimates_still_err(self, dataset):
+        """Even with during-flow (T~, p~), errors remain substantial —
+        the probing-vs-TCP sampling mismatch."""
+        comp = fb_eval.during_flow_prediction(dataset)
+        abs_errors = np.abs(comp.with_during.sorted_values)
+        assert np.median(abs_errors) > 0.3
+
+    def test_finding5_largest_errors_at_low_throughput(self, dataset):
+        scatter = fb_eval.throughput_vs_error(dataset)
+        low = scatter.fraction_large_error(0.5, error_threshold=10.0)
+        high = scatter.fraction_large_error(0.5, error_threshold=10.0, below=False)
+        assert low > 10 * max(high, 1e-3)
+
+    def test_finding6_window_limited_more_predictable(self, dataset):
+        comparisons = fb_eval.window_limited(dataset)
+        limited = [c for c in comparisons if c.window_limited]
+        assert len(limited) >= 15  # paper: 19 of 35
+        better = sum(
+            c.rmsre_small_window < c.rmsre_large_window for c in limited
+        )
+        assert better / len(limited) > 0.85
+
+    def test_no_correlation_with_loss_or_rtt(self, dataset):
+        """Figs. 9-10: error not explained by p-hat or T-hat alone."""
+        assert abs(fb_eval.loss_vs_error(dataset).correlation()) < 0.35
+        assert abs(fb_eval.rtt_vs_error(dataset).correlation()) < 0.35
+
+    def test_lossless_better_than_lossy(self, dataset):
+        cdfs = fb_eval.error_cdfs(dataset)
+        assert cdfs.lossless.quantile(0.9) < cdfs.lossy.quantile(0.9)
+        # Underestimation rare on lossless paths.
+        assert cdfs.lossless.fraction_below(-1.0) < 0.05
+
+
+class TestHbFindings:
+    """Paper Section 6.2."""
+
+    def test_finding1_short_history_suffices(self, dataset):
+        """Most traces predict well from a short sporadic history."""
+        cdfs = hb_eval.predictor_cdfs(dataset, {"HW-LSO": hb_eval.with_lso(hb_eval.hw())})
+        assert cdfs["HW-LSO"].fraction_below(0.4) > 0.6
+
+    def test_finding3_predictor_choice_minor_with_lso(self, dataset):
+        """With LSO, MA vs HW and parameters barely matter."""
+        family = {**hb_eval.ma_family((5, 10)), **hb_eval.hw_family((0.8,))}
+        cdfs = hb_eval.predictor_cdfs(dataset, family)
+        lso_medians = [
+            cdf.median() for name, cdf in cdfs.items() if name.endswith("LSO")
+        ]
+        assert max(lso_medians) - min(lso_medians) < 0.1
+
+    def test_finding4_hb_beats_fb(self, dataset):
+        comp = hb_eval.fb_vs_hb(dataset)
+        assert comp.hb.median() < comp.fb.median() / 2
+        assert comp.hb.fraction_below(0.4) > comp.fb.fraction_below(0.4) + 0.2
+
+    def test_finding5_path_dependence(self, dataset):
+        classes = hb_eval.path_classes(dataset)
+        means = [c.mean_rmsre for c in classes]
+        assert max(means) / min(means) > 4.0
+
+    def test_finding6_rmsre_tracks_cov(self, dataset):
+        relation = hb_eval.cov_correlation(dataset)
+        assert relation.correlation() > 0.35
+
+    def test_finding7_window_limited_lower_hb_error(self, dataset):
+        comparisons = hb_eval.window_limited_hb(dataset)
+        mean_large = np.mean([c.rmsre_large_window for c in comparisons])
+        mean_small = np.mean([c.rmsre_small_window for c in comparisons])
+        assert mean_small < mean_large
+
+    def test_interval_degrades_gracefully(self, dataset):
+        cdfs = hb_eval.interval_effect(dataset)
+        # Accuracy degrades with the period, yet stays usable at 45 min.
+        assert cdfs["45min"].quantile(0.9) >= cdfs["3min"].quantile(0.9) * 0.8
+        assert cdfs["45min"].fraction_below(1.0) > 0.65

@@ -1,0 +1,111 @@
+"""Path catalogs."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.paths.config import (
+    PathConfig,
+    march_2006_catalog,
+    may_2004_catalog,
+    scaled_catalog,
+    with_dataset,
+)
+
+
+class TestMay2004Catalog:
+    def test_has_35_paths(self):
+        assert len(may_2004_catalog()) == 35
+
+    def test_unique_path_ids(self):
+        ids = [c.path_id for c in may_2004_catalog()]
+        assert len(set(ids)) == 35
+
+    def test_seven_dsl_paths(self):
+        """The paper: seven paths had a DSL bottleneck."""
+        assert sum(c.dsl for c in may_2004_catalog()) == 7
+
+    def test_six_international_paths(self):
+        """Five transatlantic plus one Korea-US path."""
+        catalog = may_2004_catalog()
+        assert sum(c.region == "eu-us" for c in catalog) == 5
+        assert sum(c.region == "asia-us" for c in catalog) == 1
+
+    def test_non_dsl_capacities_at_least_10mbps(self):
+        """The paper: capacities of non-DSL paths are at least 10 Mbps."""
+        for config in may_2004_catalog():
+            if not config.dsl:
+                assert config.capacity_mbps >= 10.0
+
+    def test_dataset_label(self):
+        assert all(c.dataset == "2004" for c in may_2004_catalog())
+
+    def test_heterogeneous_utilization(self):
+        utils = [c.base_util for c in may_2004_catalog()]
+        assert min(utils) < 0.2
+        assert max(utils) > 0.8
+
+
+class TestMarch2006Catalog:
+    def test_has_24_paths(self):
+        assert len(march_2006_catalog()) == 24
+
+    def test_one_dsl_host(self):
+        """Only one node was DSL-connected: exactly two DSL paths
+        (to and from that host)."""
+        assert sum(c.dsl for c in march_2006_catalog()) == 2
+
+    def test_all_us(self):
+        assert all(c.region == "us" for c in march_2006_catalog())
+
+    def test_dataset_label(self):
+        assert all(c.dataset == "2006" for c in march_2006_catalog())
+
+
+class TestPathConfigValidation:
+    def test_valid_config_passes(self):
+        assert may_2004_catalog()[0].capacity_mbps > 0
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("capacity_mbps", 0.0),
+            ("buffer_bytes", 0),
+            ("base_rtt_s", 0.0),
+            ("base_util", 1.0),
+            ("ar_phi", 1.0),
+            ("elasticity", 1.5),
+            ("random_loss", 0.5),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        base = may_2004_catalog()[0]
+        with pytest.raises(ConfigurationError):
+            replace(base, **{field: value})
+
+    def test_bdp(self):
+        config = replace(may_2004_catalog()[0], capacity_mbps=8.0, base_rtt_s=0.1)
+        assert config.bdp_bytes == pytest.approx(100_000)
+
+
+class TestHelpers:
+    def test_scaled_catalog_stratified(self):
+        catalog = may_2004_catalog()
+        small = scaled_catalog(catalog, 7)
+        assert len(small) == 7
+        assert len({c.path_id for c in small}) == 7
+        # Stratified: not just the first seven paths.
+        assert small[-1].path_id != catalog[6].path_id
+
+    def test_scaled_catalog_full_when_larger(self):
+        catalog = may_2004_catalog()
+        assert scaled_catalog(catalog, 100) == catalog
+
+    def test_scaled_catalog_validation(self):
+        with pytest.raises(ConfigurationError):
+            scaled_catalog(may_2004_catalog(), 0)
+
+    def test_with_dataset(self):
+        config = with_dataset(may_2004_catalog()[0], "custom")
+        assert config.dataset == "custom"

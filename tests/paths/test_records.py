@@ -1,0 +1,123 @@
+"""Epoch records, traces, datasets."""
+
+import pytest
+
+from repro.core.errors import DataError
+from repro.paths.records import (
+    Dataset,
+    EpochMeasurement,
+    EpochTruth,
+    Trace,
+    concat_datasets,
+)
+
+
+def epoch(path_id="p01", trace_index=0, epoch_index=0, throughput=1.0, **overrides):
+    fields = dict(
+        path_id=path_id,
+        trace_index=trace_index,
+        epoch_index=epoch_index,
+        start_time_s=epoch_index * 180.0,
+        ahat_mbps=5.0,
+        phat=0.001,
+        that_s=0.05,
+        throughput_mbps=throughput,
+        ptilde=0.01,
+        ttilde_s=0.08,
+    )
+    fields.update(overrides)
+    return EpochMeasurement(**fields)
+
+
+class TestEpochMeasurement:
+    def test_lossless_flag(self):
+        assert epoch(phat=0.0).lossless
+        assert not epoch(phat=0.001).lossless
+
+    def test_non_positive_throughput_rejected(self):
+        with pytest.raises(DataError):
+            epoch(throughput=0.0)
+
+    def test_bad_loss_rejected(self):
+        with pytest.raises(DataError):
+            epoch(phat=1.0)
+
+    def test_truth_optional(self):
+        assert epoch().truth is None
+        truth = EpochTruth(0.5, 0.6, 0.01, "congestion", False)
+        assert epoch(truth=truth).truth is truth
+
+
+class TestTrace:
+    def test_append_validates_identity(self):
+        trace = Trace(path_id="p01", trace_index=0)
+        trace.append(epoch())
+        with pytest.raises(DataError):
+            trace.append(epoch(path_id="p02"))
+        with pytest.raises(DataError):
+            trace.append(epoch(trace_index=1))
+
+    def test_throughput_series(self):
+        trace = Trace(path_id="p01", trace_index=0)
+        for i, value in enumerate([1.0, 2.0, 3.0]):
+            trace.append(epoch(epoch_index=i, throughput=value))
+        series = trace.throughput_series()
+        assert series.values.tolist() == [1.0, 2.0, 3.0]
+        assert "p01" in series.name
+
+    def test_small_window_series(self):
+        trace = Trace(path_id="p01", trace_index=0)
+        trace.append(epoch(smallw_throughput_mbps=0.5))
+        series = trace.throughput_series(small_window=True)
+        assert series.values.tolist() == [0.5]
+
+    def test_small_window_missing_raises(self):
+        trace = Trace(path_id="p01", trace_index=0)
+        trace.append(epoch())
+        with pytest.raises(DataError):
+            trace.throughput_series(small_window=True)
+
+    def test_len_and_iter(self):
+        trace = Trace(path_id="p01", trace_index=0)
+        trace.append(epoch(epoch_index=0))
+        trace.append(epoch(epoch_index=1))
+        assert len(trace) == 2
+        assert [e.epoch_index for e in trace] == [0, 1]
+
+
+class TestDataset:
+    def make(self):
+        ds = Dataset(label="test")
+        for path_id in ("p01", "p02"):
+            for t in range(2):
+                trace = Trace(path_id=path_id, trace_index=t)
+                for i in range(3):
+                    trace.append(
+                        epoch(path_id=path_id, trace_index=t, epoch_index=i)
+                    )
+                ds.traces.append(trace)
+        return ds
+
+    def test_path_ids_in_order(self):
+        assert self.make().path_ids == ["p01", "p02"]
+
+    def test_traces_for(self):
+        assert len(self.make().traces_for("p01")) == 2
+
+    def test_epochs_filtered(self):
+        ds = self.make()
+        assert len(ds.epochs()) == 12
+        assert len(ds.epochs("p02")) == 6
+
+    def test_throughputs_array(self):
+        assert self.make().throughputs().shape == (12,)
+
+    def test_summary(self):
+        text = self.make().summary()
+        assert "2 paths" in text and "4 traces" in text and "12 epochs" in text
+
+    def test_concat(self):
+        a, b = self.make(), self.make()
+        merged = concat_datasets("merged", [a, b])
+        assert len(merged) == 8
+        assert merged.label == "merged"

@@ -1,0 +1,125 @@
+"""Property-based invariants of the packet simulator.
+
+Conservation laws that must hold for any traffic pattern:
+
+* every offered packet is either delivered or dropped, exactly once;
+* queue occupancy never exceeds the configured bounds;
+* delivery order over a FIFO link equals send order;
+* delivery times are causal (after the send time, by at least the
+  serialization + propagation delay).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.units import Bandwidth
+from repro.simnet.engine import Simulator
+from repro.simnet.link import Link
+from repro.simnet.packet import Packet, PacketKind
+from repro.simnet.queue import DropTailQueue
+
+
+def data(seq, size=1500):
+    return Packet(
+        src="a", dst="b", kind=PacketKind.DATA, size_bytes=size, seq=seq
+    )
+
+
+traffic_pattern = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=0.01),  # inter-send gap
+        st.integers(min_value=40, max_value=1500),  # packet size
+    ),
+    min_size=1,
+    max_size=100,
+)
+
+
+@given(traffic_pattern, st.integers(min_value=2, max_value=20))
+@settings(max_examples=60, deadline=None)
+def test_packet_conservation(pattern, slots):
+    """delivered + dropped == offered for any traffic and buffer."""
+    sim = Simulator()
+    delivered = []
+    queue = DropTailQueue(slots * 1500, slot_capacity=slots)
+    link = Link(
+        sim, Bandwidth.from_mbps(5), 0.005, queue, delivered.append
+    )
+    offered = 0
+    accepted = 0
+    time = 0.0
+    for gap, size in pattern:
+        time += gap
+        packet = data(offered, size=size)
+        sim.schedule_at(time, lambda p=packet: link.send(p))
+        offered += 1
+    sim.run()
+    accepted = queue.stats.arrivals - queue.stats.drops
+    assert queue.stats.arrivals == offered
+    assert len(delivered) == accepted
+    assert queue.is_empty
+
+
+@given(traffic_pattern)
+@settings(max_examples=60, deadline=None)
+def test_fifo_order_preserved(pattern):
+    """Delivered sequence numbers are an increasing subsequence."""
+    sim = Simulator()
+    delivered = []
+    queue = DropTailQueue(8 * 1500, slot_capacity=8)
+    link = Link(sim, Bandwidth.from_mbps(5), 0.002, queue, delivered.append)
+    time = 0.0
+    for index, (gap, size) in enumerate(pattern):
+        time += gap
+        packet = data(index, size=size)
+        sim.schedule_at(time, lambda p=packet: link.send(p))
+    sim.run()
+    seqs = [p.seq for p in delivered]
+    assert seqs == sorted(seqs)
+
+
+@given(traffic_pattern)
+@settings(max_examples=60, deadline=None)
+def test_causal_delivery_times(pattern):
+    """Every packet arrives no earlier than send + tx + propagation."""
+    sim = Simulator()
+    capacity = Bandwidth.from_mbps(5)
+    prop = 0.004
+    arrivals = []
+    queue = DropTailQueue(100 * 1500)
+    link = Link(
+        sim, capacity, prop, queue, lambda p: arrivals.append((p, sim.now))
+    )
+    send_times = {}
+    time = 0.0
+    for index, (gap, size) in enumerate(pattern):
+        time += gap
+        packet = data(index, size=size)
+        send_times[packet.uid] = time
+        sim.schedule_at(time, lambda p=packet: link.send(p))
+    sim.run()
+    for packet, arrived_at in arrivals:
+        minimum = (
+            send_times[packet.uid]
+            + capacity.transmission_delay(packet.size_bytes)
+            + prop
+        )
+        assert arrived_at >= minimum - 1e-12
+
+
+@given(st.integers(min_value=1, max_value=30), st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=40, deadline=None)
+def test_occupancy_bounded(slots, seed):
+    """Occupancy never exceeds the slot bound under random offer/pop."""
+    rng = np.random.default_rng(seed)
+    queue = DropTailQueue(slots * 1500, slot_capacity=slots)
+    now = 0.0
+    for _ in range(200):
+        now += 0.001
+        if rng.random() < 0.7:
+            queue.offer(data(0, size=int(rng.integers(40, 1501))), now)
+        elif not queue.is_empty:
+            queue.pop(now)
+        assert len(queue) <= slots
+        assert queue.occupancy_bytes <= queue.capacity_bytes

@@ -1,0 +1,108 @@
+"""Link serialization and propagation."""
+
+import pytest
+
+from repro.core.units import Bandwidth
+from repro.simnet.engine import Simulator
+from repro.simnet.link import Link
+from repro.simnet.packet import Packet, PacketKind
+from repro.simnet.queue import DropTailQueue
+
+
+def packet(size=1500, seq=0):
+    return Packet(src="a", dst="b", kind=PacketKind.DATA, size_bytes=size, seq=seq)
+
+
+def make_link(sim, received, mbps=12.0, delay=0.01, buffer_bytes=100_000):
+    return Link(
+        sim,
+        Bandwidth.from_mbps(mbps),
+        delay,
+        DropTailQueue(buffer_bytes),
+        received.append,
+    )
+
+
+class TestLink:
+    def test_delivery_time_is_tx_plus_propagation(self):
+        sim = Simulator()
+        arrivals = []
+        link = Link(
+            sim,
+            Bandwidth.from_mbps(12),
+            0.01,
+            DropTailQueue(100_000),
+            lambda p: arrivals.append(sim.now),
+        )
+        link.send(packet(size=1500))  # 1 ms tx + 10 ms prop
+        sim.run()
+        assert arrivals == [pytest.approx(0.011)]
+
+    def test_back_to_back_serialization(self):
+        sim = Simulator()
+        arrivals = []
+        link = Link(
+            sim,
+            Bandwidth.from_mbps(12),
+            0.0,
+            DropTailQueue(100_000),
+            lambda p: arrivals.append(sim.now),
+        )
+        link.send(packet(seq=0))
+        link.send(packet(seq=1))
+        sim.run()
+        # Second packet waits for the first's 1 ms transmission.
+        assert arrivals == [pytest.approx(0.001), pytest.approx(0.002)]
+
+    def test_drop_when_buffer_full(self):
+        sim = Simulator()
+        received = []
+        link = make_link(sim, received, buffer_bytes=1500)
+        assert link.send(packet(seq=0))
+        # First packet is immediately in transmission, freeing the buffer
+        # slot; fill it and overflow with one more.
+        assert link.send(packet(seq=1))
+        assert not link.send(packet(seq=2))
+        sim.run()
+        assert [p.seq for p in received] == [0, 1]
+
+    def test_bytes_delivered_counter(self):
+        sim = Simulator()
+        received = []
+        link = make_link(sim, received)
+        link.send(packet(size=1000))
+        link.send(packet(size=500))
+        sim.run()
+        assert link.bytes_delivered == 1500
+
+    def test_utilization(self):
+        sim = Simulator()
+        received = []
+        link = make_link(sim, received, mbps=12.0)
+        link.send(packet(size=1500))  # 1 ms of a 10 ms interval
+        sim.run()
+        assert link.utilization(0.01) == pytest.approx(0.1)
+
+    def test_idle_link_restarts(self):
+        """The transmitter goes idle and wakes for later packets."""
+        sim = Simulator()
+        arrivals = []
+        link = Link(
+            sim,
+            Bandwidth.from_mbps(12),
+            0.0,
+            DropTailQueue(100_000),
+            lambda p: arrivals.append(sim.now),
+        )
+        link.send(packet())
+        sim.run()
+        sim.schedule_at(1.0, lambda: link.send(packet()))
+        sim.run()
+        assert arrivals == [pytest.approx(0.001), pytest.approx(1.001)]
+
+    def test_invalid_parameters(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Link(sim, Bandwidth(0), 0.0, DropTailQueue(1500), lambda p: None)
+        with pytest.raises(ValueError):
+            Link(sim, Bandwidth.from_mbps(1), -0.1, DropTailQueue(1500), lambda p: None)

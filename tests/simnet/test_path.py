@@ -1,0 +1,87 @@
+"""DumbbellPath dispatch and direction handling."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError, SimulationError
+from repro.core.units import Bandwidth
+from repro.simnet.engine import Simulator
+from repro.simnet.packet import Packet, PacketKind
+from repro.simnet.path import DumbbellPath
+
+
+class Collector:
+    def __init__(self):
+        self.packets = []
+
+    def receive(self, packet):
+        self.packets.append(packet)
+
+
+def make_path(sim):
+    return DumbbellPath(
+        sim,
+        Bandwidth.from_mbps(10),
+        buffer_bytes=50_000,
+        one_way_delay_s=0.02,
+    )
+
+
+def probe(dst, src="src"):
+    return Packet(src=src, dst=dst, kind=PacketKind.PROBE, size_bytes=100)
+
+
+class TestDumbbellPath:
+    def test_base_rtt(self):
+        sim = Simulator()
+        assert make_path(sim).base_rtt_s == pytest.approx(0.04)
+
+    def test_forward_delivery_by_dst(self):
+        sim = Simulator()
+        path = make_path(sim)
+        a, b = Collector(), Collector()
+        path.register("a", a)
+        path.register("b", b)
+        path.send_forward(probe("b"))
+        sim.run()
+        assert len(b.packets) == 1
+        assert len(a.packets) == 0
+
+    def test_reverse_delivery(self):
+        sim = Simulator()
+        path = make_path(sim)
+        a = Collector()
+        path.register("a", a)
+        path.send_reverse(probe("a"))
+        sim.run()
+        assert len(a.packets) == 1
+
+    def test_reverse_is_faster(self):
+        """The return link has a multiple of the forward capacity."""
+        sim = Simulator()
+        path = make_path(sim)
+        assert path.reverse_link.capacity.mbps == pytest.approx(100.0)
+
+    def test_unknown_endpoint_raises(self):
+        sim = Simulator()
+        path = make_path(sim)
+        path.send_forward(probe("ghost"))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_duplicate_registration_rejected(self):
+        sim = Simulator()
+        path = make_path(sim)
+        path.register("a", Collector())
+        with pytest.raises(ConfigurationError):
+            path.register("a", Collector())
+
+    def test_forward_drop_returns_false(self):
+        sim = Simulator()
+        path = DumbbellPath(
+            sim, Bandwidth.from_mbps(10), buffer_bytes=100, one_way_delay_s=0.01
+        )
+        # The first packet goes straight into transmission; the second
+        # occupies the whole buffer; the third is dropped.
+        assert path.send_forward(probe("x"))
+        assert path.send_forward(probe("x"))
+        assert not path.send_forward(probe("x"))

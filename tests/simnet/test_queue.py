@@ -1,0 +1,77 @@
+"""Drop-tail queue behaviour and statistics."""
+
+import pytest
+
+from repro.simnet.packet import Packet, PacketKind
+from repro.simnet.queue import DropTailQueue
+
+
+def packet(size=1500, seq=0):
+    return Packet(
+        src="a", dst="b", kind=PacketKind.DATA, size_bytes=size, seq=seq
+    )
+
+
+class TestDropTail:
+    def test_accepts_until_full(self):
+        q = DropTailQueue(capacity_bytes=3000)
+        assert q.offer(packet(), 0.0)
+        assert q.offer(packet(), 0.0)
+        assert not q.offer(packet(), 0.0)  # third does not fit
+
+    def test_fifo_order(self):
+        q = DropTailQueue(capacity_bytes=10_000)
+        q.offer(packet(seq=1), 0.0)
+        q.offer(packet(seq=2), 0.0)
+        assert q.pop(0.0).seq == 1
+        assert q.pop(0.0).seq == 2
+
+    def test_occupancy_tracks_bytes(self):
+        q = DropTailQueue(capacity_bytes=10_000)
+        q.offer(packet(size=1000), 0.0)
+        q.offer(packet(size=500), 0.0)
+        assert q.occupancy_bytes == 1500
+        q.pop(0.0)
+        assert q.occupancy_bytes == 500
+
+    def test_partial_fit_dropped_entirely(self):
+        q = DropTailQueue(capacity_bytes=2000)
+        q.offer(packet(size=1500), 0.0)
+        assert not q.offer(packet(size=1500), 0.0)
+        assert q.occupancy_bytes == 1500
+
+    def test_loss_rate(self):
+        q = DropTailQueue(capacity_bytes=1500)
+        q.offer(packet(), 0.0)
+        q.offer(packet(), 0.0)  # dropped
+        assert q.stats.loss_rate == 0.5
+
+    def test_loss_rate_empty(self):
+        assert DropTailQueue(1500).stats.loss_rate == 0.0
+
+    def test_mean_occupancy_integral(self):
+        q = DropTailQueue(capacity_bytes=10_000)
+        q.reset_stats(0.0)
+        q.offer(packet(size=1000), 0.0)
+        q.pop(10.0)  # 1000 bytes held for 10 s
+        assert q.mean_occupancy_bytes(10.0) == pytest.approx(1000.0)
+
+    def test_reset_stats(self):
+        q = DropTailQueue(capacity_bytes=1500)
+        q.offer(packet(), 0.0)
+        q.reset_stats(1.0)
+        assert q.stats.arrivals == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(0)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            DropTailQueue(1500).pop(0.0)
+
+    def test_len_and_is_empty(self):
+        q = DropTailQueue(capacity_bytes=10_000)
+        assert q.is_empty
+        q.offer(packet(), 0.0)
+        assert len(q) == 1

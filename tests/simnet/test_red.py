@@ -1,0 +1,126 @@
+"""The RED queue and its effect on TCP and probes."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.units import Bandwidth
+from repro.simnet.engine import Simulator
+from repro.simnet.packet import Packet, PacketKind
+from repro.simnet.path import DumbbellPath
+from repro.simnet.red import RedQueue
+from repro.tcp.reno import RenoSender
+from repro.tcp.sink import TcpSink
+
+
+def packet(seq=0):
+    return Packet(src="a", dst="b", kind=PacketKind.DATA, size_bytes=1500, seq=seq)
+
+
+class TestRedQueue:
+    def test_no_drops_below_min_threshold(self):
+        q = RedQueue(
+            100 * 1500, slot_capacity=100, rng=np.random.default_rng(0),
+            min_th=10, max_th=50,
+        )
+        # Offer and pop alternately: instantaneous queue stays at 1, the
+        # average stays far below min_th.
+        for i in range(50):
+            assert q.offer(packet(i), float(i))
+            q.pop(float(i) + 0.5)
+        assert q.early_drops == 0
+
+    def test_early_drops_at_sustained_occupancy(self):
+        q = RedQueue(
+            100 * 1500, slot_capacity=100, rng=np.random.default_rng(1),
+            min_th=5, max_th=20, weight=0.5, max_p=0.5,
+        )
+        outcomes = [q.offer(packet(i), float(i)) for i in range(80)]
+        assert q.early_drops > 0
+        # Drops happened while slots remained (early, not tail drops).
+        assert len(q) < q.slot_capacity
+        assert not all(outcomes)
+
+    def test_everything_dropped_beyond_two_max_th(self):
+        q = RedQueue(
+            1000 * 1500, slot_capacity=1000, rng=np.random.default_rng(2),
+            min_th=2, max_th=4, weight=1.0,
+        )
+        for i in range(9):
+            q.offer(packet(i), 0.0)
+        # avg == len(queue) >= 8 = 2*max_th by now: hard drop.
+        assert not q.offer(packet(99), 0.0)
+
+    def test_parameter_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            RedQueue(1500, slot_capacity=10, rng=rng, min_th=5, max_th=5)
+        with pytest.raises(ValueError):
+            RedQueue(1500, slot_capacity=10, rng=rng, max_p=0.0)
+        with pytest.raises(ValueError):
+            RedQueue(1500, slot_capacity=10, rng=rng, weight=0.0)
+
+    def test_stats_count_early_drops(self):
+        q = RedQueue(
+            100 * 1500, slot_capacity=100, rng=np.random.default_rng(3),
+            min_th=2, max_th=8, weight=1.0, max_p=1.0,
+        )
+        for i in range(20):
+            q.offer(packet(i), 0.0)
+        assert q.stats.drops >= q.early_drops > 0
+        assert q.stats.arrivals == 20
+
+
+class TestRedPath:
+    def test_path_accepts_red_aqm(self):
+        sim = Simulator()
+        path = DumbbellPath(
+            sim,
+            Bandwidth.from_mbps(10),
+            buffer_bytes=64_000,
+            one_way_delay_s=0.02,
+            rng=np.random.default_rng(4),
+            aqm="red",
+        )
+        assert isinstance(path.forward_queue, RedQueue)
+
+    def test_red_requires_rng(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            DumbbellPath(
+                sim, Bandwidth.from_mbps(10), 64_000, 0.02, aqm="red"
+            )
+
+    def test_unknown_aqm_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            DumbbellPath(
+                sim, Bandwidth.from_mbps(10), 64_000, 0.02, aqm="codel"
+            )
+
+    def test_red_keeps_queue_shorter_than_droptail(self):
+        """RED's raison d'etre: lower standing queues under load."""
+        occupancies = {}
+        for aqm in ("droptail", "red"):
+            sim = Simulator()
+            path = DumbbellPath(
+                sim,
+                Bandwidth.from_mbps(5),
+                buffer_bytes=120_000,
+                one_way_delay_s=0.02,
+                rng=np.random.default_rng(5),
+                aqm=aqm,
+            )
+            sink = TcpSink(sim, path, name="rcv", peer="snd", flow="f")
+            sender = RenoSender(
+                sim, path, name="snd", peer="rcv", flow="f",
+                max_window_segments=700,
+            )
+            path.register("snd", sender)
+            path.register("rcv", sink)
+            path.forward_queue.reset_stats(0.0)
+            sender.start()
+            sim.run(until=15.0)
+            sender.stop()
+            occupancies[aqm] = path.forward_queue.mean_occupancy_bytes(15.0)
+        assert occupancies["red"] < occupancies["droptail"]

@@ -1,0 +1,68 @@
+"""NewReno partial-ACK recovery vs classic Reno."""
+
+import pytest
+
+from repro.core.units import Bandwidth
+from repro.simnet.engine import Simulator
+from repro.simnet.path import DumbbellPath
+from repro.tcp.newreno import NewRenoSender
+from repro.tcp.reno import RenoSender
+from repro.tcp.sink import TcpSink
+
+
+def run_transfer(sender_cls, seconds=15.0, capacity_mbps=5.0, buffer_bytes=15_000):
+    sim = Simulator()
+    path = DumbbellPath(
+        sim,
+        Bandwidth.from_mbps(capacity_mbps),
+        buffer_bytes=buffer_bytes,
+        one_way_delay_s=0.02,
+    )
+    sink = TcpSink(sim, path, name="rcv", peer="snd", flow="f")
+    sender = sender_cls(
+        sim, path, name="snd", peer="rcv", flow="f", max_window_segments=700
+    )
+    path.register("snd", sender)
+    path.register("rcv", sink)
+    sender.start()
+    sim.run(until=seconds)
+    sender.stop()
+    return sender, sink
+
+
+class TestNewReno:
+    def test_transfers_data(self):
+        sender, sink = run_transfer(NewRenoSender)
+        assert sink.segments_delivered > 1000
+
+    def test_fewer_timeouts_than_reno(self):
+        """NewReno's whole point: multi-loss windows avoid the RTO."""
+        reno, _ = run_transfer(RenoSender)
+        newreno, _ = run_transfer(NewRenoSender)
+        assert newreno.stats.timeouts <= reno.stats.timeouts
+        assert newreno.stats.fast_retransmits > 0
+
+    def test_higher_goodput_on_lossy_bottleneck(self):
+        _, reno_sink = run_transfer(RenoSender)
+        _, newreno_sink = run_transfer(NewRenoSender)
+        assert newreno_sink.bytes_delivered >= reno_sink.bytes_delivered * 0.95
+
+    def test_same_behaviour_without_losses(self):
+        """Window-limited flow: the NewReno branch never triggers."""
+        sim = Simulator()
+        path = DumbbellPath(
+            sim, Bandwidth.from_mbps(100), buffer_bytes=500_000, one_way_delay_s=0.02
+        )
+        sink = TcpSink(sim, path, name="rcv", peer="snd", flow="f")
+        sender = NewRenoSender(
+            sim, path, name="snd", peer="rcv", flow="f", max_window_segments=10
+        )
+        path.register("snd", sender)
+        path.register("rcv", sink)
+        sender.start()
+        sim.run(until=5.0)
+        sender.stop()
+        assert sender.stats.timeouts == 0
+        assert sender.stats.retransmissions == 0
+        expected = 10 * 1460 * 8 / 0.04
+        assert sink.bytes_delivered * 8 / 5.0 == pytest.approx(expected, rel=0.15)

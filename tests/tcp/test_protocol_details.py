@@ -1,0 +1,153 @@
+"""Protocol details of the Reno sender: timers, Karn's rule, caps."""
+
+import pytest
+
+from repro.core.units import Bandwidth
+from repro.simnet.engine import Simulator
+from repro.simnet.packet import Packet, PacketKind
+from repro.simnet.path import DumbbellPath
+from repro.tcp.reno import MAX_RTO_S, MIN_RTO_S, RenoSender
+from repro.tcp.sink import TcpSink
+
+
+class _BlackHole:
+    def receive(self, packet):
+        pass
+
+
+def black_hole_sender():
+    sim = Simulator()
+    path = DumbbellPath(
+        sim, Bandwidth.from_mbps(10), buffer_bytes=50_000, one_way_delay_s=0.02
+    )
+    sender = RenoSender(sim, path, name="snd", peer="rcv", flow="f")
+    path.register("snd", sender)
+    path.register("rcv", _BlackHole())
+    return sim, sender
+
+
+def healthy_connection(max_window_segments=50.0):
+    sim = Simulator()
+    path = DumbbellPath(
+        sim, Bandwidth.from_mbps(50), buffer_bytes=500_000, one_way_delay_s=0.02
+    )
+    sink = TcpSink(sim, path, name="rcv", peer="snd", flow="f")
+    sender = RenoSender(
+        sim, path, name="snd", peer="rcv", flow="f",
+        max_window_segments=max_window_segments,
+    )
+    path.register("snd", sender)
+    path.register("rcv", sink)
+    return sim, sender, sink
+
+
+class TestRtoBackoff:
+    def test_backoff_doubles_between_timeouts(self):
+        """On a dead path, successive RTOs stretch exponentially."""
+        sim, sender = black_hole_sender()
+        timeout_times = []
+        original = sender._on_rto
+
+        def record():
+            timeout_times.append(sim.now)
+            original()
+
+        sender._on_rto = record
+        sender.start()
+        sim.run(until=30.0)
+        sender.stop()
+        assert len(timeout_times) >= 3
+        gaps = [b - a for a, b in zip(timeout_times, timeout_times[1:])]
+        for first, second in zip(gaps, gaps[1:]):
+            assert second >= first * 1.9  # doubling, within scheduling slack
+
+    def test_rto_capped_at_maximum(self):
+        sim, sender = black_hole_sender()
+        sender.start()
+        sim.run(until=300.0)
+        sender.stop()
+        assert sender.rto * sender._rto_backoff <= MAX_RTO_S * 2.0
+
+    def test_rto_floor_respected(self):
+        sim, sender, _ = healthy_connection()
+        sender.start()
+        sim.run(until=3.0)
+        sender.stop()
+        # Fast path (RTT 40 ms): RFC 6298 still floors the RTO at 1 s.
+        assert sender.rto >= MIN_RTO_S
+
+
+class TestKarnsRule:
+    def test_retransmitted_segments_not_sampled(self):
+        """RTT samples exclude retransmitted segments."""
+        sim, sender = black_hole_sender()
+        sender.start()
+        sim.run(until=10.0)
+        sender.stop()
+        # Everything was retransmitted; no ACKs arrived at all.
+        assert sender.stats.rtt_samples == 0
+
+    def test_clean_transfer_samples_rtt(self):
+        sim, sender, _ = healthy_connection()
+        sender.start()
+        sim.run(until=3.0)
+        sender.stop()
+        assert sender.stats.rtt_samples > 10
+        assert sender.stats.srtt_s == pytest.approx(0.04, rel=0.3)
+
+
+class TestWindowDiscipline:
+    def test_cwnd_never_exceeds_max_window(self):
+        sim, sender, _ = healthy_connection(max_window_segments=20.0)
+        sender.start()
+        checks = []
+
+        def sample():
+            checks.append(sender.cwnd <= 20.0 + 1e-9)
+            if sim.now < 4.5:
+                sim.schedule(0.05, sample)
+
+        sim.schedule(0.05, sample)
+        sim.run(until=5.0)
+        sender.stop()
+        assert checks and all(checks)
+
+    def test_flight_bounded_by_window(self):
+        sim, sender, _ = healthy_connection(max_window_segments=15.0)
+        sender.start()
+        violations = []
+
+        def sample():
+            if sender.next_seq - sender.una > 15:
+                violations.append(sim.now)
+            if sim.now < 4.5:
+                sim.schedule(0.05, sample)
+
+        sim.schedule(0.05, sample)
+        sim.run(until=5.0)
+        sender.stop()
+        assert not violations
+
+    def test_ssthresh_initialised_to_max_window(self):
+        _, sender, _ = healthy_connection(max_window_segments=33.0)
+        assert sender.ssthresh == 33.0
+
+
+class TestStopSemantics:
+    def test_stop_cancels_timer_and_transmission(self):
+        sim, sender, sink = healthy_connection()
+        sender.start()
+        sim.run(until=1.0)
+        sender.stop()
+        sent_at_stop = sender.stats.segments_sent
+        sim.run(until=5.0)
+        assert sender.stats.segments_sent == sent_at_stop
+
+    def test_ack_for_wrong_flow_ignored(self):
+        sim, sender, _ = healthy_connection()
+        stray = Packet(
+            src="x", dst="snd", kind=PacketKind.ACK,
+            size_bytes=40, seq=999, flow="other",
+        )
+        sender.receive(stray)
+        assert sender.una == 0

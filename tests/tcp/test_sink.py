@@ -1,0 +1,118 @@
+"""TCP receiver: delayed ACKs, duplicate ACKs, reassembly."""
+
+import pytest
+
+from repro.core.units import Bandwidth
+from repro.simnet.engine import Simulator
+from repro.simnet.packet import Packet, PacketKind
+from repro.simnet.path import DumbbellPath
+from repro.tcp.sink import DELAYED_ACK_TIMEOUT_S, TcpSink
+
+
+class AckCollector:
+    def __init__(self):
+        self.acks = []
+
+    def receive(self, packet):
+        if packet.kind is PacketKind.ACK:
+            self.acks.append(packet.seq)
+
+
+def setup():
+    sim = Simulator()
+    path = DumbbellPath(
+        sim, Bandwidth.from_mbps(100), buffer_bytes=500_000, one_way_delay_s=0.001
+    )
+    collector = AckCollector()
+    sink = TcpSink(sim, path, name="rcv", peer="snd", flow="f")
+    path.register("rcv", sink)
+    path.register("snd", collector)
+    return sim, path, sink, collector
+
+
+def data(seq):
+    return Packet(
+        src="snd", dst="rcv", kind=PacketKind.DATA, size_bytes=1460, seq=seq, flow="f"
+    )
+
+
+class TestDelayedAcks:
+    def test_every_second_segment_acked_immediately(self):
+        sim, path, sink, collector = setup()
+        path.send_forward(data(0))
+        path.send_forward(data(1))
+        sim.run()
+        assert collector.acks == [2]
+
+    def test_single_segment_acked_after_delay(self):
+        sim, path, sink, collector = setup()
+        path.send_forward(data(0))
+        sim.run(until=DELAYED_ACK_TIMEOUT_S / 2)
+        assert collector.acks == []
+        sim.run()
+        assert collector.acks == [1]
+
+    def test_ack_every_one(self):
+        sim = Simulator()
+        path = DumbbellPath(
+            sim, Bandwidth.from_mbps(100), buffer_bytes=500_000, one_way_delay_s=0.001
+        )
+        collector = AckCollector()
+        sink = TcpSink(sim, path, name="rcv", peer="snd", flow="f", ack_every=1)
+        path.register("rcv", sink)
+        path.register("snd", collector)
+        path.send_forward(data(0))
+        sim.run(until=0.05)
+        assert collector.acks == [1]
+
+
+class TestDuplicateAcks:
+    def test_out_of_order_triggers_immediate_dupack(self):
+        sim, path, sink, collector = setup()
+        path.send_forward(data(0))
+        path.send_forward(data(1))  # cumulative ACK 2
+        path.send_forward(data(3))  # gap: dup ACK 2
+        path.send_forward(data(4))  # dup ACK 2
+        sim.run()
+        assert collector.acks == [2, 2, 2]
+
+    def test_gap_fill_acks_everything(self):
+        sim, path, sink, collector = setup()
+        for seq in (0, 1, 3, 4, 2):
+            path.send_forward(data(seq))
+        sim.run()
+        assert collector.acks[-1] == 5
+        assert sink.segments_delivered == 5
+
+    def test_spurious_retransmission_reacked(self):
+        sim, path, sink, collector = setup()
+        path.send_forward(data(0))
+        path.send_forward(data(1))
+        path.send_forward(data(0))  # below rcv_next
+        sim.run()
+        assert collector.acks == [2, 2]
+
+
+class TestAccounting:
+    def test_bytes_delivered(self):
+        sim, path, sink, _ = setup()
+        for seq in range(4):
+            path.send_forward(data(seq))
+        sim.run()
+        assert sink.bytes_delivered == 4 * 1460
+
+    def test_wrong_flow_ignored(self):
+        sim, path, sink, collector = setup()
+        stray = Packet(
+            src="snd", dst="rcv", kind=PacketKind.DATA,
+            size_bytes=1460, seq=0, flow="other",
+        )
+        path.send_forward(stray)
+        sim.run()
+        assert sink.segments_delivered == 0
+
+    def test_invalid_ack_every(self):
+        sim = Simulator()
+        path = DumbbellPath(sim, Bandwidth.from_mbps(1), 10_000, 0.01)
+        with pytest.raises(ValueError):
+            TcpSink(sim, path, "r", "s", "f", ack_every=0)

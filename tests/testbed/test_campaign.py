@@ -1,0 +1,107 @@
+"""The campaign runner."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.formulas.params import TcpParameters
+from repro.paths.config import may_2004_catalog, scaled_catalog
+from repro.testbed.campaign import (
+    Campaign,
+    CampaignSettings,
+    run_march_2006,
+    run_may_2004,
+)
+
+
+def small_campaign(seed=0, n_paths=3):
+    return Campaign(scaled_catalog(may_2004_catalog(), n_paths), seed=seed)
+
+
+class TestCampaign:
+    def test_structure(self):
+        dataset = small_campaign().run(
+            CampaignSettings(n_traces=2, epochs_per_trace=5)
+        )
+        assert len(dataset.path_ids) == 3
+        assert len(dataset.traces) == 6
+        assert all(len(trace) == 5 for trace in dataset)
+
+    def test_reproducible_across_runs(self):
+        settings = CampaignSettings(n_traces=1, epochs_per_trace=10)
+        a = small_campaign(seed=3).run(settings)
+        b = small_campaign(seed=3).run(settings)
+        assert a.throughputs().tolist() == b.throughputs().tolist()
+
+    def test_different_seeds_differ(self):
+        settings = CampaignSettings(n_traces=1, epochs_per_trace=10)
+        a = small_campaign(seed=3).run(settings)
+        b = small_campaign(seed=4).run(settings)
+        assert a.throughputs().tolist() != b.throughputs().tolist()
+
+    def test_subset_reproducibility(self):
+        """A single trace rerun alone matches the full campaign's copy."""
+        campaign = small_campaign(seed=5)
+        settings = CampaignSettings(n_traces=2, epochs_per_trace=8)
+        full = campaign.run(settings)
+        config = campaign.catalog[1]
+        alone = Campaign([config], seed=5).run_trace(config, 1, settings)
+        matching = [
+            t for t in full if t.path_id == config.path_id and t.trace_index == 1
+        ][0]
+        assert [e.throughput_mbps for e in alone] == [
+            e.throughput_mbps for e in matching
+        ]
+
+    def test_small_window_toggle(self):
+        on = small_campaign().run(CampaignSettings(n_traces=1, epochs_per_trace=3))
+        off = small_campaign().run(
+            CampaignSettings(n_traces=1, epochs_per_trace=3, run_small_window=False)
+        )
+        assert all(e.smallw_throughput_mbps is not None for e in on.epochs())
+        assert all(e.smallw_throughput_mbps is None for e in off.epochs())
+
+    def test_epoch_times_increase(self):
+        dataset = small_campaign().run(
+            CampaignSettings(n_traces=1, epochs_per_trace=10)
+        )
+        for trace in dataset:
+            times = [e.start_time_s for e in trace]
+            assert times == sorted(times)
+            # Epoch spacing matches the paper's 2-3 minutes.
+            gaps = [b - a for a, b in zip(times, times[1:])]
+            assert all(150.0 <= g <= 190.0 for g in gaps)
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Campaign([])
+
+    def test_settings_validation(self):
+        with pytest.raises(ConfigurationError):
+            CampaignSettings(n_traces=0)
+        with pytest.raises(ConfigurationError):
+            CampaignSettings(epochs_per_trace=0)
+        with pytest.raises(ConfigurationError):
+            CampaignSettings(transfer_duration_s=0)
+
+    def test_custom_tcp_parameters(self):
+        campaign = Campaign(
+            scaled_catalog(may_2004_catalog(), 2),
+            tcp=TcpParameters(max_window_bytes=64_000),
+        )
+        dataset = campaign.run(CampaignSettings(n_traces=1, epochs_per_trace=3))
+        assert len(dataset.epochs()) == 6
+
+
+class TestConvenienceRunners:
+    def test_run_may_2004_reduced(self):
+        dataset = run_may_2004(n_traces=1, epochs_per_trace=2)
+        assert dataset.label == "may-2004"
+        assert len(dataset.path_ids) == 35
+
+    def test_run_march_2006_has_checkpoints(self):
+        dataset = run_march_2006(n_traces=1, epochs_per_trace=2)
+        assert dataset.label == "march-2006"
+        assert len(dataset.path_ids) == 24
+        assert all(
+            len(e.duration_throughputs_mbps) == 3 for e in dataset.epochs()
+        )

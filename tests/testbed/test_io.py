@@ -1,0 +1,68 @@
+"""Dataset CSV serialization."""
+
+import pytest
+
+from repro.core.errors import DataError
+from repro.paths.config import may_2004_catalog, scaled_catalog
+from repro.testbed.campaign import Campaign, CampaignSettings
+from repro.testbed.io import load_dataset, save_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    campaign = Campaign(scaled_catalog(may_2004_catalog(), 3), seed=1, label="io-test")
+    return campaign.run(CampaignSettings(n_traces=2, epochs_per_trace=5))
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_structure(self, dataset, tmp_path):
+        path = tmp_path / "ds.csv"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        assert loaded.label == dataset.label
+        assert loaded.path_ids == dataset.path_ids
+        assert len(loaded.traces) == len(dataset.traces)
+
+    def test_roundtrip_preserves_values_exactly(self, dataset, tmp_path):
+        path = tmp_path / "ds.csv"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        for original, restored in zip(dataset.epochs(), loaded.epochs()):
+            assert restored == original
+
+    def test_truth_roundtrip(self, dataset, tmp_path):
+        path = tmp_path / "ds.csv"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        first = loaded.epochs()[0].truth
+        assert first is not None
+        assert first.regime in {"window", "loss", "congestion"}
+
+
+class TestErrorHandling:
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataError):
+            load_dataset(path)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("not,a,dataset\n")
+        with pytest.raises(DataError):
+            load_dataset(path)
+
+    def test_wrong_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("# dataset,x\ncol1,col2\n")
+        with pytest.raises(DataError):
+            load_dataset(path)
+
+    def test_short_row_rejected(self, dataset, tmp_path):
+        path = tmp_path / "ds.csv"
+        save_dataset(dataset, path)
+        lines = path.read_text().splitlines()
+        lines.append("p01,0,99")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(DataError):
+            load_dataset(path)

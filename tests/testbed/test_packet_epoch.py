@@ -1,0 +1,79 @@
+"""The packet-level epoch runner (short epochs for test speed)."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.formulas.params import TcpParameters
+from repro.paths.config import may_2004_catalog
+from repro.testbed.packet_epoch import PacketEpochRunner
+
+pytestmark = pytest.mark.slow
+
+
+def config(path_id, **overrides):
+    base = next(c for c in may_2004_catalog() if c.path_id == path_id)
+    return replace(base, **overrides) if overrides else base
+
+
+def run(path_id, utilization, tcp=None, seed=0, **overrides):
+    runner = PacketEpochRunner(config(path_id, **overrides), np.random.default_rng(seed))
+    return runner.run_epoch(
+        utilization=utilization,
+        tcp=tcp,
+        transfer_duration_s=10.0,
+        pre_probe_duration_s=10.0,
+    )
+
+
+class TestEpochRecord:
+    def test_produces_valid_measurement(self):
+        epoch = run("p12", 0.4)
+        assert epoch.throughput_mbps > 0
+        assert 0 <= epoch.phat < 1
+        assert epoch.that_s > 0
+        assert epoch.ahat_mbps > 0
+        assert epoch.truth is not None
+        assert epoch.truth.regime == "packet-sim"
+
+    def test_identity_fields(self):
+        runner = PacketEpochRunner(config("p12"), np.random.default_rng(0))
+        epoch = runner.run_epoch(
+            utilization=0.3,
+            transfer_duration_s=5.0,
+            pre_probe_duration_s=5.0,
+            path_id="custom",
+            trace_index=2,
+            epoch_index=7,
+        )
+        assert (epoch.path_id, epoch.trace_index, epoch.epoch_index) == (
+            "custom", 2, 7,
+        )
+
+    def test_invalid_utilization_rejected(self):
+        runner = PacketEpochRunner(config("p12"), np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            runner.run_epoch(utilization=1.0)
+
+
+class TestPhysics:
+    def test_throughput_under_capacity(self):
+        epoch = run("p12", 0.4)
+        assert epoch.throughput_mbps <= 10.0
+
+    def test_higher_load_lower_throughput(self):
+        light = run("p12", 0.1, seed=3)
+        heavy = run("p12", 0.7, seed=3)
+        assert heavy.throughput_mbps < light.throughput_mbps
+
+    def test_window_limited_transfer_matches_ceiling(self):
+        epoch = run("p21", 0.1, tcp=TcpParameters.window_limited())
+        ceiling = 20_000 * 8 / epoch.that_s / 1e6
+        assert epoch.throughput_mbps == pytest.approx(ceiling, rel=0.35)
+
+    def test_reproducible_given_seed(self):
+        a = run("p12", 0.4, seed=9)
+        b = run("p12", 0.4, seed=9)
+        assert a.throughput_mbps == b.throughput_mbps
+        assert a.that_s == b.that_s
