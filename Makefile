@@ -1,17 +1,31 @@
 # Convenience targets for the reproduction.
 
 PYTHON ?= python
+SMOKE_DIR := .campaign-smoke
 
-.PHONY: install test test-fast bench bench-full examples clean
+.PHONY: install test test-fast campaign-smoke bench bench-full examples clean
 
 install:
 	$(PYTHON) setup.py develop
 
-test:
+test: campaign-smoke
 	$(PYTHON) -m pytest tests/
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow"
+
+# Fast end-to-end check: a 2-path x 2-trace x 10-epoch parallel campaign
+# through the CLI, twice — the second run must be served from the cache
+# and produce a byte-identical dataset.
+campaign-smoke:
+	rm -rf $(SMOKE_DIR)
+	PYTHONPATH=src REPRO_CACHE_DIR=$(SMOKE_DIR)/cache $(PYTHON) -m repro.cli.campaign \
+		--paths 2 --traces 2 --epochs 10 --workers 2 -o $(SMOKE_DIR)/smoke.csv
+	PYTHONPATH=src REPRO_CACHE_DIR=$(SMOKE_DIR)/cache $(PYTHON) -m repro.cli.campaign \
+		--paths 2 --traces 2 --epochs 10 --workers 2 -o $(SMOKE_DIR)/smoke-again.csv \
+		| grep -q "cache hit"
+	cmp $(SMOKE_DIR)/smoke.csv $(SMOKE_DIR)/smoke-again.csv
+	@echo "campaign smoke OK (parallel run + cache hit)"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -23,5 +37,5 @@ examples:
 	for script in examples/*.py; do echo "== $$script"; $(PYTHON) $$script; done
 
 clean:
-	rm -rf build dist src/repro.egg-info .pytest_cache
+	rm -rf build dist src/repro.egg-info .pytest_cache $(SMOKE_DIR)
 	find . -name __pycache__ -type d -exec rm -rf {} +

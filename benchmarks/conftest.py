@@ -21,11 +21,28 @@ if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
 from repro.paths.config import march_2006_catalog, may_2004_catalog  # noqa: E402
+from repro.testbed.cache import run_cached  # noqa: E402
 from repro.testbed.campaign import Campaign, CampaignSettings  # noqa: E402
 
 OUTPUT_DIR = Path(__file__).resolve().parent / "output"
 
 FULL = os.environ.get("REPRO_FULL_CAMPAIGN", "") == "1"
+
+#: Campaigns are cached on disk (keyed by catalog/seed/settings/code
+#: version) so repeated benchmark runs skip re-simulation.  Opt out with
+#: REPRO_NO_CACHE=1; relocate with REPRO_CACHE_DIR.
+USE_CACHE = os.environ.get("REPRO_NO_CACHE", "") != "1"
+
+#: Worker processes for campaign simulation on a cache miss (0 = all CPUs).
+N_WORKERS = int(os.environ.get("REPRO_CAMPAIGN_WORKERS", "1"))
+
+
+def _dataset(campaign, settings):
+    """Run a campaign through the on-disk cache (unless opted out)."""
+    if not USE_CACHE:
+        return campaign.run(settings, n_workers=N_WORKERS)
+    dataset, _hit = run_cached(campaign, settings, n_workers=N_WORKERS)
+    return dataset
 
 #: Campaign scale: the paper's (7 x 150) or a fast reduced one (2 x 80).
 #: 80 epochs keep Fig. 23's 45-minute down-sampling meaningful.
@@ -41,8 +58,8 @@ MARCH_SEED = 2006
 def may2004():
     """The May-2004-style measurement set (Figs. 2-10, 12-23)."""
     campaign = Campaign(may_2004_catalog(), seed=MAY_SEED, label="may-2004")
-    return campaign.run(
-        CampaignSettings(n_traces=MAY_TRACES, epochs_per_trace=MAY_EPOCHS)
+    return _dataset(
+        campaign, CampaignSettings(n_traces=MAY_TRACES, epochs_per_trace=MAY_EPOCHS)
     )
 
 
@@ -50,7 +67,8 @@ def may2004():
 def march2006():
     """The March-2006-style set: 120 s transfers, 30/60/120 s cuts (Fig. 11)."""
     campaign = Campaign(march_2006_catalog(), seed=MARCH_SEED, label="march-2006")
-    return campaign.run(
+    return _dataset(
+        campaign,
         CampaignSettings(
             n_traces=MARCH_TRACES,
             epochs_per_trace=MARCH_EPOCHS,

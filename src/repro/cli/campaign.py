@@ -1,10 +1,17 @@
 """``repro-campaign``: run a measurement campaign and save the dataset.
 
+Campaigns are cached on disk by content (catalog, seed, settings, code
+version): re-running the same invocation loads the prior dataset
+instead of re-simulating.  Set ``REPRO_CACHE_DIR`` (or ``--cache-dir``)
+to relocate the cache, or ``--no-cache`` to bypass it.
+
 Examples::
 
     repro-campaign --catalog may2004 --traces 2 --epochs 60 -o may.csv
     repro-campaign --catalog march2006 --seed 7 -o march.csv
     repro-campaign --catalog may2004 --paths 10 --quiet -o small.csv
+    repro-campaign --workers 8 -o full.csv         # parallel simulation
+    repro-campaign --workers 0 --no-cache -o f.csv # all CPUs, force re-run
 """
 
 from __future__ import annotations
@@ -14,7 +21,9 @@ import sys
 import time
 
 from repro.paths.config import march_2006_catalog, may_2004_catalog, scaled_catalog
+from repro.testbed.cache import DatasetCache, run_cached
 from repro.testbed.campaign import Campaign, CampaignSettings
+from repro.testbed.executor import CampaignProgress
 from repro.testbed.io import save_dataset
 
 CATALOGS = {
@@ -59,10 +68,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the W=20KB companion transfers",
     )
     parser.add_argument(
+        "-w",
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for trace simulation; 0 = all CPUs "
+        "(default: 1; results are bit-identical for any worker count)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always re-simulate, and do not store the result in the cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="dataset cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro/datasets)",
+    )
+    parser.add_argument(
         "-o", "--output", required=True, metavar="FILE", help="output CSV path"
     )
-    parser.add_argument("--quiet", action="store_true", help="suppress progress")
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress and summary output"
+    )
     return parser
+
+
+def _print_progress(snapshot: CampaignProgress) -> None:
+    """Render one live progress line (carriage-return overwritten)."""
+    eta = snapshot.eta_s
+    eta_text = f"{eta:5.0f}s" if eta != float("inf") else "    ?s"
+    sys.stderr.write(
+        f"\r[{snapshot.traces_done}/{snapshot.traces_total} traces] "
+        f"{snapshot.epochs_done}/{snapshot.epochs_total} epochs, "
+        f"{snapshot.epochs_per_s:6.1f} epochs/s, ETA {eta_text}"
+    )
+    if snapshot.done:
+        sys.stderr.write("\n")
+    sys.stderr.flush()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -82,14 +128,31 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     campaign = Campaign(catalog, seed=args.seed, label=args.catalog)
+    progress = None if args.quiet else _print_progress
     started = time.perf_counter()
-    dataset = campaign.run(settings)
+    if args.no_cache:
+        dataset = campaign.run(settings, n_workers=args.workers, progress=progress)
+        hit = False
+    else:
+        dataset, hit = run_cached(
+            campaign,
+            settings,
+            n_workers=args.workers,
+            cache=DatasetCache(args.cache_dir),
+            progress=progress,
+        )
     elapsed = time.perf_counter() - started
     save_dataset(dataset, args.output)
 
     if not args.quiet:
         print(dataset.summary())
-        print(f"simulated in {elapsed:.1f}s -> {args.output}")
+        if hit:
+            print(f"cache hit, loaded in {elapsed:.1f}s -> {args.output}")
+        else:
+            print(
+                f"simulated in {elapsed:.1f}s "
+                f"(workers={args.workers}) -> {args.output}"
+            )
     return 0
 
 

@@ -4,6 +4,7 @@ This subpackage holds everything that more than one subsystem needs and
 that is not specific to either predictor family or to either simulator.
 """
 
+from repro.core.cachekey import canonical_encoding, stable_fingerprint
 from repro.core.errors import (
     ConfigurationError,
     DataError,
@@ -46,6 +47,7 @@ __all__ = [
     "TimeSeries",
     "bits_to_mbps",
     "bytes_to_bits",
+    "canonical_encoding",
     "coefficient_of_variation",
     "kbit",
     "kbyte",
@@ -56,4 +58,5 @@ __all__ = [
     "relative_error",
     "rmsre",
     "segmented_cov",
+    "stable_fingerprint",
 ]

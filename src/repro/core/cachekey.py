@@ -1,0 +1,66 @@
+"""Stable content fingerprints for cache keys.
+
+The dataset cache (:mod:`repro.testbed.cache`) needs a key that changes
+whenever anything that influences a campaign's output changes — the
+path catalog, the seed, the settings, the TCP parameters, the code
+version — and never changes otherwise.  Python's built-in ``hash`` is
+salted per process and ``pickle`` output is not guaranteed stable, so
+the key is a SHA-256 over a canonical text encoding instead.
+
+The encoding is defined for the value shapes the package actually
+caches on: dataclasses (encoded as ``ClassName(field=value, ...)`` in
+field order), mappings (sorted by key), sequences, and scalars.  Floats
+use ``repr``, which round-trips exactly in Python 3.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any
+
+
+def canonical_encoding(obj: Any) -> str:
+    """Encode ``obj`` as a deterministic, type-discriminating string.
+
+    Raises:
+        TypeError: for values with no canonical encoding (e.g. open
+            files, arbitrary objects) — better to fail loudly than to
+            cache under an unstable key.
+    """
+    if obj is None or isinstance(obj, (bool, int, str, bytes)):
+        return repr(obj)
+    if isinstance(obj, float):
+        # repr() round-trips floats exactly and is stable across runs.
+        return f"float:{obj!r}"
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        body = ", ".join(
+            f"{field.name}={canonical_encoding(getattr(obj, field.name))}"
+            for field in dataclasses.fields(obj)
+        )
+        return f"{type(obj).__qualname__}({body})"
+    if isinstance(obj, dict):
+        body = ", ".join(
+            f"{canonical_encoding(key)}: {canonical_encoding(obj[key])}"
+            for key in sorted(obj, key=repr)
+        )
+        return f"{{{body}}}"
+    if isinstance(obj, (list, tuple)):
+        tag = "list" if isinstance(obj, list) else "tuple"
+        return f"{tag}[{', '.join(canonical_encoding(item) for item in obj)}]"
+    if isinstance(obj, (set, frozenset)):
+        return f"set[{', '.join(sorted(canonical_encoding(item) for item in obj))}]"
+    raise TypeError(
+        f"no canonical encoding for {type(obj).__name__!r}; "
+        "cache keys must be built from dataclasses, mappings, sequences, "
+        "and scalars"
+    )
+
+
+def stable_fingerprint(obj: Any) -> str:
+    """SHA-256 hex digest of :func:`canonical_encoding` of ``obj``.
+
+    Equal values give equal fingerprints in every process and on every
+    platform; any change to a nested field changes the fingerprint.
+    """
+    return hashlib.sha256(canonical_encoding(obj).encode("utf-8")).hexdigest()

@@ -129,11 +129,32 @@ class TimeSeries:
         )
 
     def drop_indices(self, indices: Iterable[int]) -> "TimeSeries":
-        """Return a copy with the samples at ``indices`` removed."""
+        """Return a copy with the samples at ``indices`` removed.
+
+        Indices must be integers in ``[0, len(self))``; negative indices
+        are rejected rather than wrapping around numpy-style.
+
+        Raises:
+            DataError: for non-integer, negative, or out-of-range
+                indices.
+        """
         mask = np.ones(len(self), dtype=bool)
         index_list = list(indices)
         if index_list:
-            mask[np.asarray(index_list, dtype=int)] = False
+            index_arr = np.asarray(index_list)
+            if index_arr.dtype.kind not in "iu":
+                raise DataError(
+                    f"drop_indices requires integer indices, got {index_list!r}"
+                )
+            out_of_range = (index_arr < 0) | (index_arr >= len(self))
+            if out_of_range.any():
+                bad = index_arr[out_of_range][0]
+                raise DataError(
+                    f"drop_indices: index {bad} out of range for a series "
+                    f"of length {len(self)} (negative indices are not "
+                    "supported)"
+                )
+            mask[index_arr] = False
         return TimeSeries(self._times[mask], self._values[mask], name=self.name)
 
     def window(self, start_time: float, end_time: float) -> "TimeSeries":

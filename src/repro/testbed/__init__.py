@@ -3,6 +3,9 @@
 * :mod:`repro.testbed.campaign` — the epoch/trace/campaign runner that
   reproduces the paper's measurement structure (150 epochs per trace,
   7 traces per path).
+* :mod:`repro.testbed.executor` — parallel (path, trace) fan-out with
+  per-trace progress reporting; bit-identical to serial execution.
+* :mod:`repro.testbed.cache` — content-addressed on-disk dataset cache.
 * :mod:`repro.testbed.io` — CSV serialization of datasets.
 
 Path catalogs and measurement records live in :mod:`repro.paths` and are
@@ -11,14 +14,21 @@ re-exported here for convenience.
 
 from repro.paths.config import PathConfig, march_2006_catalog, may_2004_catalog
 from repro.paths.records import Dataset, EpochMeasurement, Trace
+from repro.testbed.cache import DatasetCache, campaign_cache_key, run_cached
 from repro.testbed.campaign import Campaign
+from repro.testbed.executor import CampaignProgress, run_campaign
 
 __all__ = [
     "Campaign",
+    "CampaignProgress",
     "Dataset",
+    "DatasetCache",
     "EpochMeasurement",
     "PathConfig",
     "Trace",
+    "campaign_cache_key",
     "march_2006_catalog",
     "may_2004_catalog",
+    "run_cached",
+    "run_campaign",
 ]

@@ -1,0 +1,145 @@
+"""Content-addressed on-disk dataset cache.
+
+A campaign's output is fully determined by (catalog, seed, label, TCP
+parameters, settings) plus the code that simulates it.  The cache maps a
+:func:`~repro.core.cachekey.stable_fingerprint` of exactly those inputs
+to a saved CSV (the same format as :func:`repro.testbed.io.save_dataset`),
+so benchmarks and the ``repro-campaign`` CLI can reuse a previously
+simulated campaign instead of re-running it.
+
+The cache directory defaults to ``~/.cache/repro/datasets`` and is
+overridden with the ``REPRO_CACHE_DIR`` environment variable (or the
+CLI's ``--cache-dir``).  Entries are plain CSV files named after their
+key — safe to inspect, copy, or delete by hand; a corrupt or truncated
+entry is treated as a miss and re-simulated.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro._version import __version__
+from repro.core.cachekey import stable_fingerprint
+from repro.core.errors import DataError
+from repro.paths.records import Dataset
+from repro.testbed.io import FORMAT_VERSION, load_dataset, save_dataset
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.testbed.campaign import Campaign, CampaignSettings
+    from repro.testbed.executor import ProgressCallback
+
+#: Environment variable overriding the cache location.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro/datasets``."""
+    env = os.environ.get(ENV_CACHE_DIR, "").strip()
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro" / "datasets"
+
+
+def campaign_cache_key(campaign: "Campaign", settings: "CampaignSettings") -> str:
+    """The cache key for one campaign execution.
+
+    Covers everything that shapes the dataset: the full path catalog
+    (every field of every :class:`~repro.paths.config.PathConfig`), the
+    root seed, the label, both TCP parameter sets, the campaign
+    settings, and the code/format version so stale entries from older
+    releases are never served.
+    """
+    return stable_fingerprint(
+        {
+            "catalog": campaign.catalog,
+            "seed": campaign.streams.seed,
+            "label": campaign.label,
+            "tcp": campaign.tcp,
+            "small_tcp": campaign.small_tcp,
+            "settings": settings,
+            "code_version": __version__,
+            "format_version": FORMAT_VERSION,
+        }
+    )
+
+
+class DatasetCache:
+    """A directory of datasets addressed by content key.
+
+    Args:
+        root: cache directory; ``None`` uses :func:`default_cache_dir`
+            (which honours ``REPRO_CACHE_DIR``).
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root).expanduser() if root is not None else default_cache_dir()
+
+    def path_for(self, key: str) -> Path:
+        """The file a dataset with ``key`` is (or would be) stored at."""
+        return self.root / f"{key}.csv"
+
+    def contains(self, key: str) -> bool:
+        """Whether an entry exists for ``key`` (it may still be corrupt)."""
+        return self.path_for(key).is_file()
+
+    def load(self, key: str) -> Dataset | None:
+        """Return the cached dataset for ``key``, or ``None`` on a miss.
+
+        A malformed entry (truncated write, older format) counts as a
+        miss rather than an error: the caller re-simulates and the entry
+        is overwritten.
+        """
+        path = self.path_for(key)
+        if not path.is_file():
+            return None
+        try:
+            return load_dataset(path)
+        except DataError:
+            return None
+
+    def store(self, key: str, dataset: Dataset) -> Path:
+        """Save ``dataset`` under ``key``; returns the entry's path.
+
+        The write is atomic (temp file + rename), so a concurrent reader
+        never observes a half-written entry.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=f".{key[:16]}-", suffix=".tmp"
+        )
+        os.close(fd)
+        try:
+            save_dataset(dataset, tmp_name)
+            os.replace(tmp_name, path)
+        finally:
+            if os.path.exists(tmp_name):  # pragma: no cover - error path
+                os.unlink(tmp_name)
+        return path
+
+
+def run_cached(
+    campaign: "Campaign",
+    settings: "CampaignSettings",
+    n_workers: int = 1,
+    cache: DatasetCache | None = None,
+    progress: "ProgressCallback | None" = None,
+) -> tuple[Dataset, bool]:
+    """Run a campaign through the cache.
+
+    Returns ``(dataset, hit)``: on a hit the saved dataset is loaded and
+    no simulation happens (the progress callback is not invoked); on a
+    miss the campaign runs (honouring ``n_workers``/``progress``) and
+    the result is stored before being returned.
+    """
+    cache = cache or DatasetCache()
+    key = campaign_cache_key(campaign, settings)
+    cached = cache.load(key)
+    if cached is not None:
+        return cached, True
+    dataset = campaign.run(settings, n_workers=n_workers, progress=progress)
+    cache.store(key, dataset)
+    return dataset, False

@@ -86,16 +86,28 @@ class Campaign:
         self.tcp = tcp or TcpParameters.congestion_limited()
         self.small_tcp = small_tcp or TcpParameters.window_limited()
 
-    def run(self, settings: CampaignSettings | None = None) -> Dataset:
-        """Execute the campaign and return the collected dataset."""
+    def run(
+        self,
+        settings: CampaignSettings | None = None,
+        n_workers: int = 1,
+        progress=None,
+    ) -> Dataset:
+        """Execute the campaign and return the collected dataset.
+
+        Args:
+            settings: campaign knobs (defaults to the paper's).
+            n_workers: worker processes for the (path, trace) work
+                units; 1 runs serially, 0 uses all CPUs.  Because each
+                trace draws from its own named RNG stream, the result is
+                bit-identical for every worker count.
+            progress: optional callback receiving a
+                :class:`repro.testbed.executor.CampaignProgress`
+                snapshot after each finished trace.
+        """
+        from repro.testbed.executor import run_campaign
+
         settings = settings or CampaignSettings()
-        dataset = Dataset(label=self.label)
-        for config in self.catalog:
-            for trace_index in range(settings.n_traces):
-                dataset.traces.append(
-                    self.run_trace(config, trace_index, settings)
-                )
-        return dataset
+        return run_campaign(self, settings, n_workers=n_workers, progress=progress)
 
     def run_trace(
         self,

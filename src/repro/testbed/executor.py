@@ -1,0 +1,191 @@
+"""Parallel campaign execution over (path, trace) work units.
+
+The campaign's unit of independence is the (path, trace) pair: each one
+draws from its own named RNG stream
+(``RngStreams.get(f"{path_id}/trace{i}")``), so a trace simulated alone
+in a worker process is bit-identical to the same trace simulated inside
+a serial campaign (see ``tests/testbed/test_campaign.py::
+test_subset_reproducibility``).  The executor exploits that: it fans
+traces out over a :class:`~concurrent.futures.ProcessPoolExecutor` and
+reassembles the results in catalog order, so the parallel dataset is
+equal to the serial one regardless of scheduling.
+
+Progress is reported per finished trace through an optional callback
+receiving :class:`CampaignProgress` snapshots — the CLI turns these
+into a live epochs/s + ETA line.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections.abc import Callable
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.errors import ConfigurationError
+from repro.paths.records import Dataset, Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.testbed.campaign import Campaign, CampaignSettings
+
+
+@dataclass(frozen=True)
+class CampaignProgress:
+    """A progress snapshot emitted after every completed trace.
+
+    Attributes:
+        traces_done: traces finished so far.
+        traces_total: traces the campaign will run in total.
+        epochs_done: epochs contained in the finished traces.
+        epochs_total: epochs the campaign will simulate in total.
+        elapsed_s: wall-clock seconds since the campaign started.
+    """
+
+    traces_done: int
+    traces_total: int
+    epochs_done: int
+    epochs_total: int
+    elapsed_s: float
+
+    @property
+    def epochs_per_s(self) -> float:
+        """Simulation throughput so far (0.0 before any time elapsed)."""
+        if self.elapsed_s <= 0.0:
+            return 0.0
+        return self.epochs_done / self.elapsed_s
+
+    @property
+    def eta_s(self) -> float:
+        """Estimated seconds to completion at the current rate."""
+        rate = self.epochs_per_s
+        if rate <= 0.0:
+            return float("inf")
+        return (self.epochs_total - self.epochs_done) / rate
+
+    @property
+    def done(self) -> bool:
+        """Whether every trace has finished."""
+        return self.traces_done >= self.traces_total
+
+
+ProgressCallback = Callable[[CampaignProgress], None]
+
+
+def resolve_workers(n_workers: int) -> int:
+    """Normalize a worker-count request.
+
+    ``0`` (or any non-positive value) means "use all CPUs".
+
+    Raises:
+        ConfigurationError: for non-integer values.
+    """
+    if not isinstance(n_workers, int) or isinstance(n_workers, bool):
+        raise ConfigurationError(
+            f"n_workers must be an int, got {type(n_workers).__name__}"
+        )
+    if n_workers <= 0:
+        return os.cpu_count() or 1
+    return n_workers
+
+
+def _run_trace_job(
+    config,  # PathConfig
+    trace_index: int,
+    seed: int,
+    label: str,
+    tcp,  # TcpParameters
+    small_tcp,  # TcpParameters
+    settings,  # CampaignSettings
+) -> Trace:
+    """Worker entry point: simulate one (path, trace) pair.
+
+    Rebuilds a single-path campaign in the worker process; the named RNG
+    streams guarantee the result matches the serial campaign's copy.
+    """
+    from repro.testbed.campaign import Campaign
+
+    campaign = Campaign(
+        [config], seed=seed, label=label, tcp=tcp, small_tcp=small_tcp
+    )
+    return campaign.run_trace(config, trace_index, settings)
+
+
+def run_campaign(
+    campaign: "Campaign",
+    settings: "CampaignSettings",
+    n_workers: int = 1,
+    progress: ProgressCallback | None = None,
+) -> Dataset:
+    """Execute ``campaign`` with ``settings``, optionally in parallel.
+
+    Args:
+        campaign: the campaign to run.
+        settings: campaign knobs (traces per path, epochs per trace, ...).
+        n_workers: worker processes; 1 runs serially in-process, 0 uses
+            all CPUs.
+        progress: called after every finished trace with a
+            :class:`CampaignProgress` snapshot.
+
+    Returns:
+        The dataset, with traces in catalog x trace-index order — the
+        same order (and the same bits) as a serial ``Campaign.run``.
+    """
+    n_workers = resolve_workers(n_workers)
+    jobs = [
+        (config, trace_index)
+        for config in campaign.catalog
+        for trace_index in range(settings.n_traces)
+    ]
+    epochs_total = len(jobs) * settings.epochs_per_trace
+    started = time.perf_counter()
+    traces: list[Trace | None] = [None] * len(jobs)
+
+    def report(done_count: int) -> None:
+        if progress is None:
+            return
+        progress(
+            CampaignProgress(
+                traces_done=done_count,
+                traces_total=len(jobs),
+                epochs_done=done_count * settings.epochs_per_trace,
+                epochs_total=epochs_total,
+                elapsed_s=time.perf_counter() - started,
+            )
+        )
+
+    if n_workers == 1 or len(jobs) == 1:
+        for index, (config, trace_index) in enumerate(jobs):
+            traces[index] = campaign.run_trace(config, trace_index, settings)
+            report(index + 1)
+    else:
+        seed = campaign.streams.seed
+        with ProcessPoolExecutor(max_workers=min(n_workers, len(jobs))) as pool:
+            pending = {
+                pool.submit(
+                    _run_trace_job,
+                    config,
+                    trace_index,
+                    seed,
+                    campaign.label,
+                    campaign.tcp,
+                    campaign.small_tcp,
+                    settings,
+                ): index
+                for index, (config, trace_index) in enumerate(jobs)
+            }
+            done_count = 0
+            while pending:
+                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    index = pending.pop(future)
+                    traces[index] = future.result()
+                    done_count += 1
+                    report(done_count)
+
+    dataset = Dataset(label=campaign.label)
+    for trace in traces:
+        assert trace is not None  # every job either completed or raised
+        dataset.traces.append(trace)
+    return dataset

@@ -3,6 +3,14 @@
 One row per epoch, with the hidden truth columns included (prefixed
 ``truth_``) so saved campaigns remain fully analysable.  The format is
 deliberately flat CSV: easy to load into any analysis tool.
+
+Format history:
+
+* v1 had no ``truth_present`` column; loaders inferred truth-presence
+  from ``truth_regime`` being non-empty, which silently dropped truth
+  records whose regime was the empty string.  v1 files still load.
+* v2 (current) records truth-presence explicitly in ``truth_present``,
+  so ``load_dataset(save_dataset(ds))`` preserves every truth record.
 """
 
 from __future__ import annotations
@@ -12,6 +20,9 @@ from pathlib import Path
 
 from repro.core.errors import DataError
 from repro.paths.records import Dataset, EpochMeasurement, EpochTruth, Trace
+
+#: Bumped when the on-disk layout changes; part of the dataset cache key.
+FORMAT_VERSION = 2
 
 _COLUMNS = [
     "path_id",
@@ -26,12 +37,16 @@ _COLUMNS = [
     "ttilde_s",
     "smallw_throughput_mbps",
     "duration_throughputs_mbps",
+    "truth_present",
     "truth_utilization_pre",
     "truth_utilization_during",
     "truth_loss_event_rate",
     "truth_regime",
     "truth_outlier",
 ]
+
+#: The v1 layout, accepted on load for files saved by older releases.
+_LEGACY_COLUMNS = [c for c in _COLUMNS if c != "truth_present"]
 
 
 def save_dataset(dataset: Dataset, path: str | Path) -> None:
@@ -60,6 +75,7 @@ def _epoch_row(epoch: EpochMeasurement) -> list[str]:
         repr(epoch.ttilde_s),
         "" if epoch.smallw_throughput_mbps is None else repr(epoch.smallw_throughput_mbps),
         ";".join(repr(v) for v in epoch.duration_throughputs_mbps),
+        "" if truth is None else "1",
         "" if truth is None else repr(truth.utilization_pre),
         "" if truth is None else repr(truth.utilization_during),
         "" if truth is None else repr(truth.loss_event_rate),
@@ -70,6 +86,9 @@ def _epoch_row(epoch: EpochMeasurement) -> list[str]:
 
 def load_dataset(path: str | Path) -> Dataset:
     """Read a dataset previously written by :func:`save_dataset`.
+
+    Accepts both the current format and the legacy (v1) one without a
+    ``truth_present`` column.
 
     Raises:
         DataError: on malformed files.
@@ -85,13 +104,17 @@ def load_dataset(path: str | Path) -> Dataset:
             raise DataError(f"{path} missing dataset header row")
         label = header[1]
         columns = next(reader, None)
-        if columns != _COLUMNS:
+        if columns == _COLUMNS:
+            legacy = False
+        elif columns == _LEGACY_COLUMNS:
+            legacy = True
+        else:
             raise DataError(f"{path} has unexpected columns: {columns}")
 
         dataset = Dataset(label=label)
         traces: dict[tuple[str, int], Trace] = {}
         for row in reader:
-            epoch = _parse_row(row, path)
+            epoch = _parse_row(row, path, legacy)
             key = (epoch.path_id, epoch.trace_index)
             if key not in traces:
                 traces[key] = Trace(path_id=epoch.path_id, trace_index=epoch.trace_index)
@@ -100,16 +123,27 @@ def load_dataset(path: str | Path) -> Dataset:
     return dataset
 
 
-def _parse_row(row: list[str], path: Path) -> EpochMeasurement:
-    if len(row) != len(_COLUMNS):
-        raise DataError(f"{path}: row has {len(row)} fields, expected {len(_COLUMNS)}")
-    (
-        path_id, trace_index, epoch_index, start_time_s,
-        ahat, phat, that, throughput, ptilde, ttilde,
-        smallw, durations, t_upre, t_udur, t_loss, t_regime, t_outlier,
-    ) = row
+def _parse_row(row: list[str], path: Path, legacy: bool) -> EpochMeasurement:
+    expected = _LEGACY_COLUMNS if legacy else _COLUMNS
+    if len(row) != len(expected):
+        raise DataError(f"{path}: row has {len(row)} fields, expected {len(expected)}")
+    if legacy:
+        (
+            path_id, trace_index, epoch_index, start_time_s,
+            ahat, phat, that, throughput, ptilde, ttilde,
+            smallw, durations, t_upre, t_udur, t_loss, t_regime, t_outlier,
+        ) = row
+        # v1 files could only signal truth-presence through the regime.
+        t_present = "1" if t_regime else ""
+    else:
+        (
+            path_id, trace_index, epoch_index, start_time_s,
+            ahat, phat, that, throughput, ptilde, ttilde,
+            smallw, durations, t_present, t_upre, t_udur, t_loss,
+            t_regime, t_outlier,
+        ) = row
     truth = None
-    if t_regime:
+    if t_present:
         truth = EpochTruth(
             utilization_pre=float(t_upre),
             utilization_during=float(t_udur),

@@ -64,6 +64,32 @@ class TestBootstrapCi:
         text = str(median_ci([1.0, 2.0, 3.0]))
         assert "[" in text and "95%" in text
 
+    def test_vectorized_resampling_matches_legacy_loop(self):
+        """Regression: the one-shot index draw reproduces the old loop's CIs.
+
+        The original implementation drew ``n_resamples`` size-n index
+        vectors in a Python loop; the vectorized version draws one
+        ``(n_resamples, n)`` matrix.  ``Generator.integers`` consumes
+        the bit stream per element in C order, so the replicates — and
+        therefore the intervals — must be bitwise identical.
+        """
+        rng = np.random.default_rng(17)
+        sample = rng.normal(5.0, 2.0, 37)
+        for seed, statistic in [
+            (0, lambda s: float(np.median(s))),
+            (5, lambda s: float(s.mean())),
+            (9, lambda s: float(np.quantile(s, 0.9))),
+        ]:
+            ci = bootstrap_ci(sample, statistic, n_resamples=250, seed=seed)
+
+            legacy_rng = np.random.default_rng(seed)
+            legacy = np.empty(250)
+            for i in range(250):
+                resample = sample[legacy_rng.integers(0, sample.size, sample.size)]
+                legacy[i] = statistic(resample)
+            assert ci.low == float(np.quantile(legacy, 0.025))
+            assert ci.high == float(np.quantile(legacy, 0.975))
+
 
 class TestConvenienceWrappers:
     def test_fraction_above(self):

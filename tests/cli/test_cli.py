@@ -5,6 +5,12 @@ import pytest
 from repro.cli import analyze, campaign, predict
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    """Keep the dataset cache inside the test's tmp dir, not ~/.cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "dataset-cache"))
+
+
 class TestCampaignCommand:
     def test_runs_and_saves(self, tmp_path, capsys):
         out = tmp_path / "ds.csv"
@@ -49,6 +55,68 @@ class TestCampaignCommand:
             outs.append(out.read_text())
         assert outs[0] != outs[1]
 
+    def test_parallel_workers_match_serial(self, tmp_path):
+        outs = []
+        for name, workers in (("serial.csv", "1"), ("parallel.csv", "3")):
+            out = tmp_path / name
+            code = campaign.main(
+                [
+                    "--paths", "2", "--traces", "2", "--epochs", "3",
+                    "--workers", workers, "--no-cache", "--quiet",
+                    "-o", str(out),
+                ]
+            )
+            assert code == 0
+            outs.append(out.read_text())
+        assert outs[0] == outs[1]
+
+    def test_second_invocation_served_from_cache(self, tmp_path, capsys):
+        args = [
+            "--paths", "2", "--traces", "1", "--epochs", "3",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        campaign.main(args + ["-o", str(tmp_path / "first.csv")])
+        first_output = capsys.readouterr().out
+        assert "simulated in" in first_output
+
+        campaign.main(args + ["-o", str(tmp_path / "second.csv")])
+        second_output = capsys.readouterr().out
+        assert "cache hit" in second_output
+        assert (tmp_path / "first.csv").read_text() == (
+            tmp_path / "second.csv"
+        ).read_text()
+
+    def test_no_cache_forces_resimulation(self, tmp_path, capsys):
+        args = [
+            "--paths", "2", "--traces", "1", "--epochs", "3",
+            "--cache-dir", str(tmp_path / "cache"), "--no-cache",
+        ]
+        for name in ("a.csv", "b.csv"):
+            campaign.main(args + ["-o", str(tmp_path / name)])
+            assert "simulated in" in capsys.readouterr().out
+        assert not (tmp_path / "cache").exists()
+
+    def test_quiet_suppresses_progress(self, tmp_path, capsys):
+        campaign.main(
+            [
+                "--paths", "2", "--traces", "1", "--epochs", "3",
+                "--no-cache", "--quiet", "-o", str(tmp_path / "q.csv"),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == ""
+
+    def test_progress_line_rendered(self, tmp_path, capsys):
+        campaign.main(
+            [
+                "--paths", "2", "--traces", "1", "--epochs", "3",
+                "--no-cache", "-o", str(tmp_path / "p.csv"),
+            ]
+        )
+        err = capsys.readouterr().err
+        assert "traces]" in err and "epochs/s" in err and "ETA" in err
+
 
 @pytest.fixture(scope="module")
 def saved_dataset(tmp_path_factory):
@@ -56,7 +124,7 @@ def saved_dataset(tmp_path_factory):
     campaign.main(
         [
             "--paths", "5", "--traces", "2", "--epochs", "30",
-            "--quiet", "-o", str(out),
+            "--no-cache", "--quiet", "-o", str(out),
         ]
     )
     return out

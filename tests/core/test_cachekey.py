@@ -1,0 +1,64 @@
+"""Stable fingerprints for cache keys."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.cachekey import canonical_encoding, stable_fingerprint
+from repro.paths.config import may_2004_catalog
+from repro.testbed.campaign import CampaignSettings
+
+
+@dataclass(frozen=True)
+class Point:
+    x: float
+    y: float
+
+
+class TestCanonicalEncoding:
+    def test_scalars(self):
+        assert canonical_encoding(None) == "None"
+        assert canonical_encoding(True) == "True"
+        assert canonical_encoding(3) == "3"
+        assert canonical_encoding("a") == "'a'"
+
+    def test_float_discriminated_from_int(self):
+        assert canonical_encoding(1.0) != canonical_encoding(1)
+
+    def test_dataclass_uses_field_order(self):
+        assert canonical_encoding(Point(1.0, 2.0)) == (
+            "Point(x=float:1.0, y=float:2.0)"
+        )
+
+    def test_dict_sorted_by_key(self):
+        assert canonical_encoding({"b": 1, "a": 2}) == canonical_encoding(
+            dict([("a", 2), ("b", 1)])
+        )
+
+    def test_list_and_tuple_differ(self):
+        assert canonical_encoding([1, 2]) != canonical_encoding((1, 2))
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_encoding(object())
+
+
+class TestStableFingerprint:
+    def test_deterministic(self):
+        value = {"catalog": may_2004_catalog(), "settings": CampaignSettings()}
+        again = {"catalog": may_2004_catalog(), "settings": CampaignSettings()}
+        assert stable_fingerprint(value) == stable_fingerprint(again)
+
+    def test_sensitive_to_nested_change(self):
+        base = {"settings": CampaignSettings(n_traces=2)}
+        other = {"settings": CampaignSettings(n_traces=3)}
+        assert stable_fingerprint(base) != stable_fingerprint(other)
+
+    def test_sensitive_to_catalog_change(self):
+        catalog = may_2004_catalog()
+        assert stable_fingerprint(catalog) != stable_fingerprint(catalog[:-1])
+
+    def test_hex_sha256_shape(self):
+        digest = stable_fingerprint({"a": 1})
+        assert len(digest) == 64
+        assert set(digest) <= set("0123456789abcdef")

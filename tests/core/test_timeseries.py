@@ -104,6 +104,26 @@ class TestTransforms:
         ts = series([1.0, 2.0])
         assert ts.drop_indices([]) == ts
 
+    def test_drop_negative_index_rejected(self):
+        """-1 must not wrap around and silently drop the last sample."""
+        ts = series([1.0, 2.0, 3.0])
+        with pytest.raises(DataError, match="out of range"):
+            ts.drop_indices([-1])
+        with pytest.raises(DataError, match="not supported"):
+            ts.drop_indices([0, -2])
+
+    def test_drop_out_of_range_index_rejected(self):
+        ts = series([1.0, 2.0, 3.0])
+        with pytest.raises(DataError, match="index 3 out of range"):
+            ts.drop_indices([3])
+        with pytest.raises(DataError, match="length 3"):
+            ts.drop_indices([1, 99])
+
+    def test_drop_non_integer_index_rejected(self):
+        ts = series([1.0, 2.0, 3.0])
+        with pytest.raises(DataError, match="integer"):
+            ts.drop_indices([1.5])
+
     def test_window(self):
         ts = series([1.0, 2.0, 3.0, 4.0], period=10.0)
         assert ts.window(10.0, 30.0).values.tolist() == [2.0, 3.0]
