@@ -2,13 +2,15 @@
 
 PYTHON ?= python
 SMOKE_DIR := .campaign-smoke
+OBS_SMOKE_DIR := .obs-smoke
 
-.PHONY: install test test-fast campaign-smoke bench bench-full examples clean
+.PHONY: install test test-fast campaign-smoke obs-smoke lint bench bench-full \
+	bench-obs examples clean
 
 install:
 	$(PYTHON) setup.py develop
 
-test: campaign-smoke
+test: lint campaign-smoke obs-smoke
 	$(PYTHON) -m pytest tests/
 
 test-fast:
@@ -27,15 +29,35 @@ campaign-smoke:
 	cmp $(SMOKE_DIR)/smoke.csv $(SMOKE_DIR)/smoke-again.csv
 	@echo "campaign smoke OK (parallel run + cache hit)"
 
+# Telemetry end-to-end check: a tiny campaign must write its run
+# manifest sidecars, and `repro-obs summary` must render them.
+obs-smoke:
+	rm -rf $(OBS_SMOKE_DIR)
+	PYTHONPATH=src REPRO_CACHE_DIR=$(OBS_SMOKE_DIR)/cache $(PYTHON) -m repro.cli.campaign \
+		--paths 4 --traces 1 --epochs 5 --quiet -o $(OBS_SMOKE_DIR)/smoke.csv
+	test -f $(OBS_SMOKE_DIR)/smoke.manifest.json
+	test -f $(OBS_SMOKE_DIR)/smoke.events.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro.cli.obs summary $(OBS_SMOKE_DIR)/smoke.csv > /dev/null
+	@echo "obs smoke OK (manifest written + summary rendered)"
+
+# Library code must report through repro.obs, not print().
+lint:
+	$(PYTHON) tools/no_print_lint.py
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 bench-full:
 	REPRO_FULL_CAMPAIGN=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
+# Refresh BENCH_obs.json: wall time + per-phase timings of the
+# benchmark fixture campaigns, for tracking the perf trajectory.
+bench-obs:
+	PYTHONPATH=src $(PYTHON) benchmarks/obs_baseline.py
+
 examples:
 	for script in examples/*.py; do echo "== $$script"; $(PYTHON) $$script; done
 
 clean:
-	rm -rf build dist src/repro.egg-info .pytest_cache $(SMOKE_DIR)
+	rm -rf build dist src/repro.egg-info .pytest_cache $(SMOKE_DIR) $(OBS_SMOKE_DIR)
 	find . -name __pycache__ -type d -exec rm -rf {} +

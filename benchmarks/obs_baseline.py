@@ -1,0 +1,104 @@
+"""Record the benchmark fixtures' wall time and phase timings.
+
+Runs the same reduced campaigns the benchmark suite uses as fixtures
+(``benchmarks/conftest.py``: may-2004 at 2x80, march-2006 at 1x40),
+with telemetry on and the cache bypassed, and writes the aggregate
+timings to ``BENCH_obs.json`` at the repository root.  Re-run with
+``make bench-obs`` after performance work so the perf trajectory keeps
+populating; ``repro-obs compare`` diffs two full manifests when more
+detail is needed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro._version import __version__  # noqa: E402
+from repro.obs import get_telemetry  # noqa: E402
+from repro.paths.config import march_2006_catalog, may_2004_catalog  # noqa: E402
+from repro.testbed.campaign import Campaign, CampaignSettings  # noqa: E402
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+#: The same reduced fixture scales as benchmarks/conftest.py.
+FIXTURES = {
+    "may2004": (
+        lambda: Campaign(may_2004_catalog(), seed=2004, label="may-2004"),
+        CampaignSettings(n_traces=2, epochs_per_trace=80),
+    ),
+    "march2006": (
+        lambda: Campaign(march_2006_catalog(), seed=2006, label="march-2006"),
+        CampaignSettings(
+            n_traces=1,
+            epochs_per_trace=40,
+            transfer_duration_s=120.0,
+            run_small_window=False,
+            checkpoint_fractions=(0.25, 0.5, 1.0),
+        ),
+    ),
+}
+
+
+def record_fixture(name: str) -> dict:
+    """Run one fixture campaign and aggregate its telemetry."""
+    build, settings = FIXTURES[name]
+    telemetry = get_telemetry()
+    telemetry.drain()
+    started = time.perf_counter()
+    campaign = build()
+    dataset = campaign.run(settings)
+    wall_s = time.perf_counter() - started
+    snapshot = telemetry.drain()
+
+    from repro.obs.metrics import Timer
+
+    phases = {}
+    epoch_wall = None
+    for entry in snapshot["timers"]:
+        timer = Timer(entry["name"], entry["tags"])
+        timer.samples = entry["samples"]
+        if entry["name"] == "epoch.phase_s":
+            phases[entry["tags"]["phase"]] = timer.stats()
+        elif entry["name"] == "epoch.wall_s":
+            epoch_wall = timer.stats()
+    return {
+        "wall_time_s": round(wall_s, 4),
+        "epochs": len(dataset.epochs()),
+        "epochs_per_s": round(len(dataset.epochs()) / wall_s, 1),
+        "epoch_wall_s": epoch_wall,
+        "phase_s": phases,
+    }
+
+
+def main() -> int:
+    if os.environ.get("REPRO_OBS", "1") == "0":
+        print("error: REPRO_OBS=0 — telemetry is required to record timings",
+              file=sys.stderr)
+        return 2
+    report = {
+        "bench": "obs_baseline",
+        "code_version": __version__,
+        "recorded_unix": round(time.time(), 1),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "fixtures": {name: record_fixture(name) for name in FIXTURES},
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUTPUT}")
+    for name, entry in report["fixtures"].items():
+        print(f"  {name}: {entry['wall_time_s']}s for {entry['epochs']} epochs "
+              f"({entry['epochs_per_s']} epochs/s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,11 @@ version): re-running the same invocation loads the prior dataset
 instead of re-simulating.  Set ``REPRO_CACHE_DIR`` (or ``--cache-dir``)
 to relocate the cache, or ``--no-cache`` to bypass it.
 
+Every run also records telemetry (phase timings, cache hit/miss,
+simulation counters) and writes it as sidecars of the output —
+``X.manifest.json`` + ``X.events.jsonl`` — which ``repro-obs`` renders;
+set ``REPRO_OBS=0`` to turn telemetry off entirely.
+
 Examples::
 
     repro-campaign --catalog may2004 --traces 2 --epochs 60 -o may.csv
@@ -12,16 +17,20 @@ Examples::
     repro-campaign --catalog may2004 --paths 10 --quiet -o small.csv
     repro-campaign --workers 8 -o full.csv         # parallel simulation
     repro-campaign --workers 0 --no-cache -o f.csv # all CPUs, force re-run
+    repro-obs summary may.csv                      # inspect the telemetry
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
-import time
 
+from repro.core.cachekey import stable_fingerprint
+from repro.obs import RunRecorder, get_telemetry
+from repro.obs.render import progress_line
 from repro.paths.config import march_2006_catalog, may_2004_catalog, scaled_catalog
-from repro.testbed.cache import DatasetCache, run_cached
+from repro.testbed.cache import DatasetCache, campaign_cache_key, run_cached
 from repro.testbed.campaign import Campaign, CampaignSettings
 from repro.testbed.executor import CampaignProgress
 from repro.testbed.io import save_dataset
@@ -92,20 +101,16 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", required=True, metavar="FILE", help="output CSV path"
     )
     parser.add_argument(
-        "--quiet", action="store_true", help="suppress progress and summary output"
+        "--quiet",
+        action="store_true",
+        help="suppress all progress, summary, and telemetry output",
     )
     return parser
 
 
 def _print_progress(snapshot: CampaignProgress) -> None:
     """Render one live progress line (carriage-return overwritten)."""
-    eta = snapshot.eta_s
-    eta_text = f"{eta:5.0f}s" if eta != float("inf") else "    ?s"
-    sys.stderr.write(
-        f"\r[{snapshot.traces_done}/{snapshot.traces_total} traces] "
-        f"{snapshot.epochs_done}/{snapshot.epochs_total} epochs, "
-        f"{snapshot.epochs_per_s:6.1f} epochs/s, ETA {eta_text}"
-    )
+    sys.stderr.write("\r" + progress_line(snapshot))
     if snapshot.done:
         sys.stderr.write("\n")
     sys.stderr.flush()
@@ -128,9 +133,19 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     campaign = Campaign(catalog, seed=args.seed, label=args.catalog)
+    cache = None if args.no_cache else DatasetCache(args.cache_dir)
+    cache_key = "" if cache is None else campaign_cache_key(campaign, settings)
+    recorder = RunRecorder(
+        label=args.catalog,
+        seed=args.seed,
+        catalog_hash=stable_fingerprint(catalog),
+        cache_key=cache_key,
+        settings=dataclasses.asdict(settings),
+        workers=args.workers,
+    ).start()
+
     progress = None if args.quiet else _print_progress
-    started = time.perf_counter()
-    if args.no_cache:
+    if cache is None:
         dataset = campaign.run(settings, n_workers=args.workers, progress=progress)
         hit = False
     else:
@@ -138,11 +153,26 @@ def main(argv: list[str] | None = None) -> int:
             campaign,
             settings,
             n_workers=args.workers,
-            cache=DatasetCache(args.cache_dir),
+            cache=cache,
             progress=progress,
         )
-    elapsed = time.perf_counter() - started
+    manifest = recorder.finish(
+        cache_hit=hit,
+        n_paths=len(catalog),
+        n_traces=len(dataset.traces),
+        n_epochs=len(dataset.epochs()),
+    )
+    elapsed = manifest["wall_time_s"]
     save_dataset(dataset, args.output)
+
+    telemetry_note = ""
+    if get_telemetry().enabled:
+        manifest_path, _events_path = recorder.write(args.output)
+        if cache is not None and not hit:
+            # Leave a copy next to the cache entry too, so the telemetry
+            # of the run that populated an entry travels with it.
+            recorder.write(cache.path_for(cache_key))
+        telemetry_note = f"telemetry -> {manifest_path}"
 
     if not args.quiet:
         print(dataset.summary())
@@ -153,6 +183,8 @@ def main(argv: list[str] | None = None) -> int:
                 f"simulated in {elapsed:.1f}s "
                 f"(workers={args.workers}) -> {args.output}"
             )
+        if telemetry_note:
+            print(telemetry_note)
     return 0
 
 

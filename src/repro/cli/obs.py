@@ -1,0 +1,89 @@
+"""``repro-obs``: render telemetry reports from run manifests.
+
+``repro-campaign`` writes a ``X.manifest.json`` + ``X.events.jsonl``
+sidecar pair next to each dataset (and next to cache entries).  This
+command turns those files back into human-readable reports:
+
+* ``summary RUN`` — run identity, wall time, per-phase timer
+  percentiles, counters (cache hits/misses, simulation events), event
+  tallies;
+* ``slowest RUN [-n N]`` — the N slowest simulated epochs with their
+  per-phase breakdown;
+* ``compare RUN_A RUN_B`` — counters and timer medians side by side
+  with relative deltas (e.g. before/after a performance change).
+
+``RUN`` may be the manifest path, the dataset path (the sidecar is
+resolved automatically), or a directory containing exactly one
+manifest.
+
+Examples::
+
+    repro-obs summary may.csv
+    repro-obs slowest may.csv -n 20
+    repro-obs compare baseline.csv optimized.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.errors import DataError
+from repro.obs.recorder import load_manifest, read_events, resolve_manifest
+from repro.obs.render import compare_report, slowest_report, summary_report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Render telemetry reports from repro run manifests.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    summary = sub.add_parser(
+        "summary", help="render one run's telemetry report"
+    )
+    summary.add_argument("run", help="manifest path, dataset path, or directory")
+
+    slowest = sub.add_parser(
+        "slowest", help="show the slowest simulated epochs of a run"
+    )
+    slowest.add_argument("run", help="manifest path, dataset path, or directory")
+    slowest.add_argument(
+        "-n", type=int, default=10, metavar="N", help="epochs to show (default: 10)"
+    )
+
+    compare = sub.add_parser(
+        "compare", help="diff the telemetry of two runs (B relative to A)"
+    )
+    compare.add_argument("run_a", help="baseline run")
+    compare.add_argument("run_b", help="comparison run")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "summary":
+            manifest = load_manifest(resolve_manifest(args.run))
+            print(summary_report(manifest))
+        elif args.command == "slowest":
+            if args.n < 1:
+                raise DataError(f"-n must be >= 1, got {args.n}")
+            events = read_events(resolve_manifest(args.run))
+            print(slowest_report(events, n=args.n))
+        else:  # compare
+            manifest_a = load_manifest(resolve_manifest(args.run_a))
+            manifest_b = load_manifest(resolve_manifest(args.run_b))
+            print(compare_report(manifest_a, manifest_b))
+    except DataError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Reports are often piped to `head`/`less`; a closed pipe is fine.
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

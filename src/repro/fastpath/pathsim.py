@@ -45,6 +45,7 @@ from repro.fastpath.sampling import (
     probe_rtt_estimate,
 )
 from repro.formulas.params import TcpParameters
+from repro.obs import get_telemetry
 from repro.formulas.pftk import pftk_loss_for_throughput, pftk_throughput
 from repro.paths.config import PathConfig
 from repro.paths.records import EpochMeasurement, EpochTruth
@@ -139,7 +140,10 @@ class FluidPathSimulator:
                 (Fig. 11's 30/60/120 s cuts, as fractions of 120 s).
             transfer_duration_s: the transfer length.
         """
+        telemetry = get_telemetry()
+        clock = telemetry.phase_clock()
         load = self.load.advance(dt_s)
+        clock.lap("load")
 
         # --- pre-transfer measurements (pathload, then 60 s of ping) ---
         dq_pre = self._queue_delay(load.util_pre)
@@ -152,6 +156,7 @@ class FluidPathSimulator:
             + mm1k_loss_probability(load.util_pre, self._k_packets),
         )
         phat = probe_loss_estimate(self.rng, loss_pre, N_PROBES_PRE)
+        clock.lap("ping")
         availbw_pre = self.config.capacity_mbps * (1.0 - load.util_pre)
         ahat_mbps = pathload_estimate(
             self.rng,
@@ -160,9 +165,11 @@ class FluidPathSimulator:
             self.config.pathload_bias,
             self.config.pathload_noise,
         )
+        clock.lap("pathload")
 
         # --- the target transfer ---------------------------------------
         outcome = self._transfer(load, tcp)
+        clock.lap("iperf")
 
         # --- probing during the transfer --------------------------------
         ttilde_s = probe_rtt_estimate(
@@ -173,6 +180,7 @@ class FluidPathSimulator:
         )
         probe_loss_during = self._probe_observed_loss(outcome)
         ptilde = probe_loss_estimate(self.rng, probe_loss_during, N_PROBES_DURING)
+        clock.lap("ping")
 
         # --- companion small-window transfer ----------------------------
         smallw = None
@@ -183,6 +191,17 @@ class FluidPathSimulator:
         checkpoints = self._checkpoint_throughputs(
             outcome, checkpoint_fractions, transfer_duration_s
         )
+        clock.lap("iperf")
+
+        if clock.enabled:
+            telemetry.record_epoch(
+                "epoch",
+                path_id,
+                trace_index,
+                epoch_index,
+                clock.phases,
+                regime=outcome.regime,
+            )
 
         return EpochMeasurement(
             path_id=path_id,

@@ -1,0 +1,69 @@
+"""``repro.obs`` — the observability subsystem.
+
+Three layers, each usable on its own:
+
+* :mod:`repro.obs.metrics` — ``Counter`` / ``Gauge`` / ``Timer``
+  (exact p50/p95/p99) series keyed by name + tags, in a mergeable
+  :class:`~repro.obs.metrics.MetricsRegistry`;
+* :mod:`repro.obs.telemetry` — the per-process collector combining the
+  registry with structured events and run-scoped context.  Disabled
+  entirely with ``REPRO_OBS=0`` (shared null instruments; zero
+  hot-path overhead);
+* :mod:`repro.obs.recorder` — run manifests: ``manifest.json`` +
+  ``events.jsonl`` sidecars written next to datasets (and cache
+  entries), consumed by the ``repro-obs`` CLI.
+
+Typical instrumentation site::
+
+    from repro.obs import get_telemetry
+
+    tele = get_telemetry()
+    tele.counter("cache.hits").inc()
+    with tele.timer("epoch.phase_s", phase="iperf"):
+        ...
+
+Typical run bracket (what ``repro-campaign`` does)::
+
+    from repro.obs import RunRecorder
+
+    recorder = RunRecorder(label="may2004", seed=7, workers=4).start()
+    dataset = campaign.run(settings, n_workers=4)
+    recorder.finish(n_epochs=len(dataset.epochs()), ...)
+    recorder.write("may.csv")       # may.manifest.json + may.events.jsonl
+"""
+
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer, percentile
+from repro.obs.recorder import (
+    MANIFEST_VERSION,
+    RunRecorder,
+    load_manifest,
+    read_events,
+    resolve_manifest,
+    sidecar_paths,
+)
+from repro.obs.telemetry import (
+    ENV_OBS,
+    PhaseClock,
+    Telemetry,
+    get_telemetry,
+    obs_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Timer",
+    "MetricsRegistry",
+    "percentile",
+    "ENV_OBS",
+    "PhaseClock",
+    "Telemetry",
+    "get_telemetry",
+    "obs_enabled",
+    "MANIFEST_VERSION",
+    "RunRecorder",
+    "load_manifest",
+    "read_events",
+    "resolve_manifest",
+    "sidecar_paths",
+]

@@ -1,0 +1,290 @@
+"""Run manifests: the machine-readable record of one campaign run.
+
+A :class:`RunRecorder` brackets a campaign execution.  On ``start()`` it
+clears the process telemetry and stamps the run context; on ``finish()``
+it drains the telemetry into an aggregate **manifest** (identity,
+wall time, counters, timer percentiles) plus the buffered **events**.
+``write(dataset_path)`` saves both as sidecars of the dataset::
+
+    may.csv            the dataset
+    may.manifest.json  aggregates (JSON, one object)
+    may.events.jsonl   one structured event per line
+
+The same sidecar naming is used next to cached dataset entries, so a
+cache directory carries the telemetry of the run that populated it.
+
+``repro-obs`` consumes manifests through :func:`resolve_manifest`,
+which accepts the manifest path itself, the dataset path, or a
+directory containing exactly one manifest.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import uuid
+from pathlib import Path
+from time import perf_counter
+from typing import Any
+
+from repro._version import __version__
+from repro.core.errors import DataError
+from repro.obs.telemetry import Telemetry, get_telemetry
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "RunRecorder",
+    "sidecar_paths",
+    "write_manifest",
+    "load_manifest",
+    "resolve_manifest",
+    "read_events",
+]
+
+#: Schema version of manifest.json (bump on incompatible layout changes).
+MANIFEST_VERSION = 1
+
+#: Counters every manifest reports even when zero, so consumers (and
+#: ``repro-obs compare``) never have to special-case their absence.
+CORE_COUNTERS = (
+    "epochs.simulated",
+    "simnet.events_processed",
+    "simnet.queue_drops",
+    "cache.hits",
+    "cache.misses",
+    "tcp.retransmits",
+    "tcp.timeouts",
+)
+
+
+def sidecar_paths(dataset_path: str | Path) -> tuple[Path, Path]:
+    """The manifest/events sidecar paths for a dataset file.
+
+    ``X.csv`` maps to ``X.manifest.json`` and ``X.events.jsonl``; a
+    dataset without a suffix gets the suffixes appended.
+    """
+    base = Path(dataset_path)
+    stem = base.with_suffix("") if base.suffix else base
+    return (
+        stem.with_name(stem.name + ".manifest.json"),
+        stem.with_name(stem.name + ".events.jsonl"),
+    )
+
+
+class RunRecorder:
+    """Collects one run's telemetry into a manifest.
+
+    Args:
+        label: dataset/campaign label (e.g. the catalog name).
+        seed: the campaign's root seed.
+        catalog_hash: stable fingerprint of the path catalog.
+        cache_key: the dataset cache key, when caching is active.
+        settings: campaign settings rendered to a plain dict.
+        workers: requested worker count.
+        run_id: override the generated run id (tests).
+        telemetry: override the process singleton (tests).
+    """
+
+    def __init__(
+        self,
+        label: str = "",
+        seed: int = 0,
+        catalog_hash: str = "",
+        cache_key: str = "",
+        settings: dict[str, Any] | None = None,
+        workers: int = 1,
+        run_id: str | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        self.run_id = run_id or uuid.uuid4().hex[:12]
+        self.label = label
+        self.seed = seed
+        self.catalog_hash = catalog_hash
+        self.cache_key = cache_key
+        self.settings = dict(settings or {})
+        self.workers = workers
+        self.telemetry = telemetry if telemetry is not None else get_telemetry()
+        self.manifest: dict[str, Any] | None = None
+        self.events: list[dict[str, Any]] = []
+        self._started = 0.0
+
+    def start(self) -> "RunRecorder":
+        """Reset the telemetry pipe and start the run clock."""
+        self.telemetry.drain()  # discard leftovers from earlier runs
+        self.telemetry.set_context(run=self.run_id)
+        self._started = perf_counter()
+        return self
+
+    def finish(
+        self,
+        cache_hit: bool = False,
+        n_paths: int = 0,
+        n_traces: int = 0,
+        n_epochs: int = 0,
+    ) -> dict[str, Any]:
+        """Drain the telemetry and assemble the manifest dict.
+
+        Args:
+            cache_hit: whether the dataset was served from the cache.
+            n_paths/n_traces/n_epochs: dataset shape, recorded so the
+                manifest can be validated against the dataset itself.
+        """
+        wall_s = perf_counter() - self._started if self._started else 0.0
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            for name in CORE_COUNTERS:
+                telemetry.metrics.counter(name)
+        snapshot = telemetry.drain()
+        telemetry.clear_context()
+
+        # Events from worker processes never saw the parent's context, so
+        # stamp the run id here where it is missing.
+        self.events = [
+            event if "run" in event else {**event, "run": self.run_id}
+            for event in snapshot.get("events", ())
+        ]
+        by_kind: dict[str, int] = {}
+        for event in self.events:
+            kind = str(event.get("kind", "?"))
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+
+        from repro.obs.metrics import Timer
+
+        timers = []
+        for entry in snapshot.get("timers", ()):
+            timer = Timer(entry["name"], entry["tags"])
+            timer.samples = entry["samples"]
+            timers.append({"name": timer.name, "tags": timer.tags, **timer.stats()})
+
+        self.manifest = {
+            "manifest_version": MANIFEST_VERSION,
+            "code_version": __version__,
+            "run_id": self.run_id,
+            "created_unix": time.time(),
+            "label": self.label,
+            "seed": self.seed,
+            "catalog_hash": self.catalog_hash,
+            "cache_key": self.cache_key,
+            "settings": self.settings,
+            "workers": self.workers,
+            "counts": {"paths": n_paths, "traces": n_traces, "epochs": n_epochs},
+            "cache": {"hit": bool(cache_hit)},
+            "wall_time_s": wall_s,
+            "counters": snapshot.get("counters", []),
+            "gauges": snapshot.get("gauges", []),
+            "timers": timers,
+            "events": {"count": len(self.events), "by_kind": by_kind},
+        }
+        return self.manifest
+
+    def write(self, dataset_path: str | Path) -> tuple[Path, Path]:
+        """Write ``manifest.json`` + ``events.jsonl`` next to a dataset.
+
+        Must be called after :meth:`finish`.
+
+        Returns:
+            ``(manifest_path, events_path)``.
+        """
+        if self.manifest is None:
+            raise DataError("RunRecorder.write() called before finish()")
+        manifest_path, events_path = sidecar_paths(dataset_path)
+        write_manifest(self.manifest, self.events, manifest_path, events_path)
+        return manifest_path, events_path
+
+
+def write_manifest(
+    manifest: dict[str, Any],
+    events: list[dict[str, Any]],
+    manifest_path: str | Path,
+    events_path: str | Path,
+) -> None:
+    """Serialize a manifest + its events to the given paths."""
+    manifest_path = Path(manifest_path)
+    events_path = Path(events_path)
+    manifest = dict(manifest)
+    manifest["events"] = {**manifest.get("events", {}), "path": events_path.name}
+    manifest_path.parent.mkdir(parents=True, exist_ok=True)
+    with events_path.open("w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event, sort_keys=True) + "\n")
+    manifest_path.write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def load_manifest(path: str | Path) -> dict[str, Any]:
+    """Load and sanity-check a ``manifest.json``.
+
+    Raises:
+        DataError: if the file is missing, not JSON, or not a manifest.
+    """
+    path = Path(path)
+    if not path.is_file():
+        raise DataError(f"no manifest at {path}")
+    try:
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise DataError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(manifest, dict) or "manifest_version" not in manifest:
+        raise DataError(f"{path} is not a run manifest (no manifest_version)")
+    version = manifest["manifest_version"]
+    if version > MANIFEST_VERSION:
+        raise DataError(
+            f"{path} has manifest_version {version}, newer than this "
+            f"code understands ({MANIFEST_VERSION})"
+        )
+    return manifest
+
+
+def resolve_manifest(run: str | Path) -> Path:
+    """Find the ``manifest.json`` a ``repro-obs RUN`` argument refers to.
+
+    Accepts the manifest path itself, the dataset path (resolved through
+    the sidecar naming), or a directory containing exactly one
+    ``*.manifest.json``.
+
+    Raises:
+        DataError: when nothing (or more than one candidate) is found.
+    """
+    path = Path(run)
+    if path.is_dir():
+        candidates = sorted(path.glob("*.manifest.json"))
+        if len(candidates) == 1:
+            return candidates[0]
+        if not candidates:
+            raise DataError(f"no *.manifest.json in directory {path}")
+        names = ", ".join(c.name for c in candidates)
+        raise DataError(f"multiple manifests in {path}: {names}")
+    if path.name.endswith(".manifest.json") and path.is_file():
+        return path
+    sidecar, _ = sidecar_paths(path)
+    if sidecar.is_file():
+        return sidecar
+    raise DataError(f"no manifest found for {run!r} (looked for {sidecar})")
+
+
+def read_events(manifest_path: str | Path) -> list[dict[str, Any]]:
+    """Load the events.jsonl referenced by a manifest.
+
+    Returns an empty list when the manifest records no events file or
+    the file is absent; raises :class:`DataError` on malformed lines.
+    """
+    manifest_path = Path(manifest_path)
+    manifest = load_manifest(manifest_path)
+    name = manifest.get("events", {}).get("path")
+    if not name:
+        return []
+    events_path = manifest_path.parent / name
+    if not events_path.is_file():
+        return []
+    events = []
+    for lineno, line in enumerate(
+        events_path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise DataError(f"{events_path}:{lineno}: bad JSONL line: {exc}") from exc
+    return events

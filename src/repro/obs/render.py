@@ -1,0 +1,195 @@
+"""Text renderings of telemetry: progress lines and manifest reports.
+
+Everything here is pure — it takes snapshots/manifests and returns
+strings — so the CLI layer stays a thin shell and the renderings are
+unit-testable without capturing stdout.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "progress_line",
+    "summary_report",
+    "slowest_report",
+    "compare_report",
+]
+
+
+def progress_line(snapshot: Any) -> str:
+    """One live progress line for a ``CampaignProgress`` snapshot.
+
+    The rate/ETA math lives on the snapshot itself (guarded against
+    ``elapsed_s <= 0``); this only formats it.
+    """
+    eta = snapshot.eta_s
+    eta_text = f"{eta:5.0f}s" if eta != float("inf") else "    ?s"
+    return (
+        f"[{snapshot.traces_done}/{snapshot.traces_total} traces] "
+        f"{snapshot.epochs_done}/{snapshot.epochs_total} epochs, "
+        f"{snapshot.epochs_per_s:6.1f} epochs/s, ETA {eta_text}"
+    )
+
+
+def _series_label(entry: dict[str, Any]) -> str:
+    tags = entry.get("tags") or {}
+    if not tags:
+        return entry["name"]
+    inner = ",".join(f"{k}={v}" for k, v in sorted(tags.items()))
+    return f"{entry['name']}{{{inner}}}"
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def _counters_by_label(manifest: dict[str, Any]) -> dict[str, int]:
+    return {
+        _series_label(entry): entry["value"]
+        for entry in manifest.get("counters", ())
+    }
+
+
+def summary_report(manifest: dict[str, Any]) -> str:
+    """The ``repro-obs summary`` rendering of one manifest."""
+    lines = []
+    counts = manifest.get("counts", {})
+    cache = manifest.get("cache", {})
+    lines.append(
+        f"run {manifest.get('run_id', '?')}  "
+        f"label={manifest.get('label', '?')} seed={manifest.get('seed', '?')} "
+        f"workers={manifest.get('workers', '?')}"
+    )
+    catalog_hash = manifest.get("catalog_hash", "")
+    if catalog_hash:
+        lines.append(f"catalog {catalog_hash[:16]}  cache_key "
+                     f"{str(manifest.get('cache_key', ''))[:16]}")
+    lines.append(
+        f"dataset: {counts.get('paths', 0)} paths x "
+        f"{counts.get('traces', 0)} traces, {counts.get('epochs', 0)} epochs"
+    )
+    source = "cache hit" if cache.get("hit") else "simulated"
+    lines.append(
+        f"wall time: {manifest.get('wall_time_s', 0.0):.2f}s ({source})"
+    )
+
+    timers = manifest.get("timers", ())
+    if timers:
+        lines.append("")
+        lines.append(f"{'timer':<34} {'count':>7} {'total':>10} "
+                     f"{'p50':>9} {'p95':>9} {'p99':>9}")
+        for entry in timers:
+            lines.append(
+                f"{_series_label(entry):<34} {entry['count']:>7} "
+                f"{_fmt_seconds(entry['sum']):>10} "
+                f"{_fmt_seconds(entry['p50']):>9} "
+                f"{_fmt_seconds(entry['p95']):>9} "
+                f"{_fmt_seconds(entry['p99']):>9}"
+            )
+
+    counters = manifest.get("counters", ())
+    if counters:
+        lines.append("")
+        lines.append(f"{'counter':<34} {'value':>12}")
+        for entry in counters:
+            lines.append(f"{_series_label(entry):<34} {entry['value']:>12}")
+
+    by_kind = manifest.get("events", {}).get("by_kind", {})
+    if by_kind:
+        lines.append("")
+        rendered = ", ".join(f"{kind}={n}" for kind, n in sorted(by_kind.items()))
+        lines.append(f"events: {rendered}")
+    return "\n".join(lines)
+
+
+def slowest_report(events: list[dict[str, Any]], n: int = 10) -> str:
+    """Top-``n`` slowest epochs by simulated wall time."""
+    epochs = [
+        event for event in events
+        if "elapsed_s" in event and "epoch" in event
+    ]
+    if not epochs:
+        return "no epoch events recorded"
+    ranked = sorted(epochs, key=lambda e: e["elapsed_s"], reverse=True)[:n]
+    phase_keys = sorted(
+        {
+            key
+            for event in ranked
+            for key in event
+            if key.endswith("_s") and key != "elapsed_s"
+        }
+    )
+    header = f"{'path':<10} {'trace':>5} {'epoch':>5} {'elapsed':>10}"
+    for key in phase_keys:
+        header += f" {key[:-2]:>10}"
+    lines = [header]
+    for event in ranked:
+        row = (
+            f"{str(event.get('path', '?')):<10} "
+            f"{event.get('trace', 0):>5} {event.get('epoch', 0):>5} "
+            f"{_fmt_seconds(event['elapsed_s']):>10}"
+        )
+        for key in phase_keys:
+            value = event.get(key)
+            row += f" {_fmt_seconds(value):>10}" if value is not None else f" {'-':>10}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def _delta(a: float, b: float) -> str:
+    if a == b:
+        return "="
+    if a == 0:
+        return "new"
+    change = (b - a) / abs(a) * 100.0
+    return f"{change:+.1f}%"
+
+
+def compare_report(a: dict[str, Any], b: dict[str, Any]) -> str:
+    """The ``repro-obs compare RUN_A RUN_B`` rendering.
+
+    Counters and timer aggregates side by side with relative deltas
+    (B relative to A).
+    """
+    lines = [
+        f"A: run {a.get('run_id', '?')}  label={a.get('label', '?')} "
+        f"seed={a.get('seed', '?')}  wall={a.get('wall_time_s', 0.0):.2f}s",
+        f"B: run {b.get('run_id', '?')}  label={b.get('label', '?')} "
+        f"seed={b.get('seed', '?')}  wall={b.get('wall_time_s', 0.0):.2f}s",
+    ]
+    if a.get("catalog_hash") and a.get("catalog_hash") == b.get("catalog_hash"):
+        lines.append("same catalog")
+    wall_a = a.get("wall_time_s", 0.0)
+    wall_b = b.get("wall_time_s", 0.0)
+    lines.append(f"wall time: {wall_a:.2f}s -> {wall_b:.2f}s "
+                 f"({_delta(wall_a, wall_b)})")
+
+    counters_a = _counters_by_label(a)
+    counters_b = _counters_by_label(b)
+    labels = sorted(set(counters_a) | set(counters_b))
+    if labels:
+        lines.append("")
+        lines.append(f"{'counter':<34} {'A':>12} {'B':>12} {'delta':>8}")
+        for label in labels:
+            va = counters_a.get(label, 0)
+            vb = counters_b.get(label, 0)
+            lines.append(f"{label:<34} {va:>12} {vb:>12} {_delta(va, vb):>8}")
+
+    timers_a = {_series_label(t): t for t in a.get("timers", ())}
+    timers_b = {_series_label(t): t for t in b.get("timers", ())}
+    labels = sorted(set(timers_a) | set(timers_b))
+    if labels:
+        lines.append("")
+        lines.append(f"{'timer (p50)':<34} {'A':>10} {'B':>10} {'delta':>8}")
+        for label in labels:
+            pa = timers_a.get(label, {}).get("p50", 0.0)
+            pb = timers_b.get(label, {}).get("p50", 0.0)
+            fa = _fmt_seconds(pa) if label in timers_a else "-"
+            fb = _fmt_seconds(pb) if label in timers_b else "-"
+            lines.append(f"{label:<34} {fa:>10} {fb:>10} {_delta(pa, pb):>8}")
+    return "\n".join(lines)

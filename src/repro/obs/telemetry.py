@@ -1,0 +1,272 @@
+"""The process-wide telemetry pipe: metrics + structured events.
+
+One :class:`Telemetry` instance per process (module singleton, reachable
+via :func:`get_telemetry`) collects everything instrumentation sites
+produce:
+
+* **metrics** — a :class:`~repro.obs.metrics.MetricsRegistry` of
+  counters/gauges/timers;
+* **events** — an in-memory buffer of structured dicts, later written
+  as JSONL by the run recorder;
+* **context** — run-scoped fields (run id, seed, catalog hash) stamped
+  onto every event emitted while set.
+
+Telemetry is **on by default** and disabled by setting the environment
+variable ``REPRO_OBS=0``.  The enabled check is a live environment
+lookup, so tests can flip it with ``monkeypatch.setenv`` and worker
+processes inherit the setting from their parent.  When disabled, every
+entry point degrades to a shared no-op object or an early return — no
+timestamps are taken and nothing is buffered.
+
+Campaign workers call :meth:`Telemetry.drain` at the end of a job and
+ship the snapshot back to the parent, which :meth:`Telemetry.merge`\\ s
+it — so a parallel campaign's telemetry equals the serial one's.
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+from typing import Any
+
+from repro.obs.metrics import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_TIMER,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    Timer,
+)
+
+__all__ = [
+    "ENV_OBS",
+    "Telemetry",
+    "PhaseClock",
+    "get_telemetry",
+    "obs_enabled",
+]
+
+#: Environment variable gating telemetry collection ("0" disables).
+ENV_OBS = "REPRO_OBS"
+
+
+try:
+    # Fast path: probe the mapping behind os.environ with a pre-encoded
+    # key.  os.environ.get() pays key encoding plus an internal KeyError
+    # (~1 us when the variable is unset), and obs_enabled() runs per
+    # epoch against fluid epochs of ~100 us — a plain dict .get() keeps
+    # the check out of the campaign's wall time.  Writes through
+    # os.environ (including monkeypatch.setenv) mutate this same dict,
+    # so the check stays live.
+    _ENV_DATA: Any = os.environ._data
+    _ENV_KEY: Any = os.environ.encodekey(ENV_OBS)
+except AttributeError:  # pragma: no cover - non-CPython fallback
+    _ENV_DATA = None
+    _ENV_KEY = None
+
+_OFF_VALUES = (b"0", "0")  # bytes on posix, str on windows
+
+
+def obs_enabled() -> bool:
+    """Whether telemetry collection is on (``REPRO_OBS != "0"``)."""
+    if _ENV_DATA is not None:
+        return _ENV_DATA.get(_ENV_KEY) not in _OFF_VALUES
+    return os.environ.get(ENV_OBS, "1") != "0"
+
+
+class PhaseClock:
+    """Accumulates wall-clock laps into named phases.
+
+    The epoch simulators use one clock per epoch::
+
+        clock = telemetry.phase_clock()
+        ... pre-transfer probing ...
+        clock.lap("ping")
+        ... the transfer ...
+        clock.lap("iperf")
+        telemetry.record_epoch(..., phases=clock.phases)
+
+    Repeated laps into the same phase accumulate.  A disabled clock
+    (handed out by a disabled :class:`Telemetry`) never reads the
+    clock and reports no phases.
+    """
+
+    __slots__ = ("enabled", "phases", "_last")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.phases: dict[str, float] = {}
+        self._last = perf_counter() if enabled else 0.0
+
+    def lap(self, phase: str, _clock=perf_counter) -> None:
+        """Attribute the time since the previous lap to ``phase``."""
+        if not self.enabled:
+            return
+        now = _clock()
+        phases = self.phases
+        phases[phase] = phases.get(phase, 0.0) + (now - self._last)
+        self._last = now
+
+    @property
+    def total_s(self) -> float:
+        """Total seconds attributed so far."""
+        return sum(self.phases.values())
+
+
+class _EpochHandles:
+    """Cached instrument handles for the per-epoch hot path.
+
+    :meth:`Telemetry.record_epoch` runs once per simulated epoch — tens
+    of thousands of times per campaign, against an epoch that itself
+    only takes ~100 us — so it must not pay the registry's
+    tag-sorting get-or-create on every call.  The handles stay valid
+    until the registry is replaced (``drain``/``reset``), which clears
+    this cache.
+    """
+
+    __slots__ = ("wall", "count", "phases")
+
+    def __init__(self, metrics: MetricsRegistry) -> None:
+        self.wall = metrics.timer("epoch.wall_s")
+        self.count = metrics.counter("epochs.simulated")
+        #: phase name -> (Timer, event field name), built on first use
+        self.phases: dict[str, tuple[Any, str]] = {}
+
+
+class Telemetry:
+    """Per-process collector of metrics, events, and run context."""
+
+    def __init__(self) -> None:
+        self.metrics = MetricsRegistry()
+        self.events: list[dict[str, Any]] = []
+        self.context: dict[str, Any] = {}
+        self._epoch_handles: _EpochHandles | None = None
+
+    @property
+    def enabled(self) -> bool:
+        return obs_enabled()
+
+    # -- instruments ---------------------------------------------------
+
+    def counter(self, name: str, **tags: str) -> Counter:
+        if not self.enabled:
+            return NULL_COUNTER
+        return self.metrics.counter(name, **tags)
+
+    def gauge(self, name: str, **tags: str) -> Gauge:
+        if not self.enabled:
+            return NULL_GAUGE
+        return self.metrics.gauge(name, **tags)
+
+    def timer(self, name: str, **tags: str) -> Timer:
+        if not self.enabled:
+            return NULL_TIMER
+        return self.metrics.timer(name, **tags)
+
+    def phase_clock(self) -> PhaseClock:
+        return PhaseClock(obs_enabled())
+
+    # -- events --------------------------------------------------------
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        """Buffer one structured event (a JSONL line in the manifest).
+
+        The current context fields are stamped first, so an event field
+        with the same name wins over the context.
+        """
+        if not self.enabled:
+            return
+        event = {"kind": kind, **self.context, **fields}
+        self.events.append(event)
+
+    def set_context(self, **fields: Any) -> None:
+        """Set run-scoped fields stamped onto every subsequent event."""
+        self.context.update(fields)
+
+    def clear_context(self) -> None:
+        self.context.clear()
+
+    # -- epoch convenience ---------------------------------------------
+
+    def record_epoch(
+        self,
+        kind: str,
+        path_id: str,
+        trace_index: int,
+        epoch_index: int,
+        phases: dict[str, float],
+        **extra: Any,
+    ) -> None:
+        """Record one simulated epoch: phase timers + a structured event.
+
+        Args:
+            kind: event kind ("epoch" for the fluid simulator,
+                "packet_epoch" for the packet-level runner).
+            path_id/trace_index/epoch_index: identity of the epoch.
+            phases: per-phase wall seconds (a
+                :attr:`PhaseClock.phases` dict).
+            extra: additional event fields (regime, drops, ...).
+        """
+        if not obs_enabled():
+            return
+        handles = self._epoch_handles
+        if handles is None:
+            handles = self._epoch_handles = _EpochHandles(self.metrics)
+        by_phase = handles.phases
+        event = {"kind": kind, **self.context}
+        event["path"] = path_id
+        event["trace"] = trace_index
+        event["epoch"] = epoch_index
+        elapsed = 0.0
+        for phase, seconds in phases.items():
+            entry = by_phase.get(phase)
+            if entry is None:
+                entry = by_phase[phase] = (
+                    self.metrics.timer("epoch.phase_s", phase=phase),
+                    phase + "_s",
+                )
+            entry[0].samples.append(seconds)
+            event[entry[1]] = seconds
+            elapsed += seconds
+        handles.wall.samples.append(elapsed)
+        handles.count.value += 1
+        event["elapsed_s"] = elapsed
+        if extra:
+            event.update(extra)
+        self.events.append(event)
+
+    # -- snapshot / merge ----------------------------------------------
+
+    def drain(self) -> dict[str, Any]:
+        """Snapshot everything collected so far and reset to empty.
+
+        The returned dict is picklable and JSON-able; feed it to
+        :meth:`merge` in another process (or the same one) to restore.
+        """
+        snapshot = self.metrics.snapshot()
+        snapshot["events"] = self.events
+        self.metrics = MetricsRegistry()
+        self.events = []
+        self._epoch_handles = None
+        return snapshot
+
+    def merge(self, snapshot: dict[str, Any]) -> None:
+        """Fold a drained snapshot into this collector."""
+        self.metrics.merge(snapshot)
+        self.events.extend(snapshot.get("events", ()))
+
+    def reset(self) -> None:
+        """Drop all collected data and context."""
+        self.metrics.reset()
+        self.events = []
+        self.context = {}
+        self._epoch_handles = None
+
+
+_TELEMETRY = Telemetry()
+
+
+def get_telemetry() -> Telemetry:
+    """The process-wide :class:`Telemetry` singleton."""
+    return _TELEMETRY

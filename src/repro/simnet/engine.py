@@ -5,6 +5,11 @@ absolute times; ties are broken by insertion order so the simulation is
 deterministic.  Cancellation is supported through handles (lazy deletion:
 cancelled events stay in the heap but are skipped), which is what TCP
 retransmission timers need.
+
+When telemetry is enabled (:mod:`repro.obs`), every :meth:`Simulator.run`
+call adds its executed-event count to the ``simnet.events_processed``
+counter — once per call, after the loop, so the per-event hot path stays
+untouched.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.core.errors import SimulationError
+from repro.obs import get_telemetry
 
 
 @dataclass(order=True)
@@ -120,6 +126,8 @@ class Simulator:
                 )
         if until is not None and self._now < until:
             self._now = until
+        if executed:
+            get_telemetry().counter("simnet.events_processed").inc(executed)
 
     def peek_time(self) -> float | None:
         """Time of the next pending (non-cancelled) event, or ``None``."""

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING
 from repro._version import __version__
 from repro.core.cachekey import stable_fingerprint
 from repro.core.errors import DataError
+from repro.obs import get_telemetry
 from repro.paths.records import Dataset
 from repro.testbed.io import FORMAT_VERSION, load_dataset, save_dataset
 
@@ -137,9 +138,16 @@ def run_cached(
     """
     cache = cache or DatasetCache()
     key = campaign_cache_key(campaign, settings)
-    cached = cache.load(key)
+    telemetry = get_telemetry()
+    with telemetry.timer("cache.load_s"):
+        cached = cache.load(key)
     if cached is not None:
+        telemetry.counter("cache.hits").inc()
+        telemetry.emit("cache", outcome="hit", key=key)
         return cached, True
+    telemetry.counter("cache.misses").inc()
+    telemetry.emit("cache", outcome="miss", key=key)
     dataset = campaign.run(settings, n_workers=n_workers, progress=progress)
-    cache.store(key, dataset)
+    with telemetry.timer("cache.store_s"):
+        cache.store(key, dataset)
     return dataset, False

@@ -11,8 +11,18 @@ reassembles the results in catalog order, so the parallel dataset is
 equal to the serial one regardless of scheduling.
 
 Progress is reported per finished trace through an optional callback
-receiving :class:`CampaignProgress` snapshots — the CLI turns these
-into a live epochs/s + ETA line.
+receiving :class:`CampaignProgress` snapshots — the CLI renders these
+with :func:`repro.obs.render.progress_line`.  Every snapshot is also
+published to the metrics registry (``campaign.traces_done`` /
+``campaign.epochs_done`` gauges), so progress displays and telemetry
+derive from the same numbers and cannot drift apart.  Rendering
+progress by printing inside the callback is deprecated: keep callbacks
+side-effect-light and let the obs layer own the formatting.
+
+Telemetry collected inside worker processes (per-epoch phase timers,
+structured events) is drained per job and merged back into the parent's
+collector in job order, so a parallel campaign's telemetry matches the
+serial one's.
 """
 
 from __future__ import annotations
@@ -22,9 +32,10 @@ import time
 from collections.abc import Callable
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.core.errors import ConfigurationError
+from repro.obs import get_telemetry
 from repro.paths.records import Dataset, Trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
@@ -98,18 +109,24 @@ def _run_trace_job(
     tcp,  # TcpParameters
     small_tcp,  # TcpParameters
     settings,  # CampaignSettings
-) -> Trace:
+) -> tuple[Trace, dict[str, Any]]:
     """Worker entry point: simulate one (path, trace) pair.
 
     Rebuilds a single-path campaign in the worker process; the named RNG
     streams guarantee the result matches the serial campaign's copy.
+    Returns the trace plus the telemetry the job collected, drained so a
+    reused pool worker starts the next job clean.
     """
     from repro.testbed.campaign import Campaign
 
+    telemetry = get_telemetry()
+    telemetry.drain()  # leftovers from a crashed prior job, if any
     campaign = Campaign(
         [config], seed=seed, label=label, tcp=tcp, small_tcp=small_tcp
     )
-    return campaign.run_trace(config, trace_index, settings)
+    with telemetry.timer("campaign.trace_s"):
+        trace = campaign.run_trace(config, trace_index, settings)
+    return trace, telemetry.drain()
 
 
 def run_campaign(
@@ -141,26 +158,33 @@ def run_campaign(
     epochs_total = len(jobs) * settings.epochs_per_trace
     started = time.perf_counter()
     traces: list[Trace | None] = [None] * len(jobs)
+    telemetry = get_telemetry()
 
     def report(done_count: int) -> None:
-        if progress is None:
-            return
-        progress(
-            CampaignProgress(
-                traces_done=done_count,
-                traces_total=len(jobs),
-                epochs_done=done_count * settings.epochs_per_trace,
-                epochs_total=epochs_total,
-                elapsed_s=time.perf_counter() - started,
-            )
+        snapshot = CampaignProgress(
+            traces_done=done_count,
+            traces_total=len(jobs),
+            epochs_done=done_count * settings.epochs_per_trace,
+            epochs_total=epochs_total,
+            elapsed_s=time.perf_counter() - started,
         )
+        # Progress and telemetry derive from the same snapshot, so the
+        # live display and the recorded gauges cannot disagree.
+        telemetry.gauge("campaign.traces_done").set(snapshot.traces_done)
+        telemetry.gauge("campaign.traces_total").set(snapshot.traces_total)
+        telemetry.gauge("campaign.epochs_done").set(snapshot.epochs_done)
+        telemetry.gauge("campaign.epochs_total").set(snapshot.epochs_total)
+        if progress is not None:
+            progress(snapshot)
 
     if n_workers == 1 or len(jobs) == 1:
         for index, (config, trace_index) in enumerate(jobs):
-            traces[index] = campaign.run_trace(config, trace_index, settings)
+            with telemetry.timer("campaign.trace_s"):
+                traces[index] = campaign.run_trace(config, trace_index, settings)
             report(index + 1)
     else:
         seed = campaign.streams.seed
+        snapshots: list[dict[str, Any] | None] = [None] * len(jobs)
         with ProcessPoolExecutor(max_workers=min(n_workers, len(jobs))) as pool:
             pending = {
                 pool.submit(
@@ -180,9 +204,15 @@ def run_campaign(
                 finished, _ = wait(pending, return_when=FIRST_COMPLETED)
                 for future in finished:
                     index = pending.pop(future)
-                    traces[index] = future.result()
+                    traces[index], snapshots[index] = future.result()
                     done_count += 1
                     report(done_count)
+        # Merge in job order (not completion order) so the merged
+        # telemetry — in particular the events.jsonl line order — is
+        # independent of scheduling.
+        for snapshot in snapshots:
+            if snapshot is not None:
+                telemetry.merge(snapshot)
 
     dataset = Dataset(label=campaign.label)
     for trace in traces:

@@ -30,6 +30,7 @@ from repro.apps.pathload import measure_availbw
 from repro.apps.pinger import PingResponder, Pinger
 from repro.core.units import Bandwidth
 from repro.formulas.params import TcpParameters
+from repro.obs import get_telemetry
 from repro.paths.config import PathConfig
 from repro.paths.records import EpochMeasurement, EpochTruth
 from repro.simnet.engine import Simulator
@@ -95,6 +96,8 @@ class PacketEpochRunner:
         tcp = tcp or TcpParameters.congestion_limited()
         cfg = self.config
 
+        telemetry = get_telemetry()
+        clock = telemetry.phase_clock()
         sim = Simulator()
         path = DumbbellPath(
             sim,
@@ -137,15 +140,18 @@ class PacketEpochRunner:
         path.register("pingd", responder)
 
         sim.run(until=WARMUP_S)
+        clock.lap("setup")
 
         # 1. Avail-bw measurement (drives the simulator itself).
         pathload = measure_availbw(
             sim, path, max_rate_mbps=cfg.capacity_mbps * 1.2
         )
+        clock.lap("pathload")
 
         # 2. Pre-transfer probing.
         pre_pinger = Pinger(sim, path, "pingd")
         pre = pre_pinger.measure(pre_probe_duration_s)
+        clock.lap("ping")
 
         # 3. The target transfer with concurrent probing.
         during_pinger = Pinger(sim, path, "pingd")
@@ -159,10 +165,32 @@ class PacketEpochRunner:
         )
         transfer = app.run(duration_s=transfer_duration_s)
         during = during_pinger.collect()
+        clock.lap("iperf")
 
         for flow in elastic_flows:
             flow.stop()
         source.stop()
+
+        if clock.enabled:
+            queue_stats = path.forward_queue.stats
+            telemetry.counter("simnet.queue_drops").inc(queue_stats.drops)
+            telemetry.counter("tcp.retransmits").inc(
+                transfer.retransmissions
+            )
+            telemetry.counter("tcp.timeouts").inc(transfer.timeouts)
+            telemetry.record_epoch(
+                "packet_epoch",
+                path_id or cfg.path_id,
+                trace_index,
+                epoch_index,
+                clock.phases,
+                events_processed=sim.events_processed,
+                queue_drops=queue_stats.drops,
+                queue_arrivals=queue_stats.arrivals,
+                retransmits=transfer.retransmissions,
+                timeouts=transfer.timeouts,
+                utilization=round(utilization, 6),
+            )
 
         that_s = pre.rtt_mean_s if pre.rtt_mean_s is not None else cfg.base_rtt_s
         ttilde_s = (

@@ -117,6 +117,33 @@ class TestCampaignCommand:
         err = capsys.readouterr().err
         assert "traces]" in err and "epochs/s" in err and "ETA" in err
 
+    def test_quiet_suppresses_summary_even_on_cache_hit(self, tmp_path, capsys):
+        args = [
+            "--paths", "2", "--traces", "1", "--epochs", "3", "--quiet",
+        ]
+        campaign.main(args + ["-o", str(tmp_path / "first.csv")])
+        campaign.main(args + ["-o", str(tmp_path / "second.csv")])  # hit
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == ""
+
+    def test_progress_render_guards_zero_elapsed(self):
+        """The first trace can finish inside the clock resolution; the
+        rate/ETA math must not divide by zero."""
+        from repro.obs.render import progress_line
+        from repro.testbed.executor import CampaignProgress
+
+        instant = CampaignProgress(
+            traces_done=1,
+            traces_total=4,
+            epochs_done=5,
+            epochs_total=20,
+            elapsed_s=0.0,
+        )
+        line = progress_line(instant)
+        assert "?s" in line  # unknown ETA, not a ZeroDivisionError
+        assert "0.0 epochs/s" in line
+
 
 @pytest.fixture(scope="module")
 def saved_dataset(tmp_path_factory):

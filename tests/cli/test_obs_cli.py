@@ -1,0 +1,75 @@
+"""The ``repro-obs`` console command, driven end to end via ``repro-campaign``."""
+
+import pytest
+
+from repro.cli import campaign, obs
+
+
+@pytest.fixture(autouse=True)
+def _isolated(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "dataset-cache"))
+    monkeypatch.delenv("REPRO_OBS", raising=False)
+
+
+def run_campaign(tmp_path, name, seed="0"):
+    out = tmp_path / name
+    code = campaign.main(
+        [
+            "--paths", "2", "--traces", "1", "--epochs", "4",
+            "--seed", seed, "--quiet", "-o", str(out),
+        ]
+    )
+    assert code == 0
+    return out
+
+
+class TestSummary:
+    def test_summary_from_dataset_path(self, tmp_path, capsys):
+        dataset = run_campaign(tmp_path, "ds.csv")
+        assert obs.main(["summary", str(dataset)]) == 0
+        out = capsys.readouterr().out
+        assert "2 paths x 2 traces, 8 epochs" in out
+        assert "epoch.phase_s{phase=iperf}" in out
+        assert "cache.misses" in out
+
+    def test_summary_from_manifest_path(self, tmp_path, capsys):
+        dataset = run_campaign(tmp_path, "ds.csv")
+        manifest = dataset.with_name("ds.manifest.json")
+        assert obs.main(["summary", str(manifest)]) == 0
+        assert "wall time" in capsys.readouterr().out
+
+    def test_missing_manifest_exits_2(self, tmp_path, capsys):
+        assert obs.main(["summary", str(tmp_path / "ghost.csv")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSlowest:
+    def test_lists_requested_count(self, tmp_path, capsys):
+        dataset = run_campaign(tmp_path, "ds.csv")
+        assert obs.main(["slowest", str(dataset), "-n", "3"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 4  # header + 3 epochs
+        assert "elapsed" in lines[0]
+
+    def test_rejects_bad_n(self, tmp_path, capsys):
+        dataset = run_campaign(tmp_path, "ds.csv")
+        assert obs.main(["slowest", str(dataset), "-n", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCompare:
+    def test_compare_two_runs(self, tmp_path, capsys):
+        a = run_campaign(tmp_path, "a.csv", seed="1")
+        b = run_campaign(tmp_path, "b.csv", seed="2")
+        assert obs.main(["compare", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "same catalog" in out
+        assert "epochs.simulated" in out
+        assert "wall time" in out
+
+    def test_compare_miss_vs_hit(self, tmp_path, capsys):
+        first = run_campaign(tmp_path, "first.csv")
+        second = run_campaign(tmp_path, "second.csv")  # served from cache
+        assert obs.main(["compare", str(first), str(second)]) == 0
+        out = capsys.readouterr().out
+        assert "cache.hits" in out and "cache.misses" in out

@@ -1,0 +1,155 @@
+"""The metrics registry: counter/gauge/timer math, tags, merging."""
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_COUNTER,
+    NULL_TIMER,
+    MetricsRegistry,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_nearest_rank_on_known_sample(self):
+        sample = [float(v) for v in range(1, 101)]  # 1..100
+        assert percentile(sample, 50.0) == 50.0
+        assert percentile(sample, 95.0) == 95.0
+        assert percentile(sample, 99.0) == 99.0
+        assert percentile(sample, 100.0) == 100.0
+        assert percentile(sample, 0.0) == 1.0
+
+    def test_small_samples(self):
+        assert percentile([7.0], 50.0) == 7.0
+        assert percentile([7.0], 99.0) == 7.0
+        assert percentile([1.0, 2.0], 50.0) == 1.0
+        assert percentile([1.0, 2.0], 95.0) == 2.0
+
+    def test_rejects_empty_and_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1.0)
+
+
+class TestCounter:
+    def test_inc(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_tags_separate_series(self):
+        registry = MetricsRegistry()
+        registry.counter("events", phase="a").inc(2)
+        registry.counter("events", phase="b").inc(3)
+        assert registry.counter("events", phase="a").value == 2
+        assert registry.counter("events", phase="b").value == 3
+
+    def test_get_or_create_identity(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x", k="v") is registry.counter("x", k="v")
+        assert registry.counter("x", k="v") is not registry.counter("x", k="w")
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("done")
+        gauge.set(3)
+        gauge.set(7)
+        assert gauge.value == 7.0
+
+
+class TestTimer:
+    def test_observe_and_stats(self):
+        registry = MetricsRegistry()
+        timer = registry.timer("phase_s", phase="iperf")
+        for value in (0.3, 0.1, 0.2):
+            timer.observe(value)
+        stats = timer.stats()
+        assert stats["count"] == 3
+        assert stats["sum"] == pytest.approx(0.6)
+        assert stats["min"] == 0.1
+        assert stats["max"] == 0.3
+        assert stats["p50"] == 0.2
+        assert stats["p95"] == 0.3
+
+    def test_percentiles_on_hundred_samples(self):
+        registry = MetricsRegistry()
+        timer = registry.timer("t")
+        for v in range(100, 0, -1):  # insertion order must not matter
+            timer.observe(v / 1000.0)
+        assert timer.quantile(50.0) == pytest.approx(0.050)
+        assert timer.quantile(95.0) == pytest.approx(0.095)
+        assert timer.quantile(99.0) == pytest.approx(0.099)
+
+    def test_empty_timer_stats_are_zeros(self):
+        stats = MetricsRegistry().timer("t").stats()
+        assert stats == {
+            "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+            "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+
+    def test_context_manager_records_a_sample(self):
+        registry = MetricsRegistry()
+        with registry.timer("block_s"):
+            pass
+        assert registry.timer("block_s").count == 1
+        assert registry.timer("block_s").samples[0] >= 0.0
+
+
+class TestSnapshotMerge:
+    def test_roundtrip(self):
+        a = MetricsRegistry()
+        a.counter("hits").inc(2)
+        a.gauge("done").set(5)
+        a.timer("t", phase="x").observe(0.25)
+
+        b = MetricsRegistry()
+        b.merge(a.snapshot())
+        assert b.counter("hits").value == 2
+        assert b.gauge("done").value == 5.0
+        assert b.timer("t", phase="x").samples == [0.25]
+
+    def test_merge_accumulates_counters_and_samples(self):
+        parent = MetricsRegistry()
+        parent.counter("hits").inc(1)
+        parent.timer("t").observe(0.1)
+        worker = MetricsRegistry()
+        worker.counter("hits").inc(4)
+        worker.timer("t").observe(0.2)
+        parent.merge(worker.snapshot())
+        assert parent.counter("hits").value == 5
+        assert sorted(parent.timer("t").samples) == [0.1, 0.2]
+
+    def test_snapshot_is_sorted_and_plain(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc()
+        snapshot = registry.snapshot()
+        assert [c["name"] for c in snapshot["counters"]] == ["a", "b"]
+        import json
+
+        json.dumps(snapshot)  # JSON-able, no custom objects
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.reset()
+        assert registry.is_empty()
+
+
+class TestNullInstruments:
+    def test_null_counter_discards(self):
+        NULL_COUNTER.inc(100)
+        assert NULL_COUNTER.value == 0
+
+    def test_null_timer_discards(self):
+        with NULL_TIMER:
+            pass
+        NULL_TIMER.observe(1.0)
+        assert NULL_TIMER.count == 0

@@ -1,0 +1,205 @@
+"""Run manifests: write -> load round-trip, resolution, rendering."""
+
+import json
+
+import pytest
+
+from repro.core.errors import DataError
+from repro.obs.recorder import (
+    MANIFEST_VERSION,
+    RunRecorder,
+    load_manifest,
+    read_events,
+    resolve_manifest,
+    sidecar_paths,
+)
+from repro.obs.render import compare_report, slowest_report, summary_report
+from repro.obs.telemetry import ENV_OBS, Telemetry
+
+
+@pytest.fixture
+def tele(monkeypatch):
+    monkeypatch.delenv(ENV_OBS, raising=False)
+    return Telemetry()
+
+
+def make_recorder(tele, **kwargs):
+    defaults = dict(
+        label="may2004",
+        seed=7,
+        catalog_hash="cafe" * 16,
+        cache_key="feed" * 16,
+        settings={"n_traces": 2, "epochs_per_trace": 5},
+        workers=3,
+        run_id="testrun000001",
+        telemetry=tele,
+    )
+    defaults.update(kwargs)
+    return RunRecorder(**defaults)
+
+
+def record_small_run(tele):
+    recorder = make_recorder(tele).start()
+    tele.record_epoch("epoch", "p01", 0, 0, {"ping": 0.01, "iperf": 0.03},
+                      regime="congestion")
+    tele.record_epoch("epoch", "p01", 0, 1, {"ping": 0.02, "iperf": 0.30},
+                      regime="window")
+    tele.counter("cache.misses").inc()
+    recorder.finish(cache_hit=False, n_paths=1, n_traces=1, n_epochs=2)
+    return recorder
+
+
+class TestSidecarPaths:
+    def test_csv_dataset(self, tmp_path):
+        manifest, events = sidecar_paths(tmp_path / "may.csv")
+        assert manifest.name == "may.manifest.json"
+        assert events.name == "may.events.jsonl"
+
+    def test_suffixless_dataset(self, tmp_path):
+        manifest, events = sidecar_paths(tmp_path / "run1")
+        assert manifest.name == "run1.manifest.json"
+        assert events.name == "run1.events.jsonl"
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tele, tmp_path):
+        recorder = record_small_run(tele)
+        dataset = tmp_path / "ds.csv"
+        manifest_path, events_path = recorder.write(dataset)
+        assert manifest_path.is_file() and events_path.is_file()
+
+        manifest = load_manifest(manifest_path)
+        assert manifest["manifest_version"] == MANIFEST_VERSION
+        assert manifest["run_id"] == "testrun000001"
+        assert manifest["label"] == "may2004"
+        assert manifest["seed"] == 7
+        assert manifest["catalog_hash"] == "cafe" * 16
+        assert manifest["counts"] == {"paths": 1, "traces": 1, "epochs": 2}
+        assert manifest["cache"] == {"hit": False}
+        assert manifest["events"]["count"] == 2
+        assert manifest["events"]["by_kind"] == {"epoch": 2}
+
+        counters = {c["name"]: c["value"] for c in manifest["counters"]}
+        assert counters["epochs.simulated"] == 2
+        assert counters["cache.misses"] == 1
+        # Core counters are always present, even at zero.
+        assert counters["cache.hits"] == 0
+        assert counters["simnet.events_processed"] == 0
+
+        timers = {
+            (t["name"], tuple(sorted(t["tags"].items()))): t
+            for t in manifest["timers"]
+        }
+        ping = timers[("epoch.phase_s", (("phase", "ping"),))]
+        assert ping["count"] == 2
+        assert ping["p50"] == pytest.approx(0.01)
+        assert ping["max"] == pytest.approx(0.02)
+
+    def test_events_jsonl_round_trip(self, tele, tmp_path):
+        recorder = record_small_run(tele)
+        manifest_path, _ = recorder.write(tmp_path / "ds.csv")
+        events = read_events(manifest_path)
+        assert len(events) == 2
+        assert events[0]["kind"] == "epoch"
+        assert events[0]["run"] == "testrun000001"
+        assert events[1]["regime"] == "window"
+
+    def test_write_before_finish_raises(self, tele, tmp_path):
+        with pytest.raises(DataError):
+            make_recorder(tele).start().write(tmp_path / "ds.csv")
+
+    def test_finish_records_wall_time(self, tele):
+        recorder = record_small_run(tele)
+        assert recorder.manifest["wall_time_s"] >= 0.0
+
+    def test_start_clears_previous_run(self, tele):
+        tele.counter("stale").inc(99)
+        recorder = make_recorder(tele).start()
+        manifest = recorder.finish()
+        names = {c["name"] for c in manifest["counters"]}
+        assert "stale" not in names
+
+
+class TestLoadValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError, match="no manifest"):
+            load_manifest(tmp_path / "nope.manifest.json")
+
+    def test_not_json(self, tmp_path):
+        bad = tmp_path / "x.manifest.json"
+        bad.write_text("{not json")
+        with pytest.raises(DataError, match="not valid JSON"):
+            load_manifest(bad)
+
+    def test_json_but_not_a_manifest(self, tmp_path):
+        bad = tmp_path / "x.manifest.json"
+        bad.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(DataError, match="manifest_version"):
+            load_manifest(bad)
+
+    def test_future_version_rejected(self, tmp_path):
+        bad = tmp_path / "x.manifest.json"
+        bad.write_text(json.dumps({"manifest_version": MANIFEST_VERSION + 1}))
+        with pytest.raises(DataError, match="newer"):
+            load_manifest(bad)
+
+
+class TestResolve:
+    def test_from_dataset_path(self, tele, tmp_path):
+        recorder = record_small_run(tele)
+        dataset = tmp_path / "ds.csv"
+        manifest_path, _ = recorder.write(dataset)
+        assert resolve_manifest(dataset) == manifest_path
+        assert resolve_manifest(manifest_path) == manifest_path
+
+    def test_from_directory_with_one_manifest(self, tele, tmp_path):
+        recorder = record_small_run(tele)
+        manifest_path, _ = recorder.write(tmp_path / "ds.csv")
+        assert resolve_manifest(tmp_path) == manifest_path
+
+    def test_ambiguous_directory(self, tele, tmp_path):
+        record_small_run(tele).write(tmp_path / "a.csv")
+        record_small_run(tele).write(tmp_path / "b.csv")
+        with pytest.raises(DataError, match="multiple"):
+            resolve_manifest(tmp_path)
+
+    def test_nothing_found(self, tmp_path):
+        with pytest.raises(DataError, match="no manifest"):
+            resolve_manifest(tmp_path / "ghost.csv")
+
+
+class TestRendering:
+    def test_summary_report_mentions_the_essentials(self, tele, tmp_path):
+        recorder = record_small_run(tele)
+        manifest_path, _ = recorder.write(tmp_path / "ds.csv")
+        report = summary_report(load_manifest(manifest_path))
+        assert "testrun000001" in report
+        assert "may2004" in report
+        assert "2 epochs" in report
+        assert "epoch.phase_s{phase=ping}" in report
+        assert "cache.misses" in report
+        assert "epoch=2" in report  # event tally
+
+    def test_slowest_ranks_by_elapsed(self, tele, tmp_path):
+        recorder = record_small_run(tele)
+        manifest_path, _ = recorder.write(tmp_path / "ds.csv")
+        report = slowest_report(read_events(manifest_path), n=1)
+        lines = report.splitlines()
+        assert len(lines) == 2  # header + 1 row
+        assert "epoch" in lines[0]
+        # Epoch 1 (0.32 s) is slower than epoch 0 (0.04 s).
+        assert lines[1].split()[2] == "1"
+
+    def test_slowest_with_no_epochs(self):
+        assert "no epoch events" in slowest_report([], n=5)
+
+    def test_compare_reports_deltas(self, tele):
+        manifest_a = record_small_run(tele).manifest
+        recorder_b = make_recorder(tele, run_id="testrun000002").start()
+        tele.record_epoch("epoch", "p01", 0, 0, {"ping": 0.01, "iperf": 0.03})
+        recorder_b.finish(n_epochs=1)
+        report = compare_report(manifest_a, recorder_b.manifest)
+        assert "testrun000001" in report and "testrun000002" in report
+        assert "same catalog" in report
+        assert "epochs.simulated" in report
+        assert "-50.0%" in report  # 2 epochs -> 1 epoch

@@ -1,0 +1,118 @@
+"""The telemetry collector: events, context, drain/merge, the kill switch."""
+
+import pytest
+
+from repro.obs.metrics import NULL_COUNTER, NULL_GAUGE, NULL_TIMER
+from repro.obs.telemetry import ENV_OBS, PhaseClock, Telemetry, get_telemetry
+
+
+@pytest.fixture
+def tele(monkeypatch):
+    monkeypatch.delenv(ENV_OBS, raising=False)
+    return Telemetry()
+
+
+class TestEnabledSwitch:
+    def test_enabled_by_default(self, tele):
+        assert tele.enabled
+
+    def test_disabled_by_env(self, tele, monkeypatch):
+        monkeypatch.setenv(ENV_OBS, "0")
+        assert not tele.enabled
+        assert tele.counter("x") is NULL_COUNTER
+        assert tele.gauge("x") is NULL_GAUGE
+        assert tele.timer("x") is NULL_TIMER
+
+    def test_disabled_collects_nothing(self, tele, monkeypatch):
+        monkeypatch.setenv(ENV_OBS, "0")
+        tele.counter("hits").inc()
+        tele.emit("cache", outcome="hit")
+        tele.record_epoch("epoch", "p01", 0, 0, {"iperf": 0.1})
+        snapshot = tele.drain()
+        assert snapshot["counters"] == []
+        assert snapshot["events"] == []
+        assert not PhaseClock(enabled=False).phases
+
+    def test_singleton(self):
+        assert get_telemetry() is get_telemetry()
+
+
+class TestEvents:
+    def test_emit_and_drain(self, tele):
+        tele.emit("cache", outcome="miss", key="abc")
+        snapshot = tele.drain()
+        assert snapshot["events"] == [
+            {"kind": "cache", "outcome": "miss", "key": "abc"}
+        ]
+        assert tele.drain()["events"] == []  # drain resets
+
+    def test_context_stamped_onto_events(self, tele):
+        tele.set_context(run="r1", seed=7)
+        tele.emit("epoch", path="p01")
+        tele.clear_context()
+        tele.emit("epoch", path="p02")
+        events = tele.drain()["events"]
+        assert events[0] == {"kind": "epoch", "run": "r1", "seed": 7, "path": "p01"}
+        assert events[1] == {"kind": "epoch", "path": "p02"}
+
+    def test_event_fields_win_over_context(self, tele):
+        tele.set_context(run="ctx")
+        tele.emit("e", run="explicit")
+        assert tele.drain()["events"][0]["run"] == "explicit"
+
+
+class TestRecordEpoch:
+    def test_updates_timers_counter_and_event(self, tele):
+        tele.record_epoch(
+            "epoch", "p03", 1, 5, {"ping": 0.01, "iperf": 0.04}, regime="window"
+        )
+        assert tele.metrics.counter("epochs.simulated").value == 1
+        assert tele.metrics.timer("epoch.phase_s", phase="ping").samples == [0.01]
+        assert tele.metrics.timer("epoch.wall_s").samples[0] == pytest.approx(0.05)
+        event = tele.drain()["events"][0]
+        assert event["kind"] == "epoch"
+        assert event["path"] == "p03"
+        assert event["trace"] == 1
+        assert event["epoch"] == 5
+        assert event["regime"] == "window"
+        assert event["ping_s"] == pytest.approx(0.01)
+        assert event["elapsed_s"] == pytest.approx(0.05)
+
+
+class TestDrainMerge:
+    def test_worker_snapshot_merges_into_parent(self, tele):
+        worker = Telemetry()
+        worker.counter("epochs.simulated").inc(3)
+        worker.emit("epoch", path="p01")
+        tele.counter("epochs.simulated").inc(1)
+        tele.merge(worker.drain())
+        assert tele.metrics.counter("epochs.simulated").value == 4
+        assert len(tele.events) == 1
+
+    def test_snapshot_is_picklable(self, tele):
+        import pickle
+
+        tele.counter("c").inc()
+        tele.timer("t").observe(0.5)
+        tele.emit("e", n=1)
+        restored = pickle.loads(pickle.dumps(tele.drain()))
+        fresh = Telemetry()
+        fresh.merge(restored)
+        assert fresh.metrics.counter("c").value == 1
+
+
+class TestPhaseClock:
+    def test_laps_accumulate_per_phase(self):
+        clock = PhaseClock(enabled=True)
+        clock.lap("ping")
+        clock.lap("iperf")
+        clock.lap("ping")
+        assert set(clock.phases) == {"ping", "iperf"}
+        assert all(v >= 0.0 for v in clock.phases.values())
+        assert clock.total_s == pytest.approx(sum(clock.phases.values()))
+
+    def test_disabled_clock_is_inert(self):
+        clock = PhaseClock(enabled=False)
+        clock.lap("ping")
+        assert clock.phases == {}
+        assert clock.total_s == 0.0

@@ -90,3 +90,42 @@ class TestProgressReporting:
         )
         assert fresh.epochs_per_s == 0.0
         assert fresh.eta_s == float("inf")
+
+    def test_sub_resolution_first_trace(self):
+        """Work done in under the clock resolution must not divide by zero."""
+        instant = CampaignProgress(
+            traces_done=1,
+            traces_total=2,
+            epochs_done=10,
+            epochs_total=20,
+            elapsed_s=0.0,
+        )
+        assert instant.epochs_per_s == 0.0
+        assert instant.eta_s == float("inf")
+
+    def test_progress_and_registry_share_the_snapshot(self, monkeypatch):
+        """The metrics gauges and the callback see the same numbers."""
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        from repro.obs import get_telemetry
+
+        telemetry = get_telemetry()
+        telemetry.drain()
+        observed: list[tuple] = []
+
+        def callback(snapshot: CampaignProgress) -> None:
+            gauges = telemetry.metrics
+            observed.append(
+                (
+                    snapshot.traces_done,
+                    gauges.gauge("campaign.traces_done").value,
+                    snapshot.epochs_done,
+                    gauges.gauge("campaign.epochs_done").value,
+                )
+            )
+
+        small_campaign().run(SETTINGS, n_workers=1, progress=callback)
+        telemetry.drain()
+        assert observed  # the callback ran
+        for traces_done, gauge_traces, epochs_done, gauge_epochs in observed:
+            assert traces_done == gauge_traces
+            assert epochs_done == gauge_epochs

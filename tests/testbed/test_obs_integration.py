@@ -1,0 +1,123 @@
+"""End-to-end telemetry: a campaign's manifest matches its dataset.
+
+The acceptance contract of the obs subsystem: running ``repro-campaign``
+produces ``manifest.json`` + ``events.jsonl`` whose epoch counts, phase
+timings, and cache hit/miss flags agree with the dataset that was
+written — serial or parallel, miss or hit — and ``REPRO_OBS=0`` turns
+all of it off.
+"""
+
+import pytest
+
+from repro.cli import campaign as campaign_cli
+from repro.obs import load_manifest, read_events, sidecar_paths
+from repro.testbed.io import load_dataset
+
+
+@pytest.fixture(autouse=True)
+def _isolated(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "dataset-cache"))
+    monkeypatch.delenv("REPRO_OBS", raising=False)
+
+
+ARGS = ["--paths", "2", "--traces", "2", "--epochs", "3", "--quiet"]
+
+
+def run_cli(tmp_path, name, extra=()):
+    out = tmp_path / name
+    assert campaign_cli.main(ARGS + list(extra) + ["-o", str(out)]) == 0
+    return out
+
+
+def counters_of(manifest):
+    return {c["name"]: c["value"] for c in manifest["counters"]}
+
+
+class TestManifestMatchesDataset:
+    def test_epoch_counts_and_phase_timers(self, tmp_path):
+        dataset_path = run_cli(tmp_path, "ds.csv")
+        dataset = load_dataset(dataset_path)
+        manifest_path, events_path = sidecar_paths(dataset_path)
+        manifest = load_manifest(manifest_path)
+
+        n_epochs = len(dataset.epochs())
+        assert manifest["counts"]["epochs"] == n_epochs == 12
+        assert manifest["counts"]["traces"] == len(dataset.traces)
+        assert counters_of(manifest)["epochs.simulated"] == n_epochs
+
+        # Every epoch contributes one sample to each phase timer.
+        timers = {
+            (t["name"], t["tags"].get("phase")): t for t in manifest["timers"]
+        }
+        for phase in ("pathload", "ping", "iperf"):
+            assert timers[("epoch.phase_s", phase)]["count"] == n_epochs
+        assert timers[("epoch.wall_s", None)]["count"] == n_epochs
+
+        # One epoch event per dataset epoch, with identities that match.
+        events = read_events(manifest_path)
+        epoch_events = [e for e in events if e["kind"] == "epoch"]
+        assert {(e["path"], e["trace"], e["epoch"]) for e in epoch_events} == {
+            (m.path_id, m.trace_index, m.epoch_index) for m in dataset.epochs()
+        }
+        assert events_path.is_file()
+
+    def test_cache_flags_miss_then_hit(self, tmp_path):
+        first = run_cli(tmp_path, "first.csv")
+        second = run_cli(tmp_path, "second.csv")
+
+        miss = load_manifest(sidecar_paths(first)[0])
+        hit = load_manifest(sidecar_paths(second)[0])
+        assert miss["cache"] == {"hit": False}
+        assert counters_of(miss)["cache.misses"] == 1
+        assert counters_of(miss)["cache.hits"] == 0
+        assert hit["cache"] == {"hit": True}
+        assert counters_of(hit)["cache.hits"] == 1
+        assert counters_of(hit)["epochs.simulated"] == 0
+
+    def test_manifest_written_next_to_cache_entry(self, tmp_path):
+        run_cli(tmp_path, "ds.csv")
+        cache_dir = tmp_path / "dataset-cache"
+        entries = list(cache_dir.glob("*.csv"))
+        assert len(entries) == 1
+        manifest_path, events_path = sidecar_paths(entries[0])
+        assert manifest_path.is_file() and events_path.is_file()
+        assert load_manifest(manifest_path)["cache"] == {"hit": False}
+
+    def test_parallel_telemetry_matches_serial(self, tmp_path):
+        serial = run_cli(tmp_path, "serial.csv", ["--no-cache"])
+        parallel = run_cli(
+            tmp_path, "parallel.csv", ["--no-cache", "--workers", "3"]
+        )
+        manifest_s = load_manifest(sidecar_paths(serial)[0])
+        manifest_p = load_manifest(sidecar_paths(parallel)[0])
+        assert counters_of(manifest_s) == counters_of(manifest_p)
+        # Worker events merge in job order: identical line identities.
+        ids = lambda path: [
+            (e["path"], e["trace"], e["epoch"])
+            for e in read_events(sidecar_paths(path)[0])
+            if e["kind"] == "epoch"
+        ]
+        assert ids(serial) == ids(parallel)
+
+    def test_progress_gauges_published(self, tmp_path):
+        dataset_path = run_cli(tmp_path, "ds.csv", ["--no-cache"])
+        manifest = load_manifest(sidecar_paths(dataset_path)[0])
+        gauges = {g["name"]: g["value"] for g in manifest["gauges"]}
+        assert gauges["campaign.traces_done"] == gauges["campaign.traces_total"] == 4
+        assert gauges["campaign.epochs_done"] == gauges["campaign.epochs_total"] == 12
+
+
+class TestKillSwitch:
+    def test_no_sidecars_when_disabled(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "0")
+        dataset_path = run_cli(tmp_path, "off.csv")
+        manifest_path, events_path = sidecar_paths(dataset_path)
+        assert dataset_path.is_file()
+        assert not manifest_path.exists()
+        assert not events_path.exists()
+
+    def test_dataset_identical_with_and_without_telemetry(self, tmp_path, monkeypatch):
+        with_obs = run_cli(tmp_path, "on.csv", ["--no-cache"])
+        monkeypatch.setenv("REPRO_OBS", "0")
+        without_obs = run_cli(tmp_path, "off.csv", ["--no-cache"])
+        assert with_obs.read_text() == without_obs.read_text()

@@ -77,3 +77,39 @@ class TestPhysics:
         b = run("p12", 0.4, seed=9)
         assert a.throughput_mbps == b.throughput_mbps
         assert a.that_s == b.that_s
+
+
+class TestTelemetry:
+    def test_epoch_records_simulation_counters(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        from repro.obs import get_telemetry
+
+        telemetry = get_telemetry()
+        telemetry.drain()
+        run("p12", 0.4)
+        snapshot = telemetry.drain()
+
+        counters = {c["name"]: c["value"] for c in snapshot["counters"]}
+        assert counters["simnet.events_processed"] > 1000
+        assert counters["epochs.simulated"] == 1
+
+        events = [e for e in snapshot["events"] if e["kind"] == "packet_epoch"]
+        assert len(events) == 1
+        event = events[0]
+        assert event["path"] == "p12"
+        assert event["events_processed"] > 1000
+        assert event["queue_arrivals"] > 0
+        assert event["queue_drops"] >= 0
+        for phase in ("setup", "pathload", "ping", "iperf"):
+            assert event[f"{phase}_s"] >= 0.0
+
+    def test_disabled_telemetry_records_nothing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "0")
+        from repro.obs import get_telemetry
+
+        telemetry = get_telemetry()
+        telemetry.drain()
+        run("p12", 0.4)
+        snapshot = telemetry.drain()
+        assert snapshot["counters"] == []
+        assert snapshot["events"] == []

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Lint: no bare ``print(`` calls in ``src/repro/`` outside ``cli/``.
+
+Library code must report through :mod:`repro.obs` (metrics + structured
+events), never by printing — prints from worker processes interleave,
+escape ``--quiet``, and are invisible to the run manifest.  The CLI
+layer is the one place allowed to talk to stdout/stderr.
+
+AST-based, so ``print`` mentioned in docstrings or comments is fine.
+Exits non-zero listing offenders.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+ALLOWED = SRC / "cli"
+
+
+def print_calls(path: Path) -> list[int]:
+    """Line numbers of bare ``print(...)`` calls in one file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    return [
+        node.lineno
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "print"
+    ]
+
+
+def main() -> int:
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if ALLOWED in path.parents:
+            continue
+        for lineno in print_calls(path):
+            offenders.append(f"{path.relative_to(REPO_ROOT)}:{lineno}")
+    if offenders:
+        print("bare print() outside src/repro/cli/ (use repro.obs instead):")
+        for offender in offenders:
+            print(f"  {offender}")
+        return 1
+    print("no-print lint OK (src/repro/ outside cli/ is print-free)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
