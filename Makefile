@@ -3,14 +3,15 @@
 PYTHON ?= python
 SMOKE_DIR := .campaign-smoke
 OBS_SMOKE_DIR := .obs-smoke
+RESUME_SMOKE_DIR := .resume-smoke
 
-.PHONY: install test test-fast campaign-smoke obs-smoke lint bench bench-full \
-	bench-obs examples clean
+.PHONY: install test test-fast campaign-smoke obs-smoke resume-smoke lint \
+	bench bench-full bench-obs examples clean
 
 install:
 	$(PYTHON) setup.py develop
 
-test: lint campaign-smoke obs-smoke
+test: lint campaign-smoke obs-smoke resume-smoke
 	$(PYTHON) -m pytest tests/
 
 test-fast:
@@ -21,9 +22,11 @@ test-fast:
 # and produce a byte-identical dataset.
 campaign-smoke:
 	rm -rf $(SMOKE_DIR)
-	PYTHONPATH=src REPRO_CACHE_DIR=$(SMOKE_DIR)/cache $(PYTHON) -m repro.cli.campaign \
+	PYTHONPATH=src REPRO_CACHE_DIR=$(SMOKE_DIR)/cache \
+		REPRO_CHECKPOINT_DIR=$(SMOKE_DIR)/ckpt $(PYTHON) -m repro.cli.campaign \
 		--paths 2 --traces 2 --epochs 10 --workers 2 -o $(SMOKE_DIR)/smoke.csv
-	PYTHONPATH=src REPRO_CACHE_DIR=$(SMOKE_DIR)/cache $(PYTHON) -m repro.cli.campaign \
+	PYTHONPATH=src REPRO_CACHE_DIR=$(SMOKE_DIR)/cache \
+		REPRO_CHECKPOINT_DIR=$(SMOKE_DIR)/ckpt $(PYTHON) -m repro.cli.campaign \
 		--paths 2 --traces 2 --epochs 10 --workers 2 -o $(SMOKE_DIR)/smoke-again.csv \
 		| grep -q "cache hit"
 	cmp $(SMOKE_DIR)/smoke.csv $(SMOKE_DIR)/smoke-again.csv
@@ -33,12 +36,31 @@ campaign-smoke:
 # manifest sidecars, and `repro-obs summary` must render them.
 obs-smoke:
 	rm -rf $(OBS_SMOKE_DIR)
-	PYTHONPATH=src REPRO_CACHE_DIR=$(OBS_SMOKE_DIR)/cache $(PYTHON) -m repro.cli.campaign \
+	PYTHONPATH=src REPRO_CACHE_DIR=$(OBS_SMOKE_DIR)/cache \
+		REPRO_CHECKPOINT_DIR=$(OBS_SMOKE_DIR)/ckpt $(PYTHON) -m repro.cli.campaign \
 		--paths 4 --traces 1 --epochs 5 --quiet -o $(OBS_SMOKE_DIR)/smoke.csv
 	test -f $(OBS_SMOKE_DIR)/smoke.manifest.json
 	test -f $(OBS_SMOKE_DIR)/smoke.events.jsonl
 	PYTHONPATH=src $(PYTHON) -m repro.cli.obs summary $(OBS_SMOKE_DIR)/smoke.csv > /dev/null
 	@echo "obs smoke OK (manifest written + summary rendered)"
+
+# Fault-tolerance end-to-end check: run a tiny campaign that an injected
+# fault hard-kills (os._exit) mid-flight, then `--resume` it; the resumed
+# dataset must be byte-identical to an uninterrupted run's.
+resume-smoke:
+	rm -rf $(RESUME_SMOKE_DIR)
+	PYTHONPATH=src REPRO_CHECKPOINT_DIR=$(RESUME_SMOKE_DIR)/ckpt-ref $(PYTHON) -m repro.cli.campaign \
+		--paths 2 --traces 2 --epochs 8 --no-cache --quiet -o $(RESUME_SMOKE_DIR)/ref.csv
+	PYTHONPATH=src REPRO_CHECKPOINT_DIR=$(RESUME_SMOKE_DIR)/ckpt \
+		REPRO_FAULT_SPEC="p18/1:exit" $(PYTHON) -m repro.cli.campaign \
+		--paths 2 --traces 2 --epochs 8 --no-cache --quiet -o $(RESUME_SMOKE_DIR)/resumed.csv; \
+		test $$? -ne 0
+	test ! -f $(RESUME_SMOKE_DIR)/resumed.csv
+	ls $(RESUME_SMOKE_DIR)/ckpt/*/*.csv > /dev/null
+	PYTHONPATH=src REPRO_CHECKPOINT_DIR=$(RESUME_SMOKE_DIR)/ckpt $(PYTHON) -m repro.cli.campaign \
+		--paths 2 --traces 2 --epochs 8 --no-cache --quiet --resume -o $(RESUME_SMOKE_DIR)/resumed.csv
+	cmp $(RESUME_SMOKE_DIR)/ref.csv $(RESUME_SMOKE_DIR)/resumed.csv
+	@echo "resume smoke OK (killed mid-flight + --resume == uninterrupted run)"
 
 # Library code must report through repro.obs, not print().
 lint:
@@ -59,5 +81,6 @@ examples:
 	for script in examples/*.py; do echo "== $$script"; $(PYTHON) $$script; done
 
 clean:
-	rm -rf build dist src/repro.egg-info .pytest_cache $(SMOKE_DIR) $(OBS_SMOKE_DIR)
+	rm -rf build dist src/repro.egg-info .pytest_cache $(SMOKE_DIR) $(OBS_SMOKE_DIR) \
+		$(RESUME_SMOKE_DIR)
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -10,6 +10,13 @@ simulation counters) and writes it as sidecars of the output —
 ``X.manifest.json`` + ``X.events.jsonl`` — which ``repro-obs`` renders;
 set ``REPRO_OBS=0`` to turn telemetry off entirely.
 
+Campaigns are fault tolerant: every finished (path, trace) pair is
+checkpointed (under ``$REPRO_CHECKPOINT_DIR`` or ``--checkpoint-dir``),
+failed or hung jobs are retried with capped exponential backoff, and a
+run that still dies can be continued with ``--resume`` — only the
+missing traces are simulated, and the reassembled dataset is
+bit-identical to an uninterrupted run.  See ``docs/robustness.md``.
+
 Examples::
 
     repro-campaign --catalog may2004 --traces 2 --epochs 60 -o may.csv
@@ -17,6 +24,7 @@ Examples::
     repro-campaign --catalog may2004 --paths 10 --quiet -o small.csv
     repro-campaign --workers 8 -o full.csv         # parallel simulation
     repro-campaign --workers 0 --no-cache -o f.csv # all CPUs, force re-run
+    repro-campaign --workers 8 --resume -o f.csv   # continue a dead run
     repro-obs summary may.csv                      # inspect the telemetry
 """
 
@@ -27,12 +35,14 @@ import dataclasses
 import sys
 
 from repro.core.cachekey import stable_fingerprint
+from repro.core.errors import ExecutionError
 from repro.obs import RunRecorder, get_telemetry
 from repro.obs.render import progress_line
 from repro.paths.config import march_2006_catalog, may_2004_catalog, scaled_catalog
 from repro.testbed.cache import DatasetCache, campaign_cache_key, run_cached
 from repro.testbed.campaign import Campaign, CampaignSettings
-from repro.testbed.executor import CampaignProgress
+from repro.testbed.checkpoint import CheckpointStore
+from repro.testbed.executor import CampaignProgress, RetryPolicy
 from repro.testbed.io import save_dataset
 
 CATALOGS = {
@@ -98,6 +108,48 @@ def build_parser() -> argparse.ArgumentParser:
         "~/.cache/repro/datasets)",
     )
     parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip traces already checkpointed by a previous (crashed) run "
+        "of this exact campaign; the result is bit-identical to an "
+        "uninterrupted run",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retries per failed/hung/crashed job before aborting (default: 2)",
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="initial retry backoff, doubled per retry and capped at 8 s "
+        "(default: 0.5)",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="treat a parallel job running longer than this as hung: kill "
+        "its worker and retry it (default: no timeout)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="per-trace checkpoint directory (default: $REPRO_CHECKPOINT_DIR "
+        "or ~/.cache/repro/checkpoints)",
+    )
+    parser.add_argument(
+        "--no-checkpoint",
+        action="store_true",
+        help="do not checkpoint finished traces (a crash loses all progress)",
+    )
+    parser.add_argument(
         "-o", "--output", required=True, metavar="FILE", help="output CSV path"
     )
     parser.add_argument(
@@ -134,7 +186,14 @@ def main(argv: list[str] | None = None) -> int:
 
     campaign = Campaign(catalog, seed=args.seed, label=args.catalog)
     cache = None if args.no_cache else DatasetCache(args.cache_dir)
-    cache_key = "" if cache is None else campaign_cache_key(campaign, settings)
+    run_key = campaign_cache_key(campaign, settings)
+    cache_key = "" if cache is None else run_key
+    checkpoint = None if args.no_checkpoint else CheckpointStore(args.checkpoint_dir)
+    retry = RetryPolicy(
+        max_retries=args.max_retries,
+        backoff_s=args.retry_backoff,
+        job_timeout_s=args.job_timeout,
+    )
     recorder = RunRecorder(
         label=args.catalog,
         seed=args.seed,
@@ -145,17 +204,43 @@ def main(argv: list[str] | None = None) -> int:
     ).start()
 
     progress = None if args.quiet else _print_progress
-    if cache is None:
-        dataset = campaign.run(settings, n_workers=args.workers, progress=progress)
-        hit = False
-    else:
-        dataset, hit = run_cached(
-            campaign,
-            settings,
-            n_workers=args.workers,
-            cache=cache,
-            progress=progress,
-        )
+    try:
+        if cache is None:
+            dataset = campaign.run(
+                settings,
+                n_workers=args.workers,
+                progress=progress,
+                retry=retry,
+                checkpoint=checkpoint,
+                run_key=run_key,
+                resume=args.resume,
+            )
+            hit = False
+        else:
+            dataset, hit = run_cached(
+                campaign,
+                settings,
+                n_workers=args.workers,
+                cache=cache,
+                progress=progress,
+                retry=retry,
+                checkpoint=checkpoint,
+                resume=args.resume,
+            )
+    except ExecutionError as exc:
+        # The campaign is dead, but its telemetry (retries, failures,
+        # the campaign.aborted event) is still worth a manifest — and
+        # the checkpoints written so far make `--resume` possible.
+        recorder.finish(n_paths=len(catalog))
+        if get_telemetry().enabled:
+            recorder.write(args.output)
+        sys.stderr.write(f"\ncampaign aborted: {exc}\n")
+        if checkpoint is not None:
+            sys.stderr.write(
+                "completed traces are checkpointed; re-run with --resume "
+                "to continue from them\n"
+            )
+        return 1
     manifest = recorder.finish(
         cache_hit=hit,
         n_paths=len(catalog),

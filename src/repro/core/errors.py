@@ -28,3 +28,13 @@ class PredictionError(ReproError):
 
 class DataError(ReproError):
     """A dataset, trace, or serialized file is malformed or inconsistent."""
+
+
+class ExecutionError(ReproError):
+    """A campaign job failed permanently (retries exhausted or aborted).
+
+    The message names the failing ``(path_id, trace_index)`` work unit so
+    an operator can tell which job to investigate without digging through
+    a worker traceback; the original exception rides along as
+    ``__cause__``.
+    """

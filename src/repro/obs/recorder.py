@@ -21,6 +21,8 @@ directory containing exactly one manifest.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import time
 import uuid
 from pathlib import Path
@@ -52,8 +54,16 @@ CORE_COUNTERS = (
     "simnet.queue_drops",
     "cache.hits",
     "cache.misses",
+    "cache.corrupt",
     "tcp.retransmits",
     "tcp.timeouts",
+    # Fault-tolerance accounting: how many traces this run attempted to
+    # simulate, how many attempts failed / were retried, and how many
+    # traces were restored from checkpoints instead of simulated.
+    "campaign.traces_attempted",
+    "campaign.traces_resumed",
+    "campaign.retries",
+    "campaign.job_failures",
 )
 
 
@@ -198,18 +208,38 @@ def write_manifest(
     manifest_path: str | Path,
     events_path: str | Path,
 ) -> None:
-    """Serialize a manifest + its events to the given paths."""
+    """Serialize a manifest + its events to the given paths.
+
+    Both files are written atomically (temp file + ``os.replace``, the
+    same pattern as ``DatasetCache.store``): a crash mid-write can never
+    leave a torn ``*.manifest.json`` / ``*.events.jsonl`` behind for
+    ``repro-obs summary`` to choke on — either the old sidecar survives
+    intact or the new one is complete.
+    """
     manifest_path = Path(manifest_path)
     events_path = Path(events_path)
     manifest = dict(manifest)
     manifest["events"] = {**manifest.get("events", {}), "path": events_path.name}
     manifest_path.parent.mkdir(parents=True, exist_ok=True)
-    with events_path.open("w", encoding="utf-8") as handle:
-        for event in events:
-            handle.write(json.dumps(event, sort_keys=True) + "\n")
-    manifest_path.write_text(
-        json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    events_text = "".join(json.dumps(event, sort_keys=True) + "\n" for event in events)
+    _atomic_write_text(events_path, events_text)
+    _atomic_write_text(
+        manifest_path, json.dumps(manifest, indent=2, sort_keys=True) + "\n"
     )
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` via a temp file in the same directory."""
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.stem[:16]}-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    finally:
+        if os.path.exists(tmp_name):  # pragma: no cover - error path
+            os.unlink(tmp_name)
 
 
 def load_manifest(path: str | Path) -> dict[str, Any]:

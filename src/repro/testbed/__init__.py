@@ -3,8 +3,11 @@
 * :mod:`repro.testbed.campaign` — the epoch/trace/campaign runner that
   reproduces the paper's measurement structure (150 epochs per trace,
   7 traces per path).
-* :mod:`repro.testbed.executor` — parallel (path, trace) fan-out with
-  per-trace progress reporting; bit-identical to serial execution.
+* :mod:`repro.testbed.executor` — fault-tolerant parallel (path, trace)
+  fan-out: per-trace progress, retry with capped backoff, job timeouts,
+  pool rebuilds; bit-identical to serial execution.
+* :mod:`repro.testbed.checkpoint` — per-trace checkpointing so a
+  crashed campaign can be resumed without losing completed work.
 * :mod:`repro.testbed.cache` — content-addressed on-disk dataset cache.
 * :mod:`repro.testbed.io` — CSV serialization of datasets.
 
@@ -16,15 +19,18 @@ from repro.paths.config import PathConfig, march_2006_catalog, may_2004_catalog
 from repro.paths.records import Dataset, EpochMeasurement, Trace
 from repro.testbed.cache import DatasetCache, campaign_cache_key, run_cached
 from repro.testbed.campaign import Campaign
-from repro.testbed.executor import CampaignProgress, run_campaign
+from repro.testbed.checkpoint import CheckpointStore
+from repro.testbed.executor import CampaignProgress, RetryPolicy, run_campaign
 
 __all__ = [
     "Campaign",
     "CampaignProgress",
+    "CheckpointStore",
     "Dataset",
     "DatasetCache",
     "EpochMeasurement",
     "PathConfig",
+    "RetryPolicy",
     "Trace",
     "campaign_cache_key",
     "march_2006_catalog",

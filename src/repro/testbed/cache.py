@@ -16,6 +16,7 @@ entry is treated as a miss and re-simulated.
 
 from __future__ import annotations
 
+import csv
 import os
 import tempfile
 from pathlib import Path
@@ -89,16 +90,28 @@ class DatasetCache:
     def load(self, key: str) -> Dataset | None:
         """Return the cached dataset for ``key``, or ``None`` on a miss.
 
-        A malformed entry (truncated write, older format) counts as a
-        miss rather than an error: the caller re-simulates and the entry
-        is overwritten.
+        A malformed entry counts as a miss rather than an error — not
+        just a clean :class:`DataError` from the loader, but any of the
+        ways a truncated, binary-garbage, or permission-mangled file can
+        fail to parse (``OSError``, ``UnicodeDecodeError``,
+        ``csv.Error``).  The bad file is quarantined (renamed
+        ``*.corrupt``) so it is kept for inspection and cannot shadow
+        the fresh entry the caller is about to store, and a
+        ``cache.corrupt`` counter/event records the incident.
         """
         path = self.path_for(key)
         if not path.is_file():
             return None
         try:
             return load_dataset(path)
-        except DataError:
+        except (DataError, OSError, UnicodeDecodeError, csv.Error):
+            telemetry = get_telemetry()
+            telemetry.counter("cache.corrupt").inc()
+            telemetry.emit("cache", outcome="corrupt", key=key)
+            try:
+                os.replace(path, path.with_name(path.name + ".corrupt"))
+            except OSError:  # pragma: no cover - vanished or unwritable
+                pass
             return None
 
     def store(self, key: str, dataset: Dataset) -> Path:
@@ -128,13 +141,19 @@ def run_cached(
     n_workers: int = 1,
     cache: DatasetCache | None = None,
     progress: "ProgressCallback | None" = None,
+    *,
+    retry=None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> tuple[Dataset, bool]:
     """Run a campaign through the cache.
 
     Returns ``(dataset, hit)``: on a hit the saved dataset is loaded and
     no simulation happens (the progress callback is not invoked); on a
-    miss the campaign runs (honouring ``n_workers``/``progress``) and
-    the result is stored before being returned.
+    miss the campaign runs (honouring ``n_workers``/``progress`` and the
+    robustness options ``retry``/``checkpoint``/``resume``, all keyed by
+    the same content fingerprint as the cache entry) and the result is
+    stored before being returned.
     """
     cache = cache or DatasetCache()
     key = campaign_cache_key(campaign, settings)
@@ -147,7 +166,15 @@ def run_cached(
         return cached, True
     telemetry.counter("cache.misses").inc()
     telemetry.emit("cache", outcome="miss", key=key)
-    dataset = campaign.run(settings, n_workers=n_workers, progress=progress)
+    dataset = campaign.run(
+        settings,
+        n_workers=n_workers,
+        progress=progress,
+        retry=retry,
+        checkpoint=checkpoint,
+        run_key=key,
+        resume=resume,
+    )
     with telemetry.timer("cache.store_s"):
         cache.store(key, dataset)
     return dataset, False

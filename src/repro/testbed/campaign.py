@@ -91,6 +91,11 @@ class Campaign:
         settings: CampaignSettings | None = None,
         n_workers: int = 1,
         progress=None,
+        *,
+        retry=None,
+        checkpoint=None,
+        run_key: str | None = None,
+        resume: bool = False,
     ) -> Dataset:
         """Execute the campaign and return the collected dataset.
 
@@ -103,11 +108,31 @@ class Campaign:
             progress: optional callback receiving a
                 :class:`repro.testbed.executor.CampaignProgress`
                 snapshot after each finished trace.
+            retry: a :class:`repro.testbed.executor.RetryPolicy`
+                governing retry/backoff/timeout behaviour for failing
+                jobs (default: two retries, no job timeout).
+            checkpoint: a
+                :class:`repro.testbed.checkpoint.CheckpointStore`; when
+                given, every finished trace is persisted so a crashed
+                run can be resumed.
+            run_key: checkpoint namespace override (defaults to the
+                campaign's content fingerprint).
+            resume: skip traces already checkpointed under ``run_key``;
+                the result is bit-identical to an uninterrupted run.
         """
         from repro.testbed.executor import run_campaign
 
         settings = settings or CampaignSettings()
-        return run_campaign(self, settings, n_workers=n_workers, progress=progress)
+        return run_campaign(
+            self,
+            settings,
+            n_workers=n_workers,
+            progress=progress,
+            retry=retry,
+            checkpoint=checkpoint,
+            run_key=run_key,
+            resume=resume,
+        )
 
     def run_trace(
         self,

@@ -1,14 +1,32 @@
-"""Parallel campaign execution over (path, trace) work units.
+"""Fault-tolerant parallel campaign execution over (path, trace) units.
 
 The campaign's unit of independence is the (path, trace) pair: each one
 draws from its own named RNG stream
 (``RngStreams.get(f"{path_id}/trace{i}")``), so a trace simulated alone
 in a worker process is bit-identical to the same trace simulated inside
 a serial campaign (see ``tests/testbed/test_campaign.py::
-test_subset_reproducibility``).  The executor exploits that: it fans
-traces out over a :class:`~concurrent.futures.ProcessPoolExecutor` and
-reassembles the results in catalog order, so the parallel dataset is
-equal to the serial one regardless of scheduling.
+test_subset_reproducibility``).  The executor exploits that twice over:
+
+* **parallelism** — traces fan out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` and reassemble in
+  catalog order, so the parallel dataset equals the serial one
+  regardless of scheduling;
+* **fault tolerance** — every finished trace is checkpointed to a
+  :class:`~repro.testbed.checkpoint.CheckpointStore` (when one is
+  given), a failed or hung job is retried with capped exponential
+  backoff (:class:`RetryPolicy`), a crashed worker
+  (``BrokenProcessPool``) triggers a pool rebuild, repeated rebuild
+  failures degrade gracefully to serial in-process execution, and
+  ``resume=True`` skips already-checkpointed traces — reassembling a
+  dataset bit-identical to an uninterrupted run.
+
+When a job fails permanently (retries exhausted), outstanding jobs are
+cancelled and an :class:`~repro.core.errors.ExecutionError` naming the
+failing ``(path_id, trace_index)`` is raised with the worker exception
+as its ``__cause__``; a terminal ``campaign.aborted`` event is emitted
+and the ``campaign.*`` progress gauges — which are reset at entry so an
+aborted run can never leak stale progress into the next one — keep
+whatever progress was truthfully made.
 
 Progress is reported per finished trace through an optional callback
 receiving :class:`CampaignProgress` snapshots — the CLI renders these
@@ -22,7 +40,15 @@ side-effect-light and let the obs layer own the formatting.
 Telemetry collected inside worker processes (per-epoch phase timers,
 structured events) is drained per job and merged back into the parent's
 collector in job order, so a parallel campaign's telemetry matches the
-serial one's.
+serial one's.  Failed attempts' partial telemetry is discarded with the
+attempt; only the successful attempt of each job is merged.  Retries,
+failures, rebuilds, and resumed traces are themselves counted
+(``campaign.retries`` / ``campaign.job_failures`` /
+``campaign.pool_rebuilds`` / ``campaign.traces_resumed``) and surface
+in the run manifest.
+
+Crash injection (tests and the ``make resume-smoke`` target) is driven
+by two environment variables — see :func:`maybe_inject_fault`.
 """
 
 from __future__ import annotations
@@ -31,15 +57,17 @@ import os
 import time
 from collections.abc import Callable
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
-from repro.core.errors import ConfigurationError
+from repro.core.errors import ConfigurationError, ExecutionError
 from repro.obs import get_telemetry
 from repro.paths.records import Dataset, Trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.testbed.campaign import Campaign, CampaignSettings
+    from repro.testbed.checkpoint import CheckpointStore
 
 
 @dataclass(frozen=True)
@@ -47,7 +75,8 @@ class CampaignProgress:
     """A progress snapshot emitted after every completed trace.
 
     Attributes:
-        traces_done: traces finished so far.
+        traces_done: traces finished so far (checkpoint-resumed traces
+            count as done from the start).
         traces_total: traces the campaign will run in total.
         epochs_done: epochs contained in the finished traces.
         epochs_total: epochs the campaign will simulate in total.
@@ -84,6 +113,57 @@ class CampaignProgress:
 ProgressCallback = Callable[[CampaignProgress], None]
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the executor responds to failing, crashing, or hung jobs.
+
+    Attributes:
+        max_retries: extra attempts granted to one job after its first
+            failure; ``0`` aborts on the first failure.
+        backoff_s: sleep before the first retry; each further retry of
+            the same job doubles it.
+        backoff_cap_s: upper bound on any single backoff sleep.
+        job_timeout_s: wall-clock budget for one parallel job measured
+            from submission (queueing included).  A job over budget is
+            treated as hung: its workers are terminated, the pool is
+            rebuilt, and the job is retried.  ``None`` disables the
+            watchdog.  Serial execution ignores it (there is no second
+            process to enforce it from).
+        max_pool_rebuilds: pool rebuilds tolerated (after worker
+            crashes or timeouts) before the executor gives up on
+            process parallelism and degrades to serial in-process
+            execution of the remaining jobs.
+    """
+
+    max_retries: int = 2
+    backoff_s: float = 0.5
+    backoff_cap_s: float = 8.0
+    job_timeout_s: float | None = None
+    max_pool_rebuilds: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_s < 0 or self.backoff_cap_s < 0:
+            raise ConfigurationError("backoff durations must be >= 0")
+        if self.job_timeout_s is not None and self.job_timeout_s <= 0:
+            raise ConfigurationError(
+                f"job_timeout_s must be positive, got {self.job_timeout_s}"
+            )
+        if self.max_pool_rebuilds < 0:
+            raise ConfigurationError(
+                f"max_pool_rebuilds must be >= 0, got {self.max_pool_rebuilds}"
+            )
+
+    def backoff_for(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based), capped."""
+        if attempt < 1:
+            return 0.0
+        return min(self.backoff_cap_s, self.backoff_s * (2.0 ** (attempt - 1)))
+
+
 def resolve_workers(n_workers: int) -> int:
     """Normalize a worker-count request.
 
@@ -99,6 +179,66 @@ def resolve_workers(n_workers: int) -> int:
     if n_workers <= 0:
         return os.cpu_count() or 1
     return n_workers
+
+
+#: Crash-injection spec: ``"<path_id>/<trace>:<mode>[:<count>]"`` entries
+#: separated by ``;``.  Modes: ``raise`` (the job raises), ``exit`` (the
+#: process dies via ``os._exit`` — a worker crash in parallel mode, a
+#: hard kill in serial mode), ``hang`` (the job sleeps 60 s, tripping
+#: the job timeout).  With ``REPRO_FAULT_DIR`` set, each entry triggers
+#: at most ``count`` times across all processes (claimed through
+#: ``O_EXCL`` marker files); without it, the entry triggers every time.
+ENV_FAULT_SPEC = "REPRO_FAULT_SPEC"
+
+#: Directory for cross-process fault trigger accounting (see above).
+ENV_FAULT_DIR = "REPRO_FAULT_DIR"
+
+#: How long an injected ``hang`` fault sleeps.
+_HANG_FAULT_S = 60.0
+
+
+def maybe_inject_fault(path_id: str, trace_index: int) -> None:
+    """Crash-injection hook, run at the start of every job attempt.
+
+    A no-op unless ``REPRO_FAULT_SPEC`` is set; exists so tests and the
+    ``make resume-smoke`` target can exercise the retry, pool-rebuild,
+    timeout, and resume paths against real worker processes.
+    """
+    spec = os.environ.get(ENV_FAULT_SPEC, "").strip()
+    if not spec:
+        return
+    target = f"{path_id}/{trace_index}"
+    fault_dir = os.environ.get(ENV_FAULT_DIR, "").strip()
+    for entry in spec.split(";"):
+        parts = entry.strip().split(":")
+        if len(parts) < 2 or parts[0] != target:
+            continue
+        mode = parts[1]
+        count = int(parts[2]) if len(parts) > 2 else 1
+        if fault_dir and not _claim_fault_token(fault_dir, target, mode, count):
+            continue
+        if mode == "raise":
+            raise RuntimeError(f"injected fault for job {target}")
+        if mode == "exit":
+            os._exit(17)
+        if mode == "hang":
+            time.sleep(_HANG_FAULT_S)
+            return
+        raise ConfigurationError(f"unknown fault mode {mode!r} in {entry!r}")
+
+
+def _claim_fault_token(fault_dir: str, target: str, mode: str, count: int) -> bool:
+    """Atomically claim one of ``count`` trigger tokens for a fault."""
+    os.makedirs(fault_dir, exist_ok=True)
+    safe = target.replace("/", "-")
+    for n in range(count):
+        marker = os.path.join(fault_dir, f"{safe}.{mode}.{n}")
+        try:
+            os.close(os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+            return True
+        except FileExistsError:
+            continue
+    return False
 
 
 def _run_trace_job(
@@ -121,6 +261,7 @@ def _run_trace_job(
 
     telemetry = get_telemetry()
     telemetry.drain()  # leftovers from a crashed prior job, if any
+    maybe_inject_fault(config.path_id, trace_index)
     campaign = Campaign(
         [config], seed=seed, label=label, tcp=tcp, small_tcp=small_tcp
     )
@@ -129,11 +270,354 @@ def _run_trace_job(
     return trace, telemetry.drain()
 
 
+class _CampaignRun:
+    """State and helpers shared by the serial and parallel paths of one
+    :func:`run_campaign` invocation."""
+
+    def __init__(
+        self,
+        campaign: "Campaign",
+        settings: "CampaignSettings",
+        retry: RetryPolicy,
+        progress: ProgressCallback | None,
+        checkpoint: "CheckpointStore | None",
+        run_key: str | None,
+    ) -> None:
+        self.campaign = campaign
+        self.settings = settings
+        self.retry = retry
+        self.progress = progress
+        self.checkpoint = checkpoint
+        self.run_key = run_key or ""
+        self.telemetry = get_telemetry()
+        self.jobs = [
+            (config, trace_index)
+            for config in campaign.catalog
+            for trace_index in range(settings.n_traces)
+        ]
+        self.epochs_total = len(self.jobs) * settings.epochs_per_trace
+        self.traces: list[Trace | None] = [None] * len(self.jobs)
+        self.snapshots: list[dict[str, Any] | None] = [None] * len(self.jobs)
+        self.attempts: dict[int, int] = {}
+        self.done_count = 0
+        self.started = time.perf_counter()
+
+    # -- progress ------------------------------------------------------
+
+    def reset_gauges(self) -> None:
+        """Zero the campaign progress gauges at run entry.
+
+        Without this, an aborted run's last gauge values survive into
+        the next in-process run (and its manifest), so ``repro-obs
+        compare`` would read stale progress.
+        """
+        telemetry = self.telemetry
+        telemetry.gauge("campaign.traces_done").set(0)
+        telemetry.gauge("campaign.epochs_done").set(0)
+        telemetry.gauge("campaign.traces_total").set(len(self.jobs))
+        telemetry.gauge("campaign.epochs_total").set(self.epochs_total)
+
+    def report(self) -> None:
+        snapshot = CampaignProgress(
+            traces_done=self.done_count,
+            traces_total=len(self.jobs),
+            epochs_done=self.done_count * self.settings.epochs_per_trace,
+            epochs_total=self.epochs_total,
+            elapsed_s=time.perf_counter() - self.started,
+        )
+        # Progress and telemetry derive from the same snapshot, so the
+        # live display and the recorded gauges cannot disagree.
+        telemetry = self.telemetry
+        telemetry.gauge("campaign.traces_done").set(snapshot.traces_done)
+        telemetry.gauge("campaign.traces_total").set(snapshot.traces_total)
+        telemetry.gauge("campaign.epochs_done").set(snapshot.epochs_done)
+        telemetry.gauge("campaign.epochs_total").set(snapshot.epochs_total)
+        if self.progress is not None:
+            self.progress(snapshot)
+
+    # -- checkpoint / resume -------------------------------------------
+
+    def resume_completed(self) -> None:
+        """Load checkpointed traces; leaves the rest for execution."""
+        if self.checkpoint is None:
+            return
+        resumed = 0
+        for index, (config, trace_index) in enumerate(self.jobs):
+            trace = self.checkpoint.load_trace(
+                self.run_key, config.path_id, trace_index
+            )
+            if trace is None or len(trace) != self.settings.epochs_per_trace:
+                continue
+            self.traces[index] = trace
+            resumed += 1
+        if resumed:
+            self.telemetry.counter("campaign.traces_resumed").inc(resumed)
+            self.telemetry.emit(
+                "campaign.resumed", traces=resumed, total=len(self.jobs)
+            )
+            self.done_count = resumed
+            self.report()
+
+    def complete(self, index: int, trace: Trace) -> None:
+        """Record one finished trace: checkpoint it, bump progress."""
+        self.traces[index] = trace
+        if self.checkpoint is not None:
+            self.checkpoint.store_trace(self.run_key, trace)
+        self.done_count += 1
+        self.report()
+
+    # -- failure accounting --------------------------------------------
+
+    def record_failure(self, index: int, kind: str, error: str) -> int:
+        """Count one failed attempt; returns the new attempt number."""
+        attempt = self.attempts.get(index, 0) + 1
+        self.attempts[index] = attempt
+        config, trace_index = self.jobs[index]
+        self.telemetry.counter("campaign.job_failures").inc()
+        self.telemetry.emit(
+            "campaign.job_failure",
+            path=config.path_id,
+            trace=trace_index,
+            attempt=attempt,
+            failure=kind,
+            error=error,
+        )
+        return attempt
+
+    def retry_or_abort(self, index: int, kind: str, exc: BaseException | None) -> None:
+        """After a failed attempt: sleep for the backoff, or abort.
+
+        Raises:
+            ExecutionError: when the job has exhausted its retries.
+        """
+        attempt = self.record_failure(index, kind, repr(exc) if exc else kind)
+        config, trace_index = self.jobs[index]
+        if attempt > self.retry.max_retries:
+            self.abort(index, kind, exc)
+        backoff = self.retry.backoff_for(attempt)
+        self.telemetry.counter("campaign.retries").inc()
+        self.telemetry.emit(
+            "campaign.retry",
+            path=config.path_id,
+            trace=trace_index,
+            attempt=attempt,
+            backoff_s=backoff,
+        )
+        if backoff > 0:
+            time.sleep(backoff)
+
+    def abort(self, index: int, kind: str, exc: BaseException | None) -> None:
+        """Emit the terminal ``campaign.aborted`` event and raise."""
+        config, trace_index = self.jobs[index]
+        attempts = self.attempts.get(index, 0)
+        self.telemetry.emit(
+            "campaign.aborted",
+            path=config.path_id,
+            trace=trace_index,
+            attempts=attempts,
+            failure=kind,
+            traces_done=self.done_count,
+        )
+        raise ExecutionError(
+            f"campaign job (path {config.path_id!r}, trace {trace_index}) "
+            f"failed permanently after {attempts} attempt(s) [{kind}]"
+            + (f": {exc!r}" if exc is not None else "")
+        ) from exc
+
+    # -- execution paths -----------------------------------------------
+
+    def run_serial(self, indices: list[int]) -> None:
+        """Run jobs in-process, with the same retry/backoff semantics."""
+        campaign, settings = self.campaign, self.settings
+        for index in indices:
+            config, trace_index = self.jobs[index]
+            while True:
+                try:
+                    maybe_inject_fault(config.path_id, trace_index)
+                    with self.telemetry.timer("campaign.trace_s"):
+                        trace = campaign.run_trace(config, trace_index, settings)
+                    break
+                except ExecutionError:
+                    raise
+                except Exception as exc:
+                    self.retry_or_abort(index, "error", exc)
+            self.complete(index, trace)
+
+    def run_parallel(self, indices: list[int], n_workers: int) -> None:
+        """Run jobs in a worker pool, surviving crashes and hangs."""
+        campaign, settings, retry = self.campaign, self.settings, self.retry
+        seed = campaign.streams.seed
+
+        def submit(pool: ProcessPoolExecutor, index: int):
+            config, trace_index = self.jobs[index]
+            return pool.submit(
+                _run_trace_job,
+                config,
+                trace_index,
+                seed,
+                campaign.label,
+                campaign.tcp,
+                campaign.small_tcp,
+                settings,
+            )
+
+        rebuilds = 0
+        pool: ProcessPoolExecutor | None = ProcessPoolExecutor(
+            max_workers=min(n_workers, len(indices))
+        )
+        pending: dict[Any, int] = {}
+        submitted_at: dict[Any, float] = {}
+        try:
+            for index in indices:
+                future = submit(pool, index)
+                pending[future] = index
+                submitted_at[future] = time.perf_counter()
+            while pending:
+                poll_s = None
+                if retry.job_timeout_s is not None:
+                    # Wake often enough to notice the earliest deadline.
+                    oldest = min(submitted_at.values())
+                    poll_s = max(
+                        0.05,
+                        retry.job_timeout_s - (time.perf_counter() - oldest),
+                    )
+                finished, _ = wait(
+                    set(pending), timeout=poll_s, return_when=FIRST_COMPLETED
+                )
+                if not finished:
+                    expired = [
+                        future
+                        for future in pending
+                        if time.perf_counter() - submitted_at[future]
+                        >= (retry.job_timeout_s or float("inf"))
+                    ]
+                    if not expired:
+                        continue
+                    # A hung worker cannot be cancelled through the
+                    # futures API; terminate the pool and rebuild it.
+                    try:
+                        for future in expired:
+                            index = pending[future]
+                            self.retry_or_abort(index, "timeout", None)
+                    except ExecutionError:
+                        _terminate_pool(pool)
+                        raise
+                    resubmit = sorted(pending.values())
+                    _terminate_pool(pool)
+                    pool, rebuilds = self._rebuild_pool(
+                        rebuilds, n_workers, len(resubmit)
+                    )
+                    if pool is None:
+                        self._degrade_to_serial(resubmit)
+                        return
+                    pending = {}
+                    submitted_at = {}
+                    for index in resubmit:
+                        future = submit(pool, index)
+                        pending[future] = index
+                        submitted_at[future] = time.perf_counter()
+                    continue
+                pool_broken = False
+                for future in finished:
+                    index = pending.pop(future)
+                    submitted_at.pop(future, None)
+                    try:
+                        trace, snapshot = future.result()
+                    except BrokenProcessPool:
+                        # Every pending future on this pool is dead; the
+                        # first one surfaced takes the blame (the true
+                        # culprit is unknowable), the rebuild cap bounds
+                        # the damage either way.
+                        self.retry_or_abort(index, "worker_crash", None)
+                        resubmit = sorted({index, *pending.values()})
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        pool, rebuilds = self._rebuild_pool(
+                            rebuilds, n_workers, len(resubmit)
+                        )
+                        if pool is None:
+                            self._degrade_to_serial(resubmit)
+                            return
+                        pending = {}
+                        submitted_at = {}
+                        for job_index in resubmit:
+                            new_future = submit(pool, job_index)
+                            pending[new_future] = job_index
+                            submitted_at[new_future] = time.perf_counter()
+                        pool_broken = True
+                        break
+                    except ExecutionError:
+                        raise
+                    except Exception as exc:
+                        try:
+                            self.retry_or_abort(index, "error", exc)
+                        except ExecutionError:
+                            # Cancel jobs still queued so a dead campaign
+                            # does not keep burning CPU behind the raise.
+                            pool.shutdown(wait=False, cancel_futures=True)
+                            raise
+                        future = submit(pool, index)
+                        pending[future] = index
+                        submitted_at[future] = time.perf_counter()
+                    else:
+                        self.snapshots[index] = snapshot
+                        self.complete(index, trace)
+                if pool_broken:
+                    continue
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+    def _rebuild_pool(
+        self, rebuilds: int, n_workers: int, n_jobs: int
+    ) -> tuple[ProcessPoolExecutor | None, int]:
+        """Build a replacement pool, or ``None`` to degrade to serial."""
+        rebuilds += 1
+        self.telemetry.counter("campaign.pool_rebuilds").inc()
+        if rebuilds > self.retry.max_pool_rebuilds:
+            return None, rebuilds
+        try:
+            pool = ProcessPoolExecutor(max_workers=min(n_workers, max(n_jobs, 1)))
+        except OSError:  # pragma: no cover - fork failure (fd/memory limits)
+            return None, rebuilds
+        self.telemetry.emit("campaign.pool_rebuild", rebuild=rebuilds)
+        return pool, rebuilds
+
+    def _degrade_to_serial(self, indices: list[int]) -> None:
+        """Last resort: finish the remaining jobs in-process."""
+        self.telemetry.counter("campaign.degraded").inc()
+        self.telemetry.emit(
+            "campaign.degraded", remaining=len(indices), reason="pool_rebuild_limit"
+        )
+        self.run_serial(indices)
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Kill a pool whose workers may be hung.
+
+    ``shutdown`` alone would block behind (or leak) a hung worker;
+    terminating the processes is the only way to reclaim them.  Worker
+    handles live in a private attribute, so degrade to a plain shutdown
+    if the interpreter does not expose it.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except OSError:  # pragma: no cover - already gone
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
 def run_campaign(
     campaign: "Campaign",
     settings: "CampaignSettings",
     n_workers: int = 1,
     progress: ProgressCallback | None = None,
+    *,
+    retry: RetryPolicy | None = None,
+    checkpoint: "CheckpointStore | None" = None,
+    run_key: str | None = None,
+    resume: bool = False,
 ) -> Dataset:
     """Execute ``campaign`` with ``settings``, optionally in parallel.
 
@@ -144,78 +628,61 @@ def run_campaign(
             all CPUs.
         progress: called after every finished trace with a
             :class:`CampaignProgress` snapshot.
+        retry: retry/backoff/timeout policy (default: a
+            :class:`RetryPolicy` with two retries and no job timeout).
+        checkpoint: when given, every finished trace is persisted here
+            under ``run_key``, and the store is cleared once the
+            campaign completes.
+        run_key: checkpoint namespace; defaults to the campaign's
+            content fingerprint
+            (:func:`~repro.testbed.cache.campaign_cache_key`), so
+            checkpoints never cross campaigns.
+        resume: skip (path, trace) pairs already checkpointed under
+            ``run_key``, loading their traces from disk instead of
+            re-simulating.  Requires ``checkpoint``.
 
     Returns:
         The dataset, with traces in catalog x trace-index order — the
-        same order (and the same bits) as a serial ``Campaign.run``.
+        same order (and the same bits) as an uninterrupted serial
+        ``Campaign.run``, whether traces were simulated here, retried,
+        or resumed from checkpoints.
+
+    Raises:
+        ExecutionError: when a job fails permanently; outstanding jobs
+            are cancelled and the failing ``(path_id, trace_index)`` is
+            named in the message.
     """
     n_workers = resolve_workers(n_workers)
-    jobs = [
-        (config, trace_index)
-        for config in campaign.catalog
-        for trace_index in range(settings.n_traces)
-    ]
-    epochs_total = len(jobs) * settings.epochs_per_trace
-    started = time.perf_counter()
-    traces: list[Trace | None] = [None] * len(jobs)
-    telemetry = get_telemetry()
+    retry = retry or RetryPolicy()
+    if checkpoint is not None and run_key is None:
+        from repro.testbed.cache import campaign_cache_key
 
-    def report(done_count: int) -> None:
-        snapshot = CampaignProgress(
-            traces_done=done_count,
-            traces_total=len(jobs),
-            epochs_done=done_count * settings.epochs_per_trace,
-            epochs_total=epochs_total,
-            elapsed_s=time.perf_counter() - started,
-        )
-        # Progress and telemetry derive from the same snapshot, so the
-        # live display and the recorded gauges cannot disagree.
-        telemetry.gauge("campaign.traces_done").set(snapshot.traces_done)
-        telemetry.gauge("campaign.traces_total").set(snapshot.traces_total)
-        telemetry.gauge("campaign.epochs_done").set(snapshot.epochs_done)
-        telemetry.gauge("campaign.epochs_total").set(snapshot.epochs_total)
-        if progress is not None:
-            progress(snapshot)
+        run_key = campaign_cache_key(campaign, settings)
 
-    if n_workers == 1 or len(jobs) == 1:
-        for index, (config, trace_index) in enumerate(jobs):
-            with telemetry.timer("campaign.trace_s"):
-                traces[index] = campaign.run_trace(config, trace_index, settings)
-            report(index + 1)
-    else:
-        seed = campaign.streams.seed
-        snapshots: list[dict[str, Any] | None] = [None] * len(jobs)
-        with ProcessPoolExecutor(max_workers=min(n_workers, len(jobs))) as pool:
-            pending = {
-                pool.submit(
-                    _run_trace_job,
-                    config,
-                    trace_index,
-                    seed,
-                    campaign.label,
-                    campaign.tcp,
-                    campaign.small_tcp,
-                    settings,
-                ): index
-                for index, (config, trace_index) in enumerate(jobs)
-            }
-            done_count = 0
-            while pending:
-                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    index = pending.pop(future)
-                    traces[index], snapshots[index] = future.result()
-                    done_count += 1
-                    report(done_count)
-        # Merge in job order (not completion order) so the merged
-        # telemetry — in particular the events.jsonl line order — is
-        # independent of scheduling.
-        for snapshot in snapshots:
+    run = _CampaignRun(campaign, settings, retry, progress, checkpoint, run_key)
+    run.reset_gauges()
+    if resume:
+        run.resume_completed()
+    remaining = [i for i, trace in enumerate(run.traces) if trace is None]
+    run.telemetry.counter("campaign.traces_attempted").inc(len(remaining))
+
+    if remaining:
+        if n_workers == 1 or len(remaining) == 1:
+            run.run_serial(remaining)
+        else:
+            run.run_parallel(remaining, n_workers)
+        # Merge worker telemetry in job order (not completion order) so
+        # the merged events.jsonl line order is independent of
+        # scheduling.  Resumed/serial traces contribute no snapshot.
+        for snapshot in run.snapshots:
             if snapshot is not None:
-                telemetry.merge(snapshot)
+                run.telemetry.merge(snapshot)
 
     dataset = Dataset(label=campaign.label)
-    for trace in traces:
-        assert trace is not None  # every job either completed or raised
+    for trace in run.traces:
+        assert trace is not None  # every job completed, resumed, or raised
         dataset.traces.append(trace)
+    if checkpoint is not None:
+        # The campaign is whole; the crash-recovery copies are done.
+        checkpoint.discard(run.run_key)
     return dataset

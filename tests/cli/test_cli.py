@@ -7,8 +7,9 @@ from repro.cli import analyze, campaign, predict
 
 @pytest.fixture(autouse=True)
 def _isolated_cache(tmp_path, monkeypatch):
-    """Keep the dataset cache inside the test's tmp dir, not ~/.cache."""
+    """Keep cache and checkpoints inside the test's tmp dir, not ~/.cache."""
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "dataset-cache"))
+    monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path / "checkpoints"))
 
 
 class TestCampaignCommand:
@@ -143,6 +144,43 @@ class TestCampaignCommand:
         line = progress_line(instant)
         assert "?s" in line  # unknown ETA, not a ZeroDivisionError
         assert "0.0 epochs/s" in line
+
+    def test_aborted_run_exits_nonzero_then_resumes(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """Crash-inject a job, expect exit 1 + hint, then --resume to a
+        dataset identical to an uninterrupted run's CSV."""
+        args = [
+            "--paths", "2", "--traces", "2", "--epochs", "3",
+            "--no-cache", "--quiet", "--max-retries", "0",
+            "--retry-backoff", "0",
+        ]
+        ref = tmp_path / "ref.csv"
+        assert campaign.main(args + ["-o", str(ref)]) == 0
+
+        monkeypatch.setenv("REPRO_FAULT_SPEC", "p18/1:raise")
+        out = tmp_path / "out.csv"
+        code = campaign.main(args + ["-o", str(out)])
+        assert code == 1
+        assert not out.exists()
+        err = capsys.readouterr().err
+        assert "campaign aborted" in err and "p18" in err
+        assert "--resume" in err
+
+        monkeypatch.delenv("REPRO_FAULT_SPEC")
+        assert campaign.main(args + ["--resume", "-o", str(out)]) == 0
+        assert out.read_bytes() == ref.read_bytes()
+
+    def test_resume_flag_on_clean_run_is_harmless(self, tmp_path, capsys):
+        out = tmp_path / "r.csv"
+        code = campaign.main(
+            [
+                "--paths", "2", "--traces", "1", "--epochs", "3",
+                "--no-cache", "--quiet", "--resume", "-o", str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
 
 
 @pytest.fixture(scope="module")

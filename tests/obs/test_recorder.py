@@ -119,6 +119,25 @@ class TestRoundTrip:
         names = {c["name"] for c in manifest["counters"]}
         assert "stale" not in names
 
+    def test_write_is_atomic_no_temp_leftovers(self, tele, tmp_path):
+        recorder = record_small_run(tele)
+        recorder.write(tmp_path / "ds.csv")
+        assert not list(tmp_path.glob("*.tmp")) and not list(
+            tmp_path.glob(".*.tmp")
+        )
+
+    def test_rewrite_replaces_sidecars_whole(self, tele, tmp_path):
+        """A second write atomically replaces both sidecars: the reader
+        sees either the old pair or the new pair, never a torn file."""
+        recorder = record_small_run(tele)
+        manifest_path, events_path = recorder.write(tmp_path / "ds.csv")
+        first = manifest_path.read_text()
+        recorder.write(tmp_path / "ds.csv")
+        assert load_manifest(manifest_path)["run_id"] == "testrun000001"
+        assert manifest_path.read_text() == first
+        assert len(read_events(manifest_path)) == 2
+        assert events_path.read_text().count("\n") == 2
+
 
 class TestLoadValidation:
     def test_missing_file(self, tmp_path):

@@ -88,6 +88,36 @@ class TestDatasetCache:
         # The bad entry was overwritten with a good one.
         assert cache.load(key) is not None
 
+    def test_binary_garbage_entry_is_a_miss(self, tmp_path, monkeypatch):
+        """Non-UTF-8 bytes raise UnicodeDecodeError, not DataError — the
+        load must still degrade to a miss instead of crashing the run."""
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        from repro.obs import get_telemetry
+
+        telemetry = get_telemetry()
+        telemetry.drain()
+        cache = DatasetCache(tmp_path)
+        campaign = small_campaign()
+        key = campaign_cache_key(campaign, SETTINGS)
+        cache.path_for(key).parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for(key).write_bytes(b"\xff\xfe\x00garbage\x00")
+        assert cache.load(key) is None
+        assert telemetry.metrics.counter("cache.corrupt").value == 1
+        telemetry.drain()
+
+    def test_corrupt_entry_is_quarantined(self, tmp_path):
+        cache = DatasetCache(tmp_path)
+        campaign = small_campaign()
+        key = campaign_cache_key(campaign, SETTINGS)
+        run_cached(campaign, SETTINGS, cache=cache)
+        entry = cache.path_for(key)
+        entry.write_text("garbage\n")
+        assert cache.load(key) is None
+        assert not entry.exists()
+        quarantined = entry.with_name(entry.name + ".corrupt")
+        assert quarantined.is_file()
+        assert quarantined.read_text() == "garbage\n"
+
     def test_store_and_load_roundtrip(self, tmp_path):
         cache = DatasetCache(tmp_path)
         dataset = small_campaign().run(SETTINGS)

@@ -1,0 +1,251 @@
+"""Fault-tolerant campaign execution: retry, rebuild, timeout, resume.
+
+Faults are injected through the executor's crash-injection hook
+(``REPRO_FAULT_SPEC`` / ``REPRO_FAULT_DIR``), which runs at the start of
+every job attempt — in worker processes and in the serial path alike —
+so these tests exercise the real retry/rebuild/resume machinery against
+real process crashes, not mocks.
+"""
+
+import pytest
+
+from repro.core.errors import ConfigurationError, ExecutionError
+from repro.obs import get_telemetry
+from repro.paths.config import may_2004_catalog, scaled_catalog
+from repro.testbed.campaign import Campaign, CampaignSettings
+from repro.testbed.checkpoint import CheckpointStore
+from repro.testbed.executor import RetryPolicy
+
+SETTINGS = CampaignSettings(n_traces=2, epochs_per_trace=3)
+
+#: No backoff sleeps in tests.
+FAST_RETRY = RetryPolicy(max_retries=2, backoff_s=0.0)
+
+
+def small_campaign(seed=0, n_paths=2):
+    return Campaign(scaled_catalog(may_2004_catalog(), n_paths), seed=seed)
+
+
+@pytest.fixture()
+def telemetry(monkeypatch):
+    """The live telemetry singleton, drained before and after the test."""
+    monkeypatch.delenv("REPRO_OBS", raising=False)
+    instance = get_telemetry()
+    instance.drain()
+    yield instance
+    instance.drain()
+
+
+@pytest.fixture()
+def inject(monkeypatch, tmp_path):
+    """Arm the crash-injection hook with a spec string."""
+
+    def arm(spec: str, counted: bool = True) -> None:
+        monkeypatch.setenv("REPRO_FAULT_SPEC", spec)
+        if counted:
+            monkeypatch.setenv("REPRO_FAULT_DIR", str(tmp_path / "faults"))
+
+    yield arm
+    monkeypatch.delenv("REPRO_FAULT_SPEC", raising=False)
+    monkeypatch.delenv("REPRO_FAULT_DIR", raising=False)
+
+
+def counter_value(telemetry, name):
+    return telemetry.metrics.counter(name).value
+
+
+class TestRetryPolicy:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_retries == 2
+        assert policy.job_timeout_s is None
+
+    def test_backoff_doubles_and_caps(self):
+        policy = RetryPolicy(backoff_s=1.0, backoff_cap_s=3.0)
+        assert policy.backoff_for(1) == 1.0
+        assert policy.backoff_for(2) == 2.0
+        assert policy.backoff_for(3) == 3.0  # capped, not 4.0
+        assert policy.backoff_for(0) == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"backoff_s": -0.1},
+            {"backoff_cap_s": -1.0},
+            {"job_timeout_s": 0.0},
+            {"max_pool_rebuilds": -1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**kwargs)
+
+
+class TestRetryPath:
+    def test_serial_transient_failure_retried(self, telemetry, inject):
+        """A job that raises once succeeds on retry, losing nothing."""
+        clean = small_campaign(seed=5).run(SETTINGS)
+        telemetry.drain()
+        inject("p01/1:raise:1")
+        dataset = small_campaign(seed=5).run(SETTINGS, retry=FAST_RETRY)
+        assert dataset == clean
+        assert counter_value(telemetry, "campaign.retries") == 1
+        assert counter_value(telemetry, "campaign.job_failures") == 1
+
+    def test_parallel_transient_failure_retried(self, telemetry, inject):
+        clean = small_campaign(seed=5).run(SETTINGS)
+        telemetry.drain()
+        inject("p18/0:raise:1")
+        dataset = small_campaign(seed=5).run(
+            SETTINGS, n_workers=2, retry=FAST_RETRY
+        )
+        assert dataset == clean
+        assert counter_value(telemetry, "campaign.retries") == 1
+
+    def test_exhausted_retries_name_the_job(self, telemetry, inject):
+        inject("p18/0:raise", counted=False)  # fails every attempt
+        with pytest.raises(ExecutionError, match=r"'p18', trace 0"):
+            small_campaign().run(
+                SETTINGS, retry=RetryPolicy(max_retries=1, backoff_s=0.0)
+            )
+        aborted = [e for e in telemetry.events if e["kind"] == "campaign.aborted"]
+        assert len(aborted) == 1
+        assert aborted[0]["path"] == "p18"
+        assert aborted[0]["trace"] == 0
+        assert counter_value(telemetry, "campaign.job_failures") == 2
+
+    def test_parallel_abort_names_the_job(self, telemetry, inject):
+        inject("p01/0:raise", counted=False)
+        with pytest.raises(ExecutionError, match=r"'p01', trace 0"):
+            small_campaign().run(
+                SETTINGS,
+                n_workers=2,
+                retry=RetryPolicy(max_retries=0, backoff_s=0.0),
+            )
+        assert any(e["kind"] == "campaign.aborted" for e in telemetry.events)
+
+
+class TestWorkerCrash:
+    def test_pool_rebuilt_after_worker_death(self, telemetry, inject):
+        """An os._exit'ing worker breaks the pool; the campaign survives."""
+        clean = small_campaign(seed=9).run(SETTINGS)
+        telemetry.drain()
+        inject("p01/0:exit:1")
+        dataset = small_campaign(seed=9).run(
+            SETTINGS, n_workers=2, retry=FAST_RETRY
+        )
+        assert dataset == clean
+        assert counter_value(telemetry, "campaign.pool_rebuilds") >= 1
+        assert counter_value(telemetry, "campaign.job_failures") >= 1
+
+
+class TestJobTimeout:
+    @pytest.mark.slow
+    def test_hung_job_killed_and_retried(self, telemetry, inject):
+        clean = small_campaign(seed=3).run(SETTINGS)
+        telemetry.drain()
+        inject("p01/1:hang:1")
+        policy = RetryPolicy(max_retries=2, backoff_s=0.0, job_timeout_s=1.5)
+        dataset = small_campaign(seed=3).run(SETTINGS, n_workers=2, retry=policy)
+        assert dataset == clean
+        failures = [
+            e for e in telemetry.events if e["kind"] == "campaign.job_failure"
+        ]
+        assert any(e["failure"] == "timeout" for e in failures)
+
+
+class TestCheckpointAndResume:
+    def test_interrupt_then_resume_is_bit_identical(
+        self, telemetry, inject, tmp_path, monkeypatch
+    ):
+        """The acceptance scenario: crash, resume, compare to serial."""
+        from repro.testbed.io import save_dataset
+
+        reference = small_campaign(seed=13).run(SETTINGS)
+        store = CheckpointStore(tmp_path / "ckpt")
+
+        inject("p18/1:raise", counted=False)
+        with pytest.raises(ExecutionError):
+            small_campaign(seed=13).run(
+                SETTINGS,
+                checkpoint=store,
+                retry=RetryPolicy(max_retries=0, backoff_s=0.0),
+            )
+        # Serial order: p01/0, p01/1, p18/0 completed before the crash.
+        run_keys = [d.name for d in (tmp_path / "ckpt").iterdir()]
+        assert len(run_keys) == 1
+        assert store.completed(run_keys[0]) == {("p01", 0), ("p01", 1), ("p18", 0)}
+
+        monkeypatch.delenv("REPRO_FAULT_SPEC", raising=False)
+        telemetry.drain()
+        resumed = small_campaign(seed=13).run(
+            SETTINGS, checkpoint=store, resume=True
+        )
+        assert resumed == reference
+        assert counter_value(telemetry, "campaign.traces_resumed") == 3
+        assert counter_value(telemetry, "campaign.traces_attempted") == 1
+
+        ref_csv, res_csv = tmp_path / "ref.csv", tmp_path / "res.csv"
+        save_dataset(reference, ref_csv)
+        save_dataset(resumed, res_csv)
+        assert ref_csv.read_bytes() == res_csv.read_bytes()
+
+    def test_parallel_resume_matches_serial(self, telemetry, inject, tmp_path, monkeypatch):
+        reference = small_campaign(seed=21).run(SETTINGS)
+        store = CheckpointStore(tmp_path / "ckpt")
+        inject("p01/1:raise", counted=False)
+        with pytest.raises(ExecutionError):
+            small_campaign(seed=21).run(
+                SETTINGS,
+                n_workers=2,
+                checkpoint=store,
+                retry=RetryPolicy(max_retries=0, backoff_s=0.0),
+            )
+        monkeypatch.delenv("REPRO_FAULT_SPEC", raising=False)
+        resumed = small_campaign(seed=21).run(
+            SETTINGS, n_workers=2, checkpoint=store, resume=True
+        )
+        assert resumed == reference
+
+    def test_checkpoints_discarded_after_success(self, telemetry, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        small_campaign().run(SETTINGS, checkpoint=store)
+        assert not any((tmp_path / "ckpt").iterdir())
+
+    def test_partial_checkpoint_is_resimulated(self, telemetry, tmp_path):
+        """A checkpoint with the wrong epoch count is ignored on resume."""
+        from repro.testbed.cache import campaign_cache_key
+
+        store = CheckpointStore(tmp_path / "ckpt")
+        campaign = small_campaign(seed=2)
+        short = campaign.run_trace(
+            campaign.catalog[0], 0, CampaignSettings(n_traces=2, epochs_per_trace=2)
+        )
+        key = campaign_cache_key(small_campaign(seed=2), SETTINGS)
+        store.store_trace(key, short)
+        dataset = small_campaign(seed=2).run(
+            SETTINGS, checkpoint=store, resume=True
+        )
+        assert dataset == small_campaign(seed=2).run(SETTINGS)
+
+    def test_resume_without_prior_run_is_a_plain_run(self, telemetry, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        dataset = small_campaign(seed=4).run(SETTINGS, checkpoint=store, resume=True)
+        assert dataset == small_campaign(seed=4).run(SETTINGS)
+
+
+class TestGaugeHygiene:
+    def test_aborted_run_does_not_leak_stale_progress(self, telemetry, inject):
+        """Gauges are reset at entry, so an abort leaves honest values."""
+        small_campaign().run(SETTINGS)  # completes: traces_done == 4
+        assert telemetry.metrics.gauge("campaign.traces_done").value == 4
+        inject("p01/0:raise", counted=False)
+        with pytest.raises(ExecutionError):
+            small_campaign().run(
+                SETTINGS, retry=RetryPolicy(max_retries=0, backoff_s=0.0)
+            )
+        # The failed run made no progress; the gauge must say so rather
+        # than keep the previous run's 4.
+        assert telemetry.metrics.gauge("campaign.traces_done").value == 0
+        assert telemetry.metrics.gauge("campaign.epochs_done").value == 0
