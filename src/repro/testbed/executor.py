@@ -41,7 +41,11 @@ Telemetry collected inside worker processes (per-epoch phase timers,
 structured events) is drained per job and merged back into the parent's
 collector in job order, so a parallel campaign's telemetry matches the
 serial one's.  Failed attempts' partial telemetry is discarded with the
-attempt; only the successful attempt of each job is merged.  Retries,
+attempt; only the successful attempt of each job is merged.  The serial
+path gives every attempt the same isolation — a fresh single-path
+campaign (fresh RNG streams) and a drained telemetry collector — so a
+serially retried trace is bit-identical to, and reports the same
+telemetry as, an uninterrupted run.  Retries,
 failures, rebuilds, and resumed traces are themselves counted
 (``campaign.retries`` / ``campaign.job_failures`` /
 ``campaign.pool_rebuilds`` / ``campaign.traces_resumed``) and surface
@@ -55,6 +59,7 @@ from __future__ import annotations
 
 import os
 import time
+from collections import deque
 from collections.abc import Callable
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -124,11 +129,14 @@ class RetryPolicy:
             the same job doubles it.
         backoff_cap_s: upper bound on any single backoff sleep.
         job_timeout_s: wall-clock budget for one parallel job measured
-            from submission (queueing included).  A job over budget is
-            treated as hung: its workers are terminated, the pool is
-            rebuilt, and the job is retried.  ``None`` disables the
-            watchdog.  Serial execution ignores it (there is no second
-            process to enforce it from).
+            from dispatch to the pool.  The executor caps in-flight
+            submissions at the worker count, so a dispatched job starts
+            (nearly) immediately and the budget covers running time,
+            not queue wait — a queued job's clock has not started.  A
+            job over budget is treated as hung: its workers are
+            terminated, the pool is rebuilt, and the job is retried.
+            ``None`` disables the watchdog.  Serial execution ignores
+            it (there is no second process to enforce it from).
         max_pool_rebuilds: pool rebuilds tolerated (after worker
             crashes or timeouts) before the executor gives up on
             process parallelism and degrades to serial in-process
@@ -182,12 +190,15 @@ def resolve_workers(n_workers: int) -> int:
 
 
 #: Crash-injection spec: ``"<path_id>/<trace>:<mode>[:<count>]"`` entries
-#: separated by ``;``.  Modes: ``raise`` (the job raises), ``exit`` (the
-#: process dies via ``os._exit`` — a worker crash in parallel mode, a
-#: hard kill in serial mode), ``hang`` (the job sleeps 60 s, tripping
-#: the job timeout).  With ``REPRO_FAULT_DIR`` set, each entry triggers
-#: at most ``count`` times across all processes (claimed through
-#: ``O_EXCL`` marker files); without it, the entry triggers every time.
+#: separated by ``;``.  A target of ``*`` matches every job.  Modes:
+#: ``raise`` (the job raises), ``exit`` (the process dies via
+#: ``os._exit`` — a worker crash in parallel mode, a hard kill in serial
+#: mode), ``hang`` (the job sleeps 60 s, tripping the job timeout), and
+#: ``nap`` (not a fault: the job sleeps ``<count>`` seconds — a float —
+#: on every attempt, for tests that need jobs of a known duration).
+#: With ``REPRO_FAULT_DIR`` set, each crash entry triggers at most
+#: ``count`` times across all processes (claimed through ``O_EXCL``
+#: marker files); without it, the entry triggers every time.
 ENV_FAULT_SPEC = "REPRO_FAULT_SPEC"
 
 #: Directory for cross-process fault trigger accounting (see above).
@@ -211,9 +222,14 @@ def maybe_inject_fault(path_id: str, trace_index: int) -> None:
     fault_dir = os.environ.get(ENV_FAULT_DIR, "").strip()
     for entry in spec.split(";"):
         parts = entry.strip().split(":")
-        if len(parts) < 2 or parts[0] != target:
+        if len(parts) < 2 or parts[0] not in (target, "*"):
             continue
         mode = parts[1]
+        if mode == "nap":
+            # A deterministic slowdown, not a fault: every attempt
+            # sleeps, so tests can give jobs a known duration.
+            time.sleep(float(parts[2]) if len(parts) > 2 else 0.1)
+            return
         count = int(parts[2]) if len(parts) > 2 else 1
         if fault_dir and not _claim_fault_token(fault_dir, target, mode, count):
             continue
@@ -427,24 +443,73 @@ class _CampaignRun:
     # -- execution paths -----------------------------------------------
 
     def run_serial(self, indices: list[int]) -> None:
-        """Run jobs in-process, with the same retry/backoff semantics."""
+        """Run jobs in-process, with the same retry/backoff semantics.
+
+        Mirrors the worker path (:func:`_run_trace_job`) on both axes of
+        attempt isolation:
+
+        * **RNG** — every attempt rebuilds a fresh single-path campaign,
+          because ``RngStreams.get`` caches generators per campaign
+          instance: retrying through the parent campaign would resume
+          from the RNG state the failed attempt already consumed,
+          silently producing a different trace than an uninterrupted
+          run.  A fresh campaign re-derives the ``path/traceN`` stream
+          from the seed, so the retried trace is bit-identical.
+        * **telemetry** — each attempt collects into a drained
+          collector and is merged back only on success, so a failed
+          attempt's partial timers/events are discarded exactly as a
+          crashed worker's are.
+        """
+        from repro.testbed.campaign import Campaign
+
         campaign, settings = self.campaign, self.settings
+        seed = campaign.streams.seed
         for index in indices:
             config, trace_index = self.jobs[index]
             while True:
+                held = self.telemetry.drain()
                 try:
                     maybe_inject_fault(config.path_id, trace_index)
+                    attempt_campaign = Campaign(
+                        [config],
+                        seed=seed,
+                        label=campaign.label,
+                        tcp=campaign.tcp,
+                        small_tcp=campaign.small_tcp,
+                    )
                     with self.telemetry.timer("campaign.trace_s"):
-                        trace = campaign.run_trace(config, trace_index, settings)
-                    break
+                        trace = attempt_campaign.run_trace(
+                            config, trace_index, settings
+                        )
                 except ExecutionError:
+                    self.telemetry.drain()
+                    self.telemetry.merge(held)
                     raise
                 except Exception as exc:
+                    # Discard the failed attempt's partial telemetry,
+                    # restore what the campaign had collected before it.
+                    self.telemetry.drain()
+                    self.telemetry.merge(held)
                     self.retry_or_abort(index, "error", exc)
+                else:
+                    snapshot = self.telemetry.drain()
+                    self.telemetry.merge(held)
+                    self.telemetry.merge(snapshot)
+                    break
             self.complete(index, trace)
 
     def run_parallel(self, indices: list[int], n_workers: int) -> None:
-        """Run jobs in a worker pool, surviving crashes and hangs."""
+        """Run jobs in a worker pool, surviving crashes and hangs.
+
+        In-flight submissions are capped at the pool's worker count, so
+        a submitted job is picked up by a free worker (nearly)
+        immediately: ``dispatched_at`` approximates the job's actual
+        start, and the job timeout measures running time rather than
+        queue wait.  Retries and not-yet-dispatched jobs sit in
+        ``queue`` and are submitted only at the top of the loop, where a
+        ``BrokenProcessPool`` raised by ``submit`` itself routes into
+        the same rebuild machinery as a crash surfaced by a future.
+        """
         campaign, settings, retry = self.campaign, self.settings, self.retry
         seed = campaign.streams.seed
 
@@ -462,21 +527,56 @@ class _CampaignRun:
             )
 
         rebuilds = 0
-        pool: ProcessPoolExecutor | None = ProcessPoolExecutor(
-            max_workers=min(n_workers, len(indices))
-        )
+        cap = min(n_workers, len(indices))
+        pool: ProcessPoolExecutor | None = ProcessPoolExecutor(max_workers=cap)
+        queue: deque[int] = deque(indices)
         pending: dict[Any, int] = {}
-        submitted_at: dict[Any, float] = {}
+        dispatched_at: dict[Any, float] = {}
+
+        def replace_pool(resubmit: list[int]) -> bool:
+            """Install a fresh pool for ``resubmit``; ``False`` = degrade."""
+            nonlocal pool, rebuilds, cap, queue, pending, dispatched_at
+            pool, rebuilds = self._rebuild_pool(rebuilds, n_workers, len(resubmit))
+            pending = {}
+            dispatched_at = {}
+            if pool is None:
+                return False
+            cap = min(n_workers, len(resubmit))
+            queue = deque(resubmit)
+            return True
+
         try:
-            for index in indices:
-                future = submit(pool, index)
-                pending[future] = index
-                submitted_at[future] = time.perf_counter()
-            while pending:
+            while pending or queue:
+                # Top up in-flight jobs to the worker count.
+                submit_broke_pool = False
+                while queue and len(pending) < cap:
+                    index = queue.popleft()
+                    try:
+                        future = submit(pool, index)
+                    except BrokenProcessPool:
+                        queue.appendleft(index)
+                        submit_broke_pool = True
+                        break
+                    pending[future] = index
+                    dispatched_at[future] = time.perf_counter()
+                if submit_broke_pool and not pending:
+                    # Nothing in flight to surface the crash through
+                    # ``future.result()``; rebuild directly.  No job
+                    # takes attempt-count blame (none was running), and
+                    # the rebuild cap bounds a pool that keeps breaking.
+                    resubmit = sorted(queue)
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    if not replace_pool(resubmit):
+                        self._degrade_to_serial(resubmit)
+                        return
+                    continue
+                # With futures still pending after a failed submit, fall
+                # through: those futures are dead too, and wait()
+                # surfaces BrokenProcessPool via the crash branch below.
                 poll_s = None
-                if retry.job_timeout_s is not None:
+                if retry.job_timeout_s is not None and dispatched_at:
                     # Wake often enough to notice the earliest deadline.
-                    oldest = min(submitted_at.values())
+                    oldest = min(dispatched_at.values())
                     poll_s = max(
                         0.05,
                         retry.job_timeout_s - (time.perf_counter() - oldest),
@@ -485,10 +585,12 @@ class _CampaignRun:
                     set(pending), timeout=poll_s, return_when=FIRST_COMPLETED
                 )
                 if not finished:
+                    # Only in-flight (dispatched) jobs can expire; a
+                    # queued job's clock has not started.
                     expired = [
                         future
                         for future in pending
-                        if time.perf_counter() - submitted_at[future]
+                        if time.perf_counter() - dispatched_at[future]
                         >= (retry.job_timeout_s or float("inf"))
                     ]
                     if not expired:
@@ -502,25 +604,16 @@ class _CampaignRun:
                     except ExecutionError:
                         _terminate_pool(pool)
                         raise
-                    resubmit = sorted(pending.values())
+                    resubmit = sorted([*pending.values(), *queue])
                     _terminate_pool(pool)
-                    pool, rebuilds = self._rebuild_pool(
-                        rebuilds, n_workers, len(resubmit)
-                    )
-                    if pool is None:
+                    if not replace_pool(resubmit):
                         self._degrade_to_serial(resubmit)
                         return
-                    pending = {}
-                    submitted_at = {}
-                    for index in resubmit:
-                        future = submit(pool, index)
-                        pending[future] = index
-                        submitted_at[future] = time.perf_counter()
                     continue
                 pool_broken = False
                 for future in finished:
                     index = pending.pop(future)
-                    submitted_at.pop(future, None)
+                    dispatched_at.pop(future, None)
                     try:
                         trace, snapshot = future.result()
                     except BrokenProcessPool:
@@ -529,20 +622,11 @@ class _CampaignRun:
                         # culprit is unknowable), the rebuild cap bounds
                         # the damage either way.
                         self.retry_or_abort(index, "worker_crash", None)
-                        resubmit = sorted({index, *pending.values()})
+                        resubmit = sorted({index, *pending.values(), *queue})
                         pool.shutdown(wait=False, cancel_futures=True)
-                        pool, rebuilds = self._rebuild_pool(
-                            rebuilds, n_workers, len(resubmit)
-                        )
-                        if pool is None:
+                        if not replace_pool(resubmit):
                             self._degrade_to_serial(resubmit)
                             return
-                        pending = {}
-                        submitted_at = {}
-                        for job_index in resubmit:
-                            new_future = submit(pool, job_index)
-                            pending[new_future] = job_index
-                            submitted_at[new_future] = time.perf_counter()
                         pool_broken = True
                         break
                     except ExecutionError:
@@ -555,9 +639,10 @@ class _CampaignRun:
                             # does not keep burning CPU behind the raise.
                             pool.shutdown(wait=False, cancel_futures=True)
                             raise
-                        future = submit(pool, index)
-                        pending[future] = index
-                        submitted_at[future] = time.perf_counter()
+                        # Defer the resubmission to the top of the loop:
+                        # submitting here could raise BrokenProcessPool
+                        # past the rebuild machinery.
+                        queue.append(index)
                     else:
                         self.snapshots[index] = snapshot
                         self.complete(index, trace)

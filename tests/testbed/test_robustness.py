@@ -126,6 +126,55 @@ class TestRetryPath:
         assert any(e["kind"] == "campaign.aborted" for e in telemetry.events)
 
 
+class TestSerialAttemptIsolation:
+    """A serial retry must behave exactly like a worker retry: fresh RNG
+    state and discarded partial telemetry per attempt.
+
+    The crash-injection hook raises before any RNG draw, so these tests
+    inject the failure *mid-trace* instead — after the epoch-interval
+    draw and a full epoch's worth of draws have consumed stream state —
+    where a retry that reused the parent campaign's cached generator
+    would silently produce a different trace.
+    """
+
+    @staticmethod
+    def _arm_mid_trace_fault(monkeypatch):
+        """Make the 2nd run_epoch call of the run raise, once."""
+        from repro.fastpath.pathsim import FluidPathSimulator
+
+        real_run_epoch = FluidPathSimulator.run_epoch
+        calls = {"n": 0}
+
+        def flaky_run_epoch(sim, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise RuntimeError("injected mid-trace fault")
+            return real_run_epoch(sim, **kwargs)
+
+        monkeypatch.setattr(FluidPathSimulator, "run_epoch", flaky_run_epoch)
+
+    def test_mid_trace_failure_retries_bit_identical(self, telemetry, monkeypatch):
+        """A failure after consuming RNG draws must not perturb the retry."""
+        reference = small_campaign(seed=17).run(SETTINGS)
+        telemetry.drain()
+        self._arm_mid_trace_fault(monkeypatch)
+        dataset = small_campaign(seed=17).run(SETTINGS, retry=FAST_RETRY)
+        assert dataset == reference
+        assert counter_value(telemetry, "campaign.retries") == 1
+
+    def test_failed_attempt_telemetry_is_discarded(self, telemetry, monkeypatch):
+        """Serial telemetry matches parallel: partial attempts vanish."""
+        self._arm_mid_trace_fault(monkeypatch)
+        small_campaign(seed=17).run(SETTINGS, retry=FAST_RETRY)
+        # 2 paths x 2 traces x 3 epochs = 12; the failed attempt's lone
+        # finished epoch is discarded with the attempt, not double-counted.
+        epoch_events = [e for e in telemetry.events if e["kind"] == "epoch"]
+        assert len(epoch_events) == 12
+        assert counter_value(telemetry, "epochs.simulated") == 12
+        # Only successful attempts record a trace timer sample.
+        assert telemetry.metrics.timer("campaign.trace_s").count == 4
+
+
 class TestWorkerCrash:
     def test_pool_rebuilt_after_worker_death(self, telemetry, inject):
         """An os._exit'ing worker breaks the pool; the campaign survives."""
@@ -153,6 +202,25 @@ class TestJobTimeout:
             e for e in telemetry.events if e["kind"] == "campaign.job_failure"
         ]
         assert any(e["failure"] == "timeout" for e in failures)
+
+    @pytest.mark.slow
+    def test_queue_wait_does_not_count_against_timeout(self, telemetry, inject):
+        """Queued jobs must not expire: the budget covers running time.
+
+        12 jobs of ~0.75 s on 2 workers take ~4.5 s end to end — longer
+        than the 4 s job timeout — but no single job exceeds it, so a
+        timeout measured from dispatch (not submission) never fires.
+        ``max_retries=0`` turns any spurious expiry into a hard abort.
+        """
+        inject("*:nap:0.75", counted=False)
+        policy = RetryPolicy(max_retries=0, backoff_s=0.0, job_timeout_s=4.0)
+        dataset = small_campaign(seed=6).run(
+            CampaignSettings(n_traces=6, epochs_per_trace=2),
+            n_workers=2,
+            retry=policy,
+        )
+        assert len(dataset.traces) == 12
+        assert counter_value(telemetry, "campaign.job_failures") == 0
 
 
 class TestCheckpointAndResume:
