@@ -4,14 +4,17 @@ PYTHON ?= python
 SMOKE_DIR := .campaign-smoke
 OBS_SMOKE_DIR := .obs-smoke
 RESUME_SMOKE_DIR := .resume-smoke
+ANALYZE_SMOKE_DIR := .analyze-obs-smoke
+BENCH_CHECK_DIR := .bench-check
 
-.PHONY: install test test-fast campaign-smoke obs-smoke resume-smoke lint \
-	bench bench-full bench-obs examples clean
+.PHONY: install test test-fast campaign-smoke obs-smoke resume-smoke \
+	analyze-obs-smoke bench-check lint bench bench-full bench-obs \
+	examples clean
 
 install:
 	$(PYTHON) setup.py develop
 
-test: lint campaign-smoke obs-smoke resume-smoke
+test: lint campaign-smoke obs-smoke resume-smoke analyze-obs-smoke bench-check
 	$(PYTHON) -m pytest tests/
 
 test-fast:
@@ -62,6 +65,42 @@ resume-smoke:
 	cmp $(RESUME_SMOKE_DIR)/ref.csv $(RESUME_SMOKE_DIR)/resumed.csv
 	@echo "resume smoke OK (killed mid-flight + --resume == uninterrupted run)"
 
+# Prediction-pipeline telemetry end-to-end check: a tiny repro-analyze
+# run must write analysis sidecars, `repro-obs summary` must render
+# them, and a `bench record` + `bench check` round-trip on the fresh
+# manifest must pass the regression gate.
+analyze-obs-smoke:
+	rm -rf $(ANALYZE_SMOKE_DIR)
+	PYTHONPATH=src REPRO_CACHE_DIR=$(ANALYZE_SMOKE_DIR)/cache \
+		REPRO_CHECKPOINT_DIR=$(ANALYZE_SMOKE_DIR)/ckpt $(PYTHON) -m repro.cli.campaign \
+		--paths 3 --traces 1 --epochs 12 --quiet --no-cache -o $(ANALYZE_SMOKE_DIR)/smoke.csv
+	PYTHONPATH=src $(PYTHON) -m repro.cli.analyze $(ANALYZE_SMOKE_DIR)/smoke.csv \
+		--figures 2 16 > /dev/null
+	test -f $(ANALYZE_SMOKE_DIR)/smoke.analysis.manifest.json
+	test -f $(ANALYZE_SMOKE_DIR)/smoke.analysis.events.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro.cli.obs summary \
+		$(ANALYZE_SMOKE_DIR)/smoke.analysis.manifest.json | grep -q "kind=analysis"
+	PYTHONPATH=src $(PYTHON) -m repro.cli.obs bench record \
+		$(ANALYZE_SMOKE_DIR)/smoke.analysis.manifest.json \
+		--name smoke --baselines-dir $(ANALYZE_SMOKE_DIR)/baselines
+	PYTHONPATH=src $(PYTHON) -m repro.cli.obs bench check \
+		$(ANALYZE_SMOKE_DIR)/smoke.analysis.manifest.json \
+		--name smoke --baselines-dir $(ANALYZE_SMOKE_DIR)/baselines > /dev/null
+	@echo "analyze obs smoke OK (analysis sidecars + summary + bench gate)"
+
+# The perf-regression gate against the committed baseline: re-measure the
+# benchmark fixtures and require the timings to stay within tolerance of
+# benchmarks/baselines/obs_baseline.json.  The wide tolerance absorbs
+# machine-to-machine wall-clock noise; counters must match exactly.
+bench-check:
+	rm -rf $(BENCH_CHECK_DIR)
+	mkdir -p $(BENCH_CHECK_DIR)
+	PYTHONPATH=src $(PYTHON) benchmarks/obs_baseline.py \
+		--output $(BENCH_CHECK_DIR)/BENCH_obs.json
+	PYTHONPATH=src $(PYTHON) -m repro.cli.obs bench check \
+		$(BENCH_CHECK_DIR)/BENCH_obs.json --tolerance 0.6
+	@echo "bench check OK (fixture timings within tolerance of committed baseline)"
+
 # Library code must report through repro.obs, not print().
 lint:
 	$(PYTHON) tools/no_print_lint.py
@@ -82,5 +121,5 @@ examples:
 
 clean:
 	rm -rf build dist src/repro.egg-info .pytest_cache $(SMOKE_DIR) $(OBS_SMOKE_DIR) \
-		$(RESUME_SMOKE_DIR)
+		$(RESUME_SMOKE_DIR) $(ANALYZE_SMOKE_DIR) $(BENCH_CHECK_DIR)
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -11,6 +11,7 @@ detail is needed.
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import platform
@@ -79,7 +80,18 @@ def record_fixture(name: str) -> dict:
     }
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Record benchmark fixture timings as a bench report."
+    )
+    parser.add_argument(
+        "--output",
+        default=str(OUTPUT),
+        metavar="FILE",
+        help=f"report path (default: {OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+    output = Path(args.output)
     if os.environ.get("REPRO_OBS", "1") == "0":
         print("error: REPRO_OBS=0 — telemetry is required to record timings",
               file=sys.stderr)
@@ -92,8 +104,9 @@ def main() -> int:
         "machine": platform.machine(),
         "fixtures": {name: record_fixture(name) for name in FIXTURES},
     }
-    OUTPUT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {OUTPUT}")
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output}")
     for name, entry in report["fixtures"].items():
         print(f"  {name}: {entry['wall_time_s']}s for {entry['epochs']} epochs "
               f"({entry['epochs_per_s']} epochs/s)")

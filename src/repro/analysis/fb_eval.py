@@ -8,11 +8,13 @@ corresponding figure does.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
 from repro.core.errors import DataError
 from repro.core.metrics import Cdf, pearson_correlation, relative_error, rmsre
+from repro.obs import get_telemetry
 from repro.formulas.fb_predictor import FormulaBasedPredictor
 from repro.formulas.params import PathEstimates, TcpParameters
 from repro.hb.moving_average import MovingAverage
@@ -37,13 +39,25 @@ def predict_epoch(
     epoch: EpochMeasurement, predictor: FormulaBasedPredictor
 ) -> FbEpochResult:
     """Apply the FB predictor to one epoch's a priori measurements."""
-    predicted = predictor.predict(
-        PathEstimates(
-            rtt_s=epoch.that_s,
-            loss_rate=epoch.phat,
-            availbw_mbps=epoch.ahat_mbps,
-        )
+    estimates = PathEstimates(
+        rtt_s=epoch.that_s,
+        loss_rate=epoch.phat,
+        availbw_mbps=epoch.ahat_mbps,
     )
+    tele = get_telemetry()
+    if tele.enabled:
+        started = perf_counter()
+        predicted = predictor.predict(estimates)
+        tele.metrics.timer("predict.wall_s", predictor="fb").observe(
+            perf_counter() - started
+        )
+        tele.metrics.counter(
+            "predictions.made",
+            predictor="fb",
+            regime="lossless" if epoch.lossless else "lossy",
+        ).inc()
+    else:
+        predicted = predictor.predict(estimates)
     return FbEpochResult(
         epoch=epoch,
         predicted_mbps=predicted,

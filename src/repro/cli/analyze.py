@@ -1,17 +1,27 @@
 """``repro-analyze``: regenerate the paper's figures from a saved dataset.
 
+Every invocation is an observable run: telemetry from the prediction
+pipeline (per-predictor timers/counters, LSO detections, per-figure
+wall times) is recorded and written as ``X.analysis.manifest.json`` +
+``X.analysis.events.jsonl`` sidecars next to the dataset — rendered by
+``repro-obs summary`` and gated by ``repro-obs bench check``.  Set
+``REPRO_OBS=0`` to disable telemetry (no sidecars are written).
+
 Examples::
 
     repro-analyze may.csv                      # every applicable figure
     repro-analyze may.csv --figures 2 19 20    # a subset
     repro-analyze march.csv --figures 11
+    repro-obs summary may.analysis.manifest.json
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
 import sys
 from collections.abc import Callable
+from pathlib import Path
 
 from repro.analysis import fb_eval, hb_eval
 from repro.analysis.report import (
@@ -21,6 +31,8 @@ from repro.analysis.report import (
     render_scatter_summary,
 )
 from repro.core.errors import ReproError
+from repro.obs import RunRecorder, get_telemetry
+from repro.obs.recorder import analysis_sidecar_paths, write_manifest
 from repro.paths.records import Dataset
 from repro.testbed.io import load_dataset
 
@@ -173,12 +185,54 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _dataset_identity(path: Path) -> str:
+    """sha256 of the dataset file bytes — the analysis-run cache_key."""
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _flush_phase_timers(clock, telemetry) -> None:
+    """Turn the run's phase laps into manifest timers.
+
+    ``load`` becomes ``analysis.load_s``; every ``fig<N>`` lap becomes a
+    sample of ``analysis.figure_s{figure=N}``.
+    """
+    for phase, seconds in clock.phases.items():
+        if phase.startswith("fig"):
+            timer = telemetry.metrics.timer("analysis.figure_s", figure=phase[3:])
+        else:
+            timer = telemetry.metrics.timer(f"analysis.{phase}_s")
+        timer.observe(seconds)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    dataset = load_dataset(args.dataset)
-
+    dataset_path = Path(args.dataset)
     wanted = args.figures or sorted(FIGURES)
+
+    telemetry = get_telemetry()
+    observing = telemetry.enabled
+    recorder = RunRecorder(
+        label=dataset_path.name,
+        kind="analysis",
+        cache_key=(
+            _dataset_identity(dataset_path)
+            if observing and dataset_path.is_file()
+            else ""
+        ),
+        settings={"dataset": str(args.dataset), "figures": list(wanted)},
+    ).start()
+    clock = telemetry.phase_clock()
+
+    dataset = load_dataset(args.dataset)
+    clock.lap("load")
+
     status = 0
+    rendered: list[int] = []
+    skipped: list[int] = []
     try:
         print(dataset.summary())
         for number in wanted:
@@ -186,15 +240,53 @@ def main(argv: list[str] | None = None) -> int:
             if renderer is None:
                 print(f"\n[fig {number}] no renderer (available: {sorted(FIGURES)})")
                 status = 2
+                clock.lap(f"fig{number}")
+                telemetry.emit("figure", figure=number, status="unknown")
                 continue
             print()
             try:
                 print(renderer(dataset))
             except ReproError as exc:
                 print(f"[fig {number}] not derivable from this dataset: {exc}")
+                clock.lap(f"fig{number}")
+                skipped.append(number)
+                telemetry.emit(
+                    "figure",
+                    figure=number,
+                    status="skipped",
+                    wall_s=clock.phases.get(f"fig{number}", 0.0),
+                    reason=str(exc),
+                )
+            else:
+                clock.lap(f"fig{number}")
+                rendered.append(number)
+                telemetry.emit(
+                    "figure",
+                    figure=number,
+                    status="ok",
+                    wall_s=clock.phases.get(f"fig{number}", 0.0),
+                )
     except BrokenPipeError:
         # Downstream pipe closed (e.g. `repro-analyze ds.csv | head`).
-        return 0
+        status = 0
+    if observing:
+        _flush_phase_timers(clock, telemetry)
+    recorder.finish(
+        n_paths=len(dataset.path_ids),
+        n_traces=len(dataset.traces),
+        n_epochs=len(dataset.epochs()),
+        extras={
+            "analysis": {
+                "dataset": str(args.dataset),
+                "figures": rendered,
+                "skipped": skipped,
+            }
+        },
+    )
+    if observing:
+        manifest_path, events_path = analysis_sidecar_paths(dataset_path)
+        write_manifest(recorder.manifest, recorder.events, manifest_path, events_path)
+        print(f"telemetry -> {manifest_path}", file=sys.stderr)
     return status
 
 

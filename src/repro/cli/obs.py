@@ -1,35 +1,56 @@
-"""``repro-obs``: render telemetry reports from run manifests.
+"""``repro-obs``: render, export, and gate telemetry from run manifests.
 
-``repro-campaign`` writes a ``X.manifest.json`` + ``X.events.jsonl``
-sidecar pair next to each dataset (and next to cache entries).  This
-command turns those files back into human-readable reports:
+``repro-campaign`` and ``repro-analyze`` write ``X.manifest.json`` +
+``X.events.jsonl`` sidecar pairs next to their outputs.  This command
+turns those files back into reports and machine formats:
 
 * ``summary RUN`` — run identity, wall time, per-phase timer
-  percentiles, counters (cache hits/misses, simulation events), event
+  percentiles, counters (cache hits/misses, predictions made), event
   tallies;
 * ``slowest RUN [-n N]`` — the N slowest simulated epochs with their
   per-phase breakdown;
 * ``compare RUN_A RUN_B`` — counters and timer medians side by side
-  with relative deltas (e.g. before/after a performance change).
+  with relative deltas (e.g. before/after a performance change);
+* ``export RUN --format openmetrics|json`` — OpenMetrics/Prometheus
+  text exposition or flat JSON, for scraping and dashboards;
+* ``bench record SOURCE --name NAME`` / ``bench check SOURCE`` — the
+  performance-regression gate: snapshot a manifest (or a
+  ``BENCH_obs.json`` bench report) as a named baseline, then fail
+  (exit 1) when a later run's counters diverge or its timers run
+  slower than the baseline allows.
 
 ``RUN`` may be the manifest path, the dataset path (the sidecar is
 resolved automatically), or a directory containing exactly one
-manifest.
+manifest.  ``SOURCE`` additionally accepts a bench-report JSON path.
 
 Examples::
 
     repro-obs summary may.csv
     repro-obs slowest may.csv -n 20
     repro-obs compare baseline.csv optimized.csv
+    repro-obs export may.csv --format openmetrics
+    repro-obs bench record BENCH_obs.json --name obs_baseline
+    repro-obs bench check BENCH_obs.json
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.core.errors import DataError
+from repro.obs.export import to_flat_json, to_openmetrics
 from repro.obs.recorder import load_manifest, read_events, resolve_manifest
+from repro.obs.regress import (
+    DEFAULT_BASELINE_NAME,
+    baseline_path,
+    check_against_baseline,
+    load_baseline,
+    load_metrics_source,
+    record_baseline,
+    render_check_report,
+)
 from repro.obs.render import compare_report, slowest_report, summary_report
 
 
@@ -58,7 +79,98 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument("run_a", help="baseline run")
     compare.add_argument("run_b", help="comparison run")
+
+    export = sub.add_parser(
+        "export", help="export a run's metrics for external consumers"
+    )
+    export.add_argument("run", help="manifest path, dataset path, or directory")
+    export.add_argument(
+        "--format",
+        choices=("openmetrics", "json"),
+        default="openmetrics",
+        dest="fmt",
+        help="output format (default: openmetrics)",
+    )
+    export.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write to FILE instead of stdout",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="record/check performance baselines (the regression gate)"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    record = bench_sub.add_parser(
+        "record", help="snapshot a manifest or bench report as a baseline"
+    )
+    record.add_argument(
+        "source", help="RUN (manifest/dataset/directory) or a bench JSON path"
+    )
+    record.add_argument(
+        "--name",
+        default=DEFAULT_BASELINE_NAME,
+        help=f"baseline name (default: {DEFAULT_BASELINE_NAME})",
+    )
+    record.add_argument(
+        "--baselines-dir",
+        default=None,
+        metavar="DIR",
+        help="baseline directory (default: $REPRO_BASELINES_DIR or the "
+        "committed benchmarks/baselines/)",
+    )
+
+    check = bench_sub.add_parser(
+        "check", help="compare a run against a baseline; exit 1 on regression"
+    )
+    check.add_argument(
+        "source", help="RUN (manifest/dataset/directory) or a bench JSON path"
+    )
+    check.add_argument(
+        "--name",
+        default=DEFAULT_BASELINE_NAME,
+        help=f"baseline name (default: {DEFAULT_BASELINE_NAME})",
+    )
+    check.add_argument(
+        "--baselines-dir",
+        default=None,
+        metavar="DIR",
+        help="baseline directory (default: $REPRO_BASELINES_DIR or the "
+        "committed benchmarks/baselines/)",
+    )
+    check.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="override every timer tolerance (e.g. 0.5 = ±50%%; "
+        "default: the baseline's stored tolerances, ±25%%)",
+    )
+    check.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="also list metrics that passed",
+    )
     return parser
+
+
+def _load_source(source: str) -> dict:
+    """Load a ``bench`` SOURCE: a bench-report JSON or a resolvable RUN."""
+    path = Path(source)
+    if (
+        path.is_file()
+        and path.suffix == ".json"
+        and not path.name.endswith(".manifest.json")
+    ):
+        document = load_metrics_source(path)
+        if "manifest_version" in document:
+            return load_manifest(path)
+        return document
+    return load_manifest(resolve_manifest(source))
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -72,10 +184,39 @@ def main(argv: list[str] | None = None) -> int:
                 raise DataError(f"-n must be >= 1, got {args.n}")
             events = read_events(resolve_manifest(args.run))
             print(slowest_report(events, n=args.n))
-        else:  # compare
+        elif args.command == "compare":
             manifest_a = load_manifest(resolve_manifest(args.run_a))
             manifest_b = load_manifest(resolve_manifest(args.run_b))
             print(compare_report(manifest_a, manifest_b))
+        elif args.command == "export":
+            manifest = load_manifest(resolve_manifest(args.run))
+            render = to_openmetrics if args.fmt == "openmetrics" else to_flat_json
+            text = render(manifest)
+            if args.output:
+                Path(args.output).write_text(text, encoding="utf-8")
+                print(f"wrote {args.output}", file=sys.stderr)
+            else:
+                sys.stdout.write(text)
+        elif args.bench_command == "record":
+            source = _load_source(args.source)
+            path = record_baseline(
+                source,
+                name=args.name,
+                baselines_dir=args.baselines_dir,
+                recorded_from=args.source,
+            )
+            print(f"recorded baseline {args.name!r} -> {path}")
+        else:  # bench check
+            source = _load_source(args.source)
+            baseline = load_baseline(
+                baseline_path(args.name, args.baselines_dir)
+            )
+            findings = check_against_baseline(
+                source, baseline, tolerance=args.tolerance
+            )
+            print(render_check_report(findings, verbose=args.verbose))
+            if any(f.regressed for f in findings):
+                return 1
     except DataError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -19,6 +19,7 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.core.errors import ConfigurationError, PredictionError
+from repro.obs import get_telemetry
 from repro.formulas.availbw import availbw_prediction
 from repro.formulas.mathis import mathis_throughput
 from repro.formulas.params import PathEstimates, TcpParameters
@@ -93,10 +94,12 @@ class FormulaBasedPredictor:
                 raise PredictionError(
                     "path measured lossless but no avail-bw estimate available"
                 )
+            get_telemetry().counter("fb.model_selected", model="availbw").inc()
             return availbw_prediction(
                 estimates.rtt_s, estimates.availbw_mbps, self.tcp
             )
         model_fn = MODEL_VARIANTS[self.model]
+        get_telemetry().counter("fb.model_selected", model=self.model).inc()
         rto = estimate_rto(estimates.rtt_s)
         modeled = model_fn(estimates.rtt_s, estimates.loss_rate, rto, self.tcp)
         return min(modeled, window_limit)

@@ -16,6 +16,7 @@ RMSRE of Fig. 20.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
@@ -24,6 +25,7 @@ from repro.core.metrics import relative_error, rmsre, segmented_cov
 from repro.core.timeseries import TimeSeries
 from repro.hb.base import PredictorFactory
 from repro.hb.lso import LsoConfig, detect_level_shift, detect_outliers
+from repro.obs import get_telemetry
 
 
 @dataclass(frozen=True)
@@ -100,12 +102,27 @@ def evaluate_predictor(
     n = len(series)
     predictions = np.full(n, np.nan)
     errors = np.full(n, np.nan)
-    for i in range(n):
-        if predictor.ready:
-            forecast = predictor.forecast()
-            predictions[i] = forecast
-            errors[i] = relative_error(forecast, float(values[i]))
-        predictor.update(float(values[i]))
+    tele = get_telemetry()
+    if tele.enabled:
+        name = getattr(predictor, "name", type(predictor).__name__)
+        wall = tele.metrics.timer("predict.wall_s", predictor=name)
+        made = tele.metrics.counter("predictions.made", predictor=name)
+        for i in range(n):
+            if predictor.ready:
+                started = perf_counter()
+                forecast = predictor.forecast()
+                wall.observe(perf_counter() - started)
+                made.inc()
+                predictions[i] = forecast
+                errors[i] = relative_error(forecast, float(values[i]))
+            predictor.update(float(values[i]))
+    else:
+        for i in range(n):
+            if predictor.ready:
+                forecast = predictor.forecast()
+                predictions[i] = forecast
+                errors[i] = relative_error(forecast, float(values[i]))
+            predictor.update(float(values[i]))
 
     outliers: frozenset[int] = frozenset()
     if lso_config is not None:

@@ -28,6 +28,8 @@ from dataclasses import dataclass
 from statistics import median
 from typing import Sequence
 
+from repro.obs import get_telemetry
+
 #: The paper's empirically chosen defaults (Section 5.3).
 DEFAULT_LEVEL_SHIFT_THRESHOLD = 0.3
 DEFAULT_OUTLIER_THRESHOLD = 0.4
@@ -109,6 +111,11 @@ def detect_outliers(
         )
         if not same_direction_run:
             outliers.append(k)
+    if outliers:
+        # Incremental callers discard detected outliers from their
+        # history immediately, so each outlier is counted exactly once
+        # per detection pass; the lookup is only paid on a detection.
+        get_telemetry().counter("hb.outliers_discarded").inc(len(outliers))
     return outliers
 
 
@@ -157,4 +164,6 @@ def detect_level_shift(
         if best_k is None or gap > best_gap or (gap == best_gap and k > best_k):
             best_gap = gap
             best_k = k
+    if best_k is not None:
+        get_telemetry().counter("hb.level_shifts").inc()
     return best_k

@@ -32,14 +32,23 @@ Typical run bracket (what ``repro-campaign`` does)::
     recorder.write("may.csv")       # may.manifest.json + may.events.jsonl
 """
 
+from repro.obs.export import to_flat_json, to_openmetrics
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer, percentile
 from repro.obs.recorder import (
+    ANALYSIS_CORE_COUNTERS,
+    CORE_COUNTERS,
     MANIFEST_VERSION,
     RunRecorder,
+    analysis_sidecar_paths,
     load_manifest,
     read_events,
     resolve_manifest,
     sidecar_paths,
+)
+from repro.obs.regress import (
+    check_against_baseline,
+    load_baseline,
+    record_baseline,
 )
 from repro.obs.telemetry import (
     ENV_OBS,
@@ -61,9 +70,17 @@ __all__ = [
     "get_telemetry",
     "obs_enabled",
     "MANIFEST_VERSION",
+    "CORE_COUNTERS",
+    "ANALYSIS_CORE_COUNTERS",
     "RunRecorder",
     "load_manifest",
     "read_events",
     "resolve_manifest",
     "sidecar_paths",
+    "analysis_sidecar_paths",
+    "to_openmetrics",
+    "to_flat_json",
+    "check_against_baseline",
+    "load_baseline",
+    "record_baseline",
 ]

@@ -1,0 +1,186 @@
+"""Render run manifests for external consumers.
+
+Two formats, both pure functions of a loaded manifest dict:
+
+* :func:`to_openmetrics` — OpenMetrics / Prometheus text exposition.
+  Counters become ``*_total`` samples, gauges plain samples, and timers
+  summaries (``quantile="0.5" | "0.95" | "0.99"`` plus ``_count`` /
+  ``_sum``).  Run identity is exported as a ``repro_run`` info metric.
+  The output follows the OpenMetrics text format: one ``# TYPE`` line
+  per family, escaped label values, and a trailing ``# EOF``.
+* :func:`to_flat_json` — a flat, diff-friendly JSON document keyed by
+  series label (``name{tag=value,...}``), for spreadsheet or jq-style
+  consumption.
+
+Surfaced as ``repro-obs export --format openmetrics|json``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any
+
+__all__ = [
+    "metric_name",
+    "escape_label_value",
+    "to_openmetrics",
+    "to_flat_json",
+]
+
+#: Prefix stamped onto every exported metric family.
+METRIC_PREFIX = "repro_"
+
+#: Timer quantiles exported as OpenMetrics summary samples.
+SUMMARY_QUANTILES = (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"))
+
+_INVALID_NAME_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_INVALID_LABEL_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def metric_name(name: str) -> str:
+    """The OpenMetrics family name for an internal metric name.
+
+    Dots (our namespace separator) and any other character outside
+    ``[a-zA-Z0-9_:]`` become underscores, and every family gets the
+    ``repro_`` prefix: ``epoch.phase_s`` -> ``repro_epoch_phase_s``.
+    """
+    sanitized = _INVALID_NAME_CHARS.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return METRIC_PREFIX + sanitized
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the OpenMetrics text format."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _label_pairs(tags: dict[str, str]) -> list[tuple[str, str]]:
+    return [
+        (_INVALID_LABEL_CHARS.sub("_", key), escape_label_value(str(value)))
+        for key, value in sorted(tags.items())
+    ]
+
+
+def _render_labels(pairs: list[tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in pairs)
+    return "{" + inner + "}"
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _series_label(entry: dict[str, Any]) -> str:
+    tags = entry.get("tags") or {}
+    if not tags:
+        return entry["name"]
+    inner = ",".join(f"{k}={v}" for k, v in sorted(tags.items()))
+    return f"{entry['name']}{{{inner}}}"
+
+
+def _group_by_name(entries: Any) -> dict[str, list[dict[str, Any]]]:
+    families: dict[str, list[dict[str, Any]]] = {}
+    for entry in entries:
+        families.setdefault(entry["name"], []).append(entry)
+    return families
+
+
+def to_openmetrics(manifest: dict[str, Any]) -> str:
+    """One manifest as OpenMetrics text exposition (with ``# EOF``)."""
+    lines: list[str] = []
+
+    info_tags = {
+        "run_id": str(manifest.get("run_id", "")),
+        "kind": str(manifest.get("kind", "campaign")),
+        "label": str(manifest.get("label", "")),
+        "code_version": str(manifest.get("code_version", "")),
+        "seed": str(manifest.get("seed", "")),
+    }
+    lines.append(f"# TYPE {METRIC_PREFIX}run info")
+    lines.append(
+        f"{METRIC_PREFIX}run_info{_render_labels(_label_pairs(info_tags))} 1"
+    )
+
+    lines.append(f"# TYPE {METRIC_PREFIX}run_wall_time_seconds gauge")
+    lines.append(
+        f"{METRIC_PREFIX}run_wall_time_seconds "
+        f"{_fmt_value(float(manifest.get('wall_time_s', 0.0)))}"
+    )
+
+    for name, entries in sorted(_group_by_name(manifest.get("counters", ()))
+                                .items()):
+        family = metric_name(name)
+        lines.append(f"# TYPE {family} counter")
+        for entry in entries:
+            labels = _render_labels(_label_pairs(entry.get("tags") or {}))
+            lines.append(f"{family}_total{labels} {_fmt_value(entry['value'])}")
+
+    for name, entries in sorted(_group_by_name(manifest.get("gauges", ()))
+                                .items()):
+        family = metric_name(name)
+        lines.append(f"# TYPE {family} gauge")
+        for entry in entries:
+            labels = _render_labels(_label_pairs(entry.get("tags") or {}))
+            lines.append(f"{family}{labels} {_fmt_value(entry['value'])}")
+
+    for name, entries in sorted(_group_by_name(manifest.get("timers", ()))
+                                .items()):
+        family = metric_name(name)
+        lines.append(f"# TYPE {family} summary")
+        for entry in entries:
+            pairs = _label_pairs(entry.get("tags") or {})
+            for quantile, field in SUMMARY_QUANTILES:
+                q_labels = _render_labels(pairs + [("quantile", quantile)])
+                lines.append(
+                    f"{family}{q_labels} "
+                    f"{_fmt_value(float(entry.get(field, 0.0)))}"
+                )
+            labels = _render_labels(pairs)
+            lines.append(f"{family}_count{labels} {int(entry.get('count', 0))}")
+            lines.append(
+                f"{family}_sum{labels} {_fmt_value(float(entry.get('sum', 0.0)))}"
+            )
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def to_flat_json(manifest: dict[str, Any]) -> str:
+    """One manifest as a flat JSON document keyed by series label."""
+    document: dict[str, Any] = {
+        "run_id": manifest.get("run_id", ""),
+        "kind": manifest.get("kind", "campaign"),
+        "label": manifest.get("label", ""),
+        "code_version": manifest.get("code_version", ""),
+        "seed": manifest.get("seed", 0),
+        "wall_time_s": manifest.get("wall_time_s", 0.0),
+        "counters": {
+            _series_label(entry): entry["value"]
+            for entry in manifest.get("counters", ())
+        },
+        "gauges": {
+            _series_label(entry): entry["value"]
+            for entry in manifest.get("gauges", ())
+        },
+        "timers": {
+            _series_label(entry): {
+                field: entry.get(field, 0 if field == "count" else 0.0)
+                for field in ("count", "sum", "min", "max", "p50", "p95", "p99")
+            }
+            for entry in manifest.get("timers", ())
+        },
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

@@ -49,12 +49,19 @@ def percentile(sorted_samples: list[float], q: float) -> float:
         q: percentile in [0, 100].
 
     Raises:
-        ValueError: for an empty sample or ``q`` outside [0, 100].
+        ValueError: for an empty sample, ``q`` outside [0, 100], or a
+            sample that is not sorted ascending (nearest-rank indexing
+            silently returns garbage on unsorted input).
     """
     if not sorted_samples:
         raise ValueError("percentile undefined for an empty sample")
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if any(
+        sorted_samples[i] > sorted_samples[i + 1]
+        for i in range(len(sorted_samples) - 1)
+    ):
+        raise ValueError("percentile requires an ascending-sorted sample")
     if q == 0.0:
         return sorted_samples[0]
     rank = math.ceil(q / 100.0 * len(sorted_samples))

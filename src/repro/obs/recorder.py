@@ -35,8 +35,11 @@ from repro.obs.telemetry import Telemetry, get_telemetry
 
 __all__ = [
     "MANIFEST_VERSION",
+    "CORE_COUNTERS",
+    "ANALYSIS_CORE_COUNTERS",
     "RunRecorder",
     "sidecar_paths",
+    "analysis_sidecar_paths",
     "write_manifest",
     "load_manifest",
     "resolve_manifest",
@@ -44,10 +47,12 @@ __all__ = [
 ]
 
 #: Schema version of manifest.json (bump on incompatible layout changes).
-MANIFEST_VERSION = 1
+#: v2 adds the ``kind`` field ("campaign" | "analysis"); v1 manifests
+#: still load and are treated as campaign manifests.
+MANIFEST_VERSION = 2
 
-#: Counters every manifest reports even when zero, so consumers (and
-#: ``repro-obs compare``) never have to special-case their absence.
+#: Counters every campaign manifest reports even when zero, so consumers
+#: (and ``repro-obs compare``) never have to special-case their absence.
 CORE_COUNTERS = (
     "epochs.simulated",
     "simnet.events_processed",
@@ -66,6 +71,21 @@ CORE_COUNTERS = (
     "campaign.job_failures",
 )
 
+#: The analysis-run equivalent: prediction-pipeline counters every
+#: ``kind: "analysis"`` manifest reports even when zero.
+ANALYSIS_CORE_COUNTERS = (
+    "predictions.made",
+    "fb.model_selected",
+    "hb.level_shifts",
+    "hb.outliers_discarded",
+)
+
+#: Core-counter contract per manifest kind.
+CORE_COUNTERS_BY_KIND = {
+    "campaign": CORE_COUNTERS,
+    "analysis": ANALYSIS_CORE_COUNTERS,
+}
+
 
 def sidecar_paths(dataset_path: str | Path) -> tuple[Path, Path]:
     """The manifest/events sidecar paths for a dataset file.
@@ -81,6 +101,23 @@ def sidecar_paths(dataset_path: str | Path) -> tuple[Path, Path]:
     )
 
 
+def analysis_sidecar_paths(dataset_path: str | Path) -> tuple[Path, Path]:
+    """The sidecar paths of an *analysis* run over a dataset.
+
+    Analysis sidecars live next to the dataset but carry an
+    ``.analysis`` infix (``X.csv`` -> ``X.analysis.manifest.json``), so
+    they never clobber the campaign sidecars of the run that produced
+    the dataset.  The ``*.manifest.json`` suffix is preserved, so
+    ``repro-obs`` resolves them like any other manifest.
+    """
+    base = Path(dataset_path)
+    stem = base.with_suffix("") if base.suffix else base
+    return (
+        stem.with_name(stem.name + ".analysis.manifest.json"),
+        stem.with_name(stem.name + ".analysis.events.jsonl"),
+    )
+
+
 class RunRecorder:
     """Collects one run's telemetry into a manifest.
 
@@ -88,9 +125,13 @@ class RunRecorder:
         label: dataset/campaign label (e.g. the catalog name).
         seed: the campaign's root seed.
         catalog_hash: stable fingerprint of the path catalog.
-        cache_key: the dataset cache key, when caching is active.
+        cache_key: the dataset cache key, when caching is active; for
+            analysis runs, the identity hash of the analyzed dataset.
         settings: campaign settings rendered to a plain dict.
         workers: requested worker count.
+        kind: what produced this run — ``"campaign"`` (default) or
+            ``"analysis"`` (``repro-analyze``).  Selects which core
+            counters the manifest always reports.
         run_id: override the generated run id (tests).
         telemetry: override the process singleton (tests).
     """
@@ -103,9 +144,16 @@ class RunRecorder:
         cache_key: str = "",
         settings: dict[str, Any] | None = None,
         workers: int = 1,
+        kind: str = "campaign",
         run_id: str | None = None,
         telemetry: Telemetry | None = None,
     ) -> None:
+        if kind not in CORE_COUNTERS_BY_KIND:
+            raise DataError(
+                f"unknown run kind {kind!r}; "
+                f"choose from {sorted(CORE_COUNTERS_BY_KIND)}"
+            )
+        self.kind = kind
         self.run_id = run_id or uuid.uuid4().hex[:12]
         self.label = label
         self.seed = seed
@@ -131,6 +179,7 @@ class RunRecorder:
         n_paths: int = 0,
         n_traces: int = 0,
         n_epochs: int = 0,
+        extras: dict[str, Any] | None = None,
     ) -> dict[str, Any]:
         """Drain the telemetry and assemble the manifest dict.
 
@@ -138,11 +187,14 @@ class RunRecorder:
             cache_hit: whether the dataset was served from the cache.
             n_paths/n_traces/n_epochs: dataset shape, recorded so the
                 manifest can be validated against the dataset itself.
+            extras: kind-specific top-level fields merged into the
+                manifest (e.g. the ``analysis`` block of
+                ``repro-analyze`` runs).  Core fields win on collision.
         """
         wall_s = perf_counter() - self._started if self._started else 0.0
         telemetry = self.telemetry
         if telemetry.enabled:
-            for name in CORE_COUNTERS:
+            for name in CORE_COUNTERS_BY_KIND[self.kind]:
                 telemetry.metrics.counter(name)
         snapshot = telemetry.drain()
         telemetry.clear_context()
@@ -167,7 +219,9 @@ class RunRecorder:
             timers.append({"name": timer.name, "tags": timer.tags, **timer.stats()})
 
         self.manifest = {
+            **(extras or {}),
             "manifest_version": MANIFEST_VERSION,
+            "kind": self.kind,
             "code_version": __version__,
             "run_id": self.run_id,
             "created_unix": time.time(),
@@ -245,24 +299,39 @@ def _atomic_write_text(path: Path, text: str) -> None:
 def load_manifest(path: str | Path) -> dict[str, Any]:
     """Load and sanity-check a ``manifest.json``.
 
+    Manifests from any released schema version load: v1 files carry no
+    ``kind`` field and are normalized to ``kind: "campaign"``.
+
     Raises:
-        DataError: if the file is missing, not JSON, or not a manifest.
+        DataError: if the file is missing, not JSON, not a manifest, or
+            its schema version is pre-v1 / non-integer / from the future.
     """
     path = Path(path)
+    if path.name.endswith(".corrupt"):
+        raise DataError(
+            f"{path} is a quarantined corrupt sidecar; it cannot be "
+            "rendered (re-run the campaign to regenerate telemetry)"
+        )
     if not path.is_file():
         raise DataError(f"no manifest at {path}")
     try:
         manifest = json.loads(path.read_text(encoding="utf-8"))
-    except json.JSONDecodeError as exc:
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
         raise DataError(f"{path} is not valid JSON: {exc}") from exc
     if not isinstance(manifest, dict) or "manifest_version" not in manifest:
         raise DataError(f"{path} is not a run manifest (no manifest_version)")
     version = manifest["manifest_version"]
+    if not isinstance(version, int) or isinstance(version, bool) or version < 1:
+        raise DataError(
+            f"{path} has invalid manifest_version {version!r} "
+            "(expected an integer >= 1)"
+        )
     if version > MANIFEST_VERSION:
         raise DataError(
             f"{path} has manifest_version {version}, newer than this "
             f"code understands ({MANIFEST_VERSION})"
         )
+    manifest.setdefault("kind", "campaign")
     return manifest
 
 
@@ -277,11 +346,23 @@ def resolve_manifest(run: str | Path) -> Path:
         DataError: when nothing (or more than one candidate) is found.
     """
     path = Path(run)
+    if path.name.endswith(".corrupt"):
+        raise DataError(
+            f"{path} is a quarantined corrupt sidecar; it cannot be "
+            "rendered (re-run the campaign to regenerate telemetry)"
+        )
     if path.is_dir():
         candidates = sorted(path.glob("*.manifest.json"))
         if len(candidates) == 1:
             return candidates[0]
         if not candidates:
+            quarantined = sorted(path.glob("*.manifest.json.corrupt"))
+            if quarantined:
+                names = ", ".join(c.name for c in quarantined)
+                raise DataError(
+                    f"no *.manifest.json in directory {path}; only "
+                    f"quarantined corrupt sidecars: {names}"
+                )
             raise DataError(f"no *.manifest.json in directory {path}")
         names = ", ".join(c.name for c in candidates)
         raise DataError(f"multiple manifests in {path}: {names}")
@@ -290,6 +371,11 @@ def resolve_manifest(run: str | Path) -> Path:
     sidecar, _ = sidecar_paths(path)
     if sidecar.is_file():
         return sidecar
+    if sidecar.with_name(sidecar.name + ".corrupt").is_file():
+        raise DataError(
+            f"manifest for {run!r} was quarantined as corrupt "
+            f"({sidecar.name}.corrupt); re-run the campaign to regenerate it"
+        )
     raise DataError(f"no manifest found for {run!r} (looked for {sidecar})")
 
 

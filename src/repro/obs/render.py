@@ -60,8 +60,10 @@ def summary_report(manifest: dict[str, Any]) -> str:
     lines = []
     counts = manifest.get("counts", {})
     cache = manifest.get("cache", {})
+    kind = manifest.get("kind", "campaign")
+    kind_note = "" if kind == "campaign" else f" kind={kind}"
     lines.append(
-        f"run {manifest.get('run_id', '?')}  "
+        f"run {manifest.get('run_id', '?')} {kind_note} "
         f"label={manifest.get('label', '?')} seed={manifest.get('seed', '?')} "
         f"workers={manifest.get('workers', '?')}"
     )
@@ -73,10 +75,24 @@ def summary_report(manifest: dict[str, Any]) -> str:
         f"dataset: {counts.get('paths', 0)} paths x "
         f"{counts.get('traces', 0)} traces, {counts.get('epochs', 0)} epochs"
     )
-    source = "cache hit" if cache.get("hit") else "simulated"
-    lines.append(
-        f"wall time: {manifest.get('wall_time_s', 0.0):.2f}s ({source})"
-    )
+    analysis = manifest.get("analysis")
+    if analysis:
+        rendered = ", ".join(str(f) for f in analysis.get("figures", ()))
+        lines.append(f"analyzed: {analysis.get('dataset', '?')}  "
+                     f"figures: {rendered or '-'}")
+        skipped = analysis.get("skipped", ())
+        if skipped:
+            lines.append(
+                "skipped (not derivable): "
+                + ", ".join(str(f) for f in skipped)
+            )
+    if kind == "analysis":
+        lines.append(f"wall time: {manifest.get('wall_time_s', 0.0):.2f}s")
+    else:
+        source = "cache hit" if cache.get("hit") else "simulated"
+        lines.append(
+            f"wall time: {manifest.get('wall_time_s', 0.0):.2f}s ({source})"
+        )
 
     timers = manifest.get("timers", ())
     if timers:
@@ -141,7 +157,15 @@ def slowest_report(events: list[dict[str, Any]], n: int = 10) -> str:
     return "\n".join(lines)
 
 
-def _delta(a: float, b: float) -> str:
+def _delta(a: float | None, b: float | None) -> str:
+    """Relative change of ``b`` against baseline ``a``, as text.
+
+    Degenerate baselines never divide: a series absent on one side is
+    ``n/a``, a zero baseline gaining a value is ``new`` (the relative
+    change is undefined), and equal values (including 0 -> 0) are ``=``.
+    """
+    if a is None or b is None:
+        return "n/a"
     if a == b:
         return "="
     if a == 0:
@@ -187,9 +211,9 @@ def compare_report(a: dict[str, Any], b: dict[str, Any]) -> str:
         lines.append("")
         lines.append(f"{'timer (p50)':<34} {'A':>10} {'B':>10} {'delta':>8}")
         for label in labels:
-            pa = timers_a.get(label, {}).get("p50", 0.0)
-            pb = timers_b.get(label, {}).get("p50", 0.0)
-            fa = _fmt_seconds(pa) if label in timers_a else "-"
-            fb = _fmt_seconds(pb) if label in timers_b else "-"
+            pa = timers_a[label].get("p50", 0.0) if label in timers_a else None
+            pb = timers_b[label].get("p50", 0.0) if label in timers_b else None
+            fa = _fmt_seconds(pa) if pa is not None else "-"
+            fb = _fmt_seconds(pb) if pb is not None else "-"
             lines.append(f"{label:<34} {fa:>10} {fb:>10} {_delta(pa, pb):>8}")
     return "\n".join(lines)

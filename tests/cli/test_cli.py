@@ -215,6 +215,92 @@ class TestAnalyzeCommand:
         assert "no renderer" in capsys.readouterr().out
 
 
+class TestAnalyzeTelemetry:
+    def test_writes_analysis_sidecars(self, saved_dataset, capsys, monkeypatch):
+        import json
+
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        assert analyze.main([str(saved_dataset), "--figures", "2", "16"]) == 0
+        captured = capsys.readouterr()
+        assert "telemetry ->" in captured.err
+        assert "telemetry" not in captured.out  # stdout stays figure-only
+
+        manifest_path = saved_dataset.with_name("ds.analysis.manifest.json")
+        events_path = saved_dataset.with_name("ds.analysis.events.jsonl")
+        assert manifest_path.is_file() and events_path.is_file()
+        # The campaign's own sidecars must not be clobbered.
+        assert saved_dataset.with_name("ds.csv") == saved_dataset
+
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["kind"] == "analysis"
+        assert manifest["label"] == "ds.csv"
+        assert manifest["analysis"]["figures"] == [2, 16]
+        assert len(manifest["cache_key"]) == 64  # sha256 of the CSV bytes
+        assert manifest["counts"]["epochs"] == 300  # 5 paths x 2 x 30
+
+        counters = {
+            entry["name"] for entry in manifest["counters"]
+        }
+        # The analysis core counters are present even when zero.
+        for name in ("predictions.made", "fb.model_selected",
+                     "hb.level_shifts", "hb.outliers_discarded"):
+            assert name in counters
+        timers = {
+            (entry["name"], entry["tags"].get("figure"))
+            for entry in manifest["timers"]
+        }
+        assert ("analysis.figure_s", "2") in timers
+        assert ("analysis.figure_s", "16") in timers
+        assert ("analysis.load_s", None) in timers
+
+    def test_figure_events_record_status(self, saved_dataset, monkeypatch,
+                                         capsys):
+        import json
+
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        # Fig. 11 is not derivable from the may-2004 set; fig 99 unknown.
+        assert analyze.main([str(saved_dataset), "--figures", "2", "11",
+                             "99"]) == 2
+        capsys.readouterr()
+        events_path = saved_dataset.with_name("ds.analysis.events.jsonl")
+        events = [json.loads(line)
+                  for line in events_path.read_text().splitlines()]
+        by_figure = {e["figure"]: e["status"] for e in events
+                     if e["kind"] == "figure"}
+        assert by_figure == {2: "ok", 11: "skipped", 99: "unknown"}
+        manifest = json.loads(
+            saved_dataset.with_name("ds.analysis.manifest.json").read_text()
+        )
+        assert manifest["analysis"]["skipped"] == [11]
+
+    def test_summary_renders_analysis_manifest(self, saved_dataset, capsys,
+                                               monkeypatch):
+        from repro.cli import obs
+
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        assert analyze.main([str(saved_dataset), "--figures", "2"]) == 0
+        capsys.readouterr()
+        manifest_path = saved_dataset.with_name("ds.analysis.manifest.json")
+        assert obs.main(["summary", str(manifest_path)]) == 0
+        out = capsys.readouterr().out
+        assert "kind=analysis" in out
+        assert "analysis.figure_s{figure=2}" in out
+        assert "predictions.made{predictor=fb" in out
+
+    def test_obs_off_writes_no_sidecars(self, tmp_path, capsys, monkeypatch):
+        out = tmp_path / "quiet.csv"
+        assert campaign.main(
+            ["--paths", "2", "--traces", "1", "--epochs", "4",
+             "--no-cache", "--quiet", "-o", str(out)]
+        ) == 0
+        monkeypatch.setenv("REPRO_OBS", "0")
+        assert analyze.main([str(out), "--figures", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "telemetry" not in captured.err
+        assert not out.with_name("quiet.analysis.manifest.json").exists()
+        assert not out.with_name("quiet.analysis.events.jsonl").exists()
+
+
 class TestPredictCommand:
     def test_lossy_prediction(self, capsys):
         code = predict.main(["--rtt-ms", "45", "--loss", "0.002"])

@@ -73,3 +73,132 @@ class TestCompare:
         assert obs.main(["compare", str(first), str(second)]) == 0
         out = capsys.readouterr().out
         assert "cache.hits" in out and "cache.misses" in out
+
+
+class TestExport:
+    def test_openmetrics_to_stdout(self, tmp_path, capsys):
+        dataset = run_campaign(tmp_path, "ds.csv")
+        assert obs.main(["export", str(dataset)]) == 0
+        out = capsys.readouterr().out
+        assert out.endswith("# EOF\n")
+        assert "# TYPE repro_run info" in out
+        assert "repro_epochs_simulated_total 8" in out
+        assert '{phase="iperf"' in out
+
+    def test_flat_json(self, tmp_path, capsys):
+        import json
+
+        dataset = run_campaign(tmp_path, "ds.csv")
+        assert obs.main(["export", str(dataset), "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["counters"]["epochs.simulated"] == 8
+        assert "epoch.wall_s" in document["timers"]
+
+    def test_output_file(self, tmp_path, capsys):
+        dataset = run_campaign(tmp_path, "ds.csv")
+        target = tmp_path / "metrics.om"
+        assert obs.main(["export", str(dataset), "-o", str(target)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""  # the exposition goes to the file
+        assert target.read_text().endswith("# EOF\n")
+
+    def test_missing_run_exits_2(self, tmp_path, capsys):
+        assert obs.main(["export", str(tmp_path / "nope.csv")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBench:
+    def test_record_then_check_passes(self, tmp_path, capsys):
+        dataset = run_campaign(tmp_path, "ds.csv")
+        bl = tmp_path / "baselines"
+        assert obs.main(
+            ["bench", "record", str(dataset), "--baselines-dir", str(bl)]
+        ) == 0
+        assert (bl / "obs_baseline.json").is_file()
+        assert obs.main(
+            ["bench", "check", str(dataset), "--baselines-dir", str(bl)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bench check OK" in out
+
+    def test_check_fails_on_inflated_timer(self, tmp_path, capsys):
+        import json
+
+        dataset = run_campaign(tmp_path, "ds.csv")
+        bl = tmp_path / "baselines"
+        assert obs.main(
+            ["bench", "record", str(dataset), "--baselines-dir", str(bl)]
+        ) == 0
+        manifest_path = tmp_path / "ds.manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        for timer in manifest["timers"]:
+            timer["p50"] *= 10
+            timer["p95"] *= 10
+        slow = tmp_path / "slow.manifest.json"
+        slow.write_text(json.dumps(manifest))
+        assert obs.main(
+            ["bench", "check", str(slow), "--baselines-dir", str(bl)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "FAILED" in out
+
+    def test_check_fails_on_counter_drift(self, tmp_path, capsys):
+        import json
+
+        dataset = run_campaign(tmp_path, "ds.csv")
+        bl = tmp_path / "baselines"
+        obs.main(["bench", "record", str(dataset), "--baselines-dir", str(bl)])
+        manifest_path = tmp_path / "ds.manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        for counter in manifest["counters"]:
+            if counter["name"] == "epochs.simulated":
+                counter["value"] += 1
+        drifted = tmp_path / "drift.manifest.json"
+        drifted.write_text(json.dumps(manifest))
+        assert obs.main(
+            ["bench", "check", str(drifted), "--baselines-dir", str(bl)]
+        ) == 1
+        assert "expected exactly" in capsys.readouterr().out
+
+    def test_check_accepts_bench_report_source(self, tmp_path, capsys):
+        import json
+
+        report = {
+            "bench": "obs_baseline",
+            "fixtures": {
+                "mini": {
+                    "wall_time_s": 1.0,
+                    "epochs": 42,
+                    "epoch_wall_s": {"p50": 0.01, "p95": 0.02},
+                    "phase_s": {},
+                }
+            },
+        }
+        source = tmp_path / "BENCH_obs.json"
+        source.write_text(json.dumps(report))
+        bl = tmp_path / "baselines"
+        assert obs.main(
+            ["bench", "record", str(source), "--baselines-dir", str(bl)]
+        ) == 0
+        assert obs.main(
+            ["bench", "check", str(source), "--baselines-dir", str(bl)]
+        ) == 0
+        assert "bench check OK" in capsys.readouterr().out
+
+    def test_check_without_baseline_exits_2(self, tmp_path, capsys):
+        dataset = run_campaign(tmp_path, "ds.csv")
+        assert obs.main(
+            ["bench", "check", str(dataset),
+             "--baselines-dir", str(tmp_path / "empty")]
+        ) == 2
+        assert "bench record" in capsys.readouterr().err
+
+    def test_verbose_lists_passing_metrics(self, tmp_path, capsys):
+        dataset = run_campaign(tmp_path, "ds.csv")
+        bl = tmp_path / "baselines"
+        obs.main(["bench", "record", str(dataset), "--baselines-dir", str(bl)])
+        capsys.readouterr()
+        assert obs.main(
+            ["bench", "check", str(dataset), "--baselines-dir", str(bl), "-v"]
+        ) == 0
+        assert "ok counter:epochs.simulated" in capsys.readouterr().out

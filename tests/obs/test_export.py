@@ -1,0 +1,145 @@
+"""OpenMetrics / flat-JSON export of run manifests."""
+
+import json
+import re
+
+from repro.obs.export import (
+    escape_label_value,
+    metric_name,
+    to_flat_json,
+    to_openmetrics,
+)
+
+#: A sample line: name, optional {labels}, space, value.
+SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"       # family (+ _total/_count/_sum)
+    r"(\{[a-zA-Z0-9_]+=\"(?:[^\"\\]|\\.)*\""
+    r"(,[a-zA-Z0-9_]+=\"(?:[^\"\\]|\\.)*\")*\})?"
+    r" -?[0-9][0-9eE.+-]*$"
+)
+
+
+def make_manifest(**overrides):
+    manifest = {
+        "manifest_version": 2,
+        "kind": "analysis",
+        "run_id": "abc123",
+        "label": "mini.csv",
+        "code_version": "1.4.0",
+        "seed": 7,
+        "wall_time_s": 1.5,
+        "counters": [
+            {"name": "predictions.made", "tags": {}, "value": 0},
+            {
+                "name": "predictions.made",
+                "tags": {"predictor": "fb", "regime": "lossy"},
+                "value": 3,
+            },
+            {"name": "hb.level_shifts", "tags": {}, "value": 2},
+        ],
+        "gauges": [
+            {"name": "progress.traces", "tags": {}, "value": 4},
+        ],
+        "timers": [
+            {
+                "name": "predict.wall_s",
+                "tags": {"predictor": "fb"},
+                "count": 3,
+                "sum": 0.6,
+                "min": 0.1,
+                "max": 0.3,
+                "p50": 0.2,
+                "p95": 0.3,
+                "p99": 0.3,
+            },
+        ],
+    }
+    manifest.update(overrides)
+    return manifest
+
+
+class TestMetricName:
+    def test_dots_become_underscores_with_prefix(self):
+        assert metric_name("epoch.phase_s") == "repro_epoch_phase_s"
+        assert metric_name("predictions.made") == "repro_predictions_made"
+
+    def test_invalid_chars_sanitized(self):
+        assert metric_name("a-b c") == "repro_a_b_c"
+
+    def test_leading_digit_guarded(self):
+        assert metric_name("5xx.count").startswith("repro_")
+        assert re.match(r"^[a-zA-Z_:]", metric_name("5xx.count"))
+
+
+class TestEscaping:
+    def test_backslash_quote_newline(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_escaped_values_stay_on_one_line(self):
+        manifest = make_manifest(label='we"ird\nlabel\\x')
+        text = to_openmetrics(manifest)
+        for line in text.splitlines():
+            assert line.startswith("#") or SAMPLE_RE.match(line), line
+
+
+class TestOpenMetrics:
+    def test_ends_with_eof(self):
+        text = to_openmetrics(make_manifest())
+        assert text.endswith("# EOF\n")
+        assert text.splitlines()[-1] == "# EOF"
+
+    def test_every_line_is_comment_or_valid_sample(self):
+        for line in to_openmetrics(make_manifest()).splitlines():
+            assert line.startswith("# ") or SAMPLE_RE.match(line), line
+
+    def test_type_line_precedes_each_family(self):
+        lines = to_openmetrics(make_manifest()).splitlines()
+        declared = set()
+        for line in lines:
+            if line.startswith("# TYPE "):
+                declared.add(line.split()[2])
+            elif line.startswith("#"):
+                continue
+            else:
+                family = re.split(r"[{ ]", line, maxsplit=1)[0]
+                base = re.sub(r"_(total|count|sum|info)$", "", family)
+                assert base in declared or family in declared, line
+
+    def test_counters_exported_as_total_samples(self):
+        text = to_openmetrics(make_manifest())
+        assert "# TYPE repro_predictions_made counter" in text
+        assert "repro_predictions_made_total 0" in text
+        assert (
+            'repro_predictions_made_total{predictor="fb",regime="lossy"} 3'
+            in text
+        )
+
+    def test_timers_exported_as_summaries(self):
+        text = to_openmetrics(make_manifest())
+        assert "# TYPE repro_predict_wall_s summary" in text
+        assert 'repro_predict_wall_s{predictor="fb",quantile="0.5"} 0.2' in text
+        assert 'repro_predict_wall_s{predictor="fb",quantile="0.95"} 0.3' in text
+        assert 'repro_predict_wall_s_count{predictor="fb"} 3' in text
+        assert 'repro_predict_wall_s_sum{predictor="fb"} 0.6' in text
+
+    def test_run_identity_exported_as_info_metric(self):
+        text = to_openmetrics(make_manifest())
+        assert "# TYPE repro_run info" in text
+        assert 'run_id="abc123"' in text
+        assert 'kind="analysis"' in text
+
+
+class TestFlatJson:
+    def test_round_trips_and_keys_by_series_label(self):
+        document = json.loads(to_flat_json(make_manifest()))
+        assert document["kind"] == "analysis"
+        assert document["counters"]["predictions.made"] == 0
+        assert (
+            document["counters"]["predictions.made{predictor=fb,regime=lossy}"]
+            == 3
+        )
+        timer = document["timers"]["predict.wall_s{predictor=fb}"]
+        assert timer["count"] == 3
+        assert timer["p95"] == 0.3

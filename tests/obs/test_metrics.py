@@ -33,6 +33,23 @@ class TestPercentile:
         with pytest.raises(ValueError):
             percentile([1.0], -1.0)
 
+    def test_single_sample_is_every_quantile(self):
+        for q in (0.0, 1.0, 50.0, 99.0, 100.0):
+            assert percentile([3.5], q) == 3.5
+
+    def test_extreme_quantiles_hit_the_ends(self):
+        sample = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(sample, 0.0) == 1.0
+        assert percentile(sample, 1.0) == 1.0
+        assert percentile(sample, 100.0) == 4.0
+
+    def test_rejects_unsorted_input(self):
+        with pytest.raises(ValueError, match="sorted"):
+            percentile([2.0, 1.0, 3.0], 50.0)
+
+    def test_duplicates_are_sorted_and_accepted(self):
+        assert percentile([1.0, 1.0, 1.0, 2.0], 50.0) == 1.0
+
 
 class TestCounter:
     def test_inc(self):
@@ -125,6 +142,35 @@ class TestSnapshotMerge:
         parent.merge(worker.snapshot())
         assert parent.counter("hits").value == 5
         assert sorted(parent.timer("t").samples) == [0.1, 0.2]
+
+    def test_merge_with_overlapping_tag_sets(self):
+        # Series identity is name + the full tag set: a bare series, a
+        # partially-tagged one, and a fully-tagged one must stay distinct
+        # through a merge even though they share name and tag values.
+        parent = MetricsRegistry()
+        parent.counter("predictions.made").inc(1)
+        parent.counter("predictions.made", predictor="fb").inc(2)
+        parent.counter("predictions.made", predictor="fb", regime="lossy").inc(3)
+        worker = MetricsRegistry()
+        worker.counter("predictions.made", predictor="fb", regime="lossy").inc(4)
+        worker.counter("predictions.made", regime="lossy").inc(5)
+        worker.timer("predict.wall_s", predictor="fb").observe(0.5)
+
+        parent.merge(worker.snapshot())
+        assert parent.counter("predictions.made").value == 1
+        assert parent.counter("predictions.made", predictor="fb").value == 2
+        assert (
+            parent.counter("predictions.made", predictor="fb", regime="lossy")
+            .value == 7
+        )
+        assert parent.counter("predictions.made", regime="lossy").value == 5
+        assert parent.timer("predict.wall_s", predictor="fb").samples == [0.5]
+
+    def test_tag_order_does_not_split_series(self):
+        registry = MetricsRegistry()
+        registry.counter("c", a="1", b="2").inc()
+        registry.counter("c", b="2", a="1").inc()
+        assert registry.counter("c", a="1", b="2").value == 2
 
     def test_snapshot_is_sorted_and_plain(self):
         registry = MetricsRegistry()

@@ -6,12 +6,15 @@ import pytest
 
 from repro.core.errors import DataError
 from repro.obs.recorder import (
+    ANALYSIS_CORE_COUNTERS,
     MANIFEST_VERSION,
     RunRecorder,
+    analysis_sidecar_paths,
     load_manifest,
     read_events,
     resolve_manifest,
     sidecar_paths,
+    write_manifest,
 )
 from repro.obs.render import compare_report, slowest_report, summary_report
 from repro.obs.telemetry import ENV_OBS, Telemetry
@@ -162,6 +165,32 @@ class TestLoadValidation:
         with pytest.raises(DataError, match="newer"):
             load_manifest(bad)
 
+    def test_pre_v1_version_rejected_with_one_liner(self, tmp_path):
+        bad = tmp_path / "x.manifest.json"
+        bad.write_text(json.dumps({"manifest_version": 0}))
+        with pytest.raises(DataError, match="integer >= 1"):
+            load_manifest(bad)
+
+    def test_non_integer_version_rejected_not_traceback(self, tmp_path):
+        # Historically a string version crashed with a raw TypeError on
+        # the `version > MANIFEST_VERSION` comparison.
+        for bogus in ("2", 1.5, None, True):
+            bad = tmp_path / "x.manifest.json"
+            bad.write_text(json.dumps({"manifest_version": bogus}))
+            with pytest.raises(DataError, match="invalid manifest_version"):
+                load_manifest(bad)
+
+    def test_v1_manifest_defaults_to_campaign_kind(self, tmp_path):
+        old = tmp_path / "x.manifest.json"
+        old.write_text(json.dumps({"manifest_version": 1, "run_id": "r1"}))
+        assert load_manifest(old)["kind"] == "campaign"
+
+    def test_quarantined_sidecar_rejected(self, tmp_path):
+        quarantined = tmp_path / "x.manifest.json.corrupt"
+        quarantined.write_text("{torn")
+        with pytest.raises(DataError, match="quarantined"):
+            load_manifest(quarantined)
+
 
 class TestResolve:
     def test_from_dataset_path(self, tele, tmp_path):
@@ -185,6 +214,74 @@ class TestResolve:
     def test_nothing_found(self, tmp_path):
         with pytest.raises(DataError, match="no manifest"):
             resolve_manifest(tmp_path / "ghost.csv")
+
+    def test_quarantined_path_argument(self, tmp_path):
+        corrupt = tmp_path / "ds.manifest.json.corrupt"
+        corrupt.write_text("{torn")
+        with pytest.raises(DataError, match="quarantined"):
+            resolve_manifest(corrupt)
+
+    def test_dataset_whose_manifest_was_quarantined(self, tmp_path):
+        (tmp_path / "ds.csv").write_text("data")
+        (tmp_path / "ds.manifest.json.corrupt").write_text("{torn")
+        with pytest.raises(DataError, match="quarantined as corrupt"):
+            resolve_manifest(tmp_path / "ds.csv")
+
+    def test_directory_with_only_quarantined_sidecars(self, tmp_path):
+        (tmp_path / "ds.manifest.json.corrupt").write_text("{torn")
+        with pytest.raises(DataError) as excinfo:
+            resolve_manifest(tmp_path)
+        assert "ds.manifest.json.corrupt" in str(excinfo.value)
+
+
+class TestAnalysisKind:
+    def test_unknown_kind_rejected(self, tele):
+        with pytest.raises(DataError, match="unknown run kind"):
+            make_recorder(tele, kind="mystery")
+
+    def test_analysis_core_counters_present_even_at_zero(self, tele):
+        recorder = make_recorder(tele, kind="analysis").start()
+        manifest = recorder.finish()
+        assert manifest["kind"] == "analysis"
+        names = {entry["name"] for entry in manifest["counters"]}
+        assert set(ANALYSIS_CORE_COUNTERS) <= names
+        assert "epochs.simulated" not in names  # campaign contract only
+
+    def test_campaign_kind_keeps_campaign_contract(self, tele):
+        manifest = record_small_run(tele).manifest
+        names = {entry["name"] for entry in manifest["counters"]}
+        assert "epochs.simulated" in names
+        assert "hb.level_shifts" not in names
+
+    def test_extras_merge_but_core_fields_win(self, tele):
+        recorder = make_recorder(tele, kind="analysis").start()
+        manifest = recorder.finish(
+            extras={"analysis": {"figures": [2, 19]}, "run_id": "spoofed"}
+        )
+        assert manifest["analysis"] == {"figures": [2, 19]}
+        assert manifest["run_id"] == "testrun000001"
+
+    def test_analysis_sidecar_paths_do_not_clobber_campaign(self, tmp_path):
+        dataset = tmp_path / "may.csv"
+        manifest_path, events_path = analysis_sidecar_paths(dataset)
+        assert manifest_path.name == "may.analysis.manifest.json"
+        assert events_path.name == "may.analysis.events.jsonl"
+        assert manifest_path != sidecar_paths(dataset)[0]
+        # Still `*.manifest.json`, so resolve/summary find it.
+        assert manifest_path.name.endswith(".manifest.json")
+
+    def test_analysis_manifest_round_trip(self, tele, tmp_path):
+        recorder = make_recorder(tele, kind="analysis").start()
+        tele.emit("figure", figure=2, status="ok", wall_s=0.1)
+        recorder.finish(extras={"analysis": {"dataset": "may.csv"}})
+        manifest_path, events_path = analysis_sidecar_paths(tmp_path / "may.csv")
+        write_manifest(recorder.manifest, recorder.events,
+                       manifest_path, events_path)
+        loaded = load_manifest(resolve_manifest(manifest_path))
+        assert loaded["kind"] == "analysis"
+        assert loaded["analysis"]["dataset"] == "may.csv"
+        events = read_events(manifest_path)
+        assert [e["kind"] for e in events] == ["figure"]
 
 
 class TestRendering:
@@ -222,3 +319,39 @@ class TestRendering:
         assert "same catalog" in report
         assert "epochs.simulated" in report
         assert "-50.0%" in report  # 2 epochs -> 1 epoch
+
+    def test_compare_zero_baseline_counter_renders_new(self, tele):
+        # A counter at 0 in A and >0 in B must render "new", not divide
+        # by zero; 0 -> 0 renders "=".
+        manifest_a = make_recorder(tele).start().finish()  # all cores at 0
+        recorder_b = make_recorder(tele, run_id="testrun000002").start()
+        tele.counter("cache.hits").inc(3)
+        recorder_b.finish()
+        report = compare_report(manifest_a, recorder_b.manifest)
+        line = next(l for l in report.splitlines() if "cache.hits" in l)
+        assert line.rstrip().endswith("new")
+        line = next(l for l in report.splitlines() if "cache.misses" in l)
+        assert line.rstrip().endswith("=")
+
+    def test_compare_counter_dropping_to_zero_renders_minus_100(self, tele):
+        # The other direction: >0 in A, 0 in B is a real -100% change.
+        recorder_a = make_recorder(tele).start()
+        tele.counter("cache.hits").inc(4)
+        manifest_a = recorder_a.finish()
+        manifest_b = make_recorder(tele, run_id="testrun000002").start().finish()
+        report = compare_report(manifest_a, manifest_b)
+        line = next(l for l in report.splitlines() if "cache.hits" in l)
+        assert "-100.0%" in line
+
+    def test_compare_timer_missing_from_one_side_is_na(self, tele):
+        recorder_a = make_recorder(tele).start()
+        tele.timer("predict.wall_s", predictor="fb").observe(0.2)
+        manifest_a = recorder_a.finish()
+        manifest_b = make_recorder(tele, run_id="testrun000002").start().finish()
+        report = compare_report(manifest_a, manifest_b)
+        line = next(l for l in report.splitlines() if "predict.wall_s" in l)
+        assert "n/a" in line and "-" in line.split()
+        # ...and symmetrically when only B has the series.
+        report = compare_report(manifest_b, manifest_a)
+        line = next(l for l in report.splitlines() if "predict.wall_s" in l)
+        assert "n/a" in line

@@ -1,0 +1,206 @@
+"""The bench regression gate: flatten, record, check."""
+
+import json
+
+import pytest
+
+from repro.core.errors import DataError
+from repro.obs.regress import (
+    DEFAULT_TIMER_TOLERANCE,
+    check_against_baseline,
+    default_baselines_dir,
+    flatten_bench,
+    flatten_manifest,
+    flatten_source,
+    load_baseline,
+    record_baseline,
+    render_check_report,
+)
+
+
+def make_manifest(p50=0.01, p95=0.02, predictions=10):
+    return {
+        "manifest_version": 2,
+        "kind": "analysis",
+        "counters": [
+            {"name": "predictions.made", "tags": {"predictor": "fb"},
+             "value": predictions},
+        ],
+        "gauges": [
+            {"name": "progress.traces", "tags": {}, "value": 3},
+        ],
+        "timers": [
+            {"name": "predict.wall_s", "tags": {"predictor": "fb"},
+             "count": 10, "sum": 0.1, "min": 0.001, "max": 0.05,
+             "p50": p50, "p95": p95, "p99": p95},
+        ],
+    }
+
+
+def make_bench():
+    return {
+        "bench": "obs_baseline",
+        "fixtures": {
+            "may2004": {
+                "wall_time_s": 2.0,
+                "epochs": 160,
+                "epoch_wall_s": {"p50": 0.01, "p95": 0.02},
+                "phase_s": {"iperf": {"p50": 0.005, "p95": 0.009}},
+            },
+        },
+    }
+
+
+class TestFlatten:
+    def test_manifest_counters_and_timers(self):
+        flat = flatten_manifest(make_manifest())
+        assert flat["counter:predictions.made{predictor=fb}"] == 10
+        assert flat["timer:predict.wall_s{predictor=fb}"] == {
+            "p50": 0.01, "p95": 0.02,
+        }
+
+    def test_gauges_excluded(self):
+        flat = flatten_manifest(make_manifest())
+        assert not any("progress" in key for key in flat)
+
+    def test_bench_report_shape(self):
+        flat = flatten_bench(make_bench())
+        assert flat["counter:bench.may2004.epochs"] == 160
+        assert flat["timer:bench.may2004.wall_time_s"]["p50"] == 2.0
+        assert flat["timer:bench.may2004.epoch_wall_s"]["p95"] == 0.02
+        assert flat["timer:bench.may2004.phase_s{phase=iperf}"]["p50"] == 0.005
+
+    def test_source_sniffing(self):
+        assert "counter:predictions.made{predictor=fb}" in flatten_source(
+            make_manifest()
+        )
+        assert "counter:bench.may2004.epochs" in flatten_source(make_bench())
+        with pytest.raises(DataError, match="unrecognized"):
+            flatten_source({"something": "else"})
+
+
+class TestRecordAndLoad:
+    def test_round_trip(self, tmp_path):
+        path = record_baseline(
+            make_manifest(), name="b", baselines_dir=tmp_path,
+            recorded_from="x.manifest.json",
+        )
+        baseline = load_baseline(path)
+        assert baseline["name"] == "b"
+        assert baseline["recorded_from"] == "x.manifest.json"
+        assert baseline["default_timer_tolerance"] == DEFAULT_TIMER_TOLERANCE
+        assert baseline["metrics"]["counter:predictions.made{predictor=fb}"] == 10
+
+    def test_missing_baseline_mentions_record(self, tmp_path):
+        with pytest.raises(DataError, match="bench record"):
+            load_baseline(tmp_path / "nope.json")
+
+    def test_rejects_non_baseline_json(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text("{}")
+        with pytest.raises(DataError, match="baseline_version"):
+            load_baseline(path)
+
+    def test_rejects_future_version(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"baseline_version": 99}))
+        with pytest.raises(DataError, match="unsupported"):
+            load_baseline(path)
+
+    def test_env_override_of_baselines_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BASELINES_DIR", str(tmp_path / "custom"))
+        assert default_baselines_dir() == tmp_path / "custom"
+
+
+def record_and_load(tmp_path, source):
+    path = record_baseline(source, name="b", baselines_dir=tmp_path)
+    return load_baseline(path)
+
+
+class TestCheck:
+    def test_identical_run_passes(self, tmp_path):
+        baseline = record_and_load(tmp_path, make_manifest())
+        findings = check_against_baseline(make_manifest(), baseline)
+        assert findings
+        assert not any(f.regressed for f in findings)
+        assert "bench check OK" in render_check_report(findings)
+
+    def test_slower_timer_regresses(self, tmp_path):
+        baseline = record_and_load(tmp_path, make_manifest())
+        slower = make_manifest(p50=0.02, p95=0.04)  # +100%, tolerance 25%
+        findings = check_against_baseline(slower, baseline)
+        regressed = [f for f in findings if f.regressed]
+        assert {f.metric for f in regressed} == {
+            "timer:predict.wall_s{predictor=fb}#p50",
+            "timer:predict.wall_s{predictor=fb}#p95",
+        }
+        assert "FAILED" in render_check_report(findings)
+
+    def test_faster_timer_is_improvement_not_regression(self, tmp_path):
+        baseline = record_and_load(tmp_path, make_manifest())
+        faster = make_manifest(p50=0.001, p95=0.002)
+        findings = check_against_baseline(faster, baseline)
+        assert not any(f.regressed for f in findings)
+        assert any(f.note.startswith("improved") for f in findings)
+
+    def test_within_tolerance_passes(self, tmp_path):
+        baseline = record_and_load(tmp_path, make_manifest())
+        close = make_manifest(p50=0.011, p95=0.022)  # +10%
+        findings = check_against_baseline(close, baseline)
+        assert not any(f.regressed for f in findings)
+
+    def test_counter_mismatch_regresses_exactly(self, tmp_path):
+        baseline = record_and_load(tmp_path, make_manifest())
+        findings = check_against_baseline(
+            make_manifest(predictions=11), baseline
+        )
+        regressed = [f for f in findings if f.regressed]
+        assert len(regressed) == 1
+        assert "expected exactly 10, got 11" in regressed[0].note
+
+    def test_missing_metric_regresses(self, tmp_path):
+        baseline = record_and_load(tmp_path, make_manifest())
+        gutted = make_manifest()
+        gutted["timers"] = []
+        findings = check_against_baseline(gutted, baseline)
+        assert any(
+            f.regressed and "missing from current" in f.note for f in findings
+        )
+
+    def test_new_metric_is_a_note_not_a_regression(self, tmp_path):
+        baseline = record_and_load(tmp_path, make_manifest())
+        grown = make_manifest()
+        grown["counters"].append(
+            {"name": "hb.level_shifts", "tags": {}, "value": 5}
+        )
+        findings = check_against_baseline(grown, baseline)
+        assert not any(f.regressed for f in findings)
+        assert any("new metric" in f.note for f in findings)
+
+    def test_zero_baseline_timer_is_not_enforced(self, tmp_path):
+        baseline = record_and_load(tmp_path, make_manifest(p50=0.0, p95=0.0))
+        findings = check_against_baseline(make_manifest(), baseline)
+        assert not any(f.regressed for f in findings)
+        assert any("zero baseline" in f.note for f in findings)
+
+    def test_tolerance_override_loosens_the_gate(self, tmp_path):
+        baseline = record_and_load(tmp_path, make_manifest())
+        slower = make_manifest(p50=0.013, p95=0.026)  # +30%
+        assert any(
+            f.regressed for f in check_against_baseline(slower, baseline)
+        )
+        assert not any(
+            f.regressed
+            for f in check_against_baseline(slower, baseline, tolerance=0.5)
+        )
+
+    def test_regressions_sort_first(self, tmp_path):
+        baseline = record_and_load(tmp_path, make_manifest())
+        bad = make_manifest(p50=0.05, p95=0.1, predictions=99)
+        findings = check_against_baseline(bad, baseline)
+        first_ok = next(
+            (i for i, f in enumerate(findings) if not f.regressed),
+            len(findings),
+        )
+        assert all(f.regressed for f in findings[:first_ok])
+        assert not any(f.regressed for f in findings[first_ok:])

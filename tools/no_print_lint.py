@@ -1,10 +1,21 @@
 #!/usr/bin/env python
-"""Lint: no bare ``print(`` calls in ``src/repro/`` outside ``cli/``.
+"""Lint: library code must not talk to stdout/stderr directly.
+
+Checks every file under ``src/repro/`` outside ``cli/`` — including the
+prediction pipeline (``analysis/``, ``hb/``, ``formulas/``) that feeds
+the analysis-run manifests — for:
+
+* bare ``print(...)`` calls;
+* ``sys.stdout.write(...)`` / ``sys.stderr.write(...)`` calls.
 
 Library code must report through :mod:`repro.obs` (metrics + structured
 events), never by printing — prints from worker processes interleave,
 escape ``--quiet``, and are invisible to the run manifest.  The CLI
-layer is the one place allowed to talk to stdout/stderr.
+layer is the one place allowed to talk to stdout/stderr.  String
+*builders* (the ``summary()`` methods that return report text for the
+CLI to print) are fine and untouched by this lint; anything that must
+write directly anyway can be allowlisted in :data:`ALLOWLIST` as
+``"relative/path.py:lineno"`` with a justification comment.
 
 AST-based, so ``print`` mentioned in docstrings or comments is fine.
 Exits non-zero listing offenders.
@@ -20,17 +31,36 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src" / "repro"
 ALLOWED = SRC / "cli"
 
+#: Known-intentional direct-output sites: ``"src/repro/x.py:12"`` entries,
+#: each with a comment saying why the site cannot go through repro.obs.
+ALLOWLIST: frozenset[str] = frozenset()
 
-def print_calls(path: Path) -> list[int]:
-    """Line numbers of bare ``print(...)`` calls in one file."""
+
+def _is_std_stream_write(node: ast.Call) -> bool:
+    """True for ``sys.stdout.write(...)`` / ``sys.stderr.write(...)``."""
+    func = node.func
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "write"
+        and isinstance(func.value, ast.Attribute)
+        and func.value.attr in ("stdout", "stderr")
+        and isinstance(func.value.value, ast.Name)
+        and func.value.value.id == "sys"
+    )
+
+
+def direct_output_calls(path: Path) -> list[tuple[int, str]]:
+    """``(lineno, kind)`` of direct stdout/stderr output calls in a file."""
     tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
-    return [
-        node.lineno
-        for node in ast.walk(tree)
-        if isinstance(node, ast.Call)
-        and isinstance(node.func, ast.Name)
-        and node.func.id == "print"
-    ]
+    offenders = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Name) and node.func.id == "print":
+            offenders.append((node.lineno, "print()"))
+        elif _is_std_stream_write(node):
+            offenders.append((node.lineno, f"sys.{node.func.value.attr}.write()"))
+    return offenders
 
 
 def main() -> int:
@@ -38,14 +68,18 @@ def main() -> int:
     for path in sorted(SRC.rglob("*.py")):
         if ALLOWED in path.parents:
             continue
-        for lineno in print_calls(path):
-            offenders.append(f"{path.relative_to(REPO_ROOT)}:{lineno}")
+        for lineno, kind in direct_output_calls(path):
+            site = f"{path.relative_to(REPO_ROOT)}:{lineno}"
+            if site in ALLOWLIST:
+                continue
+            offenders.append(f"{site}: {kind}")
     if offenders:
-        print("bare print() outside src/repro/cli/ (use repro.obs instead):")
+        print("direct stdout/stderr output outside src/repro/cli/ "
+              "(use repro.obs instead):")
         for offender in offenders:
             print(f"  {offender}")
         return 1
-    print("no-print lint OK (src/repro/ outside cli/ is print-free)")
+    print("no-print lint OK (src/repro/ outside cli/ writes no stdout/stderr)")
     return 0
 
 
