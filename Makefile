@@ -6,15 +6,17 @@ OBS_SMOKE_DIR := .obs-smoke
 RESUME_SMOKE_DIR := .resume-smoke
 ANALYZE_SMOKE_DIR := .analyze-obs-smoke
 BENCH_CHECK_DIR := .bench-check
+PERF_SMOKE_DIR := .perf-smoke
 
 .PHONY: install test test-fast campaign-smoke obs-smoke resume-smoke \
-	analyze-obs-smoke bench-check lint bench bench-full bench-obs \
-	examples clean
+	analyze-obs-smoke bench-check perf-smoke lint bench bench-full \
+	bench-obs bench-perf examples clean
 
 install:
 	$(PYTHON) setup.py develop
 
-test: lint campaign-smoke obs-smoke resume-smoke analyze-obs-smoke bench-check
+test: lint campaign-smoke obs-smoke resume-smoke analyze-obs-smoke bench-check \
+		perf-smoke
 	$(PYTHON) -m pytest tests/
 
 test-fast:
@@ -101,6 +103,21 @@ bench-check:
 		$(BENCH_CHECK_DIR)/BENCH_obs.json --tolerance 0.6
 	@echo "bench check OK (fixture timings within tolerance of committed baseline)"
 
+# The hot-path perf gate: re-measure the packet-engine/campaign perf
+# fixtures and require the timings to stay within a loose tolerance of
+# benchmarks/baselines/perf_baseline.json.  The ±90% tolerance only
+# catches order-of-magnitude regressions — shared CI runners are far
+# too noisy for tight wall-clock budgets — while the event/epoch
+# counters must match exactly (they are deterministic given the seed).
+perf-smoke:
+	rm -rf $(PERF_SMOKE_DIR)
+	mkdir -p $(PERF_SMOKE_DIR)
+	PYTHONPATH=src $(PYTHON) benchmarks/perf_bench.py \
+		--output $(PERF_SMOKE_DIR)/BENCH_perf.json
+	PYTHONPATH=src $(PYTHON) -m repro.cli.obs bench check \
+		$(PERF_SMOKE_DIR)/BENCH_perf.json --name perf_baseline --tolerance 0.9
+	@echo "perf smoke OK (hot-path timings within tolerance of committed baseline)"
+
 # Library code must report through repro.obs, not print().
 lint:
 	$(PYTHON) tools/no_print_lint.py
@@ -116,10 +133,19 @@ bench-full:
 bench-obs:
 	PYTHONPATH=src $(PYTHON) benchmarks/obs_baseline.py
 
+# Refresh BENCH_perf.json: event-throughput and campaign wall-time
+# measurements of the hot-path fixtures, for tracking the perf
+# trajectory.  After an intentional perf change, re-record the gate's
+# baseline with:
+#   repro-obs bench record BENCH_perf.json --name perf_baseline
+bench-perf:
+	PYTHONPATH=src $(PYTHON) benchmarks/perf_bench.py
+
 examples:
 	for script in examples/*.py; do echo "== $$script"; $(PYTHON) $$script; done
 
 clean:
 	rm -rf build dist src/repro.egg-info .pytest_cache $(SMOKE_DIR) $(OBS_SMOKE_DIR) \
-		$(RESUME_SMOKE_DIR) $(ANALYZE_SMOKE_DIR) $(BENCH_CHECK_DIR)
+		$(RESUME_SMOKE_DIR) $(ANALYZE_SMOKE_DIR) $(BENCH_CHECK_DIR) \
+		$(PERF_SMOKE_DIR)
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,239 @@
+"""The hot-path performance benchmark suite (``make bench-perf``).
+
+Measures the throughput of the two simulation hot paths and the
+end-to-end campaign loop, and writes ``BENCH_perf.json`` at the
+repository root:
+
+* ``engine_micro`` — a pure discrete-event microbench: eight
+  interleaved periodic callback chains through :class:`Simulator`, no
+  packets, no RNG.  Isolates heap-entry comparison, scheduling, and
+  dispatch cost; reported as events/s.
+* ``packet_epoch`` — one packet-level measurement epoch
+  (:class:`PacketEpochRunner`, path p12 at utilization 0.4), the
+  workload behind the validation tests.  Reported as simulator events/s.
+* ``fluid_trace`` — 600 fluid epochs (4 paths x 1 trace x 150) through
+  :class:`Campaign.run_trace`; reported as epochs/s.
+* ``campaign_serial`` / ``campaign_parallel`` — the full campaign loop
+  (catalog x traces x epochs through the executor, checkpointing and
+  caching off) serially and with two workers, reported as wall time.
+
+Every fixture's workload is deterministic (fixed seeds, fixed event
+counts), so the ``epochs``/``events`` counts are exact across runs and
+machines — only the wall-clock timings vary.  The report has the same
+``fixtures`` shape as ``BENCH_obs.json``, so the ``repro-obs bench``
+regression gate consumes it directly:
+
+    repro-obs bench record BENCH_perf.json --name perf_baseline
+    repro-obs bench check  BENCH_perf.json --name perf_baseline
+
+``make perf-smoke`` re-measures and checks against the committed
+baseline under ``benchmarks/baselines/`` with a tolerance loose enough
+for shared-runner noise; see docs/performance.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np  # noqa: E402
+
+from repro._version import __version__  # noqa: E402
+from repro.obs import get_telemetry  # noqa: E402
+from repro.paths.config import may_2004_catalog  # noqa: E402
+from repro.simnet.engine import Simulator  # noqa: E402
+from repro.testbed.campaign import Campaign, CampaignSettings  # noqa: E402
+from repro.testbed.packet_epoch import PacketEpochRunner  # noqa: E402
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+#: Deterministic engine microbench scale.
+ENGINE_EVENTS = 200_000
+ENGINE_CHAINS = 8
+
+#: Repetitions of the fast fixtures; the best run is reported (the
+#: usual microbenchmark practice: the minimum is the least noisy
+#: estimator of the true cost on a shared machine).
+REPEATS = 3
+
+
+def bench_engine_micro() -> dict:
+    """Pure event-loop throughput: interleaved periodic callback chains."""
+
+    def run_once() -> tuple[int, float]:
+        sim = Simulator()
+        remaining = [ENGINE_EVENTS // ENGINE_CHAINS] * ENGINE_CHAINS
+        periods = [0.001 * (i + 1) for i in range(ENGINE_CHAINS)]
+
+        def make_chain(i: int):
+            def chain() -> None:
+                if remaining[i] > 0:
+                    remaining[i] -= 1
+                    sim.schedule(periods[i], chain)
+
+            return chain
+
+        for i in range(ENGINE_CHAINS):
+            sim.schedule(periods[i], make_chain(i))
+        started = time.perf_counter()
+        sim.run()
+        return sim.events_processed, time.perf_counter() - started
+
+    events, wall = min((run_once() for _ in range(REPEATS)), key=lambda r: r[1])
+    return {
+        "events": events,
+        "wall_time_s": round(wall, 4),
+        "events_per_s": round(events / wall),
+    }
+
+
+def bench_packet_epoch() -> dict:
+    """One packet-level epoch: the validation-path workload."""
+    config = next(c for c in may_2004_catalog() if c.path_id == "p12")
+    telemetry = get_telemetry()
+
+    def run_once() -> tuple[int, float]:
+        telemetry.drain()
+        runner = PacketEpochRunner(config, np.random.default_rng(0))
+        started = time.perf_counter()
+        runner.run_epoch(
+            utilization=0.4, transfer_duration_s=10.0, pre_probe_duration_s=10.0
+        )
+        wall = time.perf_counter() - started
+        events = 0
+        for entry in telemetry.drain()["counters"]:
+            if entry["name"] == "simnet.events_processed":
+                events = entry["value"]
+        return events, wall
+
+    events, wall = min((run_once() for _ in range(REPEATS)), key=lambda r: r[1])
+    return {
+        "epochs": 1,
+        "events": events,
+        "wall_time_s": round(wall, 4),
+        "events_per_s": round(events / wall),
+    }
+
+
+def bench_fluid_trace() -> dict:
+    """Fluid-model epoch throughput, without executor overhead."""
+    catalog = may_2004_catalog()[:4]
+    settings = CampaignSettings(n_traces=1, epochs_per_trace=150)
+
+    def run_once() -> tuple[int, float]:
+        campaign = Campaign(catalog, seed=0, label="perf-fluid")
+        started = time.perf_counter()
+        epochs = sum(
+            len(campaign.run_trace(config, 0, settings)) for config in catalog
+        )
+        return epochs, time.perf_counter() - started
+
+    epochs, wall = min((run_once() for _ in range(REPEATS)), key=lambda r: r[1])
+    return {
+        "epochs": epochs,
+        "wall_time_s": round(wall, 4),
+        "epochs_per_s": round(epochs / wall, 1),
+    }
+
+
+def _bench_campaign(n_workers: int) -> dict:
+    """The full campaign loop through the executor (no cache, no
+    checkpointing), at the requested worker count."""
+    settings = CampaignSettings(n_traces=2, epochs_per_trace=75)
+    campaign = Campaign(may_2004_catalog(), seed=0, label="perf-campaign")
+    started = time.perf_counter()
+    dataset = campaign.run(settings, n_workers=n_workers)
+    wall = time.perf_counter() - started
+    epochs = len(dataset.epochs())
+    return {
+        "epochs": epochs,
+        "wall_time_s": round(wall, 4),
+        "epochs_per_s": round(epochs / wall, 1),
+        "workers": n_workers,
+    }
+
+
+FIXTURES = {
+    "engine_micro": bench_engine_micro,
+    "packet_epoch": bench_packet_epoch,
+    "fluid_trace": bench_fluid_trace,
+    "campaign_serial": lambda: _bench_campaign(1),
+    "campaign_parallel": lambda: _bench_campaign(2),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure hot-path throughput and write a bench report."
+    )
+    parser.add_argument(
+        "--output",
+        default=str(OUTPUT),
+        metavar="FILE",
+        help=f"report path (default: {OUTPUT})",
+    )
+    parser.add_argument(
+        "--fixtures",
+        nargs="+",
+        choices=sorted(FIXTURES),
+        default=sorted(FIXTURES),
+        metavar="NAME",
+        help="subset of fixtures to run (default: all)",
+    )
+    parser.add_argument(
+        "--pre-change",
+        default=None,
+        metavar="FILE",
+        help="earlier bench report to embed under 'pre_change' for "
+        "before/after comparison in the same file",
+    )
+    args = parser.parse_args(argv)
+    if os.environ.get("REPRO_OBS", "1") == "0":
+        print(
+            "error: REPRO_OBS=0 — telemetry is required to count engine events",
+            file=sys.stderr,
+        )
+        return 2
+
+    report = {
+        "bench": "perf",
+        "code_version": __version__,
+        "recorded_unix": round(time.time(), 1),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "fixtures": {},
+    }
+    for name in sorted(args.fixtures):
+        report["fixtures"][name] = FIXTURES[name]()
+        entry = report["fixtures"][name]
+        rate = entry.get("events_per_s") or entry.get("epochs_per_s") or ""
+        unit = "events/s" if "events_per_s" in entry else "epochs/s"
+        note = f" ({rate:,} {unit})" if rate else ""
+        print(f"  {name}: {entry['wall_time_s']}s{note}")
+
+    if args.pre_change:
+        previous = json.loads(Path(args.pre_change).read_text(encoding="utf-8"))
+        report["pre_change"] = {
+            "code_version": previous.get("code_version"),
+            "recorded_unix": previous.get("recorded_unix"),
+            "fixtures": previous.get("fixtures", {}),
+        }
+
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,7 @@ import itertools
 
 import numpy as np
 
+from repro.core.rng import PredrawnExponentials
 from repro.core.units import mbps_to_bps
 from repro.simnet.engine import Simulator
 from repro.simnet.packet import Packet, PacketKind
@@ -37,6 +38,8 @@ _source_ids = itertools.count()
 
 class CrossTrafficSink:
     """A terminal endpoint that discards whatever it receives."""
+
+    __slots__ = ("packets_received", "bytes_received")
 
     def __init__(self) -> None:
         self.packets_received = 0
@@ -56,7 +59,27 @@ class PoissonSource:
         sink_name: address of a registered :class:`CrossTrafficSink`.
         rate_mbps: mean offered rate; adjustable via :meth:`set_rate`.
         rng: randomness for the inter-arrival draws.
+        batch_size: how many inter-arrival draws to pre-draw from
+            ``rng`` in one vectorized numpy call.  Any value produces
+            the bit-identical arrival sequence (see
+            :class:`~repro.core.rng.PredrawnExponentials`); values > 1
+            are only safe when no other consumer draws from ``rng``
+            while the source is running — :meth:`stop` resyncs the
+            generator past exactly the consumed draws.
     """
+
+    __slots__ = (
+        "sim",
+        "path",
+        "sink_name",
+        "rng",
+        "name",
+        "_rate_bps",
+        "_running",
+        "_seq",
+        "packets_sent",
+        "_draws",
+    )
 
     def __init__(
         self,
@@ -65,6 +88,7 @@ class PoissonSource:
         sink_name: str,
         rate_mbps: float,
         rng: np.random.Generator,
+        batch_size: int = 1,
     ) -> None:
         if rate_mbps < 0:
             raise ValueError(f"rate_mbps must be >= 0, got {rate_mbps}")
@@ -77,6 +101,10 @@ class PoissonSource:
         self._running = False
         self._seq = 0
         self.packets_sent = 0
+        # Draws are held as *standard* exponentials and scaled by the
+        # current mean gap at consumption time, so set_rate() keeps
+        # taking effect at the next arrival even mid-batch.
+        self._draws = PredrawnExponentials(rng, batch_size)
 
     def set_rate(self, rate_mbps: float) -> None:
         """Change the offered rate (takes effect at the next arrival)."""
@@ -92,8 +120,14 @@ class PoissonSource:
         self._schedule_next()
 
     def stop(self) -> None:
-        """Stop emitting packets (pending arrival is skipped)."""
+        """Stop emitting packets (pending arrival is skipped).
+
+        Resyncs a shared generator past exactly the draws consumed, so
+        whoever draws from it next sees the same bits as under scalar
+        (unbatched) operation.
+        """
         self._running = False
+        self._draws.finalize()
 
     def _schedule_next(self) -> None:
         if not self._running:
@@ -103,19 +137,20 @@ class PoissonSource:
             self.sim.schedule(0.1, self._schedule_next)
             return
         mean_gap = CROSS_PACKET_BYTES * 8 / self._rate_bps
-        self.sim.schedule(self.rng.exponential(mean_gap), self._emit)
+        self.sim.schedule(self._draws.next() * mean_gap, self._emit)
 
     def _emit(self) -> None:
         if not self._running:
             return
+        name = self.name
         packet = Packet(
-            src=self.name,
-            dst=self.sink_name,
-            kind=PacketKind.DATA,
-            size_bytes=CROSS_PACKET_BYTES,
-            seq=self._seq,
-            flow=self.name,
-            created_at=self.sim.now,
+            name,
+            self.sink_name,
+            PacketKind.DATA,
+            CROSS_PACKET_BYTES,
+            self._seq,
+            name,
+            self.sim.now,
         )
         self._seq += 1
         self.packets_sent += 1

@@ -155,7 +155,7 @@ def measure_availbw(
                 flow=sender_name,
                 created_at=sim.now + k * gap_s,
             )
-            sim.schedule(k * gap_s, lambda p=packet: path.send_forward(p))
+            sim.schedule(k * gap_s, path.send_forward, packet)
         train_duration = TRAIN_LENGTH * gap_s
         sim.run(until=sim.now + train_duration + INTER_TRAIN_GAP_S)
         iterations += 1

@@ -53,6 +53,8 @@ class PingResult:
 class PingResponder:
     """Echo endpoint: bounces probes back to their sender."""
 
+    __slots__ = ("sim", "path", "name")
+
     def __init__(self, sim: Simulator, path: DumbbellPath, name: str) -> None:
         self.sim = sim
         self.path = path
@@ -61,14 +63,16 @@ class PingResponder:
     def receive(self, packet: Packet) -> None:
         if packet.kind is not PacketKind.PROBE:
             return
+        # Positional construction; created_at preserves the original
+        # send time so the prober reads the RTT off the reply.
         reply = Packet(
-            src=self.name,
-            dst=packet.src,
-            kind=PacketKind.PROBE_REPLY,
-            size_bytes=packet.size_bytes,
-            seq=packet.seq,
-            flow=packet.flow,
-            created_at=packet.created_at,  # preserve the original send time
+            self.name,
+            packet.src,
+            PacketKind.PROBE_REPLY,
+            packet.size_bytes,
+            packet.seq,
+            packet.flow,
+            packet.created_at,
         )
         self.path.send_reverse(reply)
 
@@ -83,6 +87,19 @@ class Pinger:
         period_s: inter-probe gap; the paper uses 100 ms.
         probe_size_bytes: probe wire size; the paper uses 41 bytes.
     """
+
+    __slots__ = (
+        "sim",
+        "path",
+        "name",
+        "responder_name",
+        "period_s",
+        "probe_size_bytes",
+        "_next_seq",
+        "_probes_sent",
+        "_rtts",
+        "_running",
+    )
 
     def __init__(
         self,
@@ -131,22 +148,27 @@ class Pinger:
         # 10 Hz is exactly 600 probes.
         probe_budget = int(round(duration_s / self.period_s))
 
+        # Hoist per-probe lookups out of the closure; the probe loop
+        # runs inside the simulator's hot path.
+        sim = self.sim
+        schedule = sim.schedule
+        send_forward = self.path.send_forward
+        period = self.period_s
+        name = self.name
+        responder = self.responder_name
+        size = self.probe_size_bytes
+        probe_kind = PacketKind.PROBE
+
         def send_probe() -> None:
             if not self._running or self._probes_sent >= probe_budget:
                 return
             probe = Packet(
-                src=self.name,
-                dst=self.responder_name,
-                kind=PacketKind.PROBE,
-                size_bytes=self.probe_size_bytes,
-                seq=self._next_seq,
-                flow=self.name,
-                created_at=self.sim.now,
+                name, responder, probe_kind, size, self._next_seq, name, sim.now
             )
             self._next_seq += 1
             self._probes_sent += 1
-            self.path.send_forward(probe)
-            self.sim.schedule(self.period_s, send_probe)
+            send_forward(probe)
+            schedule(period, send_probe)
 
         send_probe()
 

@@ -96,6 +96,22 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 1; results are bit-identical for any worker count)",
     )
     parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=1,
+        metavar="N",
+        help="(path, trace) units dispatched per parallel job; larger "
+        "chunks amortize dispatch overhead for short traces (default: 1; "
+        "results are bit-identical for any chunk size)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the campaign under cProfile and write the stats "
+        "next to the dataset as OUTPUT.pstats (inspect with "
+        "'python -m pstats')",
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="always re-simulate, and do not store the result in the cache",
@@ -204,6 +220,12 @@ def main(argv: list[str] | None = None) -> int:
     ).start()
 
     progress = None if args.quiet else _print_progress
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     try:
         if cache is None:
             dataset = campaign.run(
@@ -214,6 +236,7 @@ def main(argv: list[str] | None = None) -> int:
                 checkpoint=checkpoint,
                 run_key=run_key,
                 resume=args.resume,
+                chunk_size=args.chunk_size,
             )
             hit = False
         else:
@@ -226,6 +249,7 @@ def main(argv: list[str] | None = None) -> int:
                 retry=retry,
                 checkpoint=checkpoint,
                 resume=args.resume,
+                chunk_size=args.chunk_size,
             )
     except ExecutionError as exc:
         # The campaign is dead, but its telemetry (retries, failures,
@@ -241,6 +265,10 @@ def main(argv: list[str] | None = None) -> int:
                 "to continue from them\n"
             )
         return 1
+    finally:
+        if profiler is not None:
+            profiler.disable()
+            profiler.dump_stats(f"{args.output}.pstats")
     manifest = recorder.finish(
         cache_hit=hit,
         n_paths=len(catalog),
@@ -270,6 +298,8 @@ def main(argv: list[str] | None = None) -> int:
             )
         if telemetry_note:
             print(telemetry_note)
+        if profiler is not None:
+            print(f"profile -> {args.output}.pstats")
     return 0
 
 

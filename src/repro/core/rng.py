@@ -62,6 +62,82 @@ class RngStreams:
         return f"RngStreams(seed={self._seed}, streams={sorted(self._streams)})"
 
 
+class PredrawnExponentials:
+    """Batched standard-exponential draws, bit-identical to scalar calls.
+
+    The packet simulator's Poisson sources draw one exponential per
+    simulated packet — hundreds of thousands of scalar
+    ``Generator.standard_exponential()`` calls per epoch, each paying
+    the numpy call dispatch.  This helper pre-draws a vectorized batch
+    and hands the values out one at a time.
+
+    **Bit-identity contract.**  NumPy fills
+    ``standard_exponential(n)`` by running the same ziggurat routine
+    ``n`` times against the bit stream, so a batched fill consumes the
+    generator's bits in exactly the order ``n`` sequential scalar calls
+    would, producing identical values.  Two consequences:
+
+    * the sequence of :meth:`next` values is bitwise equal to the
+      scalar call sequence it replaces, for any ``batch_size``; and
+    * :meth:`finalize` rewinds the generator to the state it would
+      have after only the *consumed* draws — it restores the
+      bit-generator state saved before the batch fill and replays just
+      the consumed count — so a shared generator's later consumers see
+      the same bits whether or not batching was on.
+
+    The one thing batching cannot preserve is *interleaving*: if some
+    other consumer draws from the same generator while a batch is
+    outstanding, the scalar code would have given it different bits.
+    Callers therefore only enable ``batch_size > 1`` when they own the
+    generator exclusively for the batch's lifetime (see
+    ``PacketEpochRunner``); the default of 1 is exactly the scalar
+    call sequence.
+    """
+
+    __slots__ = ("_rng", "_batch", "_buf", "_pos", "_saved_state")
+
+    def __init__(self, rng: np.random.Generator, batch_size: int = 1) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self._rng = rng
+        self._batch = batch_size
+        self._buf: np.ndarray | None = None
+        self._pos = 0
+        self._saved_state: dict | None = None
+
+    def next(self) -> float:
+        """The next standard-exponential draw, as a Python float."""
+        if self._batch == 1:
+            # Scalar fast path: literally the call being replaced; no
+            # buffer bookkeeping, nothing for finalize() to rewind.
+            return self._rng.standard_exponential()
+        buf = self._buf
+        pos = self._pos
+        if buf is None or pos >= len(buf):
+            # Snapshot the state so finalize() can rewind to "only the
+            # consumed draws happened" if the batch ends up partial.
+            self._saved_state = self._rng.bit_generator.state
+            buf = self._buf = self._rng.standard_exponential(self._batch)
+            pos = 0
+        self._pos = pos + 1
+        return buf.item(pos)
+
+    def finalize(self) -> None:
+        """Resync the generator as if only the consumed draws happened.
+
+        A no-op when the batch was fully consumed (or never filled).
+        Call before any *other* consumer next touches a shared
+        generator.
+        """
+        buf = self._buf
+        if buf is not None and self._pos < len(buf):
+            self._rng.bit_generator.state = self._saved_state
+            self._rng.standard_exponential(self._pos)
+        self._buf = None
+        self._pos = 0
+        self._saved_state = None
+
+
 class ScopedRngStreams:
     """A view of :class:`RngStreams` under a fixed name prefix.
 

@@ -120,24 +120,31 @@ def flatten_manifest(manifest: dict[str, Any]) -> dict[str, Any]:
 
 
 def flatten_bench(bench: dict[str, Any]) -> dict[str, Any]:
-    """A ``BENCH_obs.json``-style report in the same flat form.
+    """A ``BENCH_obs.json``- or ``BENCH_perf.json``-style report in the
+    same flat form.
 
-    Per fixture: the epoch count as an exact counter, the run wall time
-    as a single-sample timer, and the ``epoch_wall_s`` / per-phase
-    timer aggregates.
+    Per fixture: the epoch and simulated-event counts as exact counters
+    (when the fixture reports them — both are deterministic given seed
+    and settings), the run wall time as a single-sample timer, and the
+    ``epoch_wall_s`` / per-phase timer aggregates when present.
     """
     metrics: dict[str, Any] = {}
     for fixture, entry in sorted(bench.get("fixtures", {}).items()):
         prefix = f"bench.{fixture}"
-        metrics[f"counter:{prefix}.epochs"] = int(entry.get("epochs", 0))
+        if "epochs" in entry:
+            metrics[f"counter:{prefix}.epochs"] = int(entry["epochs"])
+        if "events" in entry:
+            metrics[f"counter:{prefix}.events"] = int(entry["events"])
         wall = float(entry.get("wall_time_s", 0.0))
         metrics[f"timer:{prefix}.wall_time_s"] = {
             field: wall for field in TIMER_FIELDS
         }
-        epoch_wall = entry.get("epoch_wall_s") or {}
-        metrics[f"timer:{prefix}.epoch_wall_s"] = {
-            field: float(epoch_wall.get(field, 0.0)) for field in TIMER_FIELDS
-        }
+        epoch_wall = entry.get("epoch_wall_s")
+        if epoch_wall is not None:
+            metrics[f"timer:{prefix}.epoch_wall_s"] = {
+                field: float(epoch_wall.get(field, 0.0))
+                for field in TIMER_FIELDS
+            }
         for phase, stats in sorted((entry.get("phase_s") or {}).items()):
             metrics[f"timer:{prefix}.phase_s{{phase={phase}}}"] = {
                 field: float(stats.get(field, 0.0)) for field in TIMER_FIELDS

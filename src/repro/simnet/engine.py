@@ -6,10 +6,29 @@ deterministic.  Cancellation is supported through handles (lazy deletion:
 cancelled events stay in the heap but are skipped), which is what TCP
 retransmission timers need.
 
+Performance notes (this is the packet path's innermost loop — ~10^5
+events per measurement epoch):
+
+* The event record is a ``list`` subclass laid out as
+  ``[time, seq, callback, args, cancelled]`` and is pushed onto the
+  heap *directly*: list comparison is element-wise at C level, so
+  ``heappush``/``heappop`` order records by ``(time, seq)`` without
+  ever dispatching to Python — and without a separate wrapper-tuple
+  allocation per event.  The unique ``seq`` guarantees comparison
+  never reaches the callback.  (The previous ``order=True`` dataclass
+  built a comparison tuple in Python for every sift step, which
+  dominated the loop.)
+* The record *is* the handle — one allocation per event, constructed
+  through the C-level ``list`` initializer.
+* ``schedule`` accepts ``*args`` for the callback, so call sites can
+  pass ``schedule(d, self.receiver, packet)`` instead of allocating a
+  closure per packet.
+
 When telemetry is enabled (:mod:`repro.obs`), every :meth:`Simulator.run`
 call adds its executed-event count to the ``simnet.events_processed``
-counter — once per call, after the loop, so the per-event hot path stays
-untouched.
+counter — once per call, after the loop, through a counter handle that
+is re-resolved only when the registry is replaced (``drain``/``reset``),
+so the per-event hot path never touches the registry.
 """
 
 from __future__ import annotations
@@ -17,40 +36,46 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from math import inf
 
 from repro.core.errors import SimulationError
 from repro.obs import get_telemetry
 
+# Field indices of the EventHandle record.
+_TIME = 0
+_SEQ = 1
+_CALLBACK = 2
+_ARGS = 3
+_CANCELLED = 4
 
-@dataclass(order=True)
-class _Event:
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
 
+class EventHandle(list):
+    """A scheduled event; also the handle used to cancel it.
 
-class EventHandle:
-    """A handle to a scheduled event, usable to cancel it."""
+    A ``list`` subclass holding ``[time, seq, callback, args,
+    cancelled]`` so the record can sit in the heap directly (see the
+    module docstring).  Treat it as opaque: use :meth:`cancel` and the
+    ``time``/``cancelled`` properties.
+    """
 
-    __slots__ = ("_event",)
-
-    def __init__(self, event: _Event) -> None:
-        self._event = event
+    __slots__ = ()
 
     def cancel(self) -> None:
         """Cancel the event; a no-op if it already fired or was cancelled."""
-        self._event.cancelled = True
+        self[_CANCELLED] = True
 
     @property
     def cancelled(self) -> bool:
-        return self._event.cancelled
+        return self[_CANCELLED]
 
     @property
     def time(self) -> float:
         """Absolute simulation time the event is scheduled for."""
-        return self._event.time
+        return self[_TIME]
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        state = "cancelled" if self[_CANCELLED] else "pending"
+        return f"EventHandle(t={self[_TIME]:.6f} {self[_CALLBACK]!r} {state})"
 
 
 class Simulator:
@@ -59,15 +84,21 @@ class Simulator:
     Example::
 
         sim = Simulator()
-        sim.schedule(1.0, lambda: print("one second in"))
+        sim.schedule(1.0, print, "one second in")
         sim.run(until=10.0)
     """
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[_Event] = []
-        self._counter = itertools.count()
+        self._heap: list[EventHandle] = []
+        self._next_seq = itertools.count().__next__
         self._n_processed = 0
+        self._telemetry = get_telemetry()
+        # Counter handle cache, keyed on registry identity: drain()
+        # swaps in a fresh MetricsRegistry, which must invalidate the
+        # cached handle or increments would land in a dead registry.
+        self._counter_registry = None
+        self._events_counter = None
 
     @property
     def now(self) -> float:
@@ -79,21 +110,28 @@ class Simulator:
         """Total events executed so far (diagnostics)."""
         return self._n_processed
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
-        """Schedule ``callback`` to run ``delay`` seconds from now."""
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback)
+        time = self._now + delay
+        event = EventHandle((time, self._next_seq(), callback, args, False))
+        heapq.heappush(self._heap, event)
+        return event
 
-    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
-        """Schedule ``callback`` at absolute simulation time ``time``."""
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulation time ``time``."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time} (now is {self._now})"
             )
-        event = _Event(time=time, seq=next(self._counter), callback=callback)
+        event = EventHandle((time, self._next_seq(), callback, args, False))
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        return event
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Run events in time order.
@@ -102,35 +140,55 @@ class Simulator:
             until: stop once the next event is later than this time (the
                 clock is advanced to ``until``).  ``None`` runs to
                 exhaustion.
-            max_events: safety valve — raise if more than this many
-                events execute.
+            max_events: safety valve — raise *before* executing the
+                event that would exceed the budget.
 
         Raises:
-            SimulationError: if ``max_events`` is exceeded.
+            SimulationError: if ``max_events`` would be exceeded.
         """
+        heap = self._heap
+        pop = heapq.heappop
+        limit = inf if until is None else until
+        budget = -1 if max_events is None else max_events
         executed = 0
-        while self._heap:
-            event = self._heap[0]
-            if until is not None and event.time > until:
-                break
-            heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            event.callback()
-            self._n_processed += 1
-            executed += 1
-            if max_events is not None and executed > max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events}; runaway simulation?"
-                )
+        try:
+            while heap:
+                event = heap[0]
+                time = event[0]
+                if time > limit:
+                    break
+                pop(heap)
+                if event[4]:  # cancelled: lazy deletion
+                    continue
+                if executed == budget:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway simulation?"
+                    )
+                self._now = time
+                args = event[3]
+                if args:
+                    event[2](*args)
+                else:
+                    event[2]()
+                executed += 1
+        finally:
+            self._n_processed += executed
+            if executed:
+                telemetry = self._telemetry
+                if telemetry.enabled:
+                    metrics = telemetry.metrics
+                    if metrics is not self._counter_registry:
+                        self._counter_registry = metrics
+                        self._events_counter = metrics.counter(
+                            "simnet.events_processed"
+                        )
+                    self._events_counter.inc(executed)
         if until is not None and self._now < until:
             self._now = until
-        if executed:
-            get_telemetry().counter("simnet.events_processed").inc(executed)
 
     def peek_time(self) -> float | None:
         """Time of the next pending (non-cancelled) event, or ``None``."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][4]:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None

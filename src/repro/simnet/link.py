@@ -31,6 +31,17 @@ class Link:
         name: label for diagnostics.
     """
 
+    __slots__ = (
+        "sim",
+        "capacity",
+        "prop_delay_s",
+        "queue",
+        "receiver",
+        "name",
+        "_busy",
+        "bytes_delivered",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -69,12 +80,12 @@ class Link:
         packet = self.queue.pop(self.sim.now)
         self._busy = True
         tx_time = self.capacity.transmission_delay(packet.size_bytes)
-        self.sim.schedule(tx_time, lambda: self._finish_transmission(packet))
+        self.sim.schedule(tx_time, self._finish_transmission, packet)
 
     def _finish_transmission(self, packet: Packet) -> None:
         self.bytes_delivered += packet.size_bytes
         # Propagation: the packet arrives downstream prop_delay later.
-        self.sim.schedule(self.prop_delay_s, lambda: self.receiver(packet))
+        self.sim.schedule(self.prop_delay_s, self.receiver, packet)
         if not self.queue.is_empty:
             self._start_transmission()
         else:

@@ -10,9 +10,8 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 
-_packet_ids = itertools.count()
+_next_packet_id = itertools.count().__next__
 
 
 class PacketKind(enum.Enum):
@@ -24,9 +23,14 @@ class PacketKind(enum.Enum):
     PROBE_REPLY = "probe-reply"
 
 
-@dataclass
 class Packet:
     """One packet.
+
+    A ``__slots__`` class rather than a dataclass: packets are the most
+    allocated object in the packet-level simulator (one per segment,
+    ACK, probe, and cross-traffic arrival), and slots cut both the
+    per-instance memory and the attribute-access cost on the
+    enqueue/dequeue path.
 
     Attributes:
         src: name of the sending endpoint.
@@ -41,18 +45,38 @@ class Packet:
         uid: globally unique id (diagnostics).
     """
 
-    src: str
-    dst: str
-    kind: PacketKind
-    size_bytes: int
-    seq: int = 0
-    flow: str = ""
-    created_at: float = 0.0
-    uid: int = field(default_factory=lambda: next(_packet_ids))
+    __slots__ = (
+        "src",
+        "dst",
+        "kind",
+        "size_bytes",
+        "seq",
+        "flow",
+        "created_at",
+        "uid",
+    )
 
-    def __post_init__(self) -> None:
-        if self.size_bytes <= 0:
-            raise ValueError(f"size_bytes must be positive, got {self.size_bytes}")
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        kind: PacketKind,
+        size_bytes: int,
+        seq: int = 0,
+        flow: str = "",
+        created_at: float = 0.0,
+        uid: int | None = None,
+    ) -> None:
+        if size_bytes <= 0:
+            raise ValueError(f"size_bytes must be positive, got {size_bytes}")
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.size_bytes = size_bytes
+        self.seq = seq
+        self.flow = flow
+        self.created_at = created_at
+        self.uid = _next_packet_id() if uid is None else uid
 
     def __repr__(self) -> str:
         return (

@@ -15,9 +15,12 @@ from dataclasses import dataclass
 from repro.simnet.packet import Packet
 
 
-@dataclass
+@dataclass(slots=True)
 class QueueStats:
     """Counters accumulated by a :class:`DropTailQueue`.
+
+    Slotted: the counters are bumped once per packet on the enqueue
+    path, and slot access skips the per-instance ``__dict__``.
 
     Attributes:
         arrivals: packets offered to the queue.
@@ -51,6 +54,16 @@ class DropTailQueue:
             packet — which is why probes observe overflow loss at all.
     """
 
+    __slots__ = (
+        "capacity_bytes",
+        "slot_capacity",
+        "_queue",
+        "_occupancy_bytes",
+        "_last_change_time",
+        "stats",
+        "__dict__",  # subclasses (RedQueue) extend freely
+    )
+
     def __init__(self, capacity_bytes: int, slot_capacity: int | None = None) -> None:
         if capacity_bytes <= 0:
             raise ValueError(f"capacity_bytes must be positive, got {capacity_bytes}")
@@ -81,17 +94,23 @@ class DropTailQueue:
         Returns:
             True if accepted, False if dropped (buffer full).
         """
-        self._integrate(now)
-        self.stats.arrivals += 1
+        stats = self.stats
+        occupancy = self._occupancy_bytes
+        dt = now - self._last_change_time
+        if dt > 0:
+            stats.occupancy_integral += occupancy * dt
+            self._last_change_time = now
+        stats.arrivals += 1
+        size = packet.size_bytes
         slot_full = (
             self.slot_capacity is not None and len(self._queue) >= self.slot_capacity
         )
-        if slot_full or self._occupancy_bytes + packet.size_bytes > self.capacity_bytes:
-            self.stats.drops += 1
+        if slot_full or occupancy + size > self.capacity_bytes:
+            stats.drops += 1
             return False
         self._queue.append(packet)
-        self._occupancy_bytes += packet.size_bytes
-        self.stats.bytes_accepted += packet.size_bytes
+        self._occupancy_bytes = occupancy + size
+        stats.bytes_accepted += size
         return True
 
     def pop(self, now: float) -> Packet:
@@ -100,7 +119,10 @@ class DropTailQueue:
         Raises:
             IndexError: if the queue is empty.
         """
-        self._integrate(now)
+        dt = now - self._last_change_time
+        if dt > 0:
+            self.stats.occupancy_integral += self._occupancy_bytes * dt
+            self._last_change_time = now
         packet = self._queue.popleft()
         self._occupancy_bytes -= packet.size_bytes
         return packet

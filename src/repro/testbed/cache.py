@@ -145,15 +145,18 @@ def run_cached(
     retry=None,
     checkpoint=None,
     resume: bool = False,
+    chunk_size: int = 1,
 ) -> tuple[Dataset, bool]:
     """Run a campaign through the cache.
 
     Returns ``(dataset, hit)``: on a hit the saved dataset is loaded and
     no simulation happens (the progress callback is not invoked); on a
-    miss the campaign runs (honouring ``n_workers``/``progress`` and the
-    robustness options ``retry``/``checkpoint``/``resume``, all keyed by
-    the same content fingerprint as the cache entry) and the result is
-    stored before being returned.
+    miss the campaign runs (honouring ``n_workers``/``progress``/
+    ``chunk_size`` and the robustness options
+    ``retry``/``checkpoint``/``resume``, all keyed by the same content
+    fingerprint as the cache entry) and the result is stored before
+    being returned.  ``chunk_size`` never affects the cache key: any
+    value produces the bit-identical dataset.
     """
     cache = cache or DatasetCache()
     key = campaign_cache_key(campaign, settings)
@@ -174,6 +177,7 @@ def run_cached(
         checkpoint=checkpoint,
         run_key=key,
         resume=resume,
+        chunk_size=chunk_size,
     )
     with telemetry.timer("cache.store_s"):
         cache.store(key, dataset)

@@ -257,33 +257,86 @@ def _claim_fault_token(fault_dir: str, target: str, mode: str, count: int) -> bo
     return False
 
 
-def _run_trace_job(
-    config,  # PathConfig
-    trace_index: int,
-    seed: int,
-    label: str,
-    tcp,  # TcpParameters
-    small_tcp,  # TcpParameters
-    settings,  # CampaignSettings
-) -> tuple[Trace, dict[str, Any]]:
-    """Worker entry point: simulate one (path, trace) pair.
+#: Campaign parameters shipped once per worker process by
+#: :func:`_init_worker` instead of being pickled into every job:
+#: ``(catalog, seed, label, tcp, small_tcp, settings)``.
+_WORKER_STATE: tuple | None = None
 
-    Rebuilds a single-path campaign in the worker process; the named RNG
-    streams guarantee the result matches the serial campaign's copy.
-    Returns the trace plus the telemetry the job collected, drained so a
-    reused pool worker starts the next job clean.
+
+def _init_worker(catalog, seed, label, tcp, small_tcp, settings) -> None:
+    """Pool initializer: receive the campaign parameters one time.
+
+    Runs once in each worker process when the pool spawns it.  Jobs
+    afterwards carry only ``(catalog_index, trace_index)`` pairs, so
+    dispatching a job no longer pickles the catalog, TCP parameter
+    sets, and settings over and over.
+    """
+    global _WORKER_STATE
+    _WORKER_STATE = (catalog, seed, label, tcp, small_tcp, settings)
+
+
+class ChunkUnitError(ExecutionError):
+    """One unit of a multi-unit chunk failed in a worker.
+
+    Identifies the failing ``(path_id, trace_index)`` so the parent can
+    attribute the attempt to the right job; the original worker
+    exception is summarized in ``cause_repr`` (the live exception
+    object cannot cross the process boundary as a ``__cause__``).
+
+    All constructor arguments are passed to ``Exception.__init__`` so
+    the instance pickles cleanly back to the parent.
+    """
+
+    def __init__(self, path_id: str, trace_index: int, cause_repr: str) -> None:
+        super().__init__(path_id, trace_index, cause_repr)
+        self.path_id = path_id
+        self.trace_index = trace_index
+        self.cause_repr = cause_repr
+
+    def __str__(self) -> str:
+        return (
+            f"chunk unit (path {self.path_id!r}, trace {self.trace_index}) "
+            f"failed: {self.cause_repr}"
+        )
+
+
+def _run_chunk_job(units: tuple) -> list[tuple[Trace, dict[str, Any]]]:
+    """Worker entry point: simulate a chunk of (path, trace) units.
+
+    ``units`` is a tuple of ``(catalog_index, trace_index)`` pairs
+    resolved against the catalog installed by :func:`_init_worker`.
+    Each unit rebuilds a fresh single-path campaign; the named RNG
+    streams guarantee every trace matches the serial campaign's copy
+    regardless of which worker ran it or how units were chunked.
+
+    Returns one ``(trace, telemetry_snapshot)`` per unit, in order.
+    Telemetry is drained per unit, so the parent can merge snapshots in
+    job order whatever the chunking.  A failing unit in a multi-unit
+    chunk is wrapped in :class:`ChunkUnitError` to identify it; a
+    single-unit chunk lets the original exception propagate unchanged.
     """
     from repro.testbed.campaign import Campaign
 
+    assert _WORKER_STATE is not None, "pool initializer did not run"
+    catalog, seed, label, tcp, small_tcp, settings = _WORKER_STATE
     telemetry = get_telemetry()
-    telemetry.drain()  # leftovers from a crashed prior job, if any
-    maybe_inject_fault(config.path_id, trace_index)
-    campaign = Campaign(
-        [config], seed=seed, label=label, tcp=tcp, small_tcp=small_tcp
-    )
-    with telemetry.timer("campaign.trace_s"):
-        trace = campaign.run_trace(config, trace_index, settings)
-    return trace, telemetry.drain()
+    results = []
+    for catalog_index, trace_index in units:
+        config = catalog[catalog_index]
+        telemetry.drain()  # leftovers from a crashed/failed prior unit
+        try:
+            maybe_inject_fault(config.path_id, trace_index)
+            campaign = Campaign(
+                [config], seed=seed, label=label, tcp=tcp, small_tcp=small_tcp
+            )
+            with telemetry.timer("campaign.trace_s"):
+                trace = campaign.run_trace(config, trace_index, settings)
+        except Exception as exc:
+            if len(units) == 1:
+                raise
+            raise ChunkUnitError(config.path_id, trace_index, repr(exc)) from exc
+        results.append((trace, telemetry.drain()))
+    return results
 
 
 class _CampaignRun:
@@ -298,17 +351,30 @@ class _CampaignRun:
         progress: ProgressCallback | None,
         checkpoint: "CheckpointStore | None",
         run_key: str | None,
+        chunk_size: int = 1,
     ) -> None:
+        if chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {chunk_size}"
+            )
         self.campaign = campaign
         self.settings = settings
         self.retry = retry
         self.progress = progress
         self.checkpoint = checkpoint
         self.run_key = run_key or ""
+        self.chunk_size = chunk_size
         self.telemetry = get_telemetry()
         self.jobs = [
             (config, trace_index)
             for config in campaign.catalog
+            for trace_index in range(settings.n_traces)
+        ]
+        #: The worker-side identity of ``jobs[i]``: indices into the
+        #: catalog shipped once per worker by the pool initializer.
+        self.units = [
+            (catalog_index, trace_index)
+            for catalog_index in range(len(campaign.catalog))
             for trace_index in range(settings.n_traces)
         ]
         self.epochs_total = len(self.jobs) * settings.epochs_per_trace
@@ -498,40 +564,72 @@ class _CampaignRun:
                     break
             self.complete(index, trace)
 
+    def _pool_init(self) -> tuple:
+        """The ``(initializer, initargs)`` every pool is built with.
+
+        Ships the campaign parameters (catalog, seed, label, TCP
+        parameter sets, settings) once per worker process; jobs then
+        carry only ``(catalog_index, trace_index)`` pairs.
+        """
+        campaign = self.campaign
+        return _init_worker, (
+            campaign.catalog,
+            campaign.streams.seed,
+            campaign.label,
+            campaign.tcp,
+            campaign.small_tcp,
+            self.settings,
+        )
+
+    def _job_index(self, error: ChunkUnitError, chunk: list[int]) -> int:
+        """Map a worker-side unit failure back to its job index."""
+        for index in chunk:
+            config, trace_index = self.jobs[index]
+            if (
+                config.path_id == error.path_id
+                and trace_index == error.trace_index
+            ):
+                return index
+        return chunk[0]  # stale identity; blame the chunk head
+
     def run_parallel(self, indices: list[int], n_workers: int) -> None:
         """Run jobs in a worker pool, surviving crashes and hangs.
 
-        In-flight submissions are capped at the pool's worker count, so
-        a submitted job is picked up by a free worker (nearly)
-        immediately: ``dispatched_at`` approximates the job's actual
-        start, and the job timeout measures running time rather than
-        queue wait.  Retries and not-yet-dispatched jobs sit in
-        ``queue`` and are submitted only at the top of the loop, where a
-        ``BrokenProcessPool`` raised by ``submit`` itself routes into
-        the same rebuild machinery as a crash surfaced by a future.
-        """
-        campaign, settings, retry = self.campaign, self.settings, self.retry
-        seed = campaign.streams.seed
+        Jobs are dispatched in chunks of up to ``chunk_size`` units per
+        future (default 1), against workers that received the campaign
+        parameters once at pool start.  In-flight submissions are
+        capped at the pool's worker count, so a submitted chunk is
+        picked up by a free worker (nearly) immediately:
+        ``dispatched_at`` approximates the chunk's actual start, and
+        the job timeout measures running time rather than queue wait
+        (one budget per dispatched *chunk*, so scale ``job_timeout_s``
+        with ``chunk_size``).  Retries and not-yet-dispatched jobs sit
+        in ``queue`` and are submitted only at the top of the loop,
+        where a ``BrokenProcessPool`` raised by ``submit`` itself
+        routes into the same rebuild machinery as a crash surfaced by a
+        future.
 
-        def submit(pool: ProcessPoolExecutor, index: int):
-            config, trace_index = self.jobs[index]
-            return pool.submit(
-                _run_trace_job,
-                config,
-                trace_index,
-                seed,
-                campaign.label,
-                campaign.tcp,
-                campaign.small_tcp,
-                settings,
-            )
+        A failing unit inside a multi-unit chunk takes the attempt
+        blame (identified via :class:`ChunkUnitError`); the whole chunk
+        is requeued, which is correct — every unit rebuilds its
+        campaign from the seed — just mildly wasteful, which is the
+        chunking trade-off.
+        """
+        retry = self.retry
+        chunk_size = self.chunk_size
+        initializer, initargs = self._pool_init()
 
         rebuilds = 0
         cap = min(n_workers, len(indices))
-        pool: ProcessPoolExecutor | None = ProcessPoolExecutor(max_workers=cap)
+        pool: ProcessPoolExecutor | None = ProcessPoolExecutor(
+            max_workers=cap, initializer=initializer, initargs=initargs
+        )
         queue: deque[int] = deque(indices)
-        pending: dict[Any, int] = {}
+        pending: dict[Any, list[int]] = {}
         dispatched_at: dict[Any, float] = {}
+
+        def pending_indices() -> list[int]:
+            return [index for chunk in pending.values() for index in chunk]
 
         def replace_pool(resubmit: list[int]) -> bool:
             """Install a fresh pool for ``resubmit``; ``False`` = degrade."""
@@ -547,17 +645,23 @@ class _CampaignRun:
 
         try:
             while pending or queue:
-                # Top up in-flight jobs to the worker count.
+                # Top up in-flight chunks to the worker count.
                 submit_broke_pool = False
                 while queue and len(pending) < cap:
-                    index = queue.popleft()
+                    chunk = [
+                        queue.popleft()
+                        for _ in range(min(chunk_size, len(queue)))
+                    ]
                     try:
-                        future = submit(pool, index)
+                        future = pool.submit(
+                            _run_chunk_job,
+                            tuple(self.units[index] for index in chunk),
+                        )
                     except BrokenProcessPool:
-                        queue.appendleft(index)
+                        queue.extendleft(reversed(chunk))
                         submit_broke_pool = True
                         break
-                    pending[future] = index
+                    pending[future] = chunk
                     dispatched_at[future] = time.perf_counter()
                 if submit_broke_pool and not pending:
                     # Nothing in flight to surface the crash through
@@ -585,7 +689,7 @@ class _CampaignRun:
                     set(pending), timeout=poll_s, return_when=FIRST_COMPLETED
                 )
                 if not finished:
-                    # Only in-flight (dispatched) jobs can expire; a
+                    # Only in-flight (dispatched) chunks can expire; a
                     # queued job's clock has not started.
                     expired = [
                         future
@@ -599,12 +703,15 @@ class _CampaignRun:
                     # futures API; terminate the pool and rebuild it.
                     try:
                         for future in expired:
-                            index = pending[future]
-                            self.retry_or_abort(index, "timeout", None)
+                            # The chunk head takes the blame: which unit
+                            # hung is unknowable from outside.
+                            self.retry_or_abort(
+                                pending[future][0], "timeout", None
+                            )
                     except ExecutionError:
                         _terminate_pool(pool)
                         raise
-                    resubmit = sorted([*pending.values(), *queue])
+                    resubmit = sorted([*pending_indices(), *queue])
                     _terminate_pool(pool)
                     if not replace_pool(resubmit):
                         self._degrade_to_serial(resubmit)
@@ -612,28 +719,37 @@ class _CampaignRun:
                     continue
                 pool_broken = False
                 for future in finished:
-                    index = pending.pop(future)
+                    chunk = pending.pop(future)
                     dispatched_at.pop(future, None)
                     try:
-                        trace, snapshot = future.result()
+                        results = future.result()
                     except BrokenProcessPool:
                         # Every pending future on this pool is dead; the
-                        # first one surfaced takes the blame (the true
+                        # first chunk surfaced takes the blame (the true
                         # culprit is unknowable), the rebuild cap bounds
                         # the damage either way.
-                        self.retry_or_abort(index, "worker_crash", None)
-                        resubmit = sorted({index, *pending.values(), *queue})
+                        self.retry_or_abort(chunk[0], "worker_crash", None)
+                        resubmit = sorted({*chunk, *pending_indices(), *queue})
                         pool.shutdown(wait=False, cancel_futures=True)
                         if not replace_pool(resubmit):
                             self._degrade_to_serial(resubmit)
                             return
                         pool_broken = True
                         break
+                    except ChunkUnitError as exc:
+                        try:
+                            self.retry_or_abort(
+                                self._job_index(exc, chunk), "error", exc
+                            )
+                        except ExecutionError:
+                            pool.shutdown(wait=False, cancel_futures=True)
+                            raise
+                        queue.extend(chunk)
                     except ExecutionError:
                         raise
                     except Exception as exc:
                         try:
-                            self.retry_or_abort(index, "error", exc)
+                            self.retry_or_abort(chunk[0], "error", exc)
                         except ExecutionError:
                             # Cancel jobs still queued so a dead campaign
                             # does not keep burning CPU behind the raise.
@@ -642,10 +758,11 @@ class _CampaignRun:
                         # Defer the resubmission to the top of the loop:
                         # submitting here could raise BrokenProcessPool
                         # past the rebuild machinery.
-                        queue.append(index)
+                        queue.extend(chunk)
                     else:
-                        self.snapshots[index] = snapshot
-                        self.complete(index, trace)
+                        for index, (trace, snapshot) in zip(chunk, results):
+                            self.snapshots[index] = snapshot
+                            self.complete(index, trace)
                 if pool_broken:
                     continue
         finally:
@@ -660,8 +777,13 @@ class _CampaignRun:
         self.telemetry.counter("campaign.pool_rebuilds").inc()
         if rebuilds > self.retry.max_pool_rebuilds:
             return None, rebuilds
+        initializer, initargs = self._pool_init()
         try:
-            pool = ProcessPoolExecutor(max_workers=min(n_workers, max(n_jobs, 1)))
+            pool = ProcessPoolExecutor(
+                max_workers=min(n_workers, max(n_jobs, 1)),
+                initializer=initializer,
+                initargs=initargs,
+            )
         except OSError:  # pragma: no cover - fork failure (fd/memory limits)
             return None, rebuilds
         self.telemetry.emit("campaign.pool_rebuild", rebuild=rebuilds)
@@ -703,6 +825,7 @@ def run_campaign(
     checkpoint: "CheckpointStore | None" = None,
     run_key: str | None = None,
     resume: bool = False,
+    chunk_size: int = 1,
 ) -> Dataset:
     """Execute ``campaign`` with ``settings``, optionally in parallel.
 
@@ -715,6 +838,12 @@ def run_campaign(
             :class:`CampaignProgress` snapshot.
         retry: retry/backoff/timeout policy (default: a
             :class:`RetryPolicy` with two retries and no job timeout).
+        chunk_size: (path, trace) units dispatched per parallel job.
+            1 (the default) keeps per-unit retry/timeout granularity;
+            larger chunks amortize dispatch and result-pickling
+            overhead when traces are short and plentiful.  The result
+            is bit-identical for every chunk size.  Serial execution
+            ignores it.
         checkpoint: when given, every finished trace is persisted here
             under ``run_key``, and the store is cleared once the
             campaign completes.
@@ -744,7 +873,9 @@ def run_campaign(
 
         run_key = campaign_cache_key(campaign, settings)
 
-    run = _CampaignRun(campaign, settings, retry, progress, checkpoint, run_key)
+    run = _CampaignRun(
+        campaign, settings, retry, progress, checkpoint, run_key, chunk_size
+    )
     run.reset_gauges()
     if resume:
         run.resume_completed()

@@ -70,6 +70,20 @@ class TestFlatten:
         assert flat["timer:bench.may2004.epoch_wall_s"]["p95"] == 0.02
         assert flat["timer:bench.may2004.phase_s{phase=iperf}"]["p50"] == 0.005
 
+    def test_perf_bench_events_counter(self):
+        # BENCH_perf.json fixtures report simulated-event counts and no
+        # epoch_wall_s/phase_s aggregates; only what is present flattens.
+        flat = flatten_bench({
+            "bench": "perf_bench",
+            "fixtures": {
+                "engine_micro": {"wall_time_s": 0.2, "events": 200_008},
+            },
+        })
+        assert flat["counter:bench.engine_micro.events"] == 200_008
+        assert flat["timer:bench.engine_micro.wall_time_s"]["p50"] == 0.2
+        assert "counter:bench.engine_micro.epochs" not in flat
+        assert "timer:bench.engine_micro.epoch_wall_s" not in flat
+
     def test_source_sniffing(self):
         assert "counter:predictions.made{predictor=fb}" in flatten_source(
             make_manifest()

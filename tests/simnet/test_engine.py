@@ -82,6 +82,34 @@ class TestScheduling:
         with pytest.raises(SimulationError):
             sim.run(until=1e9, max_events=100)
 
+    def test_max_events_allows_exactly_the_budget(self):
+        # The guard trips when an event *beyond* the budget is due, not
+        # on the budget's last event.
+        sim = Simulator()
+        log = []
+        for i in range(5):
+            sim.schedule(1.0 + i, lambda i=i: log.append(i))
+        sim.run(max_events=5)
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_max_events_guard_fires_before_excess_callback(self):
+        sim = Simulator()
+        log = []
+        for i in range(6):
+            sim.schedule(1.0 + i, lambda i=i: log.append(i))
+        with pytest.raises(SimulationError):
+            sim.run(max_events=5)
+        # The sixth callback must never have run.
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_schedule_passes_positional_args(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, "payload")
+        sim.schedule(2.0, lambda a, b: log.append((a, b)), 1, 2)
+        sim.run()
+        assert log == ["payload", (1, 2)]
+
 
 class TestCancellation:
     def test_cancelled_event_does_not_fire(self):
@@ -115,3 +143,53 @@ class TestCancellation:
             sim.schedule(1.0, lambda: None)
         sim.run()
         assert sim.events_processed == 3
+
+    def test_cancel_mid_run_from_earlier_callback(self):
+        sim = Simulator()
+        log = []
+        later = sim.schedule(2.0, lambda: log.append("later"))
+        sim.schedule(1.0, later.cancel)
+        sim.run()
+        assert log == []
+
+    def test_cancel_same_time_sibling_mid_run(self):
+        # a, b, c share a timestamp; a cancels c while b is still queued
+        # — tie order must hold and c must be skipped.
+        sim = Simulator()
+        log = []
+        handles = {}
+        handles["a"] = sim.schedule(1.0, lambda: (log.append("a"),
+                                                  handles["c"].cancel()))
+        handles["b"] = sim.schedule(1.0, lambda: log.append("b"))
+        handles["c"] = sim.schedule(1.0, lambda: log.append("c"))
+        sim.run()
+        assert log == ["a", "b"]
+
+    def test_cancelled_events_do_not_consume_the_budget(self):
+        sim = Simulator()
+        log = []
+        cancelled = [sim.schedule(1.0, lambda: log.append("dead"))
+                     for _ in range(10)]
+        for handle in cancelled:
+            handle.cancel()
+        sim.schedule(2.0, lambda: log.append("alive"))
+        sim.run(max_events=1)
+        assert log == ["alive"]
+        assert sim.events_processed == 1
+
+    def test_peek_time_prunes_a_cancelled_prefix(self):
+        sim = Simulator()
+        handles = [sim.schedule(1.0 + i, lambda: None) for i in range(4)]
+        for handle in handles[:3]:
+            handle.cancel()
+        assert sim.peek_time() == 4.0
+        sim.run()
+        assert sim.events_processed == 1
+
+    def test_handle_reports_time_and_state(self):
+        sim = Simulator()
+        handle = sim.schedule(3.5, lambda: None)
+        assert handle.time == 3.5
+        assert not handle.cancelled
+        handle.cancel()
+        assert handle.cancelled

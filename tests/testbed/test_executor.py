@@ -129,3 +129,71 @@ class TestProgressReporting:
         for traces_done, gauge_traces, epochs_done, gauge_epochs in observed:
             assert traces_done == gauge_traces
             assert epochs_done == gauge_epochs
+
+
+class TestChunkedDispatch:
+    def test_chunked_equals_serial(self):
+        """Multi-unit chunks reproduce the serial dataset exactly."""
+        serial = small_campaign(seed=11).run(SETTINGS, n_workers=1)
+        for chunk_size in (2, 3, 8):
+            chunked = small_campaign(seed=11).run(
+                SETTINGS, n_workers=2, chunk_size=chunk_size
+            )
+            assert chunked == serial, f"chunk_size={chunk_size}"
+
+    def test_chunked_progress_counts_every_trace(self):
+        snapshots: list[CampaignProgress] = []
+        small_campaign().run(
+            SETTINGS, n_workers=2, chunk_size=2, progress=snapshots.append
+        )
+        assert snapshots[-1].done
+        assert snapshots[-1].traces_done == 4
+
+    def test_chunk_size_validation(self):
+        with pytest.raises(ConfigurationError):
+            small_campaign().run(SETTINGS, n_workers=2, chunk_size=0)
+
+    def test_chunk_unit_error_is_picklable(self):
+        import pickle
+
+        from repro.testbed.executor import ChunkUnitError
+
+        error = ChunkUnitError("p03", 1, "RuntimeError('boom')")
+        clone = pickle.loads(pickle.dumps(error))
+        assert (clone.path_id, clone.trace_index) == ("p03", 1)
+        assert "p03" in str(clone) and "boom" in str(clone)
+
+
+class TestWorkerInitializer:
+    def test_chunk_job_requires_initializer(self):
+        """_run_chunk_job refuses to run without the shipped state."""
+        import repro.testbed.executor as ex
+
+        state = ex._WORKER_STATE
+        ex._WORKER_STATE = None
+        try:
+            with pytest.raises(AssertionError):
+                ex._run_chunk_job(((0, 0),))
+        finally:
+            ex._WORKER_STATE = state
+
+    def test_initializer_installs_state_once(self):
+        import repro.testbed.executor as ex
+
+        campaign = small_campaign(seed=5)
+        state = ex._WORKER_STATE
+        try:
+            ex._init_worker(
+                campaign.catalog, 5, campaign.label, campaign.tcp,
+                campaign.small_tcp, SETTINGS,
+            )
+            results = ex._run_chunk_job(((0, 0), (1, 1)))
+            assert len(results) == 2
+            traces = [trace for trace, _ in results]
+            assert traces[0].path_id == campaign.catalog[0].path_id
+            assert traces[1].trace_index == 1
+            # And the worker-path result equals the in-process one.
+            expected = campaign.run_trace(campaign.catalog[0], 0, SETTINGS)
+            assert traces[0] == expected
+        finally:
+            ex._WORKER_STATE = state

@@ -113,3 +113,47 @@ class TestTelemetry:
         snapshot = telemetry.drain()
         assert snapshot["counters"] == []
         assert snapshot["events"] == []
+
+
+class TestPoissonBatchingGate:
+    """The epoch runner's batching opt-in must be bit-exact and gated."""
+
+    @staticmethod
+    def _epoch(monkeypatch, batch, **overrides):
+        import repro.testbed.packet_epoch as pe
+
+        monkeypatch.setattr(pe, "POISSON_BATCH", batch)
+        runner = PacketEpochRunner(
+            config("p12", random_loss=0.0, **overrides), np.random.default_rng(3)
+        )
+        epoch = runner.run_epoch(
+            utilization=0.4, transfer_duration_s=5.0, pre_probe_duration_s=5.0
+        )
+        # Include the *post-epoch* generator position in the comparison:
+        # the next trace epoch draws from the same generator.
+        return epoch, runner.rng.random()
+
+    def test_batched_epoch_bit_identical_to_scalar(self, monkeypatch):
+        batched = self._epoch(monkeypatch, 512)
+        scalar = self._epoch(monkeypatch, 1)
+        assert batched == scalar
+
+    def test_random_loss_disables_batching(self, monkeypatch):
+        # With per-packet loss draws interleaving on the shared
+        # generator, the runner must fall back to scalar draws; the
+        # measurement is then identical whatever POISSON_BATCH says.
+        loss = {"random_loss": 0.002}
+        import repro.testbed.packet_epoch as pe
+
+        for batch in (1, 512):
+            monkeypatch.setattr(pe, "POISSON_BATCH", batch)
+            runner = PacketEpochRunner(
+                config("p12", **loss), np.random.default_rng(3)
+            )
+            epoch = runner.run_epoch(
+                utilization=0.4, transfer_duration_s=5.0, pre_probe_duration_s=5.0
+            )
+            if batch == 1:
+                reference = (epoch, runner.rng.random())
+            else:
+                assert (epoch, runner.rng.random()) == reference

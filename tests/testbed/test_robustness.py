@@ -317,3 +317,45 @@ class TestGaugeHygiene:
         # than keep the previous run's 4.
         assert telemetry.metrics.gauge("campaign.traces_done").value == 0
         assert telemetry.metrics.gauge("campaign.epochs_done").value == 0
+
+
+class TestChunkedRetry:
+    """Chunked dispatch keeps per-unit failure attribution and retry."""
+
+    def test_failed_unit_in_chunk_retried_and_attributed(self, telemetry, inject):
+        clean = small_campaign(seed=5).run(SETTINGS)
+        telemetry.drain()
+        inject("p18/1:raise:1")
+        dataset = small_campaign(seed=5).run(
+            SETTINGS, n_workers=2, chunk_size=2, retry=FAST_RETRY
+        )
+        assert dataset == clean
+        assert counter_value(telemetry, "campaign.retries") == 1
+        failures = [
+            e for e in telemetry.events if e["kind"] == "campaign.job_failure"
+        ]
+        assert len(failures) == 1
+        assert (failures[0]["path"], failures[0]["trace"]) == ("p18", 1)
+
+    def test_chunked_abort_names_the_failing_unit(self, telemetry, inject):
+        inject("p18/0:raise", counted=False)  # fails every attempt
+        with pytest.raises(ExecutionError, match=r"'p18', trace 0"):
+            small_campaign().run(
+                SETTINGS,
+                n_workers=2,
+                chunk_size=2,
+                retry=RetryPolicy(max_retries=0, backoff_s=0.0),
+            )
+        aborted = [e for e in telemetry.events if e["kind"] == "campaign.aborted"]
+        assert len(aborted) == 1
+        assert (aborted[0]["path"], aborted[0]["trace"]) == ("p18", 0)
+
+    def test_chunked_worker_crash_rebuilds_and_recovers(self, telemetry, inject):
+        clean = small_campaign(seed=5).run(SETTINGS)
+        telemetry.drain()
+        inject("p01/0:exit:1")
+        dataset = small_campaign(seed=5).run(
+            SETTINGS, n_workers=2, chunk_size=2, retry=FAST_RETRY
+        )
+        assert dataset == clean
+        assert counter_value(telemetry, "campaign.pool_rebuilds") >= 1
