@@ -7,16 +7,18 @@ RESUME_SMOKE_DIR := .resume-smoke
 ANALYZE_SMOKE_DIR := .analyze-obs-smoke
 BENCH_CHECK_DIR := .bench-check
 PERF_SMOKE_DIR := .perf-smoke
+SERVE_SMOKE_DIR := .serve-smoke
+BENCH_SERVE_DIR := .bench-serve
 
 .PHONY: install test test-fast campaign-smoke obs-smoke resume-smoke \
-	analyze-obs-smoke bench-check perf-smoke lint bench bench-full \
-	bench-obs bench-perf examples clean
+	analyze-obs-smoke bench-check perf-smoke serve-smoke bench-serve lint \
+	bench bench-full bench-obs bench-perf examples clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test: lint campaign-smoke obs-smoke resume-smoke analyze-obs-smoke bench-check \
-		perf-smoke
+		perf-smoke serve-smoke bench-serve
 	$(PYTHON) -m pytest tests/
 
 test-fast:
@@ -118,6 +120,29 @@ perf-smoke:
 		$(PERF_SMOKE_DIR)/BENCH_perf.json --name perf_baseline --tolerance 0.9
 	@echo "perf smoke OK (hot-path timings within tolerance of committed baseline)"
 
+# Online-serving end-to-end check: boot the real repro-serve CLI as a
+# subprocess, ingest over HTTP, require the forecast to be bit-identical
+# to an offline StreamingPredictorState, then SIGTERM and verify the
+# shutdown snapshot + manifest and a bit-identical restore on restart.
+serve-smoke:
+	rm -rf $(SERVE_SMOKE_DIR)
+	$(PYTHON) tools/serve_smoke.py --workdir $(SERVE_SMOKE_DIR)
+
+# The serving-throughput gate: re-measure the streaming-ingest, state
+# store, and HTTP fixtures and require the timings to stay within a
+# loose tolerance of benchmarks/baselines/serve_baseline.json; the
+# sample/request counters must match exactly.  After an intentional
+# serving-perf change, re-record with:
+#   repro-obs bench record BENCH_serve.json --name serve_baseline
+bench-serve:
+	rm -rf $(BENCH_SERVE_DIR)
+	mkdir -p $(BENCH_SERVE_DIR)
+	PYTHONPATH=src $(PYTHON) benchmarks/serve_bench.py \
+		--output $(BENCH_SERVE_DIR)/BENCH_serve.json
+	PYTHONPATH=src $(PYTHON) -m repro.cli.obs bench check \
+		$(BENCH_SERVE_DIR)/BENCH_serve.json --name serve_baseline --tolerance 0.9
+	@echo "serve bench OK (serving throughput within tolerance of committed baseline)"
+
 # Library code must report through repro.obs, not print().
 lint:
 	$(PYTHON) tools/no_print_lint.py
@@ -147,5 +172,5 @@ examples:
 clean:
 	rm -rf build dist src/repro.egg-info .pytest_cache $(SMOKE_DIR) $(OBS_SMOKE_DIR) \
 		$(RESUME_SMOKE_DIR) $(ANALYZE_SMOKE_DIR) $(BENCH_CHECK_DIR) \
-		$(PERF_SMOKE_DIR)
+		$(PERF_SMOKE_DIR) $(SERVE_SMOKE_DIR) $(BENCH_SERVE_DIR)
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,252 @@
+"""The online-serving load benchmark (``make bench-serve``).
+
+Measures the three layers of ``repro-serve`` and writes
+``BENCH_serve.json`` at the repository root:
+
+* ``streaming_ingest`` — the tentpole number: samples/s through one
+  :class:`StreamingPredictorState` (``ma10`` + LSO, the default serve
+  spec) on a synthetic trace with level shifts and outliers.  This is
+  the layer the streaming refactor makes O(1) amortised; the offline
+  wrapper replays the whole history per update and would be quadratic
+  over the same stream.
+* ``store_ops`` — ingest+predict operations/s through the sharded LRU
+  store across many path keys, including eviction pressure.
+* ``http_load`` — end-to-end requests/s over real sockets: keep-alive
+  connections alternating sample ingest (POST) and forecast reads
+  (GET) against the full app, single process.
+
+Sample and request counts are fixed, so the ``epochs`` counters are
+exact across runs and machines — only wall-clock varies.  The report
+has the same ``fixtures`` shape as ``BENCH_perf.json``, so the
+``repro-obs bench`` regression gate consumes it directly:
+
+    repro-obs bench record BENCH_serve.json --name serve_baseline
+    repro-obs bench check  BENCH_serve.json --name serve_baseline
+
+``make serve-smoke`` re-measures and checks against the committed
+baseline under ``benchmarks/baselines/`` with a tolerance loose enough
+for shared-runner noise; see docs/serving.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro._version import __version__  # noqa: E402
+from repro.hb.streaming import PredictorSpec, StreamingPredictorState  # noqa: E402
+from repro.serve.app import ServeApp  # noqa: E402
+from repro.serve.http import serve_app  # noqa: E402
+from repro.serve.state import ShardedStateStore, default_specs  # noqa: E402
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+#: Fixed workload sizes (exact counters in the regression gate).
+INGEST_SAMPLES = 20_000
+STORE_OPS = 10_000
+HTTP_REQUESTS = 4_000
+HTTP_CONNECTIONS = 8
+
+#: Best-of repetitions (min is the least noisy estimator on a shared
+#: machine).
+REPEATS = 3
+
+
+def synthetic_stream(n: int, seed: int = 3) -> list[float]:
+    """A deterministic trace with regime shifts and outlier spikes."""
+    rng = random.Random(seed)
+    values, level = [], 40.0
+    for i in range(n):
+        if i % 500 == 250:
+            level *= rng.choice([0.5, 2.0])
+        value = level * rng.uniform(0.9, 1.1)
+        if i % 37 == 11:
+            value *= 3.0
+        values.append(value)
+    return values
+
+
+def bench_streaming_ingest() -> dict:
+    """samples/s through one StreamingPredictorState (ma10 + LSO)."""
+    stream = synthetic_stream(INGEST_SAMPLES)
+    spec = PredictorSpec(predictor="ma10", lso=True)
+
+    def run_once() -> float:
+        state = StreamingPredictorState(spec)
+        started = time.perf_counter()
+        for value in stream:
+            state.ingest(value)
+        return time.perf_counter() - started
+
+    wall = min(run_once() for _ in range(REPEATS))
+    return {
+        "epochs": INGEST_SAMPLES,
+        "wall_time_s": round(wall, 4),
+        "samples_per_s": round(INGEST_SAMPLES / wall),
+    }
+
+
+def bench_store_ops() -> dict:
+    """ingest+predict ops/s through the sharded LRU store."""
+    stream = synthetic_stream(STORE_OPS)
+    keys = [f"path-{i}" for i in range(64)]
+
+    def run_once() -> float:
+        store = ShardedStateStore(
+            specs=default_specs(["ma10"]), n_shards=8, max_paths_per_shard=4
+        )
+        started = time.perf_counter()
+        for i, value in enumerate(stream):
+            store.ingest(keys[i % len(keys)], [value])
+        return time.perf_counter() - started
+
+    wall = min(run_once() for _ in range(REPEATS))
+    return {
+        "epochs": STORE_OPS,
+        "wall_time_s": round(wall, 4),
+        "ops_per_s": round(STORE_OPS / wall),
+    }
+
+
+async def _read_response(reader: asyncio.StreamReader) -> None:
+    header = await reader.readuntil(b"\r\n\r\n")
+    length = 0
+    for line in header.split(b"\r\n"):
+        if line.lower().startswith(b"content-length:"):
+            length = int(line.split(b":")[1])
+    if length:
+        await reader.readexactly(length)
+
+
+async def _http_client(port: int, requests: int, offset: int) -> None:
+    """Drive one keep-alive connection, pipelined in small windows.
+
+    Pipelining (write a window of requests, then drain the responses)
+    keeps the server's accept loop busy instead of measuring the event
+    loop's per-round-trip latency — the point is server capacity.
+    """
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    ingest_body = json.dumps({"samples": [42.5]}).encode()
+    window = 16
+    for start in range(0, requests, window):
+        batch = min(window, requests - start)
+        for i in range(start, start + batch):
+            key = f"path-{(offset + i) % 32}"
+            if i % 2 == 0:
+                head = (
+                    f"POST /paths/{key}/samples HTTP/1.1\r\nHost: b\r\n"
+                    f"Content-Length: {len(ingest_body)}\r\n\r\n"
+                ).encode()
+                writer.write(head + ingest_body)
+            else:
+                writer.write(
+                    f"GET /paths/{key}/predict HTTP/1.1\r\nHost: b\r\n\r\n".encode()
+                )
+        await writer.drain()
+        for _ in range(batch):
+            await _read_response(reader)
+    writer.write(b"GET /healthz HTTP/1.1\r\nHost: b\r\nConnection: close\r\n\r\n")
+    await writer.drain()
+    await reader.read()
+    writer.close()
+    await writer.wait_closed()
+
+
+async def _run_http_load() -> float:
+    store = ShardedStateStore(specs=default_specs(["ma10", "ewma"]))
+    app = ServeApp(store, label="serve-bench")
+    server = await serve_app(app.handle, port=0)
+    port = server.sockets[0].getsockname()[1]
+    per_client = HTTP_REQUESTS // HTTP_CONNECTIONS
+    started = time.perf_counter()
+    await asyncio.gather(
+        *(
+            _http_client(port, per_client, offset=c * per_client)
+            for c in range(HTTP_CONNECTIONS)
+        )
+    )
+    wall = time.perf_counter() - started
+    server.close()
+    await server.wait_closed()
+    return wall
+
+
+def bench_http_load() -> dict:
+    """End-to-end requests/s over keep-alive sockets, single process."""
+    wall = min(asyncio.run(_run_http_load()) for _ in range(REPEATS))
+    return {
+        "epochs": HTTP_REQUESTS,
+        "wall_time_s": round(wall, 4),
+        "requests_per_s": round(HTTP_REQUESTS / wall),
+        "connections": HTTP_CONNECTIONS,
+    }
+
+
+FIXTURES = {
+    "streaming_ingest": bench_streaming_ingest,
+    "store_ops": bench_store_ops,
+    "http_load": bench_http_load,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure serving-layer throughput and write a bench report."
+    )
+    parser.add_argument(
+        "--output",
+        default=str(OUTPUT),
+        metavar="FILE",
+        help=f"report path (default: {OUTPUT})",
+    )
+    parser.add_argument(
+        "--fixtures",
+        nargs="+",
+        choices=sorted(FIXTURES),
+        default=sorted(FIXTURES),
+        metavar="NAME",
+        help="subset of fixtures to run (default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    report = {
+        "bench": "serve",
+        "code_version": __version__,
+        "recorded_unix": round(time.time(), 1),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "fixtures": {},
+    }
+    for name in sorted(args.fixtures):
+        report["fixtures"][name] = FIXTURES[name]()
+        entry = report["fixtures"][name]
+        rate = (
+            entry.get("samples_per_s")
+            or entry.get("ops_per_s")
+            or entry.get("requests_per_s")
+        )
+        unit = next(
+            (u for u in ("samples_per_s", "ops_per_s", "requests_per_s") if u in entry),
+            "",
+        ).replace("_per_s", "/s")
+        print(f"  {name}: {entry['wall_time_s']}s ({rate:,} {unit})")
+
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

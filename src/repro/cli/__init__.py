@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three commands, installed as console scripts:
+Five commands, installed as console scripts:
 
 * ``repro-campaign`` — run a measurement campaign over a catalog and
   save the dataset to CSV.
@@ -8,6 +8,9 @@ Three commands, installed as console scripts:
   a saved dataset.
 * ``repro-predict`` — one-off Formula-Based prediction from measured
   path characteristics.
+* ``repro-obs`` — inspect run manifests and gate bench regressions.
+* ``repro-serve`` — the long-running online prediction service (HB
+  streaming state per path + stateless FB predictions over HTTP).
 
 Each is also reachable as ``python -m repro.cli.<name>``.
 """

@@ -14,7 +14,7 @@ import sys
 
 from repro.core.errors import ReproError
 from repro.formulas.fb_predictor import MODEL_VARIANTS, FormulaBasedPredictor
-from repro.formulas.params import PathEstimates, TcpParameters
+from repro.formulas.params import PathEstimates, TcpParameters, fb_input_errors
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,7 +54,24 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+        problems = fb_input_errors(
+            rtt_ms=args.rtt_ms,
+            loss=args.loss,
+            window_kb=args.window_kb,
+            mss=args.mss,
+            availbw=args.availbw,
+        )
+        if problems:
+            # One line per problem, through argparse so the usage text and
+            # exit status match every other bad-flag failure.
+            parser.error("; ".join(problems))
+    except SystemExit as exc:
+        # parse_args/parser.error exit; keep main() returning an int so it
+        # stays callable programmatically (and from tests).
+        return int(exc.code or 0)
     try:
         tcp = TcpParameters(
             mss_bytes=args.mss,

@@ -63,6 +63,14 @@ WINDOW_LIMITED_MARGIN = 0.92
 #: mismatch (Goyal et al. report order-of-magnitude discrepancies).
 PROBE_LOSS_LOGNORMAL_SIGMA = 1.5
 
+#: Physical envelope for a measured transfer rate: an epoch-level iperf
+#: measurement can exceed the bottleneck capacity only by measurement
+#: noise (clock granularity, buffered bytes draining into the sample
+#: window), never by the unbounded tail of the lognormal variability
+#: draw.  The loss- and congestion-limited branches scale a mean rate
+#: near capacity by that draw, so the raw sample must be clamped here.
+CAPACITY_MEASUREMENT_SLACK = 1.2
+
 
 @dataclass(frozen=True)
 class _TransferOutcome:
@@ -279,6 +287,7 @@ class FluidPathSimulator:
         sigma = 0.03 + 1.5 * math.sqrt(loss)
         sample = mean_rate * float(self.rng.lognormal(0.0, min(sigma, 0.35)))
         sample = min(sample, tcp.max_window_bytes * 8.0 / cfg.base_rtt_s / 1e6)
+        sample = min(sample, CAPACITY_MEASUREMENT_SLACK * cfg.capacity_mbps)
         return _TransferOutcome(
             throughput_mbps=max(sample, 1e-3),
             mean_throughput_mbps=mean_rate,
@@ -301,6 +310,7 @@ class FluidPathSimulator:
         # process, not the capacity, sets the pace.
         sigma = 0.07 + 0.5 * math.sqrt(cfg.random_loss)
         sample = loss_cap_mbps * float(self.rng.lognormal(0.0, min(sigma, 0.4)))
+        sample = min(sample, CAPACITY_MEASUREMENT_SLACK * cfg.capacity_mbps)
         return _TransferOutcome(
             throughput_mbps=max(sample, 1e-3),
             mean_throughput_mbps=loss_cap_mbps,
@@ -339,6 +349,7 @@ class FluidPathSimulator:
         # analysis, Section 6.1.4).
         sigma = 0.03 + 0.35 * util * util / math.sqrt(max(1, cfg.n_cross_flows))
         sample = mean_rate * float(self.rng.lognormal(0.0, min(sigma, 0.5)))
+        sample = min(sample, CAPACITY_MEASUREMENT_SLACK * cfg.capacity_mbps)
         sample = max(sample, 1e-3)
 
         # AIMD duality: the loss event rate is whatever makes the TCP

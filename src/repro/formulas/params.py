@@ -12,6 +12,7 @@ Two small frozen dataclasses keep model signatures readable:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.core.errors import ConfigurationError
@@ -102,3 +103,42 @@ class PathEstimates:
     def lossless(self) -> bool:
         """True when the a priori probing saw no losses."""
         return self.loss_rate == 0.0
+
+
+def fb_input_errors(
+    *,
+    rtt_ms: float,
+    loss: float,
+    window_kb: float,
+    mss: float,
+    availbw: float | None = None,
+) -> list[str]:
+    """Problems with raw FB prediction inputs, as one-line messages.
+
+    The single source of truth for rejecting user-supplied FB inputs:
+    the ``repro-predict`` CLI turns a non-empty result into a
+    ``parser.error`` and the serving layer's ``/predict/fb`` endpoint
+    turns it into an HTTP 400, so both surfaces agree on what is
+    invalid and say so with the same words.  An empty list means the
+    inputs can safely construct :class:`TcpParameters` and
+    :class:`PathEstimates` (which still enforce their own invariants).
+    """
+    errors: list[str] = []
+    if not math.isfinite(rtt_ms) or rtt_ms <= 0:
+        errors.append(f"--rtt-ms must be a positive number, got {rtt_ms}")
+    if not math.isfinite(loss) or not 0.0 <= loss < 1.0:
+        errors.append(f"--loss must be in [0, 1), got {loss}")
+    if not math.isfinite(window_kb) or window_kb <= 0:
+        errors.append(f"--window-kb must be positive, got {window_kb}")
+    if not math.isfinite(mss) or mss <= 0 or mss != int(mss):
+        errors.append(f"--mss must be a positive integer, got {mss}")
+    elif math.isfinite(window_kb) and 0 < window_kb * 1000 < mss:
+        errors.append(
+            f"--window-kb must hold at least one segment "
+            f"({window_kb} KB < {mss} bytes)"
+        )
+    if availbw is not None and (not math.isfinite(availbw) or availbw <= 0):
+        errors.append(f"--availbw must be positive when given, got {availbw}")
+    if not errors and loss == 0.0 and availbw is None:
+        errors.append("--availbw is required when --loss is 0 (lossless path)")
+    return errors

@@ -32,13 +32,23 @@ from repro.hb.lso import (
 )
 from repro.hb.moving_average import MovingAverage
 from repro.hb.nws import AdaptiveEnsemble
+from repro.hb.streaming import (
+    BASE_PREDICTORS,
+    DEFAULT_SERVE_PREDICTORS,
+    PredictorSpec,
+    StreamingLso,
+    StreamingPredictorState,
+    offline_twin,
+)
 from repro.hb.wrappers import LsoPredictor
 
 __all__ = [
     "AdaptiveEnsemble",
     "AutoRegressive",
+    "BASE_PREDICTORS",
     "DEFAULT_LEVEL_SHIFT_THRESHOLD",
     "DEFAULT_OUTLIER_THRESHOLD",
+    "DEFAULT_SERVE_PREDICTORS",
     "Ewma",
     "HybridPredictor",
     "HbEvaluation",
@@ -48,7 +58,11 @@ __all__ = [
     "LsoPredictor",
     "MovingAverage",
     "PredictorFactory",
+    "PredictorSpec",
+    "StreamingLso",
+    "StreamingPredictorState",
     "detect_level_shift",
     "detect_outliers",
     "evaluate_predictor",
+    "offline_twin",
 ]

@@ -90,3 +90,10 @@ class AutoRegressive(HistoryPredictor):
     def reset(self) -> None:
         self._history = []
         self._count = 0
+
+    def state_dict(self) -> dict:
+        return {"history": list(self._history), "count": self._count}
+
+    def load_state(self, state: dict) -> None:
+        self._history = [float(v) for v in state["history"]]
+        self._count = int(state["count"])

@@ -10,9 +10,11 @@ its first forecast (``min_history``).
 from __future__ import annotations
 
 import abc
+import copy
 from collections.abc import Callable, Iterable
+from typing import Any
 
-from repro.core.errors import PredictionError
+from repro.core.errors import DataError, PredictionError
 
 
 class HistoryPredictor(abc.ABC):
@@ -54,9 +56,63 @@ class HistoryPredictor(abc.ABC):
         return self.n_observed >= self.min_history
 
     def update_many(self, values: Iterable[float]) -> None:
-        """Record a batch of observations, oldest first."""
-        for value in values:
-            self.update(value)
+        """Record a batch of observations, oldest first — transactionally.
+
+        The batch is applied copy-validate-commit: updates run against a
+        staged copy of the predictor, and the live state is only swapped
+        in once every sample has been absorbed.  A failure part-way
+        through — a sample the predictor rejects, or an iterable that
+        raises mid-iteration — therefore leaves the predictor exactly as
+        it was, so a corrupt ingest batch can be repaired and retried.
+
+        Raises:
+            DataError: when a sample is rejected, naming the failing
+                batch index; the original exception rides along as
+                ``__cause__``.
+        """
+        # Materialize first: a generator that raises mid-iteration must
+        # not leave a half-applied batch behind.
+        staged_values = list(values)
+        if not staged_values:
+            return
+        staged = copy.deepcopy(self)
+        for index, value in enumerate(staged_values):
+            try:
+                staged.update(value)
+            except Exception as exc:
+                raise DataError(
+                    f"{self.name}: batch update failed at index {index} "
+                    f"of {len(staged_values)} (value {value!r}): {exc}"
+                ) from exc
+        self._adopt(staged)
+
+    def _adopt(self, other: "HistoryPredictor") -> None:
+        """Take over ``other``'s state (the commit step of update_many)."""
+        self.__dict__.clear()
+        self.__dict__.update(other.__dict__)
+
+    def state_dict(self) -> dict[str, Any]:
+        """The predictor's exact state as a JSON-serializable dict.
+
+        Together with the constructor arguments (which the caller owns),
+        the returned dict fully determines future forecasts:
+        ``load_state(state_dict())`` on a freshly constructed twin
+        reproduces the predictor bit-for-bit.  Used by the online
+        serving layer for snapshot/restore durability.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state_dict()"
+        )
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        """Restore state captured by :meth:`state_dict`.
+
+        Must be called on a predictor constructed with the same
+        parameters as the one that produced the snapshot.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support load_state()"
+        )
 
     def _require_ready(self) -> None:
         if not self.ready:

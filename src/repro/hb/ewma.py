@@ -51,3 +51,11 @@ class Ewma(HistoryPredictor):
     def reset(self) -> None:
         self._estimate = None
         self._count = 0
+
+    def state_dict(self) -> dict:
+        return {"estimate": self._estimate, "count": self._count}
+
+    def load_state(self, state: dict) -> None:
+        estimate = state["estimate"]
+        self._estimate = None if estimate is None else float(estimate)
+        self._count = int(state["count"])

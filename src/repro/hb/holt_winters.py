@@ -93,3 +93,20 @@ class HoltWinters(HistoryPredictor):
         self._trend = None
         self._first_value = None
         self._count = 0
+
+    def state_dict(self) -> dict:
+        return {
+            "level": self._level,
+            "trend": self._trend,
+            "first_value": self._first_value,
+            "count": self._count,
+        }
+
+    def load_state(self, state: dict) -> None:
+        def _opt(value: object) -> float | None:
+            return None if value is None else float(value)  # type: ignore[arg-type]
+
+        self._level = _opt(state["level"])
+        self._trend = _opt(state["trend"])
+        self._first_value = _opt(state["first_value"])
+        self._count = int(state["count"])

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from statistics import median
 from typing import Sequence
 
+from repro.core.errors import DataError
 from repro.obs import get_telemetry
 
 #: The paper's empirically chosen defaults (Section 5.3).
@@ -64,11 +65,26 @@ class LsoConfig:
 def relative_difference(a: float, b: float) -> float:
     """Symmetric relative difference ``|a - b| / min(a, b)``.
 
-    Defined for positive values (TCP throughputs).
+    Defined for positive values (TCP throughputs).  This is a pure math
+    helper, so it raises a plain :class:`ValueError`; the detection
+    entry points (:func:`detect_outliers`, :func:`detect_level_shift`)
+    validate their histories up front and raise the package-typed
+    :class:`~repro.core.errors.DataError` instead, so a zero-throughput
+    outage epoch can never escape them as a bare ``ValueError``.
     """
     if a <= 0 or b <= 0:
         raise ValueError(f"relative difference needs positive values, got {a}, {b}")
     return abs(a - b) / min(a, b)
+
+
+def _require_positive(history: Sequence[float]) -> None:
+    """Reject histories carrying non-positive (outage) samples."""
+    for k, value in enumerate(history):
+        if value <= 0:
+            raise DataError(
+                f"throughput history must be positive; sample {k} is {value!r} "
+                "(a zero/outage epoch — discard or flag it before detection)"
+            )
 
 
 def detect_outliers(
@@ -87,22 +103,24 @@ def detect_outliers(
     shift larger than the outlier threshold ``ψ`` would have its samples
     discarded one by one as each became interior, and the shift could
     never be detected.
+
+    Raises:
+        DataError: when the history contains a non-positive sample — a
+            zero-throughput (outage) epoch must be rejected or flagged by
+            the caller before it reaches the relative-difference metric.
     """
     config = config or LsoConfig()
     n = len(history)
     if n < 2:
         return []
+    _require_positive(history)
     med = median(history)
-    if med <= 0:
-        raise ValueError("outlier detection needs positive measurements")
 
     def deviates(value: float) -> bool:
         return relative_difference(value, med) > config.outlier_threshold
 
     outliers = []
     for k in range(n - 1):
-        if history[k] <= 0:
-            raise ValueError("outlier detection needs positive measurements")
         if not deviates(history[k]):
             continue
         successor = history[k + 1]
@@ -130,6 +148,9 @@ def detect_level_shift(
     widest separation gap between prefix and suffix values is returned:
     that split lands on the true boundary rather than one sample early
     or late.
+
+    Raises:
+        DataError: when the history contains a non-positive sample.
     """
     config = config or LsoConfig()
     n = len(history)
@@ -140,23 +161,47 @@ def detect_level_shift(
     # history into spurious "regimes".  Minimum history: n >= 5.
     if n < 5:
         return None
+    _require_positive(history)
+
+    # Running prefix/suffix extremes make the full-separation test O(1)
+    # per candidate split; medians (the expensive part) are then only
+    # taken for the handful of splits that actually separate, so a scan
+    # over an n-sample history costs O(n) rather than O(n^2).
+    prefix_min = [0.0] * n
+    prefix_max = [0.0] * n
+    lo = hi = history[0]
+    for i in range(n):
+        x = history[i]
+        if x < lo:
+            lo = x
+        if x > hi:
+            hi = x
+        prefix_min[i] = lo
+        prefix_max[i] = hi
+    suffix_min = [0.0] * n
+    suffix_max = [0.0] * n
+    lo = hi = history[n - 1]
+    for i in range(n - 1, -1, -1):
+        x = history[i]
+        if x < lo:
+            lo = x
+        if x > hi:
+            hi = x
+        suffix_min[i] = lo
+        suffix_max[i] = hi
 
     # Zero-based k ranges over 2 .. n-3 (one-based 3 .. n-2).
     best_k: int | None = None
     best_gap = 0.0
     for k in range(2, n - 2):
-        prefix = history[:k]
-        suffix = history[k:]
-        if max(prefix) < min(suffix):
-            gap = min(suffix) - max(prefix)  # increasing shift
-        elif min(prefix) > max(suffix):
-            gap = min(prefix) - max(suffix)  # decreasing shift
+        if prefix_max[k - 1] < suffix_min[k]:
+            gap = suffix_min[k] - prefix_max[k - 1]  # increasing shift
+        elif prefix_min[k - 1] > suffix_max[k]:
+            gap = prefix_min[k - 1] - suffix_max[k]  # decreasing shift
         else:
             continue
-        med_prefix = median(prefix)
-        med_suffix = median(suffix)
-        if med_prefix <= 0 or med_suffix <= 0:
-            raise ValueError("level-shift detection needs positive measurements")
+        med_prefix = median(history[:k])
+        med_suffix = median(history[k:])
         if relative_difference(med_prefix, med_suffix) <= config.level_shift_threshold:
             continue
         # Ties go to the later split: the suffix is then the purest

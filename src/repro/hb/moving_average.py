@@ -51,3 +51,10 @@ class MovingAverage(HistoryPredictor):
     def reset(self) -> None:
         self._window.clear()
         self._count = 0
+
+    def state_dict(self) -> dict:
+        return {"window": list(self._window), "count": self._count}
+
+    def load_state(self, state: dict) -> None:
+        self._window = deque((float(v) for v in state["window"]), maxlen=self.order)
+        self._count = int(state["count"])

@@ -127,3 +127,21 @@ class AdaptiveEnsemble(HistoryPredictor):
             name: deque(maxlen=self.error_window) for name in self._members
         }
         self._count = 0
+
+    def state_dict(self) -> dict:
+        return {
+            "members": {
+                name: member.state_dict() for name, member in self._members.items()
+            },
+            "errors": {name: list(errs) for name, errs in self._errors.items()},
+            "count": self._count,
+        }
+
+    def load_state(self, state: dict) -> None:
+        for name, member in self._members.items():
+            member.load_state(state["members"][name])
+        for name in self._errors:
+            self._errors[name] = deque(
+                (float(e) for e in state["errors"][name]), maxlen=self.error_window
+            )
+        self._count = int(state["count"])

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from statistics import median
 
-from repro.core.errors import PredictionError
+from repro.core.errors import DataError, PredictionError
 from repro.hb.base import HistoryPredictor, PredictorFactory
 from repro.hb.lso import (
     LsoConfig,
@@ -74,7 +74,10 @@ class LsoPredictor(HistoryPredictor):
     def update(self, value: float) -> None:
         value = float(value)
         if value <= 0:
-            raise ValueError(f"throughput observations must be positive, got {value}")
+            raise DataError(
+                f"throughput observations must be positive, got {value} "
+                "(a zero/outage epoch — discard or flag it before ingest)"
+            )
         self._count += 1
         self._history.append(value)
 
@@ -140,4 +143,25 @@ class LsoPredictor(HistoryPredictor):
             if relative_difference(last, med) > self._config.outlier_threshold:
                 feed = feed[:-1]
         self._base = self._factory()
-        self._base.update_many(feed)
+        # Plain loop, not update_many: the base is freshly built and the
+        # feed already validated, so the batch API's copy-validate-commit
+        # staging would only add a deepcopy to this per-update hot path.
+        for sample in feed:
+            self._base.update(sample)
+
+    def state_dict(self) -> dict:
+        return {
+            "history": list(self._history),
+            "count": self._count,
+            "n_level_shifts": self.n_level_shifts,
+            "n_outliers": self.n_outliers,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._history = [float(v) for v in state["history"]]
+        self._count = int(state["count"])
+        self.n_level_shifts = int(state["n_level_shifts"])
+        self.n_outliers = int(state["n_outliers"])
+        # The base predictor is a pure function of the clean history, so
+        # replaying it restores the wrapper bit-for-bit.
+        self._replay()

@@ -37,6 +37,7 @@ __all__ = [
     "MANIFEST_VERSION",
     "CORE_COUNTERS",
     "ANALYSIS_CORE_COUNTERS",
+    "SERVE_CORE_COUNTERS",
     "RunRecorder",
     "sidecar_paths",
     "analysis_sidecar_paths",
@@ -47,8 +48,8 @@ __all__ = [
 ]
 
 #: Schema version of manifest.json (bump on incompatible layout changes).
-#: v2 adds the ``kind`` field ("campaign" | "analysis"); v1 manifests
-#: still load and are treated as campaign manifests.
+#: v2 adds the ``kind`` field ("campaign" | "analysis" | "serve"); v1
+#: manifests still load and are treated as campaign manifests.
 MANIFEST_VERSION = 2
 
 #: Counters every campaign manifest reports even when zero, so consumers
@@ -80,10 +81,24 @@ ANALYSIS_CORE_COUNTERS = (
     "hb.outliers_discarded",
 )
 
+#: The serving equivalent: request/ingest counters every ``repro-serve``
+#: shutdown manifest reports even when zero.
+SERVE_CORE_COUNTERS = (
+    "serve.requests",
+    "serve.bad_requests",
+    "serve.ingested",
+    "serve.predictions",
+    "serve.evictions",
+    "hb.level_shifts",
+    "hb.outliers_discarded",
+    "hb.invalid_samples",
+)
+
 #: Core-counter contract per manifest kind.
 CORE_COUNTERS_BY_KIND = {
     "campaign": CORE_COUNTERS,
     "analysis": ANALYSIS_CORE_COUNTERS,
+    "serve": SERVE_CORE_COUNTERS,
 }
 
 
@@ -129,9 +144,10 @@ class RunRecorder:
             analysis runs, the identity hash of the analyzed dataset.
         settings: campaign settings rendered to a plain dict.
         workers: requested worker count.
-        kind: what produced this run — ``"campaign"`` (default) or
-            ``"analysis"`` (``repro-analyze``).  Selects which core
-            counters the manifest always reports.
+        kind: what produced this run — ``"campaign"`` (default),
+            ``"analysis"`` (``repro-analyze``) or ``"serve"``
+            (``repro-serve``).  Selects which core counters the
+            manifest always reports.
         run_id: override the generated run id (tests).
         telemetry: override the process singleton (tests).
     """

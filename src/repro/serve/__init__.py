@@ -1,0 +1,38 @@
+"""``repro.serve`` — the online prediction service behind ``repro-serve``.
+
+The analysis pipeline evaluates predictors over *recorded* traces; this
+package serves the same predictors *online*: a long-running asyncio
+HTTP service holds per-path streaming predictor state
+(:class:`~repro.hb.streaming.StreamingPredictorState`) and answers
+
+* ``POST /paths/{key}/samples`` — ingest throughput samples for a path,
+* ``GET /paths/{key}/predict?predictor=NAME`` — the current HB forecast,
+* ``POST /predict/fb`` — the stateless formula-based prediction (Eq. 3),
+
+at interactive request rates.  Three layers:
+
+* :mod:`repro.serve.state` — :class:`ShardedStateStore`: sharded,
+  LRU-bounded per-path predictor state with atomic JSON
+  snapshot/restore;
+* :mod:`repro.serve.http` — a minimal HTTP/1.1 layer over asyncio
+  streams (stdlib only; keep-alive, bounded bodies);
+* :mod:`repro.serve.app` — :class:`ServeApp`: routing, request
+  validation, ``repro.obs`` instrumentation, and the live
+  ``/metrics`` exposition.
+
+Everything is stdlib + the existing ``repro`` packages: no web
+framework, no new dependencies.
+"""
+
+from repro.serve.app import ServeApp
+from repro.serve.http import HttpError, HttpRequest, serve_app
+from repro.serve.state import ShardedStateStore, default_specs
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "ServeApp",
+    "ShardedStateStore",
+    "default_specs",
+    "serve_app",
+]

@@ -1,0 +1,280 @@
+"""``repro-serve`` request routing and instrumentation.
+
+:class:`ServeApp` owns a :class:`~repro.serve.state.ShardedStateStore`
+and exposes it over the routes below.  Every route is counted
+(``serve.requests`` tagged by route, ``serve.bad_requests`` for 4xx)
+and timed (``serve.request_s`` tagged by route); the live registry is
+exported at ``/metrics`` in OpenMetrics text form, and the same
+counters land in the ``kind: "serve"`` shutdown manifest the CLI
+writes.
+
+Routes
+------
+
+===========================================  ==================================
+``GET /healthz``                             liveness + store occupancy
+``GET /metrics``                             OpenMetrics exposition (live)
+``POST /predict/fb``                         stateless FB prediction (Eq. 3)
+``POST /paths/{key}/samples``                ingest throughput samples
+``GET /paths/{key}/predict?predictor=NAME``  current HB forecast(s)
+``GET /paths/{key}``                         per-path diagnostics
+===========================================  ==================================
+
+Errors are always JSON ``{"error": ...}`` with a proper status: 400 for
+bad input (same messages as ``repro-predict`` — both surfaces share
+:func:`~repro.formulas.params.fb_input_errors`), 404 for unknown paths,
+405 for wrong methods.
+"""
+
+from __future__ import annotations
+
+import re
+import uuid
+from time import monotonic, perf_counter
+from typing import Any
+
+from repro.core.errors import DataError, ReproError
+from repro.formulas.fb_predictor import MODEL_VARIANTS, FormulaBasedPredictor
+from repro.formulas.params import PathEstimates, TcpParameters, fb_input_errors
+from repro.obs import get_telemetry, to_openmetrics
+from repro.obs.metrics import Timer
+from repro.serve.http import HttpError, HttpRequest, RawResponse
+from repro.serve.state import ShardedStateStore
+
+__all__ = ["ServeApp"]
+
+_PATHS_RE = re.compile(r"^/paths/([^/]+)(?:/([a-z]+))?$")
+_FLAG_RE = re.compile(r"--([a-z-]+)")
+
+
+def _json_field_names(message: str) -> str:
+    """Rewrite ``--rtt-ms``-style flag names to JSON field names."""
+    return _FLAG_RE.sub(lambda m: m.group(1).replace("-", "_"), message)
+
+
+def _number(doc: dict[str, Any], field: str, default: float | None) -> float | None:
+    """A numeric JSON field, or its default; 400 on a non-number."""
+    value = doc.get(field, default)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise HttpError(400, f"{field} must be a number, got {value!r}")
+    return float(value)
+
+
+class ServeApp:
+    """The route handler bound into the HTTP layer.
+
+    Args:
+        store: the per-path predictor state store.
+        label: service label stamped into ``/metrics`` and manifests.
+    """
+
+    def __init__(self, store: ShardedStateStore, label: str = "repro-serve") -> None:
+        self.store = store
+        self.label = label
+        self.run_id = uuid.uuid4().hex[:12]
+        self._started_monotonic = monotonic()
+
+    # -- dispatch ----------------------------------------------------------
+
+    async def handle(self, request: HttpRequest) -> tuple[int, Any]:
+        """Route one request; the HTTP layer's handler callable."""
+        tele = get_telemetry()
+        try:
+            route, responder = self._route(request)
+        except HttpError:
+            tele.counter("serve.requests", route="unmatched").inc()
+            tele.counter("serve.bad_requests").inc()
+            raise
+        started = perf_counter()
+        try:
+            status, payload = responder(request)
+        except HttpError as exc:
+            if 400 <= exc.status < 500:
+                tele.counter("serve.bad_requests").inc()
+            raise
+        finally:
+            tele.counter("serve.requests", route=route).inc()
+            tele.timer("serve.request_s", route=route).observe(
+                perf_counter() - started
+            )
+        return status, payload
+
+    def _route(self, request: HttpRequest):
+        path, method = request.path, request.method
+        if path == "/healthz":
+            self._require(method, "GET")
+            return "healthz", self._healthz
+        if path == "/metrics":
+            self._require(method, "GET")
+            return "metrics", self._metrics
+        if path == "/predict/fb":
+            self._require(method, "POST")
+            return "predict_fb", self._predict_fb
+        match = _PATHS_RE.match(path)
+        if match:
+            key, action = match.group(1), match.group(2)
+            if action == "samples":
+                self._require(method, "POST")
+                return "ingest", lambda req: self._ingest(req, key)
+            if action == "predict":
+                self._require(method, "GET")
+                return "predict_hb", lambda req: self._predict_hb(req, key)
+            if action is None:
+                self._require(method, "GET")
+                return "path_info", lambda req: self._path_info(req, key)
+        raise HttpError(404, f"no route for {method} {path}")
+
+    @staticmethod
+    def _require(method: str, expected: str) -> None:
+        if method != expected:
+            raise HttpError(405, f"use {expected} on this route")
+
+    # -- routes --------------------------------------------------------------
+
+    def _healthz(self, request: HttpRequest) -> tuple[int, Any]:
+        return 200, {
+            "status": "ok",
+            "paths": len(self.store),
+            "shards": self.store.shard_sizes(),
+            "uptime_s": round(monotonic() - self._started_monotonic, 3),
+        }
+
+    def _metrics(self, request: HttpRequest) -> tuple[int, Any]:
+        text = to_openmetrics(self.live_metrics_document())
+        return 200, RawResponse(
+            body=text.encode("utf-8"),
+            content_type="application/openmetrics-text; version=1.0.0; charset=utf-8",
+        )
+
+    def _predict_fb(self, request: HttpRequest) -> tuple[int, Any]:
+        doc = request.json()
+        if not isinstance(doc, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        rtt_ms = _number(doc, "rtt_ms", None)
+        loss = _number(doc, "loss", None)
+        if rtt_ms is None or loss is None:
+            raise HttpError(400, "rtt_ms and loss are required")
+        window_kb = _number(doc, "window_kb", 1000.0)
+        mss = _number(doc, "mss", 1460.0)
+        availbw = _number(doc, "availbw", None)
+        model = doc.get("model", "pftk")
+        if model not in MODEL_VARIANTS:
+            raise HttpError(
+                400, f"unknown model {model!r}; choose from {sorted(MODEL_VARIANTS)}"
+            )
+        problems = fb_input_errors(
+            rtt_ms=rtt_ms, loss=loss, window_kb=window_kb, mss=mss, availbw=availbw
+        )
+        if problems:
+            raise HttpError(
+                400, "; ".join(_json_field_names(p) for p in problems)
+            )
+        try:
+            tcp = TcpParameters(
+                mss_bytes=int(mss), max_window_bytes=int(window_kb * 1000)
+            )
+            estimates = PathEstimates(
+                rtt_s=rtt_ms / 1000.0, loss_rate=loss, availbw_mbps=availbw
+            )
+            predicted = FormulaBasedPredictor(tcp=tcp, model=model).predict(estimates)
+        except (ReproError, ValueError) as exc:
+            raise HttpError(400, str(exc)) from None
+        get_telemetry().counter("serve.predictions").inc()
+        return 200, {
+            "predicted_mbps": predicted,
+            "model": model,
+            "lossless": estimates.lossless,
+            "window_ceiling_mbps": tcp.max_window_bytes * 8 / estimates.rtt_s / 1e6,
+        }
+
+    def _ingest(self, request: HttpRequest, key: str) -> tuple[int, Any]:
+        doc = request.json()
+        if not isinstance(doc, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        if "samples" in doc:
+            samples = doc["samples"]
+        elif "sample" in doc:
+            samples = [doc["sample"]]
+        else:
+            raise HttpError(400, "body needs 'samples' (list) or 'sample' (number)")
+        if not isinstance(samples, list):
+            raise HttpError(400, f"samples must be a list, got {samples!r}")
+        values: list[float] = []
+        for k, value in enumerate(samples):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise HttpError(400, f"samples[{k}] must be a number, got {value!r}")
+            values.append(float(value))
+        try:
+            summary = self.store.ingest(key, values)
+        except DataError as exc:
+            raise HttpError(400, str(exc)) from None
+        tele = get_telemetry()
+        tele.counter("serve.ingested").inc(summary["accepted"])
+        return 200, summary
+
+    def _states_or_404(self, key: str):
+        states = self.store.get(key)
+        if states is None:
+            raise HttpError(404, f"unknown path key {key!r} (ingest samples first)")
+        return states
+
+    def _predict_hb(self, request: HttpRequest, key: str) -> tuple[int, Any]:
+        states = self._states_or_404(key)
+        name = request.query.get("predictor")
+        tele = get_telemetry()
+        if name is None:
+            tele.counter("serve.predictions").inc()
+            return 200, {
+                "key": key,
+                "predictions": {n: s.prediction() for n, s in states.items()},
+            }
+        state = states.get(name)
+        if state is None:
+            raise HttpError(
+                400,
+                f"predictor {name!r} is not configured for this service; "
+                f"choose from {sorted(states)}",
+            )
+        tele.counter("serve.predictions").inc()
+        return 200, {
+            "key": key,
+            "predictor": name,
+            "prediction": state.prediction(),
+            "ready": state.ready,
+            "n_observed": state.n_observed,
+        }
+
+    def _path_info(self, request: HttpRequest, key: str) -> tuple[int, Any]:
+        states = self._states_or_404(key)
+        return 200, {
+            "key": key,
+            "shard": self.store.shard_index(key),
+            "predictors": {n: s.diagnostics() for n, s in states.items()},
+        }
+
+    # -- metrics -----------------------------------------------------------
+
+    def live_metrics_document(self) -> dict[str, Any]:
+        """A manifest-shaped view of the live registry for ``/metrics``.
+
+        Non-destructive: uses ``MetricsRegistry.snapshot()``, not
+        ``drain()``, so the shutdown manifest still sees everything.
+        """
+        self.store.update_gauges()
+        snapshot = get_telemetry().metrics.snapshot()
+        timers = []
+        for entry in snapshot.get("timers", ()):
+            timer = Timer(entry["name"], entry["tags"])
+            timer.samples = entry["samples"]
+            timers.append({"name": timer.name, "tags": timer.tags, **timer.stats()})
+        return {
+            "run_id": self.run_id,
+            "kind": "serve",
+            "label": self.label,
+            "wall_time_s": monotonic() - self._started_monotonic,
+            "counters": snapshot.get("counters", []),
+            "gauges": snapshot.get("gauges", []),
+            "timers": timers,
+        }

@@ -1,0 +1,281 @@
+"""Sharded, LRU-bounded per-path predictor state for ``repro-serve``.
+
+The store maps a *path key* (an opaque client-chosen identifier, e.g.
+``"lulea-to-anl"``) to a bundle of
+:class:`~repro.hb.streaming.StreamingPredictorState` instances — one per
+configured :class:`~repro.hb.streaming.PredictorSpec` — all fed every
+ingested sample, so a client can compare predictors on the same path
+exactly as the paper does offline.
+
+Keys are hashed (CRC-32, stable across processes and restarts) into a
+fixed number of **shards**; each shard is an LRU-ordered dict with a
+bounded capacity.  When a shard overflows, its least-recently-used path
+is evicted (counted in ``serve.evictions``).  Sharding keeps eviction
+pressure and the per-shard ``serve.shard_paths`` gauges local: one
+chatty tenant fills one shard, not the whole store.
+
+``snapshot()``/``restore()`` round-trip the entire store through plain
+JSON-able dicts; :meth:`ShardedStateStore.save` writes atomically (temp
+file + ``os.replace``) so a crash mid-save can never leave a torn
+snapshot behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import zlib
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.core.errors import ConfigurationError, DataError
+from repro.hb.streaming import (
+    DEFAULT_SERVE_PREDICTORS,
+    PredictorSpec,
+    StreamingPredictorState,
+)
+from repro.obs import get_telemetry
+
+__all__ = ["SNAPSHOT_VERSION", "ShardedStateStore", "default_specs"]
+
+#: Schema version of store snapshot files.
+SNAPSHOT_VERSION = 1
+
+#: Longest accepted path key (keys are URL path segments).
+MAX_KEY_LENGTH = 200
+
+#: One path's state: predictor name -> live streaming state.
+PathStates = dict[str, StreamingPredictorState]
+
+
+def default_specs(
+    predictors: Iterable[str] = DEFAULT_SERVE_PREDICTORS,
+) -> dict[str, PredictorSpec]:
+    """The spec bundle maintained per path: LSO-wrapped, paper thresholds."""
+    return {name: PredictorSpec(predictor=name, lso=True) for name in predictors}
+
+
+def validate_key(key: str) -> str:
+    """Check a client-supplied path key; returns it unchanged.
+
+    Raises:
+        DataError: empty, over-long, or containing ``/`` (keys are
+            single URL path segments) or whitespace.
+    """
+    if not key:
+        raise DataError("path key must be non-empty")
+    if len(key) > MAX_KEY_LENGTH:
+        raise DataError(f"path key too long ({len(key)} > {MAX_KEY_LENGTH} chars)")
+    if "/" in key or any(c.isspace() for c in key):
+        raise DataError(f"path key {key!r} must not contain '/' or whitespace")
+    return key
+
+
+class ShardedStateStore:
+    """In-memory per-path predictor state, sharded and LRU-bounded.
+
+    Args:
+        specs: predictor bundle created for every new path; defaults to
+            :func:`default_specs`.
+        n_shards: number of shards (CRC-32 of the key, modulo).
+        max_paths_per_shard: LRU capacity of each shard; the store holds
+            at most ``n_shards * max_paths_per_shard`` paths.
+
+    The store is designed for a single asyncio event loop: methods are
+    plain synchronous CPU work with no awaits, so handlers never observe
+    a half-applied mutation.
+    """
+
+    def __init__(
+        self,
+        specs: Mapping[str, PredictorSpec] | None = None,
+        n_shards: int = 8,
+        max_paths_per_shard: int = 128,
+    ) -> None:
+        if n_shards < 1:
+            raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+        if max_paths_per_shard < 1:
+            raise ConfigurationError(
+                f"max_paths_per_shard must be >= 1, got {max_paths_per_shard}"
+            )
+        self.specs: dict[str, PredictorSpec] = dict(
+            specs if specs is not None else default_specs()
+        )
+        if not self.specs:
+            raise ConfigurationError("store needs at least one predictor spec")
+        self.n_shards = n_shards
+        self.max_paths_per_shard = max_paths_per_shard
+        self._shards: list[OrderedDict[str, PathStates]] = [
+            OrderedDict() for _ in range(n_shards)
+        ]
+        self.n_evicted = 0
+
+    # -- lookup ----------------------------------------------------------
+
+    def shard_index(self, key: str) -> int:
+        """Stable shard of a key (CRC-32; survives restarts/processes)."""
+        return zlib.crc32(key.encode("utf-8")) % self.n_shards
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._shards[self.shard_index(key)]
+
+    def keys(self) -> list[str]:
+        """All live path keys (shard by shard, LRU to MRU within each)."""
+        return [key for shard in self._shards for key in shard]
+
+    def get(self, key: str) -> PathStates | None:
+        """The path's predictor states, refreshing its LRU position."""
+        shard = self._shards[self.shard_index(key)]
+        states = shard.get(key)
+        if states is not None:
+            shard.move_to_end(key)
+        return states
+
+    def get_or_create(self, key: str) -> PathStates:
+        """The path's predictor states, creating (and possibly evicting)."""
+        validate_key(key)
+        index = self.shard_index(key)
+        shard = self._shards[index]
+        states = shard.get(key)
+        if states is None:
+            states = {
+                name: StreamingPredictorState(spec)
+                for name, spec in self.specs.items()
+            }
+            shard[key] = states
+            if len(shard) > self.max_paths_per_shard:
+                evicted_key, _ = shard.popitem(last=False)
+                self.n_evicted += 1
+                tele = get_telemetry()
+                tele.counter("serve.evictions").inc()
+                tele.emit("serve.evicted", key=evicted_key, shard=index)
+        shard.move_to_end(key)
+        return states
+
+    def ingest(self, key: str, samples: Iterable[float]) -> dict[str, Any]:
+        """Feed samples to every predictor of a path.
+
+        Returns a summary: per-predictor prediction after the batch plus
+        accepted/invalid sample counts (invalid = non-positive or
+        non-finite, flagged by the streaming layer, never raised).
+        """
+        states = self.get_or_create(key)
+        samples = list(samples)
+        invalid_before = sum(s.n_invalid for s in states.values())
+        predictions: dict[str, float | None] = {}
+        for name, state in states.items():
+            last = state.prediction()
+            for value in samples:
+                last = state.ingest(value)
+            predictions[name] = last
+        invalid_after = sum(s.n_invalid for s in states.values())
+        n_specs = max(len(states), 1)
+        n_invalid = (invalid_after - invalid_before) // n_specs
+        return {
+            "key": key,
+            "accepted": len(samples) - n_invalid,
+            "invalid": n_invalid,
+            "predictions": predictions,
+        }
+
+    def shard_sizes(self) -> list[int]:
+        """Live path count per shard (the ``serve.shard_paths`` gauges)."""
+        return [len(shard) for shard in self._shards]
+
+    def update_gauges(self) -> None:
+        """Publish per-shard occupancy gauges to the process telemetry."""
+        tele = get_telemetry()
+        for index, size in enumerate(self.shard_sizes()):
+            tele.gauge("serve.shard_paths", shard=str(index)).set(size)
+        tele.gauge("serve.paths").set(len(self))
+
+    # -- snapshot / restore ------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """The whole store as one JSON-able document."""
+        return {
+            "snapshot_version": SNAPSHOT_VERSION,
+            "specs": {name: spec.to_dict() for name, spec in self.specs.items()},
+            "n_shards": self.n_shards,
+            "max_paths_per_shard": self.max_paths_per_shard,
+            "paths": {
+                key: {name: state.snapshot() for name, state in states.items()}
+                for shard in self._shards
+                for key, states in shard.items()
+            },
+        }
+
+    def restore(self, doc: dict[str, Any]) -> int:
+        """Load a :meth:`snapshot` document into this store.
+
+        The store's own shard geometry is kept (snapshots are portable
+        across ``--shards`` settings); per-path predictor state is
+        restored bit-for-bit.  Returns the number of paths restored.
+
+        Raises:
+            DataError: malformed or future-versioned snapshot.
+        """
+        if not isinstance(doc, dict):
+            raise DataError("store snapshot must be a JSON object")
+        version = doc.get("snapshot_version")
+        if not isinstance(version, int) or version < 1:
+            raise DataError(f"store snapshot has invalid version {version!r}")
+        if version > SNAPSHOT_VERSION:
+            raise DataError(
+                f"store snapshot version {version} is newer than this "
+                f"code understands ({SNAPSHOT_VERSION})"
+            )
+        paths = doc.get("paths")
+        if not isinstance(paths, dict):
+            raise DataError("store snapshot has no 'paths' object")
+        for shard in self._shards:
+            shard.clear()
+        restored = 0
+        for key, states_doc in paths.items():
+            validate_key(key)
+            if not isinstance(states_doc, dict):
+                raise DataError(f"snapshot entry for {key!r} is not an object")
+            states: PathStates = {
+                name: StreamingPredictorState.restore(state_doc)
+                for name, state_doc in states_doc.items()
+            }
+            self._shards[self.shard_index(key)][key] = states
+            restored += 1
+        return restored
+
+    def save(self, path: str | Path) -> Path:
+        """Write the snapshot as JSON, atomically (temp + ``os.replace``)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(self.snapshot(), sort_keys=True) + "\n"
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.stem[:16]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp_name, path)
+        finally:
+            if os.path.exists(tmp_name):  # pragma: no cover - error path
+                os.unlink(tmp_name)
+        return path
+
+    def load(self, path: str | Path) -> int:
+        """Restore from a :meth:`save` file; returns paths restored.
+
+        Raises:
+            DataError: missing file or malformed snapshot.
+        """
+        path = Path(path)
+        if not path.is_file():
+            raise DataError(f"no store snapshot at {path}")
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise DataError(f"{path} is not valid JSON: {exc}") from exc
+        return self.restore(doc)

@@ -1,8 +1,8 @@
-"""The three console commands."""
+"""The console commands."""
 
 import pytest
 
-from repro.cli import analyze, campaign, predict
+from repro.cli import analyze, campaign, predict, serve
 
 
 @pytest.fixture(autouse=True)
@@ -338,3 +338,70 @@ class TestPredictCommand:
     def test_invalid_loss_rejected(self, capsys):
         code = predict.main(["--rtt-ms", "45", "--loss", "1.5"])
         assert code == 2
+
+
+class TestPredictValidation:
+    """Argument validation is a parser.error: one line, exit code 2."""
+
+    @pytest.mark.parametrize(
+        ("argv", "needle"),
+        [
+            (["--rtt-ms", "-5", "--loss", "0.01"], "--rtt-ms"),
+            (["--rtt-ms", "0", "--loss", "0.01"], "--rtt-ms"),
+            (["--rtt-ms", "45", "--loss", "1.5"], "--loss"),
+            (["--rtt-ms", "45", "--loss", "-0.1"], "--loss"),
+            (["--rtt-ms", "45", "--loss", "nan"], "--loss"),
+            (["--rtt-ms", "45", "--loss", "0.01", "--window-kb", "0"], "--window-kb"),
+            (["--rtt-ms", "45", "--loss", "0.01", "--window-kb", "-8"], "--window-kb"),
+            (["--rtt-ms", "45", "--loss", "0.01", "--mss", "0"], "--mss"),
+            (["--rtt-ms", "45", "--loss", "0.01", "--availbw", "-2"], "--availbw"),
+            (["--rtt-ms", "45", "--loss", "0"], "--availbw"),
+        ],
+    )
+    def test_bad_arguments_exit_2_with_flag_named(self, capsys, argv, needle):
+        code = predict.main(argv)
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error" in err
+        assert needle in err
+
+    def test_multiple_problems_reported_together(self, capsys):
+        code = predict.main(["--rtt-ms", "-1", "--loss", "2", "--mss", "0"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--rtt-ms" in err and "--loss" in err and "--mss" in err
+
+    def test_valid_arguments_still_pass(self, capsys):
+        code = predict.main(
+            ["--rtt-ms", "45", "--loss", "0.002", "--window-kb", "64", "--mss", "1460"]
+        )
+        assert code == 0
+        assert "predicted throughput" in capsys.readouterr().out
+
+
+class TestServeCli:
+    """repro-serve argument handling (the service itself is exercised
+    by tests/serve and tools/serve_smoke.py)."""
+
+    def test_unknown_predictor_rejected(self, capsys):
+        code = serve.main(["--predictors", "ma10,bogus", "--port", "0"])
+        assert code == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_empty_predictors_rejected(self, capsys):
+        code = serve.main(["--predictors", ",", "--port", "0"])
+        assert code == 2
+
+    def test_max_paths_must_cover_shards(self, capsys):
+        code = serve.main(["--shards", "8", "--max-paths", "4", "--port", "0"])
+        assert code == 2
+        assert "--max-paths" in capsys.readouterr().err
+
+    def test_build_store_divides_capacity(self):
+        args = serve.build_parser().parse_args(
+            ["--shards", "4", "--max-paths", "100", "--predictors", "last"]
+        )
+        store = serve.build_store(args)
+        assert store.n_shards == 4
+        assert store.max_paths_per_shard == 25
+        assert sorted(store.specs) == ["last"]

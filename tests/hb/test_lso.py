@@ -4,6 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.core.errors import DataError
 from repro.hb.lso import (
     LsoConfig,
     detect_level_shift,
@@ -61,8 +62,16 @@ class TestOutlierDetection:
         assert detect_outliers([10.0]) == []
 
     def test_non_positive_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(DataError):
             detect_outliers([1.0, -1.0, 1.0, 1.0])
+
+    def test_zero_epoch_rejected_as_data_error(self):
+        # Regression: a zero-throughput (outage) epoch used to escape as a
+        # bare ValueError from relative_difference deep inside detection.
+        with pytest.raises(DataError):
+            detect_outliers([10.0, 0.0, 10.0, 10.0])
+        with pytest.raises(DataError):
+            detect_level_shift([10.0, 10.0, 0.0, 20.0, 20.0, 20.0])
 
 
 class TestLevelShiftDetection:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.errors import PredictionError
+from repro.core.errors import DataError, PredictionError
 from repro.hb.holt_winters import HoltWinters
 from repro.hb.lso import LsoConfig
 from repro.hb.moving_average import MovingAverage
@@ -73,7 +73,7 @@ class TestLsoPredictor:
 
     def test_rejects_non_positive(self):
         lso = LsoPredictor(ma_factory())
-        with pytest.raises(ValueError):
+        with pytest.raises(DataError):
             lso.update(0.0)
 
     def test_reset(self):

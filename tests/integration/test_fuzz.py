@@ -9,7 +9,7 @@ from dataclasses import replace
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.core.units import Bandwidth
@@ -53,6 +53,25 @@ fluid_configs = st.builds(
 
 class TestFluidFuzz:
     @given(fluid_configs, st.integers(min_value=0, max_value=10**6))
+    # Regression: a loss-limited path whose PFTK cap sits near capacity —
+    # the lognormal variability draw used to push the measured sample
+    # past the capacity envelope before the sampler clamped it.
+    @example(
+        config=replace(
+            BASE_CONFIG,
+            capacity_mbps=2.75,
+            buffer_bytes=2 * 1000,
+            base_rtt_s=1.0 / 1000.0,
+            base_util=0.0,
+            ar_sigma=0.0625,
+            shift_rate_per_hour=0.0,
+            outlier_rate=0.0,
+            random_loss=0.029296875,
+            elasticity=0.0625,
+            n_cross_flows=120,
+        ),
+        seed=0,
+    )
     @settings(max_examples=80, deadline=None)
     def test_epochs_always_physical(self, config, seed):
         simulator = FluidPathSimulator(config, np.random.default_rng(seed))

@@ -1,0 +1,171 @@
+"""End-to-end smoke test for repro-serve (``make serve-smoke``).
+
+Boots the real CLI as a subprocess on an ephemeral port, drives it over
+HTTP, and checks the full lifecycle the unit tests can't cover from
+inside one process:
+
+1. ingest a short trace and read back a forecast that exactly matches
+   an offline StreamingPredictorState fed the same samples;
+2. SIGTERM → clean exit (code 0), snapshot and manifest written;
+3. restart from the snapshot → the restored forecast is bit-identical.
+
+Exits non-zero with a one-line reason on any failure.  Artifacts land
+in --workdir (default .serve-smoke/).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import selectors
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.hb.streaming import StreamingPredictorState  # noqa: E402
+from repro.serve.state import default_specs  # noqa: E402
+
+SAMPLES = [42.0, 44.5, 41.8, 43.2, 150.0, 42.6, 43.9, 42.1, 44.0, 43.3]
+START_TIMEOUT_S = 20.0
+STOP_TIMEOUT_S = 20.0
+
+
+def fail(reason: str) -> None:
+    print(f"serve-smoke: FAIL: {reason}", file=sys.stderr)
+    sys.exit(1)
+
+
+def spawn(workdir: Path) -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli.serve",
+            "--port",
+            "0",
+            "--predictors",
+            "ma10,ewma",
+            "--snapshot",
+            str(workdir / "state.json"),
+            "--manifest",
+            str(workdir / "manifest.json"),
+            "--label",
+            "serve-smoke",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    # The port is ephemeral: parse it from the startup line, with a
+    # deadline so a broken server can't hang the smoke run.
+    sel = selectors.DefaultSelector()
+    sel.register(proc.stdout, selectors.EVENT_READ)
+    deadline = time.monotonic() + START_TIMEOUT_S
+    banner = ""
+    while time.monotonic() < deadline:
+        if not sel.select(timeout=0.2):
+            if proc.poll() is not None:
+                fail(f"server exited during startup: {proc.stdout.read()!r}")
+            continue
+        banner += proc.stdout.readline()
+        if "listening on http://" in banner:
+            port = int(banner.rsplit(":", 1)[1])
+            return proc, port
+    proc.kill()
+    fail(f"no startup banner within {START_TIMEOUT_S}s (got {banner!r})")
+    raise AssertionError  # unreachable
+
+
+def http(port: int, method: str, path: str, body: dict | None = None) -> dict:
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        method=method,
+        data=json.dumps(body).encode() if body is not None else None,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        fail(f"{method} {path} -> HTTP {exc.code}: {exc.read()!r}")
+        raise AssertionError  # unreachable
+
+
+def stop(proc: subprocess.Popen) -> None:
+    proc.send_signal(signal.SIGTERM)
+    try:
+        proc.wait(timeout=STOP_TIMEOUT_S)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        fail(f"server did not exit within {STOP_TIMEOUT_S}s of SIGTERM")
+    if proc.returncode != 0:
+        fail(f"server exited with code {proc.returncode}: {proc.stdout.read()!r}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workdir", default=".serve-smoke", metavar="DIR")
+    args = parser.parse_args()
+    workdir = Path(args.workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    # Offline twin: the CLI builds PredictorSpec(predictor=name, lso=True)
+    # for each --predictors entry, so feed the same spec the same trace.
+    twin = StreamingPredictorState(default_specs(["ma10"])["ma10"])
+    for value in SAMPLES:
+        twin.ingest(value)
+    expected = twin.prediction()
+
+    proc, port = spawn(workdir)
+    try:
+        doc = http(port, "POST", "/paths/smoke-path/samples", {"samples": SAMPLES})
+        if doc["accepted"] != len(SAMPLES):
+            fail(f"expected {len(SAMPLES)} accepted samples, got {doc}")
+        doc = http(port, "GET", "/paths/smoke-path/predict?predictor=ma10")
+        if doc["prediction"] != expected:
+            fail(f"online forecast {doc['prediction']!r} != offline {expected!r}")
+        health = http(port, "GET", "/healthz")
+        if health["paths"] != 1:
+            fail(f"expected 1 tracked path, got {health}")
+        print(f"serve-smoke: ingest+predict ok (forecast {expected:.4f} Mbps)")
+    finally:
+        stop(proc)
+
+    snapshot = workdir / "state.json"
+    manifest = workdir / "manifest.json"
+    if not snapshot.exists():
+        fail("snapshot file was not written on shutdown")
+    if not manifest.exists():
+        fail("manifest file was not written on shutdown")
+    doc = json.loads(manifest.read_text())
+    if doc.get("kind") != "serve":
+        fail(f"manifest kind is {doc.get('kind')!r}, expected 'serve'")
+    print("serve-smoke: shutdown wrote snapshot + serve manifest")
+
+    proc, port = spawn(workdir)
+    try:
+        doc = http(port, "GET", "/paths/smoke-path/predict?predictor=ma10")
+        if doc["prediction"] != expected:
+            fail(f"restored forecast {doc['prediction']!r} != offline {expected!r}")
+        print("serve-smoke: snapshot restore is bit-identical")
+    finally:
+        stop(proc)
+
+    print("serve-smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
