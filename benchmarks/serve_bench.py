@@ -13,7 +13,13 @@ Measures the three layers of ``repro-serve`` and writes
   store across many path keys, including eviction pressure.
 * ``http_load`` — end-to-end requests/s over real sockets: keep-alive
   connections alternating sample ingest (POST) and forecast reads
-  (GET) against the full app, single process.
+  (GET) against the full app, single process — with per-request
+  tracing (access log to a temp dir) and quality scoring ON, so the
+  number gates the fully-instrumented configuration.
+* ``quality`` — scores/s through :class:`QualityTracker` across many
+  paths (the per-ingest cost the quality layer adds).
+* ``access_log`` — records/s through :class:`AccessLog` including
+  rotation (the per-request cost of tracing).
 
 Sample and request counts are fixed, so the ``epochs`` counters are
 exact across runs and machines — only wall-clock varies.  The report
@@ -36,6 +42,7 @@ import json
 import platform
 import random
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -45,6 +52,8 @@ if str(_SRC) not in sys.path:
 
 from repro._version import __version__  # noqa: E402
 from repro.hb.streaming import PredictorSpec, StreamingPredictorState  # noqa: E402
+from repro.obs.quality import QualityConfig, QualityTracker  # noqa: E402
+from repro.serve.accesslog import AccessLog  # noqa: E402
 from repro.serve.app import ServeApp  # noqa: E402
 from repro.serve.http import serve_app  # noqa: E402
 from repro.serve.state import ShardedStateStore, default_specs  # noqa: E402
@@ -56,6 +65,8 @@ INGEST_SAMPLES = 20_000
 STORE_OPS = 10_000
 HTTP_REQUESTS = 4_000
 HTTP_CONNECTIONS = 8
+QUALITY_SCORES = 20_000
+ACCESS_RECORDS = 10_000
 
 #: Best-of repetitions (min is the least noisy estimator on a shared
 #: machine).
@@ -118,6 +129,55 @@ def bench_store_ops() -> dict:
     }
 
 
+def bench_quality() -> dict:
+    """scores/s through the QualityTracker across rotating paths."""
+    stream = synthetic_stream(QUALITY_SCORES)
+    keys = [f"path-{i}" for i in range(32)]
+
+    def run_once() -> float:
+        tracker = QualityTracker(QualityConfig())
+        started = time.perf_counter()
+        forecast = stream[0]
+        for i, value in enumerate(stream):
+            tracker.score(keys[i % len(keys)], "ma10", forecast, value)
+            forecast = value
+        return time.perf_counter() - started
+
+    wall = min(run_once() for _ in range(REPEATS))
+    return {
+        "epochs": QUALITY_SCORES,
+        "wall_time_s": round(wall, 4),
+        "scores_per_s": round(QUALITY_SCORES / wall),
+    }
+
+
+def bench_access_log() -> dict:
+    """records/s through the AccessLog, rotation included."""
+
+    def run_once(directory: str) -> float:
+        log = AccessLog(Path(directory) / "access.jsonl", max_bytes=1024 * 1024)
+        traces = []
+        for _ in range(ACCESS_RECORDS):
+            trace = log.begin()
+            trace.lap("parse")
+            trace.annotate(route="ingest", key="path-1")
+            traces.append(trace)
+        started = time.perf_counter()
+        for trace in traces:
+            log.record(trace, "POST", "/paths/path-1/samples", 200, 48, 391)
+        wall = time.perf_counter() - started
+        log.close()
+        return wall
+
+    with tempfile.TemporaryDirectory(prefix="serve-bench-") as directory:
+        wall = min(run_once(directory) for _ in range(REPEATS))
+    return {
+        "epochs": ACCESS_RECORDS,
+        "wall_time_s": round(wall, 4),
+        "records_per_s": round(ACCESS_RECORDS / wall),
+    }
+
+
 async def _read_response(reader: asyncio.StreamReader) -> None:
     header = await reader.readuntil(b"\r\n\r\n")
     length = 0
@@ -162,10 +222,13 @@ async def _http_client(port: int, requests: int, offset: int) -> None:
     await writer.wait_closed()
 
 
-async def _run_http_load() -> float:
+async def _run_http_load(log_dir: str) -> float:
+    # The fully-instrumented configuration: quality scoring (the store's
+    # default tracker) plus per-request tracing into an access log.
     store = ShardedStateStore(specs=default_specs(["ma10", "ewma"]))
     app = ServeApp(store, label="serve-bench")
-    server = await serve_app(app.handle, port=0)
+    access_log = AccessLog(Path(log_dir) / "access.jsonl")
+    server = await serve_app(app.handle, port=0, access_log=access_log)
     port = server.sockets[0].getsockname()[1]
     per_client = HTTP_REQUESTS // HTTP_CONNECTIONS
     started = time.perf_counter()
@@ -178,12 +241,14 @@ async def _run_http_load() -> float:
     wall = time.perf_counter() - started
     server.close()
     await server.wait_closed()
+    access_log.close()
     return wall
 
 
 def bench_http_load() -> dict:
     """End-to-end requests/s over keep-alive sockets, single process."""
-    wall = min(asyncio.run(_run_http_load()) for _ in range(REPEATS))
+    with tempfile.TemporaryDirectory(prefix="serve-bench-") as log_dir:
+        wall = min(asyncio.run(_run_http_load(log_dir)) for _ in range(REPEATS))
     return {
         "epochs": HTTP_REQUESTS,
         "wall_time_s": round(wall, 4),
@@ -196,6 +261,8 @@ FIXTURES = {
     "streaming_ingest": bench_streaming_ingest,
     "store_ops": bench_store_ops,
     "http_load": bench_http_load,
+    "quality": bench_quality,
+    "access_log": bench_access_log,
 }
 
 
@@ -230,14 +297,13 @@ def main(argv: list[str] | None = None) -> int:
     for name in sorted(args.fixtures):
         report["fixtures"][name] = FIXTURES[name]()
         entry = report["fixtures"][name]
-        rate = (
-            entry.get("samples_per_s")
-            or entry.get("ops_per_s")
-            or entry.get("requests_per_s")
+        rate_units = (
+            "samples_per_s", "ops_per_s", "requests_per_s",
+            "scores_per_s", "records_per_s",
         )
+        rate = next((entry[u] for u in rate_units if u in entry), 0)
         unit = next(
-            (u for u in ("samples_per_s", "ops_per_s", "requests_per_s") if u in entry),
-            "",
+            (u for u in rate_units if u in entry), ""
         ).replace("_per_s", "/s")
         print(f"  {name}: {entry['wall_time_s']}s ({rate:,} {unit})")
 

@@ -9,8 +9,12 @@ turns those files back into reports and machine formats:
   tallies;
 * ``slowest RUN [-n N]`` — the N slowest simulated epochs with their
   per-phase breakdown;
-* ``compare RUN_A RUN_B`` — counters and timer medians side by side
+* ``compare RUN_A RUN_B`` — counters, timer medians, and (for
+  ``kind: "serve"`` runs) prediction-quality aggregates side by side
   with relative deltas (e.g. before/after a performance change);
+* ``quality SOURCE`` — the prediction-quality report of a
+  ``kind: "serve"`` run, or of a *live* server when ``SOURCE`` is a
+  base URL (``http://host:port``); ``--watch`` polls and re-renders;
 * ``export RUN --format openmetrics|json`` — OpenMetrics/Prometheus
   text exposition or flat JSON, for scraping and dashboards;
 * ``bench record SOURCE --name NAME`` / ``bench check SOURCE`` — the
@@ -28,6 +32,8 @@ Examples::
     repro-obs summary may.csv
     repro-obs slowest may.csv -n 20
     repro-obs compare baseline.csv optimized.csv
+    repro-obs quality serve.manifest.json --paths
+    repro-obs quality http://127.0.0.1:8710 --watch
     repro-obs export may.csv --format openmetrics
     repro-obs bench record BENCH_obs.json --name obs_baseline
     repro-obs bench check BENCH_obs.json
@@ -36,7 +42,11 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
+import urllib.error
+import urllib.request
 from pathlib import Path
 
 from repro.core.errors import DataError
@@ -51,7 +61,12 @@ from repro.obs.regress import (
     record_baseline,
     render_check_report,
 )
-from repro.obs.render import compare_report, slowest_report, summary_report
+from repro.obs.render import (
+    compare_report,
+    quality_report,
+    slowest_report,
+    summary_report,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -79,6 +94,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument("run_a", help="baseline run")
     compare.add_argument("run_b", help="comparison run")
+
+    quality = sub.add_parser(
+        "quality",
+        help="prediction-quality report of a serve run or a live server",
+    )
+    quality.add_argument(
+        "source",
+        help="kind=serve RUN (manifest/dataset/directory) or a live "
+        "server base URL (http://host:port)",
+    )
+    quality.add_argument(
+        "--paths",
+        action="store_true",
+        help="include the per-path x predictor error table",
+    )
+    quality.add_argument(
+        "--watch",
+        action="store_true",
+        help="poll a live server URL and re-render until interrupted",
+    )
+    quality.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="--watch poll interval in seconds (default: 2.0)",
+    )
 
     export = sub.add_parser(
         "export", help="export a run's metrics for external consumers"
@@ -173,6 +215,57 @@ def _load_source(source: str) -> dict:
     return load_manifest(resolve_manifest(source))
 
 
+def _fetch_quality(url: str, include_paths: bool) -> dict:
+    """``GET {url}/quality`` from a live server, as a parsed document."""
+    base = url.rstrip("/")
+    query = "?paths=1" if include_paths else ""
+    try:
+        with urllib.request.urlopen(f"{base}/quality{query}", timeout=10) as resp:
+            doc = json.load(resp)
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        raise DataError(f"cannot fetch {base}/quality: {exc}") from None
+    if not isinstance(doc, dict):
+        raise DataError(f"{base}/quality returned a non-object document")
+    return doc
+
+
+def _quality_document(source: str, include_paths: bool) -> dict:
+    """The quality document of a live server URL or a serve manifest."""
+    if source.startswith(("http://", "https://")):
+        doc = _fetch_quality(source, include_paths)
+    else:
+        manifest = load_manifest(resolve_manifest(source))
+        doc = manifest.get("quality")
+        if doc is None:
+            raise DataError(
+                f"{source} has no quality section; expected a "
+                "kind=serve manifest with quality scoring enabled"
+            )
+        if not include_paths:
+            doc = {k: v for k, v in doc.items() if k != "paths"}
+    if doc.get("enabled") is False:
+        raise DataError("quality scoring is disabled on this server")
+    return doc
+
+
+def _run_quality(args: argparse.Namespace) -> int:
+    if args.watch and not args.source.startswith(("http://", "https://")):
+        raise DataError("--watch needs a live server URL (http://host:port)")
+    if args.watch and args.interval <= 0:
+        raise DataError(f"--interval must be > 0, got {args.interval}")
+    while True:
+        doc = _quality_document(args.source, args.paths)
+        if args.watch:
+            print(time.strftime("-- %H:%M:%S " + "-" * 56))
+        print(quality_report(doc), flush=True)
+        if not args.watch:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -188,6 +281,8 @@ def main(argv: list[str] | None = None) -> int:
             manifest_a = load_manifest(resolve_manifest(args.run_a))
             manifest_b = load_manifest(resolve_manifest(args.run_b))
             print(compare_report(manifest_a, manifest_b))
+        elif args.command == "quality":
+            return _run_quality(args)
         elif args.command == "export":
             manifest = load_manifest(resolve_manifest(args.run))
             render = to_openmetrics if args.fmt == "openmetrics" else to_flat_json

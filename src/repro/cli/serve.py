@@ -31,7 +31,9 @@ from pathlib import Path
 from repro.core.errors import ReproError
 from repro.hb.streaming import BASE_PREDICTORS, DEFAULT_SERVE_PREDICTORS
 from repro.obs import RunRecorder
+from repro.obs.quality import QualityConfig, QualityTracker
 from repro.obs.recorder import write_manifest
+from repro.serve.accesslog import DEFAULT_MAX_BYTES, AccessLog
 from repro.serve.app import ServeApp
 from repro.serve.http import serve_app
 from repro.serve.state import ShardedStateStore, default_specs
@@ -81,6 +83,42 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--label", default="repro-serve", help="run label for manifests/metrics"
     )
+    parser.add_argument(
+        "--slo-error",
+        type=float,
+        default=1.0,
+        metavar="E",
+        help="quality SLO: |relative error| above E counts a "
+        "serve.slo_breaches tick (default 1.0; <= 0 disables)",
+    )
+    parser.add_argument(
+        "--quality-window",
+        type=int,
+        default=QualityConfig.window,
+        metavar="N",
+        help="rolling error-window length per path x predictor "
+        f"(default {QualityConfig.window})",
+    )
+    parser.add_argument(
+        "--no-quality",
+        action="store_true",
+        help="disable online prediction-quality scoring entirely",
+    )
+    parser.add_argument(
+        "--access-log",
+        default=None,
+        metavar="FILE",
+        help="per-request JSONL access log with phase timings "
+        "(FILE, or '-' for stdout); off by default",
+    )
+    parser.add_argument(
+        "--access-log-max-bytes",
+        type=int,
+        default=DEFAULT_MAX_BYTES,
+        metavar="N",
+        help="rotate the access log past N bytes "
+        f"(default {DEFAULT_MAX_BYTES})",
+    )
     return parser
 
 
@@ -100,10 +138,25 @@ def build_store(args: argparse.Namespace) -> ShardedStateStore:
         raise ReproError(
             f"--max-paths must be >= --shards ({args.max_paths} < {args.shards})"
         )
+    if getattr(args, "no_quality", False):
+        quality = None
+    else:
+        slo = args.slo_error if args.slo_error > 0 else None
+        try:
+            quality = QualityTracker(
+                QualityConfig(
+                    window=args.quality_window,
+                    slo_abs_error=slo,
+                    max_paths=args.max_paths,
+                )
+            )
+        except ReproError as exc:
+            raise ReproError(f"bad quality configuration: {exc}") from None
     return ShardedStateStore(
         specs=default_specs(names),
         n_shards=args.shards,
         max_paths_per_shard=max(1, args.max_paths // args.shards),
+        quality=quality,
     )
 
 
@@ -115,7 +168,12 @@ async def run_service(args: argparse.Namespace) -> int:
 
     recorder = RunRecorder(label=args.label, kind="serve").start()
     app = ServeApp(store, label=args.label)
-    server = await serve_app(app.handle, host=args.host, port=args.port)
+    access_log = None
+    if args.access_log:
+        access_log = AccessLog(args.access_log, max_bytes=args.access_log_max_bytes)
+    server = await serve_app(
+        app.handle, host=args.host, port=args.port, access_log=access_log
+    )
     port = server.sockets[0].getsockname()[1]
     print(f"repro-serve listening on http://{args.host}:{port}", flush=True)
 
@@ -132,11 +190,18 @@ async def run_service(args: argparse.Namespace) -> int:
     finally:
         server.close()
         await server.wait_closed()
+        if access_log is not None:
+            access_log.close()
         if args.snapshot:
             store.save(args.snapshot)
             print(f"saved {len(store)} path(s) to {args.snapshot}", flush=True)
         store.update_gauges()
-        manifest = recorder.finish(n_paths=len(store))
+        if store.quality is not None:
+            store.quality.update_gauges()
+        extras = {}
+        if store.quality is not None:
+            extras["quality"] = store.quality.summary(include_paths=True)
+        manifest = recorder.finish(n_paths=len(store), extras=extras)
         if args.manifest:
             events_path = Path(args.manifest).with_suffix(".events.jsonl")
             write_manifest(manifest, recorder.events, args.manifest, events_path)

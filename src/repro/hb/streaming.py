@@ -391,6 +391,18 @@ class StreamingPredictorState:
     def ready(self) -> bool:
         return self._predictor.ready
 
+    @property
+    def n_level_shifts(self) -> int:
+        """Cumulative LSO level-shift detections (0 for bare predictors).
+
+        Cheap enough for per-sample reads: the quality tracker checks it
+        after every ingest to reset error windows at shift boundaries.
+        """
+        predictor = self._predictor
+        if isinstance(predictor, (StreamingLso, LsoPredictor)):
+            return predictor.n_level_shifts
+        return 0
+
     def ingest(self, value: float) -> float | None:
         """Absorb one sample; return the forecast for the next epoch.
 

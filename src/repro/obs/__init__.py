@@ -33,7 +33,16 @@ Typical run bracket (what ``repro-campaign`` does)::
 """
 
 from repro.obs.export import to_flat_json, to_openmetrics
-from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer, percentile
+from repro.obs.metrics import (
+    TIMER_MAX_SAMPLES,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    SampleBuffer,
+    Timer,
+    percentile,
+)
+from repro.obs.quality import PredictorQuality, QualityConfig, QualityTracker
 from repro.obs.recorder import (
     ANALYSIS_CORE_COUNTERS,
     CORE_COUNTERS,
@@ -63,7 +72,12 @@ __all__ = [
     "Gauge",
     "Timer",
     "MetricsRegistry",
+    "SampleBuffer",
+    "TIMER_MAX_SAMPLES",
     "percentile",
+    "PredictorQuality",
+    "QualityConfig",
+    "QualityTracker",
     "ENV_OBS",
     "PhaseClock",
     "Telemetry",

@@ -19,15 +19,20 @@ Design constraints, in order:
 
 Percentiles use the nearest-rank method on the raw samples: for a
 sorted sample of size ``n``, the ``q``-percentile is the value at
-(1-based) rank ``ceil(q / 100 * n)``.  Timers keep every sample — a
-full-scale campaign observes a few hundred thousand floats, well within
-budget — so the quantiles are exact, not sketched.
+(1-based) rank ``ceil(q / 100 * n)``.  Timers keep raw samples up to
+:data:`TIMER_MAX_SAMPLES` per series — quantiles are **exact** below
+the cap (a full-scale campaign observes a few hundred thousand floats
+spread over many series, well within it).  Beyond the cap the buffer
+becomes a ring over the most recent observations (oldest overwritten,
+``dropped`` counted), so a long-running ``repro-serve`` process holds
+bounded memory and its quantiles approximate the *recent* distribution
+rather than the whole process lifetime.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any
+from typing import Any, Iterable
 
 __all__ = [
     "Counter",
@@ -37,8 +42,13 @@ __all__ = [
     "NULL_COUNTER",
     "NULL_GAUGE",
     "NULL_TIMER",
+    "SampleBuffer",
+    "TIMER_MAX_SAMPLES",
     "percentile",
 ]
+
+#: Per-series cap on retained timer samples (see :class:`SampleBuffer`).
+TIMER_MAX_SAMPLES = 65536
 
 
 def percentile(sorted_samples: list[float], q: float) -> float:
@@ -102,11 +112,53 @@ class Gauge:
         self.value = float(value)
 
 
+class SampleBuffer(list):
+    """A ``list`` that becomes a ring once ``maxlen`` samples are held.
+
+    Hot paths append to ``Timer.samples`` directly (and tests compare it
+    to plain lists), so the bound is implemented as a list subclass
+    rather than a ``deque``: below ``maxlen`` it *is* an ordinary list
+    and quantiles over it are exact; at capacity, :meth:`append`
+    overwrites the oldest retained sample in place (``dropped`` counts
+    the overwrites), keeping the most recent ``maxlen`` observations.
+    Order is not chronological once wrapped — the percentile math sorts
+    and never observes order.
+    """
+
+    __slots__ = ("maxlen", "dropped", "_cursor")
+
+    def __init__(
+        self, values: Iterable[float] = (), maxlen: int = TIMER_MAX_SAMPLES
+    ) -> None:
+        if maxlen < 1:
+            raise ValueError(f"maxlen must be >= 1, got {maxlen}")
+        super().__init__()
+        self.maxlen = maxlen
+        self.dropped = 0
+        self._cursor = 0
+        self.extend(values)
+
+    def append(self, value: float) -> None:
+        if list.__len__(self) < self.maxlen:
+            list.append(self, value)
+        else:
+            self[self._cursor] = value
+            self._cursor += 1
+            if self._cursor == self.maxlen:
+                self._cursor = 0
+            self.dropped += 1
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.append(value)
+
+
 class Timer:
     """A duration histogram with exact p50/p95/p99.
 
     Usable either directly (``timer.observe(seconds)``) or as a context
-    manager timing its ``with`` block.
+    manager timing its ``with`` block.  Retains at most
+    :data:`TIMER_MAX_SAMPLES` samples (see :class:`SampleBuffer`).
     """
 
     __slots__ = ("name", "tags", "samples", "_entered_at")
@@ -114,7 +166,7 @@ class Timer:
     def __init__(self, name: str, tags: dict[str, str]) -> None:
         self.name = name
         self.tags = tags
-        self.samples: list[float] = []
+        self.samples: list[float] = SampleBuffer()
         self._entered_at = 0.0
 
     def observe(self, seconds: float) -> None:
@@ -235,6 +287,23 @@ class MetricsRegistry:
         if series is None:
             series = self._timers[key] = Timer(name, tags)
         return series
+
+    def discard_gauges(self, name: str, **tags: str) -> int:
+        """Drop every gauge of ``name`` whose tags include ``tags``.
+
+        Used when the owner of a tagged gauge family (e.g. a per-path
+        quality series) goes away, so ``/metrics`` does not accumulate
+        stale series forever.  Returns the number removed.
+        """
+        required = set(tags.items())
+        doomed = [
+            key
+            for key, gauge in self._gauges.items()
+            if gauge.name == name and required <= set(gauge.tags.items())
+        ]
+        for key in doomed:
+            del self._gauges[key]
+        return len(doomed)
 
     # -- export / merge ------------------------------------------------
 

@@ -89,6 +89,8 @@ SERVE_CORE_COUNTERS = (
     "serve.ingested",
     "serve.predictions",
     "serve.evictions",
+    "serve.slo_breaches",
+    "predict.drift_alerts",
     "hb.level_shifts",
     "hb.outliers_discarded",
     "hb.invalid_samples",

@@ -14,6 +14,7 @@ __all__ = [
     "summary_report",
     "slowest_report",
     "compare_report",
+    "quality_report",
 ]
 
 
@@ -157,6 +158,71 @@ def slowest_report(events: list[dict[str, Any]], n: int = 10) -> str:
     return "\n".join(lines)
 
 
+def _fmt_error(value: float | None) -> str:
+    """An |E| statistic as text (``-`` when the series never scored)."""
+    return f"{value:.4f}" if value is not None else "-"
+
+
+def quality_report(doc: dict[str, Any]) -> str:
+    """The ``repro-obs quality`` rendering of one quality document.
+
+    ``doc`` is a :meth:`~repro.obs.quality.QualityTracker.summary`
+    document — from a live server's ``GET /quality`` or the ``quality``
+    section of a ``kind: "serve"`` manifest.
+    """
+    totals = doc.get("totals", {})
+    config = doc.get("config", {})
+    slo = config.get("slo_abs_error")
+    slo_note = f"slo |E|>{slo}" if slo is not None else "no slo"
+    lines = [
+        f"quality: {totals.get('paths', 0)} path(s), "
+        f"{totals.get('scored', 0)} scored, "
+        f"{totals.get('not_ready', 0)} warm-up, "
+        f"{totals.get('invalid', 0)} invalid ({slo_note}, "
+        f"window {config.get('window', '?')})",
+        f"drift alerts: {totals.get('drift_alerts', 0)}  "
+        f"slo breaches: {totals.get('slo_breaches', 0)}  "
+        f"level-shift resets: {totals.get('level_shift_resets', 0)}",
+    ]
+    predictors = doc.get("predictors", {})
+    if predictors:
+        lines.append("")
+        lines.append(
+            f"{'predictor':<12} {'scored':>8} {'mean|E|':>9} {'worst ewma':>11} "
+            f"{'drift':>6} {'slo':>5} {'shifts':>7}  worst path"
+        )
+        for name in sorted(predictors):
+            agg = predictors[name]
+            lines.append(
+                f"{name:<12} {agg.get('scored', 0):>8} "
+                f"{_fmt_error(agg.get('mean_abs_error')):>9} "
+                f"{_fmt_error(agg.get('worst_ewma_abs_error')):>11} "
+                f"{agg.get('drift_alerts', 0):>6} {agg.get('slo_breaches', 0):>5} "
+                f"{agg.get('level_shift_resets', 0):>7}  "
+                f"{agg.get('worst_path') or '-'}"
+            )
+    paths = doc.get("paths")
+    if paths:
+        lines.append("")
+        lines.append(
+            f"{'path x predictor':<34} {'scored':>8} {'p50|E|':>8} "
+            f"{'p95|E|':>8} {'ewma|E|':>8} {'last E':>8}"
+        )
+        for key in sorted(paths):
+            for name in sorted(paths[key]):
+                series = paths[key][name]
+                last = series.get("last_error")
+                last_text = f"{last:+.4f}" if last is not None else "-"
+                lines.append(
+                    f"{key + ' ' + name:<34} {series.get('scored', 0):>8} "
+                    f"{_fmt_error(series.get('p50_abs_error')):>8} "
+                    f"{_fmt_error(series.get('p95_abs_error')):>8} "
+                    f"{_fmt_error(series.get('ewma_abs_error')):>8} "
+                    f"{last_text:>8}"
+                )
+    return "\n".join(lines)
+
+
 def _delta(a: float | None, b: float | None) -> str:
     """Relative change of ``b`` against baseline ``a``, as text.
 
@@ -216,4 +282,35 @@ def compare_report(a: dict[str, Any], b: dict[str, Any]) -> str:
             fa = _fmt_seconds(pa) if pa is not None else "-"
             fb = _fmt_seconds(pb) if pb is not None else "-"
             lines.append(f"{label:<34} {fa:>10} {fb:>10} {_delta(pa, pb):>8}")
+
+    quality_a = (a.get("quality") or {}).get("predictors", {})
+    quality_b = (b.get("quality") or {}).get("predictors", {})
+    names = sorted(set(quality_a) | set(quality_b))
+    if names:
+        lines.append("")
+        lines.append(
+            f"{'quality (mean|E|)':<34} {'A':>10} {'B':>10} {'delta':>8}"
+        )
+        for name in names:
+            ea = quality_a.get(name, {}).get("mean_abs_error")
+            eb = quality_b.get(name, {}).get("mean_abs_error")
+            lines.append(
+                f"{name:<34} {_fmt_error(ea):>10} {_fmt_error(eb):>10} "
+                f"{_delta(ea, eb):>8}"
+            )
+        for field, title in (
+            ("scored", "quality (scored)"),
+            ("drift_alerts", "quality (drift alerts)"),
+            ("slo_breaches", "quality (slo breaches)"),
+        ):
+            lines.append("")
+            lines.append(f"{title:<34} {'A':>10} {'B':>10} {'delta':>8}")
+            for name in names:
+                va = quality_a.get(name, {}).get(field)
+                vb = quality_b.get(name, {}).get(field)
+                fa = str(va) if va is not None else "-"
+                fb = str(vb) if vb is not None else "-"
+                lines.append(
+                    f"{name:<34} {fa:>10} {fb:>10} {_delta(va, vb):>8}"
+                )
     return "\n".join(lines)

@@ -1,0 +1,197 @@
+"""Per-request tracing and the structured JSONL access log.
+
+Every request ``repro-serve`` parses gets a :class:`RequestTrace`: a
+process-unique request id (echoed back as the ``X-Request-Id`` response
+header) and a :class:`~repro.obs.telemetry.PhaseClock` that the HTTP
+layer and route handlers lap through the request's phases::
+
+    parse -> store -> ingest | predict | render
+
+so a slow or erroring request is attributable to a phase and a path
+key.  When the request completes (success *or* error response), the
+:class:`AccessLog` writes one JSON object per line::
+
+    {"ts": 1754650000.123456, "id": "9f3ac2d1-00000007", "method": "POST",
+     "path": "/paths/lulea-to-anl/samples", "status": 200, "route": "ingest",
+     "key": "lulea-to-anl", "elapsed_s": 0.000213,
+     "phases": {"parse": 0.00003, "store": 0.00001, "ingest": 0.00012,
+                "render": 0.00005}, "bytes_in": 48, "bytes_out": 391}
+
+Durability properties:
+
+* **atomic lines** — each record is a single ``write()`` of one
+  ``\\n``-terminated line on an unbuffered ``O_APPEND`` handle, so
+  concurrent tailing never sees a torn record and a crash loses
+  nothing already recorded;
+* **size-rotated** — when the file would exceed ``max_bytes`` the
+  current file is renamed to ``<path>.1`` (``os.replace``, atomic,
+  replacing any previous ``.1``) and a fresh file starts, bounding disk
+  to ~2x ``max_bytes``;
+* **kill-switched** — while ``REPRO_OBS=0`` no trace is created, no
+  file is opened, and nothing is written (the handle opens lazily on
+  the first record).
+
+``path="-"`` logs to stdout instead of a file (useful under a process
+supervisor that owns log routing); that writer is the one allowlisted
+exception to the no-print lint.
+
+Protocol-level failures (malformed request line, oversized head) close
+the connection before a request exists, so they are counted by the
+``serve.bad_requests`` counter but produce no access-log record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import uuid
+from pathlib import Path
+from time import time
+from typing import Any, BinaryIO
+
+from repro.obs.metrics import Counter
+from repro.obs.telemetry import PhaseClock, get_telemetry, obs_enabled
+
+__all__ = ["AccessLog", "RequestTrace", "DEFAULT_MAX_BYTES"]
+
+#: Rotation threshold of the access-log file (~80k records).
+DEFAULT_MAX_BYTES = 16 * 1024 * 1024
+
+#: Compact encoder for non-string annotation values (rare path); the
+#: common record line is hand-assembled in :meth:`AccessLog.record`.
+_encode = json.JSONEncoder(check_circular=False, separators=(",", ":")).encode
+#: C-accelerated JSON string escaping (returns the quoted string).
+_escape = json.encoder.encode_basestring_ascii
+
+
+class RequestTrace:
+    """One request's identity + phase clock + annotations."""
+
+    __slots__ = ("request_id", "clock", "fields", "lap")
+
+    def __init__(self, request_id: str) -> None:
+        self.request_id = request_id
+        self.clock = PhaseClock(enabled=True)
+        #: route/key/error annotations added by the router and handlers.
+        self.fields: dict[str, Any] = {}
+        #: ``lap("phase")`` attributes time since the previous lap; bound
+        #: straight to the clock so the per-request hot path skips a frame.
+        self.lap = self.clock.lap
+
+    def annotate(self, **fields: Any) -> None:
+        """Attach fields (route, key, error) to the eventual record."""
+        self.fields.update(fields)
+
+
+class AccessLog:
+    """Structured JSONL access log with size rotation.
+
+    Args:
+        path: log file path, or ``"-"`` for stdout.
+        max_bytes: rotate when the file would exceed this size
+            (ignored for stdout).
+    """
+
+    def __init__(
+        self, path: str | Path, max_bytes: int = DEFAULT_MAX_BYTES
+    ) -> None:
+        if max_bytes < 4096:
+            raise ValueError(f"max_bytes must be >= 4096, got {max_bytes}")
+        self._stdout = str(path) == "-"
+        self.path: Path | None = None if self._stdout else Path(path)
+        self.max_bytes = max_bytes
+        self._handle: BinaryIO | None = None
+        self._size = 0
+        self._prefix = uuid.uuid4().hex[:8]
+        self._sequence = 0
+        self.n_records = 0
+        self.n_rotations = 0
+        self._records_counter: Counter | None = None
+
+    @property
+    def enabled(self) -> bool:
+        """Live kill-switch check (``REPRO_OBS=0`` disables tracing)."""
+        return obs_enabled()
+
+    def begin(self) -> RequestTrace:
+        """Start a trace for a request whose head just arrived."""
+        self._sequence += 1
+        return RequestTrace(f"{self._prefix}-{self._sequence:08d}")
+
+    def record(
+        self,
+        trace: RequestTrace,
+        method: str,
+        path: str,
+        status: int,
+        bytes_in: int,
+        bytes_out: int,
+    ) -> None:
+        """Write one completed request as a JSONL line."""
+        # The line is assembled by hand (fixed key order, one f-string
+        # per segment): this runs once per request and a generic
+        # dict+json.dumps pass measurably caps the server's throughput.
+        clock = trace.clock
+        phases = clock.phases
+        parts = [
+            f'{{"ts":{time():.6f},"id":"{trace.request_id}"'
+            f',"method":{_escape(method)},"path":{_escape(path)}'
+            f',"status":{status}'
+        ]
+        for name, value in trace.fields.items():
+            if type(value) is str:
+                parts.append(f',"{name}":{_escape(value)}')
+            else:
+                parts.append(f',"{name}":{_encode(value)}')
+        laps = ",".join(f'"{p}":{s:.6f}' for p, s in phases.items())
+        parts.append(
+            f',"elapsed_s":{sum(phases.values()):.6f},"phases":{{{laps}}}'
+            f',"bytes_in":{bytes_in},"bytes_out":{bytes_out}}}\n'
+        )
+        line = "".join(parts)
+        if self._stdout:
+            sys.stdout.write(line)
+        else:
+            self._write(line.encode("utf-8"))
+        # The counter handle is re-fetched every 64 records: the
+        # registry get-or-create stays off the per-request path, and a
+        # drained/reset telemetry registry heals within one batch.
+        if self._records_counter is None or not (self.n_records & 63):
+            self._records_counter = get_telemetry().counter(
+                "serve.access_log_records"
+            )
+        self.n_records += 1
+        self._records_counter.inc()
+
+    def _write(self, data: bytes) -> None:
+        if self._handle is not None and self._size + len(data) > self.max_bytes:
+            self._rotate()
+        if self._handle is None:
+            self._open()
+        assert self._handle is not None
+        self._handle.write(data)
+        self._size += len(data)
+
+    def _open(self) -> None:
+        assert self.path is not None
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Unbuffered binary append: one write() syscall per record
+        # (O_APPEND, atomic at line sizes), so a tail -f sees whole
+        # records as they happen and no buffered tail is lost on crash.
+        self._handle = open(self.path, "ab", buffering=0)
+        self._size = self.path.stat().st_size
+
+    def _rotate(self) -> None:
+        assert self.path is not None and self._handle is not None
+        self._handle.close()
+        self._handle = None
+        os.replace(self.path, self.path.with_name(self.path.name + ".1"))
+        self._size = 0
+        self.n_rotations += 1
+
+    def close(self) -> None:
+        """Flush and close the file handle (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

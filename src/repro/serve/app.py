@@ -14,10 +14,12 @@ Routes
 ===========================================  ==================================
 ``GET /healthz``                             liveness + store occupancy
 ``GET /metrics``                             OpenMetrics exposition (live)
+``GET /quality``                             prediction-quality summary
 ``POST /predict/fb``                         stateless FB prediction (Eq. 3)
 ``POST /paths/{key}/samples``                ingest throughput samples
 ``GET /paths/{key}/predict?predictor=NAME``  current HB forecast(s)
 ``GET /paths/{key}``                         per-path diagnostics
+``GET /paths/{key}/quality``                 per-path forecast-error series
 ===========================================  ==================================
 
 Errors are always JSON ``{"error": ...}`` with a proper status: 400 for
@@ -38,10 +40,16 @@ from repro.formulas.fb_predictor import MODEL_VARIANTS, FormulaBasedPredictor
 from repro.formulas.params import PathEstimates, TcpParameters, fb_input_errors
 from repro.obs import get_telemetry, to_openmetrics
 from repro.obs.metrics import Timer
+from repro.obs.telemetry import obs_enabled
 from repro.serve.http import HttpError, HttpRequest, RawResponse
 from repro.serve.state import ShardedStateStore
 
-__all__ = ["ServeApp"]
+__all__ = ["OPENMETRICS_CONTENT_TYPE", "ServeApp"]
+
+#: The content type the OpenMetrics spec requires of expositions.
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
 
 _PATHS_RE = re.compile(r"^/paths/([^/]+)(?:/([a-z]+))?$")
 _FLAG_RE = re.compile(r"--([a-z-]+)")
@@ -87,6 +95,8 @@ class ServeApp:
             tele.counter("serve.requests", route="unmatched").inc()
             tele.counter("serve.bad_requests").inc()
             raise
+        if request.trace is not None:
+            request.trace.annotate(route=route)
         started = perf_counter()
         try:
             status, payload = responder(request)
@@ -109,6 +119,9 @@ class ServeApp:
         if path == "/metrics":
             self._require(method, "GET")
             return "metrics", self._metrics
+        if path == "/quality":
+            self._require(method, "GET")
+            return "quality", self._quality
         if path == "/predict/fb":
             self._require(method, "POST")
             return "predict_fb", self._predict_fb
@@ -121,6 +134,9 @@ class ServeApp:
             if action == "predict":
                 self._require(method, "GET")
                 return "predict_hb", lambda req: self._predict_hb(req, key)
+            if action == "quality":
+                self._require(method, "GET")
+                return "path_quality", lambda req: self._path_quality(req, key)
             if action is None:
                 self._require(method, "GET")
                 return "path_info", lambda req: self._path_info(req, key)
@@ -143,10 +159,39 @@ class ServeApp:
 
     def _metrics(self, request: HttpRequest) -> tuple[int, Any]:
         text = to_openmetrics(self.live_metrics_document())
+        # Content negotiation: OpenMetrics is the default (the body *is*
+        # the OpenMetrics exposition, `# EOF` included); plain scrapers
+        # that ask only for text/plain get the text/plain label.
+        accept = request.headers.get("accept", "")
+        if "text/plain" in accept and "openmetrics" not in accept:
+            content_type = "text/plain; charset=utf-8"
+        else:
+            content_type = OPENMETRICS_CONTENT_TYPE
         return 200, RawResponse(
             body=text.encode("utf-8"),
-            content_type="application/openmetrics-text; version=1.0.0; charset=utf-8",
+            content_type=content_type,
         )
+
+    def _quality(self, request: HttpRequest) -> tuple[int, Any]:
+        # REPRO_OBS=0 stops the store from scoring, so report the layer
+        # as off rather than an enabled-but-empty tracker.
+        quality = self.store.quality if obs_enabled() else None
+        if quality is None:
+            return 200, {"enabled": False}
+        include_paths = request.query.get("paths") in ("1", "true")
+        doc = quality.summary(include_paths=include_paths)
+        doc["enabled"] = True
+        return 200, doc
+
+    def _path_quality(self, request: HttpRequest, key: str) -> tuple[int, Any]:
+        self._states_or_404(key)  # unknown path -> 404, like /paths/{key}
+        quality = self.store.quality if obs_enabled() else None
+        summary = quality.path_summary(key) if quality is not None else None
+        return 200, {
+            "key": key,
+            "enabled": quality is not None,
+            "predictors": summary or {},
+        }
 
     def _predict_fb(self, request: HttpRequest) -> tuple[int, Any]:
         doc = request.json()
@@ -206,10 +251,15 @@ class ServeApp:
             if isinstance(value, bool) or not isinstance(value, (int, float)):
                 raise HttpError(400, f"samples[{k}] must be a number, got {value!r}")
             values.append(float(value))
+        trace = request.trace
         try:
-            summary = self.store.ingest(key, values)
+            summary = self.store.ingest(
+                key, values, clock=trace.clock if trace is not None else None
+            )
         except DataError as exc:
             raise HttpError(400, str(exc)) from None
+        if trace is not None:
+            trace.annotate(key=key)
         tele = get_telemetry()
         tele.counter("serve.ingested").inc(summary["accepted"])
         return 200, summary
@@ -221,15 +271,19 @@ class ServeApp:
         return states
 
     def _predict_hb(self, request: HttpRequest, key: str) -> tuple[int, Any]:
+        trace = request.trace
         states = self._states_or_404(key)
+        if trace is not None:
+            trace.annotate(key=key)
+            trace.lap("store")
         name = request.query.get("predictor")
         tele = get_telemetry()
         if name is None:
+            predictions = {n: s.prediction() for n, s in states.items()}
+            if trace is not None:
+                trace.lap("predict")
             tele.counter("serve.predictions").inc()
-            return 200, {
-                "key": key,
-                "predictions": {n: s.prediction() for n, s in states.items()},
-            }
+            return 200, {"key": key, "predictions": predictions}
         state = states.get(name)
         if state is None:
             raise HttpError(
@@ -237,11 +291,14 @@ class ServeApp:
                 f"predictor {name!r} is not configured for this service; "
                 f"choose from {sorted(states)}",
             )
+        prediction = state.prediction()
+        if trace is not None:
+            trace.lap("predict")
         tele.counter("serve.predictions").inc()
         return 200, {
             "key": key,
             "predictor": name,
-            "prediction": state.prediction(),
+            "prediction": prediction,
             "ready": state.ready,
             "n_observed": state.n_observed,
         }
@@ -263,6 +320,8 @@ class ServeApp:
         ``drain()``, so the shutdown manifest still sees everything.
         """
         self.store.update_gauges()
+        if self.store.quality is not None:
+            self.store.quality.update_gauges()
         snapshot = get_telemetry().metrics.snapshot()
         timers = []
         for entry in snapshot.get("timers", ()):

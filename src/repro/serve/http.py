@@ -17,6 +17,18 @@ The handler contract is deliberately tiny: an ``async
 handler(request) -> (status, payload)`` where the payload is a
 JSON-able object, or a :class:`RawResponse` when a route needs a
 non-JSON content type (the ``/metrics`` exposition).
+
+When an :class:`~repro.serve.accesslog.AccessLog` is attached (and
+``REPRO_OBS`` is not ``0``), every parsed request carries a
+:class:`~repro.serve.accesslog.RequestTrace`: the trace clock starts
+when the request **head has arrived** (keep-alive idle time between
+requests is never attributed to a phase), header parsing + the body
+read are lapped as ``"parse"``, handlers lap their own phases, and the
+response write is lapped as ``"render"``.  The request id is echoed in
+an ``X-Request-Id`` response header and the completed request is
+written to the access log — including error responses; only
+protocol-level failures that abort the connection before a request
+exists go unrecorded.
 """
 
 from __future__ import annotations
@@ -24,8 +36,11 @@ from __future__ import annotations
 import asyncio
 import json
 from dataclasses import dataclass, field
-from typing import Any, Awaitable, Callable
+from typing import TYPE_CHECKING, Any, Awaitable, Callable
 from urllib.parse import parse_qsl, unquote, urlsplit
+
+if TYPE_CHECKING:  # import cycle: accesslog only needed for typing
+    from repro.serve.accesslog import AccessLog, RequestTrace
 
 __all__ = [
     "HttpError",
@@ -73,6 +88,8 @@ class HttpRequest:
     headers: dict[str, str]
     body: bytes = b""
     keep_alive: bool = True
+    #: per-request trace (set by the connection loop when tracing is on).
+    trace: "RequestTrace | None" = None
 
     def json(self) -> Any:
         """The body decoded as JSON.
@@ -100,8 +117,17 @@ class RawResponse:
 Handler = Callable[[HttpRequest], Awaitable[tuple[int, Any]]]
 
 
-async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
+async def read_request(
+    reader: asyncio.StreamReader,
+    access_log: "AccessLog | None" = None,
+) -> HttpRequest | None:
     """Parse one request off the stream; ``None`` on clean EOF.
+
+    When ``access_log`` is given (and enabled), a trace is started the
+    moment the request head has arrived — keep-alive idle time spent
+    waiting for the next request is never attributed to a phase — and
+    attached to the returned request, with header parsing + the body
+    read lapped as ``"parse"``.
 
     Raises:
         HttpError: malformed request line/headers or over-limit sizes.
@@ -114,6 +140,9 @@ async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
         raise HttpError(400, "truncated request head") from None
     except asyncio.LimitOverrunError:
         raise HttpError(431, "request head too large") from None
+    trace = None
+    if access_log is not None and access_log.enabled:
+        trace = access_log.begin()
     if len(head) > MAX_HEAD_BYTES:
         raise HttpError(431, "request head too large")
 
@@ -161,6 +190,8 @@ async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
 
     split = urlsplit(target)
     query = dict(parse_qsl(split.query, keep_blank_values=True))
+    if trace is not None:
+        trace.lap("parse")
     return HttpRequest(
         method=method.upper(),
         path=unquote(split.path),
@@ -168,11 +199,15 @@ async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
         headers=headers,
         body=body,
         keep_alive=keep_alive,
+        trace=trace,
     )
 
 
 def render_response(
-    status: int, payload: Any, keep_alive: bool
+    status: int,
+    payload: Any,
+    keep_alive: bool,
+    extra_headers: dict[str, str] | None = None,
 ) -> bytes:
     """Serialize a handler result into response bytes."""
     if isinstance(payload, RawResponse):
@@ -190,6 +225,8 @@ def render_response(
         f"Content-Length: {len(body)}",
         f"Connection: {'keep-alive' if keep_alive else 'close'}",
     ]
+    if extra_headers:
+        lines.extend(f"{name}: {value}" for name, value in extra_headers.items())
     lines.extend(f"{name}: {value}" for name, value in extra.items())
     head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
     return head + body
@@ -199,12 +236,13 @@ async def _connection_loop(
     handler: Handler,
     reader: asyncio.StreamReader,
     writer: asyncio.StreamWriter,
+    access_log: "AccessLog | None" = None,
 ) -> None:
     """Serve requests on one connection until close/EOF/parse error."""
     try:
         while True:
             try:
-                request = await read_request(reader)
+                request = await read_request(reader, access_log)
             except HttpError as exc:
                 writer.write(
                     render_response(
@@ -223,8 +261,27 @@ async def _connection_loop(
                 # The service must answer something rather than drop the
                 # connection; the error detail stays server-side.
                 status, payload = 500, {"error": f"internal error: {type(exc).__name__}"}
-            writer.write(render_response(status, payload, request.keep_alive))
+            trace = request.trace
+            extra_headers = None
+            if trace is not None:
+                if isinstance(payload, dict) and "error" in payload:
+                    trace.annotate(error=payload["error"])
+                extra_headers = {"X-Request-Id": trace.request_id}
+            response = render_response(
+                status, payload, request.keep_alive, extra_headers
+            )
+            writer.write(response)
             await writer.drain()
+            if trace is not None and access_log is not None:
+                trace.lap("render")
+                access_log.record(
+                    trace,
+                    method=request.method,
+                    path=request.path,
+                    status=status,
+                    bytes_in=len(request.body),
+                    bytes_out=len(response),
+                )
             if not request.keep_alive:
                 return
     except (ConnectionResetError, BrokenPipeError):
@@ -238,15 +295,19 @@ async def _connection_loop(
 
 
 async def serve_app(
-    handler: Handler, host: str = "127.0.0.1", port: int = 0
+    handler: Handler,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    access_log: "AccessLog | None" = None,
 ) -> asyncio.AbstractServer:
     """Bind and start serving; returns the asyncio server (not awaited).
 
     ``port=0`` binds an ephemeral port; read the actual one from
-    ``server.sockets[0].getsockname()[1]``.
+    ``server.sockets[0].getsockname()[1]``.  ``access_log`` turns on
+    per-request tracing (request ids, phase laps, JSONL records).
     """
     return await asyncio.start_server(
-        lambda r, w: _connection_loop(handler, r, w),
+        lambda r, w: _connection_loop(handler, r, w, access_log),
         host=host,
         port=port,
         limit=MAX_HEAD_BYTES,

@@ -23,6 +23,7 @@ snapshot behind.
 from __future__ import annotations
 
 import json
+import math
 import os
 import tempfile
 import zlib
@@ -36,9 +37,14 @@ from repro.hb.streaming import (
     PredictorSpec,
     StreamingPredictorState,
 )
-from repro.obs import get_telemetry
+from repro.obs import PhaseClock, get_telemetry, obs_enabled
+from repro.obs.quality import QualityTracker
 
 __all__ = ["SNAPSHOT_VERSION", "ShardedStateStore", "default_specs"]
+
+#: Sentinel distinguishing "default quality tracking" from an explicit
+#: ``quality=None`` (tracking off).
+_DEFAULT_QUALITY = object()
 
 #: Schema version of store snapshot files.
 SNAPSHOT_VERSION = 1
@@ -82,6 +88,11 @@ class ShardedStateStore:
         n_shards: number of shards (CRC-32 of the key, modulo).
         max_paths_per_shard: LRU capacity of each shard; the store holds
             at most ``n_shards * max_paths_per_shard`` paths.
+        quality: the prediction-quality tracker scoring every ingested
+            sample against the forecast that preceded it (see
+            :class:`~repro.obs.quality.QualityTracker`).  Defaults to a
+            fresh tracker; pass ``None`` to disable scoring entirely.
+            Scoring is additionally skipped live while ``REPRO_OBS=0``.
 
     The store is designed for a single asyncio event loop: methods are
     plain synchronous CPU work with no awaits, so handlers never observe
@@ -93,6 +104,7 @@ class ShardedStateStore:
         specs: Mapping[str, PredictorSpec] | None = None,
         n_shards: int = 8,
         max_paths_per_shard: int = 128,
+        quality: QualityTracker | None | object = _DEFAULT_QUALITY,
     ) -> None:
         if n_shards < 1:
             raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
@@ -107,6 +119,9 @@ class ShardedStateStore:
             raise ConfigurationError("store needs at least one predictor spec")
         self.n_shards = n_shards
         self.max_paths_per_shard = max_paths_per_shard
+        if quality is _DEFAULT_QUALITY:
+            quality = QualityTracker()
+        self.quality: QualityTracker | None = quality  # type: ignore[assignment]
         self._shards: list[OrderedDict[str, PathStates]] = [
             OrderedDict() for _ in range(n_shards)
         ]
@@ -151,28 +166,66 @@ class ShardedStateStore:
             if len(shard) > self.max_paths_per_shard:
                 evicted_key, _ = shard.popitem(last=False)
                 self.n_evicted += 1
+                if self.quality is not None:
+                    self.quality.drop(evicted_key)
                 tele = get_telemetry()
                 tele.counter("serve.evictions").inc()
                 tele.emit("serve.evicted", key=evicted_key, shard=index)
         shard.move_to_end(key)
         return states
 
-    def ingest(self, key: str, samples: Iterable[float]) -> dict[str, Any]:
+    def ingest(
+        self,
+        key: str,
+        samples: Iterable[float],
+        clock: PhaseClock | None = None,
+    ) -> dict[str, Any]:
         """Feed samples to every predictor of a path.
+
+        Each sample is scored by the quality tracker against the
+        forecast that stood *before* it was ingested — the same
+        walk-forward order as the offline evaluator, so the online
+        error stream matches ``evaluate_predictor`` bit-for-bit.
+
+        Args:
+            key: the path key (created on first ingest).
+            samples: the throughput samples, in arrival order.
+            clock: optional request-phase clock; laps ``"store"`` after
+                the path lookup and ``"ingest"`` after the batch.
 
         Returns a summary: per-predictor prediction after the batch plus
         accepted/invalid sample counts (invalid = non-positive or
         non-finite, flagged by the streaming layer, never raised).
         """
         states = self.get_or_create(key)
+        if clock is not None:
+            clock.lap("store")
         samples = list(samples)
+        quality = self.quality if obs_enabled() else None
         invalid_before = sum(s.n_invalid for s in states.values())
         predictions: dict[str, float | None] = {}
         for name, state in states.items():
             last = state.prediction()
-            for value in samples:
-                last = state.ingest(value)
+            if quality is None:
+                for value in samples:
+                    last = state.ingest(value)
+            else:
+                for value in samples:
+                    previous = last
+                    last = state.ingest(value)
+                    if math.isfinite(value) and value > 0:
+                        quality.score(
+                            key,
+                            name,
+                            previous,
+                            value,
+                            level_shifts=state.n_level_shifts,
+                        )
+                    else:
+                        quality.observe_invalid(key, name)
             predictions[name] = last
+        if clock is not None:
+            clock.lap("ingest")
         invalid_after = sum(s.n_invalid for s in states.values())
         n_specs = max(len(states), 1)
         n_invalid = (invalid_after - invalid_before) // n_specs

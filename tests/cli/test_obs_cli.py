@@ -75,6 +75,100 @@ class TestCompare:
         assert "cache.hits" in out and "cache.misses" in out
 
 
+def write_serve_manifest(tmp_path, name, build_tracker):
+    """A kind=serve manifest whose quality section comes from build_tracker."""
+    from repro.obs import RunRecorder
+    from repro.obs.recorder import write_manifest
+
+    tracker = build_tracker()
+    recorder = RunRecorder(label="qtest", kind="serve").start()
+    manifest = recorder.finish(
+        n_paths=1, extras={"quality": tracker.summary(include_paths=True)}
+    )
+    path = tmp_path / name
+    write_manifest(
+        manifest, recorder.events, path, path.with_suffix(".events.jsonl")
+    )
+    return path
+
+
+def small_tracker(errors=((10.0, 10.5),), predictor="ma10", slo=0.5):
+    from repro.obs.quality import QualityConfig, QualityTracker
+
+    tracker = QualityTracker(QualityConfig(slo_abs_error=slo))
+    for forecast, actual in errors:
+        tracker.score("p1", predictor, forecast, actual)
+    return tracker
+
+
+class TestQuality:
+    def test_quality_from_manifest(self, tmp_path, capsys):
+        manifest = write_serve_manifest(
+            tmp_path, "serve.manifest.json", small_tracker
+        )
+        assert obs.main(["quality", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "quality: 1 path(s), 1 scored" in out
+        assert "ma10" in out
+        assert "path x predictor" not in out  # per-path table needs --paths
+
+    def test_quality_paths_table(self, tmp_path, capsys):
+        manifest = write_serve_manifest(
+            tmp_path, "serve.manifest.json", small_tracker
+        )
+        assert obs.main(["quality", str(manifest), "--paths"]) == 0
+        out = capsys.readouterr().out
+        assert "path x predictor" in out
+        assert "p1 ma10" in out
+
+    def test_manifest_without_quality_exits_2(self, tmp_path, capsys):
+        dataset = run_campaign(tmp_path, "ds.csv")
+        assert obs.main(["quality", str(dataset)]) == 2
+        assert "no quality section" in capsys.readouterr().err
+
+    def test_watch_requires_url(self, tmp_path, capsys):
+        manifest = write_serve_manifest(
+            tmp_path, "serve.manifest.json", small_tracker
+        )
+        assert obs.main(["quality", str(manifest), "--watch"]) == 2
+        assert "live server URL" in capsys.readouterr().err
+
+    def test_unreachable_server_exits_2(self, capsys):
+        assert obs.main(["quality", "http://127.0.0.1:1"]) == 2
+        assert "cannot fetch" in capsys.readouterr().err
+
+
+class TestCompareQuality:
+    def test_quality_deltas_with_new_and_na(self, tmp_path, capsys):
+        a = write_serve_manifest(
+            tmp_path, "a.manifest.json",
+            lambda: small_tracker(errors=[(10.0, 10.5)] * 2),
+        )
+
+        def build_b():
+            tracker = small_tracker(errors=[(10.0, 30.0)] * 3)  # slo breaches
+            tracker.score("p1", "ewma", 10.0, 12.0)  # only in B
+            return tracker
+
+        b = write_serve_manifest(tmp_path, "b.manifest.json", build_b)
+        assert obs.main(["compare", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "quality (mean|E|)" in out
+        # ewma exists only in B: its error delta is undefined.
+        ewma_rows = [l for l in out.splitlines() if l.startswith("ewma")]
+        assert any("n/a" in row for row in ewma_rows)
+        # slo breaches went 0 -> 3: a zero baseline gaining value is "new".
+        slo_section = out[out.index("quality (slo breaches)"):]
+        ma10_row = [l for l in slo_section.splitlines() if l.startswith("ma10")][0]
+        assert "new" in ma10_row
+
+    def test_campaign_compare_has_no_quality_section(self, tmp_path, capsys):
+        a = run_campaign(tmp_path, "a.csv", seed="1")
+        b = run_campaign(tmp_path, "b.csv", seed="2")
+        assert obs.main(["compare", str(a), str(b)]) == 0
+        assert "quality (" not in capsys.readouterr().out
+
+
 class TestExport:
     def test_openmetrics_to_stdout(self, tmp_path, capsys):
         dataset = run_campaign(tmp_path, "ds.csv")

@@ -5,7 +5,9 @@ import pytest
 from repro.obs.metrics import (
     NULL_COUNTER,
     NULL_TIMER,
+    TIMER_MAX_SAMPLES,
     MetricsRegistry,
+    SampleBuffer,
     percentile,
 )
 
@@ -117,6 +119,89 @@ class TestTimer:
             pass
         assert registry.timer("block_s").count == 1
         assert registry.timer("block_s").samples[0] >= 0.0
+
+
+class TestSampleBuffer:
+    def test_plain_list_below_cap(self):
+        buffer = SampleBuffer(maxlen=4)
+        buffer.extend([0.1, 0.2])
+        assert buffer == [0.1, 0.2]
+        assert buffer.dropped == 0
+        assert isinstance(buffer, list)
+
+    def test_ring_overwrites_oldest_at_cap(self):
+        buffer = SampleBuffer(maxlen=4)
+        buffer.extend([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        assert len(buffer) == 4
+        assert buffer.dropped == 2
+        assert sorted(buffer) == [3.0, 4.0, 5.0, 6.0]
+        # The ring wraps: cursor returns to the start after maxlen drops.
+        buffer.extend([7.0, 8.0])
+        assert sorted(buffer) == [5.0, 6.0, 7.0, 8.0]
+
+    def test_rejects_bad_maxlen(self):
+        with pytest.raises(ValueError):
+            SampleBuffer(maxlen=0)
+
+    def test_default_cap(self):
+        assert SampleBuffer().maxlen == TIMER_MAX_SAMPLES
+
+    def test_timer_is_bounded(self):
+        registry = MetricsRegistry()
+        timer = registry.timer("t")
+        assert timer.samples.maxlen == TIMER_MAX_SAMPLES
+
+    def test_bounded_timer_quantiles_track_recent_samples(self):
+        timer = MetricsRegistry().timer("t")
+        timer.samples = SampleBuffer(maxlen=100)
+        for v in range(1000):
+            timer.observe(float(v))
+        assert timer.count == 100
+        assert timer.samples.dropped == 900
+        # Only the most recent 100 observations are in the quantile base.
+        assert timer.quantile(0.0) >= 900.0
+        assert timer.quantile(100.0) == 999.0
+
+    def test_small_sample_stats_unchanged_by_bound(self):
+        # Below the cap the buffer is an exact plain list: the regression
+        # guard that bounding did not change quantiles for normal runs.
+        timer = MetricsRegistry().timer("t")
+        for value in (0.3, 0.1, 0.2):
+            timer.observe(value)
+        assert timer.samples == [0.3, 0.1, 0.2]
+        assert timer.stats()["p50"] == 0.2
+
+    def test_merge_respects_cap(self):
+        parent = MetricsRegistry()
+        parent.timer("t").samples = SampleBuffer(maxlen=8)
+        worker = MetricsRegistry()
+        for v in range(20):
+            worker.timer("t").observe(float(v))
+        parent.merge(worker.snapshot())
+        assert parent.timer("t").count == 8
+        assert parent.timer("t").samples.dropped == 12
+
+
+class TestDiscardGauges:
+    def test_discards_by_tag_subset(self):
+        registry = MetricsRegistry()
+        registry.gauge("predict.rel_error", path="a", predictor="ma10").set(1)
+        registry.gauge("predict.rel_error", path="a", predictor="ewma").set(2)
+        registry.gauge("predict.rel_error", path="b", predictor="ma10").set(3)
+        registry.gauge("other", path="a").set(4)
+        assert registry.discard_gauges("predict.rel_error", path="a") == 2
+        remaining = registry.snapshot()["gauges"]
+        assert {(g["name"], g["tags"].get("path")) for g in remaining} == {
+            ("predict.rel_error", "b"),
+            ("other", "a"),
+        }
+
+    def test_no_match_is_a_noop(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", path="a").set(1)
+        assert registry.discard_gauges("g", path="zz") == 0
+        assert registry.discard_gauges("nope") == 0
+        assert len(registry.snapshot()["gauges"]) == 1
 
 
 class TestSnapshotMerge:

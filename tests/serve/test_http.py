@@ -154,6 +154,71 @@ class TestRoutes:
         assert 'kind="serve"' in text
         assert text.rstrip().endswith("# EOF")
 
+    def test_quality_summary_route(self):
+        async def scenario(app, port):
+            await request(
+                port, "POST", "/paths/p1/samples", {"samples": [10.0, 11.0, 10.5]}
+            )
+            return await request(port, "GET", "/quality?paths=1")
+
+        status, doc = with_server(scenario)
+        assert status == 200
+        assert doc["enabled"] is True
+        assert doc["totals"]["paths"] == 1
+        assert doc["totals"]["scored"] > 0
+        assert "ewma" in doc["predictors"]
+        assert "p1" in doc["paths"]
+
+    def test_quality_summary_omits_paths_by_default(self):
+        async def scenario(app, port):
+            await request(port, "POST", "/paths/p1/samples", {"samples": [10.0]})
+            return await request(port, "GET", "/quality")
+
+        status, doc = with_server(scenario)
+        assert status == 200 and "paths" not in doc
+
+    def test_path_quality_route(self):
+        async def scenario(app, port):
+            await request(
+                port, "POST", "/paths/p1/samples", {"samples": [10.0, 11.0]}
+            )
+            return await request(port, "GET", "/paths/p1/quality")
+
+        status, doc = with_server(scenario)
+        assert status == 200
+        assert doc["key"] == "p1" and doc["enabled"] is True
+        assert doc["predictors"]["ewma"]["scored"] >= 1
+
+    def test_path_quality_unknown_path_404(self):
+        async def scenario(app, port):
+            return await request(port, "GET", "/paths/ghost/quality")
+
+        status, doc = with_server(scenario)
+        assert status == 404
+
+    def test_quality_disabled_store(self):
+        async def scenario(app, port):
+            app.store.quality = None
+            return await request(port, "GET", "/quality")
+
+        status, doc = with_server(scenario)
+        assert status == 200 and doc == {"enabled": False}
+
+    def test_quality_routes_disabled_under_kill_switch(self, monkeypatch):
+        # REPRO_OBS=0 must read as "layer off", not an empty tracker.
+        monkeypatch.setenv("REPRO_OBS", "0")
+
+        async def scenario(app, port):
+            await request(port, "POST", "/paths/p1/samples", {"samples": [10.0]})
+            summary = await request(port, "GET", "/quality")
+            per_path = await request(port, "GET", "/paths/p1/quality")
+            return summary, per_path
+
+        (status, doc), (path_status, path_doc) = with_server(scenario)
+        assert status == 200 and doc == {"enabled": False}
+        assert path_status == 200
+        assert path_doc["enabled"] is False and path_doc["predictors"] == {}
+
 
 class TestErrorResponses:
     def test_unknown_route_404(self):
@@ -241,6 +306,50 @@ class TestErrorResponses:
             return int(data.split(b" ")[1])
 
         assert with_server(scenario) == 400
+
+
+class TestMetricsContentType:
+    async def metrics_headers(self, port, accept=None):
+        accept_line = f"Accept: {accept}\r\n" if accept else ""
+        head = (
+            f"GET /metrics HTTP/1.1\r\nHost: t\r\n{accept_line}"
+            "Connection: close\r\n\r\n"
+        )
+        data = await raw_exchange(port, head.encode())
+        head, _, body = data.partition(b"\r\n\r\n")
+        headers = {}
+        for line in head.split(b"\r\n")[1:]:
+            name, _, value = line.decode().partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return headers, body
+
+    def test_openmetrics_content_type_by_default(self):
+        from repro.serve.app import OPENMETRICS_CONTENT_TYPE
+
+        async def scenario(app, port):
+            return await self.metrics_headers(port)
+
+        headers, body = with_server(scenario)
+        assert headers["content-type"] == OPENMETRICS_CONTENT_TYPE
+        assert body.decode().rstrip().endswith("# EOF")
+
+    def test_plain_scraper_gets_text_plain(self):
+        async def scenario(app, port):
+            return await self.metrics_headers(port, accept="text/plain")
+
+        headers, body = with_server(scenario)
+        assert headers["content-type"] == "text/plain; charset=utf-8"
+        assert body.decode().rstrip().endswith("# EOF")
+
+    def test_openmetrics_accept_wins_over_text_plain(self):
+        async def scenario(app, port):
+            return await self.metrics_headers(
+                port,
+                accept="application/openmetrics-text; version=1.0.0, text/plain",
+            )
+
+        headers, _ = with_server(scenario)
+        assert "openmetrics" in headers["content-type"]
 
 
 class TestProtocol:
