@@ -11,14 +11,14 @@ SERVE_SMOKE_DIR := .serve-smoke
 BENCH_SERVE_DIR := .bench-serve
 
 .PHONY: install test test-fast campaign-smoke obs-smoke resume-smoke \
-	analyze-obs-smoke bench-check perf-smoke serve-smoke bench-serve lint \
-	bench bench-full bench-obs bench-perf examples clean
+	analyze-obs-smoke bench-check perf-smoke serve-smoke bench-serve \
+	vector-parity lint bench bench-full bench-obs bench-perf examples clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test: lint campaign-smoke obs-smoke resume-smoke analyze-obs-smoke bench-check \
-		perf-smoke serve-smoke bench-serve
+		perf-smoke serve-smoke bench-serve vector-parity
 	$(PYTHON) -m pytest tests/
 
 test-fast:
@@ -142,6 +142,15 @@ bench-serve:
 	PYTHONPATH=src $(PYTHON) -m repro.cli.obs bench check \
 		$(BENCH_SERVE_DIR)/BENCH_serve.json --name serve_baseline --tolerance 0.9
 	@echo "serve bench OK (serving throughput within tolerance of committed baseline)"
+
+# The fluid-engine bit-identity gate: the default-catalog campaign CSV
+# must hash identically between the scalar reference loop and the
+# vectorized engine at every worker count (see docs/performance.md,
+# "The vectorized fluid path").  Shrink for quick iteration with e.g.:
+#   python tools/vector_parity.py --paths 4 --traces 2 --epochs 20
+vector-parity:
+	PYTHONPATH=src $(PYTHON) tools/vector_parity.py
+	@echo "vector parity OK (scalar and vector engine CSVs byte-identical)"
 
 # Library code must report through repro.obs, not print().
 lint:

@@ -12,7 +12,13 @@ repository root:
   (:class:`PacketEpochRunner`, path p12 at utilization 0.4), the
   workload behind the validation tests.  Reported as simulator events/s.
 * ``fluid_trace`` — 600 fluid epochs (4 paths x 1 trace x 150) through
-  :class:`Campaign.run_trace`; reported as epochs/s.
+  :class:`Campaign.run_trace` on the *scalar* reference engine
+  (``REPRO_FLUID_VECTOR=0``); reported as epochs/s.
+* ``fluid_vector`` — the identical workload on the vectorized fluid
+  engine; its ``epochs_per_s`` over ``fluid_trace``'s is the campaign
+  speedup the engine exists for (the gate requires the same epoch
+  count; wall time is what the ≥10x target in docs/performance.md is
+  measured from).
 * ``campaign_serial`` / ``campaign_parallel`` — the full campaign loop
   (catalog x traces x epochs through the executor, checkpointing and
   caching off) serially and with two workers, reported as wall time.
@@ -124,8 +130,10 @@ def bench_packet_epoch() -> dict:
     }
 
 
-def bench_fluid_trace() -> dict:
+def _bench_fluid(engine: str) -> dict:
     """Fluid-model epoch throughput, without executor overhead."""
+    from repro.fastpath.vector import ENV_FLUID_VECTOR
+
     catalog = may_2004_catalog()[:4]
     settings = CampaignSettings(n_traces=1, epochs_per_trace=150)
 
@@ -137,7 +145,17 @@ def bench_fluid_trace() -> dict:
         )
         return epochs, time.perf_counter() - started
 
-    epochs, wall = min((run_once() for _ in range(REPEATS)), key=lambda r: r[1])
+    saved = os.environ.get(ENV_FLUID_VECTOR)
+    os.environ[ENV_FLUID_VECTOR] = "1" if engine == "vector" else "0"
+    try:
+        epochs, wall = min(
+            (run_once() for _ in range(REPEATS)), key=lambda r: r[1]
+        )
+    finally:
+        if saved is None:
+            del os.environ[ENV_FLUID_VECTOR]
+        else:
+            os.environ[ENV_FLUID_VECTOR] = saved
     return {
         "epochs": epochs,
         "wall_time_s": round(wall, 4),
@@ -165,7 +183,8 @@ def _bench_campaign(n_workers: int) -> dict:
 FIXTURES = {
     "engine_micro": bench_engine_micro,
     "packet_epoch": bench_packet_epoch,
-    "fluid_trace": bench_fluid_trace,
+    "fluid_trace": lambda: _bench_fluid("scalar"),
+    "fluid_vector": lambda: _bench_fluid("vector"),
     "campaign_serial": lambda: _bench_campaign(1),
     "campaign_parallel": lambda: _bench_campaign(2),
 }

@@ -38,7 +38,8 @@ from repro.core.cachekey import stable_fingerprint
 from repro.core.errors import ExecutionError
 from repro.obs import RunRecorder, get_telemetry
 from repro.obs.render import progress_line
-from repro.paths.config import march_2006_catalog, may_2004_catalog, scaled_catalog
+from repro.fastpath.vector import ENV_FLUID_VECTOR
+from repro.paths.config import expanded_catalog, march_2006_catalog, may_2004_catalog
 from repro.testbed.cache import DatasetCache, campaign_cache_key, run_cached
 from repro.testbed.campaign import Campaign, CampaignSettings
 from repro.testbed.checkpoint import CheckpointStore
@@ -67,7 +68,9 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="N",
-        help="restrict to a stratified sample of N paths",
+        help="measure N paths: below the catalog size a stratified "
+        "sample, above it the catalog is expanded with independent "
+        "clones (e.g. --paths 1000)",
     )
     parser.add_argument("--traces", type=int, default=7, help="traces per path")
     parser.add_argument(
@@ -98,11 +101,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--chunk-size",
         type=int,
-        default=1,
+        default=None,
         metavar="N",
         help="(path, trace) units dispatched per parallel job; larger "
-        "chunks amortize dispatch overhead for short traces (default: 1; "
-        "results are bit-identical for any chunk size)",
+        "chunks amortize dispatch overhead for short traces (default: "
+        "auto — one job per path on the vectorized fluid engine, one "
+        "per trace on the scalar engine; results are bit-identical for "
+        "any chunk size)",
+    )
+    parser.add_argument(
+        "--fluid-engine",
+        choices=("vector", "scalar"),
+        default=None,
+        help="fluid-path simulation engine: 'vector' batches each "
+        "trace's epochs through numpy, 'scalar' runs the reference "
+        "per-epoch loop; the two are bit-identical (default: the "
+        "REPRO_FLUID_VECTOR environment variable, else vector)",
     )
     parser.add_argument(
         "--profile",
@@ -186,9 +200,13 @@ def _print_progress(snapshot: CampaignProgress) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.fluid_engine is not None:
+        import os
+
+        os.environ[ENV_FLUID_VECTOR] = "1" if args.fluid_engine == "vector" else "0"
     catalog = CATALOGS[args.catalog]()
     if args.paths is not None:
-        catalog = scaled_catalog(catalog, args.paths)
+        catalog = expanded_catalog(catalog, args.paths)
 
     is_2006 = args.catalog == "march2006"
     duration = args.duration if args.duration is not None else (120.0 if is_2006 else 50.0)

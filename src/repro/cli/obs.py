@@ -121,6 +121,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="--watch poll interval in seconds (default: 2.0)",
     )
+    quality.add_argument(
+        "--watch-retries",
+        type=int,
+        default=5,
+        metavar="N",
+        help="consecutive failed polls --watch tolerates before exiting "
+        "non-zero; each failure prints a one-line reconnect notice and "
+        "polling continues, so a server restart does not kill the watch "
+        "(default: 5)",
+    )
 
     export = sub.add_parser(
         "export", help="export a run's metrics for external consumers"
@@ -215,6 +225,15 @@ def _load_source(source: str) -> dict:
     return load_manifest(resolve_manifest(source))
 
 
+class _FetchError(DataError):
+    """A (possibly transient) fetch failure against a live server.
+
+    ``--watch`` treats these as reconnectable — a restarting server
+    refuses connections for a moment — while every other context
+    inherits the fatal :class:`DataError` behaviour.
+    """
+
+
 def _fetch_quality(url: str, include_paths: bool) -> dict:
     """``GET {url}/quality`` from a live server, as a parsed document."""
     base = url.rstrip("/")
@@ -223,7 +242,7 @@ def _fetch_quality(url: str, include_paths: bool) -> dict:
         with urllib.request.urlopen(f"{base}/quality{query}", timeout=10) as resp:
             doc = json.load(resp)
     except (urllib.error.URLError, OSError, ValueError) as exc:
-        raise DataError(f"cannot fetch {base}/quality: {exc}") from None
+        raise _FetchError(f"cannot fetch {base}/quality: {exc}") from None
     if not isinstance(doc, dict):
         raise DataError(f"{base}/quality returned a non-object document")
     return doc
@@ -253,13 +272,37 @@ def _run_quality(args: argparse.Namespace) -> int:
         raise DataError("--watch needs a live server URL (http://host:port)")
     if args.watch and args.interval <= 0:
         raise DataError(f"--interval must be > 0, got {args.interval}")
+    if args.watch and args.watch_retries < 1:
+        raise DataError(
+            f"--watch-retries must be >= 1, got {args.watch_retries}"
+        )
+    failures = 0
     while True:
-        doc = _quality_document(args.source, args.paths)
-        if args.watch:
-            print(time.strftime("-- %H:%M:%S " + "-" * 56))
-        print(quality_report(doc), flush=True)
-        if not args.watch:
-            return 0
+        try:
+            doc = _quality_document(args.source, args.paths)
+        except _FetchError as exc:
+            if not args.watch:
+                raise
+            failures += 1
+            if failures >= args.watch_retries:
+                print(
+                    f"error: {exc} ({failures} consecutive failures)",
+                    file=sys.stderr,
+                )
+                return 2
+            print(
+                f"connection lost ({exc}); retrying in {args.interval:g}s "
+                f"[{failures}/{args.watch_retries}]",
+                file=sys.stderr,
+                flush=True,
+            )
+        else:
+            failures = 0
+            if args.watch:
+                print(time.strftime("-- %H:%M:%S " + "-" * 56))
+            print(quality_report(doc), flush=True)
+            if not args.watch:
+                return 0
         try:
             time.sleep(args.interval)
         except KeyboardInterrupt:

@@ -14,6 +14,7 @@ Three timescales, matching what the paper's traces exhibit (Fig. 15):
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -150,3 +151,129 @@ class CrossLoadProcess:
         toward_base = np.sign(cfg.base_util - self.regime_mean) or 1.0
         direction = toward_base if self.rng.random() < 0.6 else -toward_base
         return self._clip(self.regime_mean + direction * magnitude)
+
+
+# ---------------------------------------------------------------------------
+# The pre-drawn-noise load process shared by the fluid engines.
+#
+# :class:`CrossLoadProcess` above owns its generator and draws as it
+# goes, which the packet-level :class:`~repro.testbed.packet_epoch.
+# PacketTraceRunner` still relies on.  The fluid campaign instead
+# pre-draws all load noise from its ``u``/``z`` site streams (see
+# ``repro.fastpath.sites``) and feeds it through the pure function
+# :func:`load_step` — the *same* Python code evolves the AR(1) recursion
+# one epoch at a time in both the scalar and the vectorized engine, so
+# the two are bit-identical by construction.
+# ---------------------------------------------------------------------------
+
+
+def _clip_util(value: float) -> float:
+    """Clip a utilization to ``[0, MAX_CROSS_UTIL]`` (branchy, scalar-fast)."""
+    if value < 0.0:
+        return 0.0
+    if value > MAX_CROSS_UTIL:
+        return MAX_CROSS_UTIL
+    return value
+
+
+@dataclass
+class LoadState:
+    """Mutable cross-load state threaded through :func:`load_step`.
+
+    Attributes:
+        regime_mean: the current regime's mean utilization.
+        util: the AR(1) state (last epoch's pre-transfer utilization).
+        time_s: absolute time (drives the optional diurnal cycle).
+    """
+
+    regime_mean: float
+    util: float
+    time_s: float
+
+
+def init_load_state(
+    config: PathConfig,
+    z_regime: float,
+    z_util: float,
+    regime_mean: float | None = None,
+    start_time_s: float = 0.0,
+) -> LoadState:
+    """Initial load state from the trace's two init draws.
+
+    ``z_regime`` is consumed only when no explicit ``regime_mean`` is
+    given (it is drawn-and-discarded otherwise, keeping the init
+    stream's layout fixed).
+    """
+    if regime_mean is None:
+        regime_mean = _clip_util(
+            config.base_util + config.util_spread * z_regime
+        )
+    util = _clip_util(regime_mean + config.ar_sigma * z_util)
+    return LoadState(regime_mean=regime_mean, util=util, time_s=start_time_s)
+
+
+def load_step(
+    config: PathConfig,
+    state: LoadState,
+    dt_s: float,
+    u,
+    z_ar: float,
+    z_drift: float,
+) -> tuple[float, float, bool, bool]:
+    """Advance the load by one epoch using pre-drawn noise.
+
+    Args:
+        config: the path's static parameters.
+        state: the mutable load state (updated in place).
+        dt_s: elapsed time since the previous epoch.
+        u: this epoch's uniform block (``U_WIDTH`` wide, indexed by the
+            ``U_*`` constants of ``repro.fastpath.sites``).
+        z_ar: the AR innovation (shared by the shift and AR branches).
+        z_drift: the within-epoch drift innovation.
+
+    Returns:
+        ``(util_pre, util_during, outlier, shifted)`` — a plain tuple
+        (this runs once per epoch on the campaign hot path).
+    """
+    if dt_s < 0:
+        raise ValueError(f"dt_s must be non-negative, got {dt_s}")
+    cfg = config
+    state.time_s += dt_s
+
+    shifted = False
+    shift_prob = 1.0 - math.exp(-cfg.shift_rate_per_hour * dt_s / 3600.0)
+    if u[0] < shift_prob:
+        # Level shift: magnitude of at least ~1.5 sigma of trace-level
+        # variation, biased back toward the long-run mean.
+        magnitude = (1.5 + 2.5 * u[1]) * max(cfg.util_spread, 0.05)
+        diff = cfg.base_util - state.regime_mean
+        toward_base = 1.0 if diff > 0.0 else (-1.0 if diff < 0.0 else 1.0)
+        direction = toward_base if u[2] < 0.6 else -toward_base
+        state.regime_mean = _clip_util(state.regime_mean + direction * magnitude)
+        # Jump most of the way to the new level immediately.
+        state.util = _clip_util(state.regime_mean + cfg.ar_sigma * z_ar)
+        shifted = True
+    else:
+        mean = state.regime_mean
+        amplitude = cfg.diurnal_amplitude
+        if amplitude != 0.0:
+            mean = mean + amplitude * math.sin(
+                2.0 * math.pi * state.time_s / DAY_S
+            )
+        state.util = _clip_util(
+            mean + cfg.ar_phi * (state.util - mean) + cfg.ar_sigma * z_ar
+        )
+
+    # The transfer happens ~1-2 minutes after the measurements begin;
+    # at short timescales cross traffic is bursty, so the load during
+    # the transfer can differ substantially from what the probes saw.
+    util_during = _clip_util(state.util + (0.01 + cfg.ar_sigma * 0.8 * z_drift))
+
+    outlier = bool(u[3] < cfg.outlier_rate)
+    if outlier:
+        extra = OUTLIER_EXTRA_UTIL_RANGE[0] + (
+            OUTLIER_EXTRA_UTIL_RANGE[1] - OUTLIER_EXTRA_UTIL_RANGE[0]
+        ) * u[4]
+        util_during = _clip_util(util_during + extra)
+
+    return state.util, util_during, outlier, shifted

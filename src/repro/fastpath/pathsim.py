@@ -1,4 +1,4 @@
-"""The fluid per-epoch path simulator.
+"""The fluid per-epoch path simulator (the scalar reference engine).
 
 :class:`FluidPathSimulator` produces one :class:`EpochMeasurement` per
 call, following the paper's epoch timeline (Fig. 1): avail-bw
@@ -20,8 +20,15 @@ TCP flow:
   event rate is the one at which the TCP model equals the achieved
   share (AIMD loss-throughput duality, computed by inverting PFTK).
 
-Every stochastic draw comes from the injected RNG stream, so campaigns
-are reproducible.
+Every stochastic draw comes from the trace's named **site streams**
+(:class:`~repro.fastpath.sites.FluidSites`) with a fixed per-epoch
+draw-and-discard layout, so the vectorized engine
+(``repro.fastpath.vector``) can batch the same draws across a whole
+trace and reproduce this scalar loop bit for bit.  Noise enters the
+arithmetic only through NumPy ufunc expressions (``np.exp`` /
+``np.sqrt`` / ``np.minimum`` ...), which round identically whether
+applied to scalars or arrays — the foundation of the scalar/vector
+parity gate.
 """
 
 from __future__ import annotations
@@ -31,7 +38,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.fastpath.loadmodel import CrossLoadProcess, EpochLoad
+from repro.fastpath.loadmodel import init_load_state, load_step
 from repro.fastpath.queueing import (
     mm1k_loss_probability,
     mm1k_mean_queue_delay_s,
@@ -39,10 +46,24 @@ from repro.fastpath.queueing import (
     pollaczek_khinchine_factor,
     service_rate_pps,
 )
-from repro.fastpath.sampling import (
-    pathload_estimate,
-    probe_loss_estimate,
-    probe_rtt_estimate,
+from repro.fastpath.sampling import pathload_sample, probe_rtt_sample
+from repro.fastpath.sites import (
+    U_WIDTH,
+    FluidSites,
+    Z_AR,
+    Z_DRIFT,
+    Z_FILL,
+    Z_PATHLOAD,
+    Z_PROBE_MISMATCH,
+    Z_RTT_DURING_JITTER,
+    Z_RTT_DURING_STDERR,
+    Z_RTT_PRE_JITTER,
+    Z_RTT_PRE_STDERR,
+    Z_SMALL_FILL,
+    Z_SMALL_VARIABILITY,
+    Z_VARIABILITY,
+    z_checkpoint_base,
+    z_width,
 )
 from repro.formulas.params import TcpParameters
 from repro.obs import get_telemetry
@@ -72,6 +93,36 @@ PROBE_LOSS_LOGNORMAL_SIGMA = 1.5
 CAPACITY_MEASUREMENT_SLACK = 1.2
 
 
+def draw_elastic_rtts(
+    config: PathConfig, rng: np.random.Generator
+) -> tuple[float, ...]:
+    """The elastic cross flows' RTTs, drawn once per trace.
+
+    One vectorized ``uniform(0.5, 2.5, n)`` call — shared verbatim by
+    the scalar and vector engines so both consume the ``elastic`` site
+    stream identically.
+    """
+    n_elastic = int(round(config.elasticity * config.n_cross_flows))
+    if n_elastic == 0:
+        return ()
+    draws = config.base_rtt_s * rng.uniform(0.5, 2.5, n_elastic)
+    return tuple(float(rtt) for rtt in draws)
+
+
+def elastic_cross_weight(elastic_rtts_s: tuple[float, ...]) -> float:
+    """``sum(1/rtt)`` over the elastic flows, in a *fixed* order.
+
+    The bandwidth-share formula reduces over the elastic RTTs; NumPy's
+    pairwise summation would regroup that reduction and diverge from a
+    scalar loop in the last bits, so both engines share this explicit
+    left-to-right accumulation, computed once per trace.
+    """
+    total = 0.0
+    for rtt in elastic_rtts_s:
+        total += 1.0 / rtt
+    return total
+
+
 @dataclass(frozen=True)
 class _TransferOutcome:
     """Internal result of the transfer model."""
@@ -85,11 +136,14 @@ class _TransferOutcome:
 
 
 class FluidPathSimulator:
-    """Epoch-level simulator of one path.
+    """Epoch-level simulator of one path (scalar reference engine).
 
     Args:
         config: the path's static parameters.
-        rng: this path/trace's random stream.
+        rng: this path/trace's random streams — either a
+            :class:`~repro.fastpath.sites.FluidSites` bundle (what the
+            campaign passes) or a single :class:`numpy.random.Generator`
+            from which a bundle is spawned (tests, ad hoc use).
         regime_mean: optional starting regime mean for the load process.
         start_time_s: absolute start time, forwarded to the load process
             (only observable when the config enables a diurnal cycle).
@@ -98,25 +152,28 @@ class FluidPathSimulator:
     def __init__(
         self,
         config: PathConfig,
-        rng: np.random.Generator,
+        rng: np.random.Generator | FluidSites,
         regime_mean: float | None = None,
         start_time_s: float = 0.0,
     ) -> None:
         self.config = config
-        self.rng = rng
-        self.load = CrossLoadProcess(
-            config, rng, regime_mean, start_time_s=start_time_s
-        )
+        sites = rng if isinstance(rng, FluidSites) else FluidSites.from_generator(rng)
+        self.sites = sites
         self._k_packets = packets_for_buffer(config.buffer_bytes)
         self._mu_pps = service_rate_pps(config.capacity_mbps)
         self._pk_factor = pollaczek_khinchine_factor(config.burstiness_scv)
         # Elastic cross flows competing at the bottleneck: count and RTTs
         # are drawn once per simulator (i.e. per trace).
-        n_elastic = int(round(config.elasticity * config.n_cross_flows))
-        self._elastic_rtts_s = [
-            float(config.base_rtt_s * rng.uniform(0.5, 2.5))
-            for _ in range(n_elastic)
-        ]
+        self._elastic_rtts_s = draw_elastic_rtts(config, sites.elastic)
+        self._cross_weight = elastic_cross_weight(self._elastic_rtts_s)
+        z_init = sites.init.standard_normal(2)
+        self._load_state = init_load_state(
+            config,
+            float(z_init[0]),
+            float(z_init[1]),
+            regime_mean,
+            start_time_s=start_time_s,
+        )
 
     # ------------------------------------------------------------------
     # Public API
@@ -150,54 +207,78 @@ class FluidPathSimulator:
         """
         telemetry = get_telemetry()
         clock = telemetry.phase_clock()
-        load = self.load.advance(dt_s)
+        cfg = self.config
+
+        has_small = small_tcp is not None
+        u = self.sites.u.random(U_WIDTH).tolist()
+        z = self.sites.z.standard_normal(
+            z_width(has_small, len(checkpoint_fractions))
+        ).tolist()
+        util_pre, util_during, outlier, _shifted = load_step(
+            cfg, self._load_state, dt_s, u, z[Z_AR], z[Z_DRIFT]
+        )
         clock.lap("load")
 
         # --- pre-transfer measurements (pathload, then 60 s of ping) ---
-        dq_pre = self._queue_delay(load.util_pre)
-        that_s = probe_rtt_estimate(
-            self.rng, self.config.base_rtt_s, dq_pre, N_PROBES_PRE
+        dq_pre = self._queue_delay(util_pre)
+        that_s = float(
+            probe_rtt_sample(
+                cfg.base_rtt_s,
+                dq_pre,
+                N_PROBES_PRE,
+                z[Z_RTT_PRE_STDERR],
+                z[Z_RTT_PRE_JITTER],
+            )
         )
         loss_pre = min(
             0.5,
-            self.config.random_loss
-            + mm1k_loss_probability(load.util_pre, self._k_packets),
+            cfg.random_loss + mm1k_loss_probability(util_pre, self._k_packets),
         )
-        phat = probe_loss_estimate(self.rng, loss_pre, N_PROBES_PRE)
+        phat = float(self.sites.phat.binomial(N_PROBES_PRE, loss_pre)) / N_PROBES_PRE
         clock.lap("ping")
-        availbw_pre = self.config.capacity_mbps * (1.0 - load.util_pre)
-        ahat_mbps = pathload_estimate(
-            self.rng,
-            availbw_pre,
-            self.config.capacity_mbps,
-            self.config.pathload_bias,
-            self.config.pathload_noise,
+        availbw_pre = cfg.capacity_mbps * (1.0 - util_pre)
+        ahat_mbps = float(
+            pathload_sample(
+                availbw_pre,
+                cfg.capacity_mbps,
+                cfg.pathload_bias,
+                cfg.pathload_noise,
+                z[Z_PATHLOAD],
+            )
         )
         clock.lap("pathload")
 
         # --- the target transfer ---------------------------------------
-        outcome = self._transfer(load, tcp)
+        outcome = self._transfer(util_during, tcp, z[Z_FILL], z[Z_VARIABILITY])
         clock.lap("iperf")
 
         # --- probing during the transfer --------------------------------
-        ttilde_s = probe_rtt_estimate(
-            self.rng,
-            self.config.base_rtt_s,
-            outcome.queue_delay_during_s,
-            N_PROBES_DURING,
+        ttilde_s = float(
+            probe_rtt_sample(
+                cfg.base_rtt_s,
+                outcome.queue_delay_during_s,
+                N_PROBES_DURING,
+                z[Z_RTT_DURING_STDERR],
+                z[Z_RTT_DURING_JITTER],
+            )
         )
-        probe_loss_during = self._probe_observed_loss(outcome)
-        ptilde = probe_loss_estimate(self.rng, probe_loss_during, N_PROBES_DURING)
+        probe_loss_during = self._probe_observed_loss(outcome, z[Z_PROBE_MISMATCH])
+        ptilde = (
+            float(self.sites.ptilde.binomial(N_PROBES_DURING, probe_loss_during))
+            / N_PROBES_DURING
+        )
         clock.lap("ping")
 
         # --- companion small-window transfer ----------------------------
         smallw = None
-        if small_tcp is not None:
-            smallw = self._transfer(load, small_tcp).throughput_mbps
+        if has_small:
+            smallw = self._transfer(
+                util_during, small_tcp, z[Z_SMALL_FILL], z[Z_SMALL_VARIABILITY]
+            ).throughput_mbps
 
         # --- sub-duration throughputs (second measurement set) ----------
         checkpoints = self._checkpoint_throughputs(
-            outcome, checkpoint_fractions, transfer_duration_s
+            outcome, checkpoint_fractions, transfer_duration_s, z, has_small
         )
         clock.lap("iperf")
 
@@ -225,11 +306,11 @@ class FluidPathSimulator:
             smallw_throughput_mbps=smallw,
             duration_throughputs_mbps=checkpoints,
             truth=EpochTruth(
-                utilization_pre=load.util_pre,
-                utilization_during=load.util_during,
+                utilization_pre=util_pre,
+                utilization_during=util_during,
                 loss_event_rate=outcome.loss_event_rate,
                 regime=outcome.regime,
-                outlier=load.outlier,
+                outlier=outlier,
             ),
         )
 
@@ -237,23 +318,23 @@ class FluidPathSimulator:
     # The transfer model
     # ------------------------------------------------------------------
 
-    def _transfer(self, load: EpochLoad, tcp: TcpParameters) -> _TransferOutcome:
+    def _transfer(
+        self, util: float, tcp: TcpParameters, z_fill: float, z_var: float
+    ) -> _TransferOutcome:
         cfg = self.config
-        u = load.util_during
         capacity = cfg.capacity_mbps
-        availbw = capacity * (1.0 - u)
+        availbw = capacity * (1.0 - util)
         base_rtt = cfg.base_rtt_s
-        window_mbps_at = lambda rtt_s: tcp.max_window_bytes * 8.0 / rtt_s / 1e6
 
         # First guess of the flow's RTT if it stays non-saturating.
-        dq_light = self._queue_delay(u)
-        window_cap = window_mbps_at(base_rtt + dq_light)
+        dq_light = self._queue_delay(util)
+        window_cap = tcp.max_window_bytes * 8.0 / (base_rtt + dq_light) / 1e6
 
         if window_cap < WINDOW_LIMITED_MARGIN * availbw:
-            return self._window_limited_transfer(u, tcp)
+            return self._window_limited_transfer(util, tcp, z_var)
 
         # The flow saturates (or tries to): compute its bandwidth share.
-        share = self._bandwidth_share(u, base_rtt)
+        share = self._bandwidth_share(util, base_rtt)
         rto_guess = max(1.0, 2.0 * base_rtt)
         loss_cap = math.inf
         if cfg.random_loss > 0:
@@ -262,11 +343,11 @@ class FluidPathSimulator:
             )
 
         if loss_cap < share:
-            return self._loss_limited_transfer(u, tcp, loss_cap)
-        return self._congestion_limited_transfer(u, tcp, share)
+            return self._loss_limited_transfer(util, tcp, loss_cap, z_var)
+        return self._congestion_limited_transfer(util, tcp, share, z_fill, z_var)
 
     def _window_limited_transfer(
-        self, util: float, tcp: TcpParameters
+        self, util: float, tcp: TcpParameters, z_var: float
     ) -> _TransferOutcome:
         cfg = self.config
         # The flow adds its own (small) load; recompute the queue with it.
@@ -284,12 +365,12 @@ class FluidPathSimulator:
             rto = max(1.0, 2.0 * rtt_during)
             mean_rate = min(mean_rate, pftk_throughput(rtt_during, loss, rto, tcp))
 
-        sigma = 0.03 + 1.5 * math.sqrt(loss)
-        sample = mean_rate * float(self.rng.lognormal(0.0, min(sigma, 0.35)))
-        sample = min(sample, tcp.max_window_bytes * 8.0 / cfg.base_rtt_s / 1e6)
+        sigma = 0.03 + 1.5 * np.sqrt(loss)
+        sample = mean_rate * np.exp(min(sigma, 0.35) * z_var)
+        sample = min(sample, window_mbps)
         sample = min(sample, CAPACITY_MEASUREMENT_SLACK * cfg.capacity_mbps)
         return _TransferOutcome(
-            throughput_mbps=max(sample, 1e-3),
+            throughput_mbps=float(max(sample, 1e-3)),
             mean_throughput_mbps=mean_rate,
             loss_event_rate=loss,
             rtt_during_s=rtt_during,
@@ -298,7 +379,7 @@ class FluidPathSimulator:
         )
 
     def _loss_limited_transfer(
-        self, util: float, tcp: TcpParameters, loss_cap_mbps: float
+        self, util: float, tcp: TcpParameters, loss_cap_mbps: float, z_var: float
     ) -> _TransferOutcome:
         cfg = self.config
         util_total = min(
@@ -308,11 +389,11 @@ class FluidPathSimulator:
         rtt_during = cfg.base_rtt_s + dq
         # Loss-limited flows have high throughput variance: the loss
         # process, not the capacity, sets the pace.
-        sigma = 0.07 + 0.5 * math.sqrt(cfg.random_loss)
-        sample = loss_cap_mbps * float(self.rng.lognormal(0.0, min(sigma, 0.4)))
+        sigma = 0.07 + 0.5 * np.sqrt(cfg.random_loss)
+        sample = loss_cap_mbps * np.exp(min(sigma, 0.4) * z_var)
         sample = min(sample, CAPACITY_MEASUREMENT_SLACK * cfg.capacity_mbps)
         return _TransferOutcome(
-            throughput_mbps=max(sample, 1e-3),
+            throughput_mbps=float(max(sample, 1e-3)),
             mean_throughput_mbps=loss_cap_mbps,
             loss_event_rate=cfg.random_loss,
             rtt_during_s=rtt_during,
@@ -321,7 +402,12 @@ class FluidPathSimulator:
         )
 
     def _congestion_limited_transfer(
-        self, util: float, tcp: TcpParameters, share_mbps: float
+        self,
+        util: float,
+        tcp: TcpParameters,
+        share_mbps: float,
+        z_fill: float,
+        z_var: float,
     ) -> _TransferOutcome:
         cfg = self.config
         # Buffer adequacy: an AIMD sawtooth needs roughly a BDP of
@@ -337,9 +423,7 @@ class FluidPathSimulator:
 
         # Saturation keeps the buffer partially full; the fill level rises
         # with how loaded the path already was.
-        fill = float(
-            np.clip(0.25 + 0.35 * util + self.rng.normal(0.0, 0.08), 0.15, 0.9)
-        )
+        fill = min(0.9, max(0.15, 0.25 + 0.35 * util + 0.08 * z_fill))
         dq = fill * self._k_packets / self._mu_pps
         rtt_during = cfg.base_rtt_s + dq
         mean_rate = min(mean_rate, tcp.max_window_bytes * 8.0 / rtt_during / 1e6)
@@ -348,9 +432,9 @@ class FluidPathSimulator:
         # shrinks with statistical multiplexing (the paper's queueing
         # analysis, Section 6.1.4).
         sigma = 0.03 + 0.35 * util * util / math.sqrt(max(1, cfg.n_cross_flows))
-        sample = mean_rate * float(self.rng.lognormal(0.0, min(sigma, 0.5)))
+        sample = mean_rate * np.exp(min(sigma, 0.5) * z_var)
         sample = min(sample, CAPACITY_MEASUREMENT_SLACK * cfg.capacity_mbps)
-        sample = max(sample, 1e-3)
+        sample = float(max(sample, 1e-3))
 
         # AIMD duality: the loss event rate is whatever makes the TCP
         # model deliver the achieved rate at the experienced RTT.
@@ -397,11 +481,16 @@ class FluidPathSimulator:
             return max(availbw, 0.10 * cfg.capacity_mbps)
         elastic_cross_mbps = util * cfg.elasticity * cfg.capacity_mbps
         target_weight = 1.0 / target_rtt_s
-        cross_weight = sum(1.0 / rtt for rtt in self._elastic_rtts_s)
-        yielded = elastic_cross_mbps * target_weight / (target_weight + cross_weight)
+        yielded = (
+            elastic_cross_mbps
+            * target_weight
+            / (target_weight + self._cross_weight)
+        )
         return max(availbw + yielded, 0.10 * cfg.capacity_mbps)
 
-    def _probe_observed_loss(self, outcome: _TransferOutcome) -> float:
+    def _probe_observed_loss(
+        self, outcome: _TransferOutcome, z_mismatch: float
+    ) -> float:
         """Loss rate periodic probes see during the transfer.
 
         In the congestion-limited regime the flow's own losses cluster in
@@ -411,9 +500,7 @@ class FluidPathSimulator:
         cfg = self.config
         if outcome.regime == "congestion":
             packet_loss = outcome.loss_event_rate * cfg.burst_factor
-            mismatch = float(
-                self.rng.lognormal(0.0, PROBE_LOSS_LOGNORMAL_SIGMA)
-            )
+            mismatch = np.exp(PROBE_LOSS_LOGNORMAL_SIGMA * z_mismatch)
             observed = cfg.random_loss + cfg.probe_loss_factor * mismatch * packet_loss
         else:
             observed = outcome.loss_event_rate
@@ -424,6 +511,8 @@ class FluidPathSimulator:
         outcome: _TransferOutcome,
         fractions: tuple[float, ...],
         duration_s: float,
+        z: list,
+        has_small: bool,
     ) -> tuple[float, ...]:
         """Cumulative throughput at intermediate cuts of the transfer.
 
@@ -433,14 +522,15 @@ class FluidPathSimulator:
         """
         if not fractions:
             return ()
+        base = z_checkpoint_base(has_small)
         checkpoints = []
-        for fraction in fractions:
+        for offset, fraction in enumerate(fractions):
             if not 0.0 < fraction <= 1.0:
                 raise ValueError(f"checkpoint fraction {fraction} outside (0, 1]")
             rel_std = 0.08 / math.sqrt(fraction)
-            value = outcome.throughput_mbps * float(
-                self.rng.lognormal(0.0, min(rel_std, 0.5))
+            value = outcome.throughput_mbps * np.exp(
+                min(rel_std, 0.5) * z[base + offset]
             )
-            checkpoints.append(max(value, 1e-3))
+            checkpoints.append(float(max(value, 1e-3)))
         del duration_s  # documented knob; the fractions carry the scale
         return tuple(checkpoints)

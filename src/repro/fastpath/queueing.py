@@ -10,11 +10,21 @@ which happens whenever the target flow saturates the path.
 Internet cross traffic is burstier than Poisson; the path configuration
 compensates through its ``burst_factor``/``probe_loss_factor``
 parameters rather than through a heavier queueing model.
+
+Each scalar formula has an ``*_array`` variant evaluating whole epoch
+batches at once for the vectorized fluid engine.  The scalar forms
+deliberately route their exponentials and logarithms through ``np.exp``
+/ ``np.log`` (the ``math`` module's versions round differently in the
+last bit on some inputs — unlike ``sqrt``, ``exp``/``log`` are not
+IEEE-correctly-rounded, so the two libms may disagree) and the array
+forms replicate every special case element by element, so the two are
+**bit-identical** — the property the scalar-vs-vector campaign parity
+gate (``make vector-parity``) rests on.
 """
 
 from __future__ import annotations
 
-import math
+import numpy as np
 
 
 def _validate(rho: float, k_packets: int) -> None:
@@ -36,12 +46,37 @@ def mm1k_loss_probability(rho: float, k_packets: int) -> float:
     if abs(rho - 1.0) < 1e-9:
         return 1.0 / (k_packets + 1)
     # For large K and rho < 1, rho^K underflows harmlessly to 0.
-    log_rho = math.log(rho)
+    log_rho = float(np.log(rho))
     if rho < 1.0 and k_packets * log_rho < -700:
         return 0.0
-    num = (1.0 - rho) * math.exp(k_packets * log_rho)
-    den = 1.0 - math.exp((k_packets + 1) * log_rho)
-    return min(1.0, max(0.0, num / den))
+    num = (1.0 - rho) * np.exp(k_packets * log_rho)
+    den = 1.0 - np.exp((k_packets + 1) * log_rho)
+    return float(min(1.0, max(0.0, num / den)))
+
+
+def mm1k_loss_probability_array(rho: np.ndarray, k_packets: int) -> np.ndarray:
+    """Elementwise :func:`mm1k_loss_probability` over a load array.
+
+    Bit-identical to the scalar form for every element, including its
+    ``rho == 0`` / ``rho ~ 1`` / underflow special cases.
+    """
+    _validate(float(rho.min(initial=0.0)), k_packets)
+    out = np.zeros_like(rho)
+    near_one = np.abs(rho - 1.0) < 1e-9
+    if near_one.any():
+        out[near_one] = 1.0 / (k_packets + 1)
+    index = np.nonzero(~near_one & (rho != 0.0))[0]
+    if index.size:
+        r = rho[index]
+        log_rho = np.log(r)
+        num = (1.0 - r) * np.exp(k_packets * log_rho)
+        den = 1.0 - np.exp((k_packets + 1) * log_rho)
+        values = np.minimum(1.0, np.maximum(0.0, num / den))
+        # Match the scalar underflow guard exactly: below exp's
+        # subnormal range the scalar returns a clean 0.0 early.
+        values[(r < 1.0) & (k_packets * log_rho < -700)] = 0.0
+        out[index] = values
+    return out
 
 
 def mm1k_mean_system_occupancy(rho: float, k_packets: int) -> float:
@@ -55,12 +90,36 @@ def mm1k_mean_system_occupancy(rho: float, k_packets: int) -> float:
         return 0.0
     if abs(rho - 1.0) < 1e-9:
         return k_packets / 2.0
-    log_rho = math.log(rho)
+    log_rho = float(np.log(rho))
     if rho < 1.0 and (k_packets + 1) * log_rho < -700:
         return rho / (1.0 - rho)
-    tail = (k_packets + 1) * math.exp((k_packets + 1) * log_rho)
-    occupancy = rho / (1.0 - rho) - tail / (1.0 - math.exp((k_packets + 1) * log_rho))
-    return min(float(k_packets), max(0.0, occupancy))
+    tail = (k_packets + 1) * np.exp((k_packets + 1) * log_rho)
+    occupancy = rho / (1.0 - rho) - tail / (1.0 - np.exp((k_packets + 1) * log_rho))
+    return float(min(float(k_packets), max(0.0, occupancy)))
+
+
+def mm1k_mean_system_occupancy_array(
+    rho: np.ndarray, k_packets: int
+) -> np.ndarray:
+    """Elementwise :func:`mm1k_mean_system_occupancy` over a load array."""
+    _validate(float(rho.min(initial=0.0)), k_packets)
+    out = np.zeros_like(rho)
+    near_one = np.abs(rho - 1.0) < 1e-9
+    if near_one.any():
+        out[near_one] = k_packets / 2.0
+    index = np.nonzero(~near_one & (rho != 0.0))[0]
+    if index.size:
+        r = rho[index]
+        log_rho = np.log(r)
+        geometric = r / (1.0 - r)
+        tail = (k_packets + 1) * np.exp((k_packets + 1) * log_rho)
+        occupancy = geometric - tail / (1.0 - np.exp((k_packets + 1) * log_rho))
+        values = np.minimum(float(k_packets), np.maximum(0.0, occupancy))
+        # The scalar underflow branch returns rho/(1-rho) *unclamped*.
+        underflow = (r < 1.0) & ((k_packets + 1) * log_rho < -700)
+        values[underflow] = geometric[underflow]
+        out[index] = values
+    return out
 
 
 def mm1k_mean_queue_delay_s(
@@ -88,7 +147,24 @@ def mm1k_mean_queue_delay_s(
     if effective_arrivals <= 0:
         return 0.0
     total_delay = occupancy / effective_arrivals
-    return max(0.0, total_delay - 1.0 / service_rate_pps)
+    return float(max(0.0, total_delay - 1.0 / service_rate_pps))
+
+
+def mm1k_mean_queue_delay_s_array(
+    rho: np.ndarray, k_packets: int, service_rate_pps: float
+) -> np.ndarray:
+    """Elementwise :func:`mm1k_mean_queue_delay_s` over a load array."""
+    if service_rate_pps <= 0:
+        raise ValueError(f"service_rate_pps must be positive, got {service_rate_pps}")
+    loss = mm1k_loss_probability_array(rho, k_packets)
+    occupancy = mm1k_mean_system_occupancy_array(rho, k_packets)
+    effective_arrivals = rho * service_rate_pps * (1.0 - loss)
+    out = np.zeros_like(rho)
+    index = np.nonzero(effective_arrivals > 0)[0]
+    if index.size:
+        total_delay = occupancy[index] / effective_arrivals[index]
+        out[index] = np.maximum(0.0, total_delay - 1.0 / service_rate_pps)
+    return out
 
 
 def pollaczek_khinchine_factor(scv: float) -> float:

@@ -65,6 +65,41 @@ def probe_rtt_estimate(
     return float(max(base_rtt_s, base_rtt_s + mean_queue_delay_s + noise))
 
 
+def probe_rtt_sample(
+    base_rtt_s: float,
+    mean_queue_delay_s,
+    n_probes: int,
+    z_stderr,
+    z_jitter,
+):
+    """:func:`probe_rtt_estimate` as a pure kernel over pre-drawn noise.
+
+    Written entirely in NumPy ufunc operations so that the scalar
+    engine (passing floats) and the vectorized engine (passing whole
+    epoch arrays) produce bit-identical values — NumPy applies the same
+    elementwise routine either way.
+    """
+    stderr = mean_queue_delay_s / np.sqrt(n_probes)
+    noise = stderr * z_stderr + RTT_JITTER_S * z_jitter
+    return np.maximum(base_rtt_s, base_rtt_s + mean_queue_delay_s + noise)
+
+
+def pathload_sample(
+    true_availbw_mbps,
+    capacity_mbps: float,
+    bias: float,
+    noise: float,
+    z,
+):
+    """:func:`pathload_estimate` as a pure kernel over pre-drawn noise.
+
+    Same scalar/array bit-identity contract as :func:`probe_rtt_sample`.
+    """
+    estimate = true_availbw_mbps * (1.0 + bias + noise * z)
+    floor = 0.05  # Mbps; the estimator cannot report zero or less
+    return np.clip(estimate, floor, capacity_mbps * 1.05)
+
+
 def pathload_estimate(
     rng: np.random.Generator,
     true_availbw_mbps: float,

@@ -1,0 +1,620 @@
+"""The vectorized fluid engine: whole traces as (epoch,) arrays.
+
+This is the campaign's default execution engine.  It computes the same
+model as the scalar reference loop
+(:class:`~repro.fastpath.pathsim.FluidPathSimulator`) but batches every
+per-epoch quantity of one trace into NumPy arrays, turning ~150 Python
+epoch iterations (a dozen formula calls each) into a handful of array
+kernels — a 10-100x campaign throughput win (``benchmarks/perf_bench.py``,
+fixtures ``fluid_trace`` vs ``fluid_vector``).
+
+**Bit-identity contract.**  The vector engine must produce *byte-identical
+datasets* to the scalar loop (``make vector-parity`` diffs the CSV
+digests; ``REPRO_FLUID_VECTOR=0`` switches a campaign to the scalar
+engine).  Three mechanisms make that possible:
+
+* every draw site has its own named stream with a fixed per-epoch width
+  (:mod:`repro.fastpath.sites`), so one batched ``rng.random((E, k))``
+  consumes exactly the bits of ``E`` scalar ``rng.random(k)`` calls;
+* the serial AR(1) load recursion runs through the *same* Python
+  function (:func:`~repro.fastpath.loadmodel.load_step`) in both
+  engines — it is inherently sequential, and at one call per epoch it
+  is not the bottleneck;
+* everything else evaluates the same NumPy ufunc expression trees the
+  scalar engine uses (``np.exp`` and friends round identically for
+  scalars and arrays), with branch-dependent work computed on
+  ``np.nonzero``-compressed index subsets so each element sees exactly
+  the scalar branch arithmetic.
+
+Telemetry: the vector engine emits the same per-epoch ``epoch`` events
+and phase timers as the scalar loop, attributing to each epoch an equal
+share of the trace's per-phase array-kernel time.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fastpath.loadmodel import init_load_state, load_step
+from repro.fastpath.pathsim import (
+    CAPACITY_MEASUREMENT_SLACK,
+    N_PROBES_DURING,
+    N_PROBES_PRE,
+    PROBE_LOSS_LOGNORMAL_SIGMA,
+    WINDOW_LIMITED_MARGIN,
+    draw_elastic_rtts,
+    elastic_cross_weight,
+)
+from repro.fastpath.queueing import (
+    mm1k_loss_probability_array,
+    mm1k_mean_queue_delay_s_array,
+    packets_for_buffer,
+    pollaczek_khinchine_factor,
+    service_rate_pps,
+)
+from repro.fastpath.sampling import pathload_sample, probe_rtt_sample
+from repro.fastpath.sites import (
+    U_WIDTH,
+    FluidSites,
+    Z_AR,
+    Z_DRIFT,
+    Z_FILL,
+    Z_PATHLOAD,
+    Z_PROBE_MISMATCH,
+    Z_RTT_DURING_JITTER,
+    Z_RTT_DURING_STDERR,
+    Z_RTT_PRE_JITTER,
+    Z_RTT_PRE_STDERR,
+    Z_SMALL_FILL,
+    Z_SMALL_VARIABILITY,
+    Z_VARIABILITY,
+    z_checkpoint_base,
+    z_width,
+)
+from repro.formulas.params import TcpParameters
+from repro.formulas.pftk import pftk_loss_for_throughput_array, pftk_throughput_array
+from repro.obs import get_telemetry
+from repro.paths.config import PathConfig
+from repro.paths.records import EpochMeasurement, EpochTruth, Trace
+
+#: Environment switch: ``REPRO_FLUID_VECTOR=0`` runs campaigns on the
+#: scalar reference engine instead (the parity cross-check, and the
+#: fallback if a platform's NumPy misbehaves).
+ENV_FLUID_VECTOR = "REPRO_FLUID_VECTOR"
+
+#: Regime codes used internally; indices into this tuple.
+_REGIMES = ("window", "loss", "congestion")
+_WINDOW, _LOSS, _CONGESTION = 0, 1, 2
+
+
+def fluid_vector_enabled() -> bool:
+    """Whether campaigns run on the vectorized fluid engine (default)."""
+    return os.environ.get(ENV_FLUID_VECTOR, "1") != "0"
+
+
+@dataclass(frozen=True)
+class _TraceContext:
+    """Per-trace path constants shared by the transfer kernels."""
+
+    k_packets: int
+    mu_pps: float
+    pk_factor: float
+    elastic_rtts_s: tuple[float, ...]
+    cross_weight: float
+
+
+@dataclass(frozen=True)
+class _TransferArrays:
+    """Per-epoch transfer results over one trace."""
+
+    throughput_mbps: np.ndarray
+    loss_event_rate: np.ndarray
+    rtt_during_s: np.ndarray
+    queue_delay_during_s: np.ndarray
+    regime: np.ndarray  # uint8 codes into _REGIMES
+
+
+def run_fluid_trace(
+    config: PathConfig,
+    sites: FluidSites,
+    trace_index: int,
+    dt_s: np.ndarray,
+    *,
+    tcp: TcpParameters,
+    small_tcp: TcpParameters | None,
+    checkpoint_fractions: tuple[float, ...],
+    transfer_duration_s: float,
+    start_time_s: float,
+) -> Trace:
+    """Simulate one whole trace vectorized; bit-identical to the scalar loop.
+
+    Args:
+        config: the path's static parameters.
+        sites: the (path, trace)'s site streams (the same bundle the
+            scalar engine would consume).
+        trace_index: which trace on the path.
+        dt_s: the per-epoch intervals, already drawn from the ``dt``
+            site (one array draw == the scalar loop's per-epoch draws).
+        tcp/small_tcp/checkpoint_fractions/transfer_duration_s: the
+            campaign settings, as for
+            :meth:`~repro.fastpath.pathsim.FluidPathSimulator.run_epoch`.
+        start_time_s: the trace's absolute start time.
+    """
+    telemetry = get_telemetry()
+    clock = telemetry.phase_clock()
+    cfg = config
+    path_id = cfg.path_id
+    n_epochs = int(dt_s.size)
+    has_small = small_tcp is not None
+    for fraction in checkpoint_fractions:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"checkpoint fraction {fraction} outside (0, 1]")
+
+    elastic_rtts_s = draw_elastic_rtts(cfg, sites.elastic)
+    ctx = _TraceContext(
+        k_packets=packets_for_buffer(cfg.buffer_bytes),
+        mu_pps=service_rate_pps(cfg.capacity_mbps),
+        pk_factor=pollaczek_khinchine_factor(cfg.burstiness_scv),
+        elastic_rtts_s=elastic_rtts_s,
+        cross_weight=elastic_cross_weight(elastic_rtts_s),
+    )
+    z_init = sites.init.standard_normal(2)
+    state = init_load_state(
+        cfg, float(z_init[0]), float(z_init[1]), None, start_time_s=start_time_s
+    )
+
+    # One batched fill per site == the scalar loop's per-epoch draws.
+    u_block = sites.u.random((n_epochs, U_WIDTH))
+    z_block = sites.z.standard_normal(
+        (n_epochs, z_width(has_small, len(checkpoint_fractions)))
+    )
+
+    # --- the load recursion (serial, shared with the scalar engine) ----
+    util_pre = np.empty(n_epochs)
+    util_during = np.empty(n_epochs)
+    outliers: list[bool] = []
+    u_rows = u_block.tolist()
+    z_ar_col = z_block[:, Z_AR].tolist()
+    z_drift_col = z_block[:, Z_DRIFT].tolist()
+    dt_list = dt_s.tolist()
+    for e in range(n_epochs):
+        pre, during, outlier, _shifted = load_step(
+            cfg, state, dt_list[e], u_rows[e], z_ar_col[e], z_drift_col[e]
+        )
+        util_pre[e] = pre
+        util_during[e] = during
+        outliers.append(outlier)
+    clock.lap("load")
+
+    # --- pre-transfer measurements ------------------------------------
+    dq_pre = ctx.pk_factor * mm1k_mean_queue_delay_s_array(
+        util_pre, ctx.k_packets, ctx.mu_pps
+    )
+    that_s = probe_rtt_sample(
+        cfg.base_rtt_s,
+        dq_pre,
+        N_PROBES_PRE,
+        z_block[:, Z_RTT_PRE_STDERR],
+        z_block[:, Z_RTT_PRE_JITTER],
+    )
+    loss_pre = np.minimum(
+        0.5, cfg.random_loss + mm1k_loss_probability_array(util_pre, ctx.k_packets)
+    )
+    phat = sites.phat.binomial(N_PROBES_PRE, loss_pre) / N_PROBES_PRE
+    clock.lap("ping")
+    availbw_pre = cfg.capacity_mbps * (1.0 - util_pre)
+    ahat_mbps = pathload_sample(
+        availbw_pre,
+        cfg.capacity_mbps,
+        cfg.pathload_bias,
+        cfg.pathload_noise,
+        z_block[:, Z_PATHLOAD],
+    )
+    clock.lap("pathload")
+
+    # --- the target transfer ------------------------------------------
+    outcome = _transfer_arrays(
+        ctx, cfg, util_during, tcp, z_block[:, Z_FILL], z_block[:, Z_VARIABILITY]
+    )
+    clock.lap("iperf")
+
+    # --- probing during the transfer ----------------------------------
+    ttilde_s = probe_rtt_sample(
+        cfg.base_rtt_s,
+        outcome.queue_delay_during_s,
+        N_PROBES_DURING,
+        z_block[:, Z_RTT_DURING_STDERR],
+        z_block[:, Z_RTT_DURING_JITTER],
+    )
+    observed = _probe_observed_loss_arrays(
+        cfg, outcome, z_block[:, Z_PROBE_MISMATCH]
+    )
+    ptilde = sites.ptilde.binomial(N_PROBES_DURING, observed) / N_PROBES_DURING
+    clock.lap("ping")
+
+    # --- companion small-window transfer + checkpoints ----------------
+    smallw = None
+    if has_small:
+        # Only the throughput column of the companion transfer is kept,
+        # so the (expensive, RNG-free) loss-rate inversion is skipped.
+        smallw = _transfer_arrays(
+            ctx,
+            cfg,
+            util_during,
+            small_tcp,
+            z_block[:, Z_SMALL_FILL],
+            z_block[:, Z_SMALL_VARIABILITY],
+            need_loss_event=False,
+        ).throughput_mbps
+    checkpoint_cols = []
+    if checkpoint_fractions:
+        base = z_checkpoint_base(has_small)
+        for offset, fraction in enumerate(checkpoint_fractions):
+            rel_std = 0.08 / math.sqrt(fraction)
+            value = outcome.throughput_mbps * np.exp(
+                min(rel_std, 0.5) * z_block[:, base + offset]
+            )
+            checkpoint_cols.append(np.maximum(value, 1e-3))
+    del transfer_duration_s  # documented knob; the fractions carry the scale
+    clock.lap("iperf")
+
+    trace = _assemble_trace(
+        path_id,
+        trace_index,
+        start_time_s,
+        dt_list,
+        ahat_mbps,
+        phat,
+        that_s,
+        ptilde,
+        ttilde_s,
+        outcome,
+        smallw,
+        checkpoint_cols,
+        util_pre,
+        util_during,
+        outliers,
+    )
+    if clock.enabled:
+        # Each epoch gets an equal share of the trace's per-phase time;
+        # the event/timer *shapes* match the scalar engine's exactly.
+        per_epoch_phases = {
+            name: total / n_epochs for name, total in clock.phases.items()
+        }
+        telemetry.record_epoch_batch(
+            "epoch",
+            path_id,
+            trace_index,
+            per_epoch_phases,
+            [{"regime": _REGIMES[code]} for code in outcome.regime.tolist()],
+        )
+    return trace
+
+
+def _bandwidth_share_arrays(
+    ctx: _TraceContext, cfg: PathConfig, util: np.ndarray, target_rtt_s: float
+) -> np.ndarray:
+    """Vector twin of ``FluidPathSimulator._bandwidth_share``."""
+    availbw = cfg.capacity_mbps * (1.0 - util)
+    if not ctx.elastic_rtts_s:
+        return np.maximum(availbw, 0.10 * cfg.capacity_mbps)
+    elastic_cross_mbps = util * cfg.elasticity * cfg.capacity_mbps
+    target_weight = 1.0 / target_rtt_s
+    yielded = (
+        elastic_cross_mbps * target_weight / (target_weight + ctx.cross_weight)
+    )
+    return np.maximum(availbw + yielded, 0.10 * cfg.capacity_mbps)
+
+
+def _transfer_arrays(
+    ctx: _TraceContext,
+    cfg: PathConfig,
+    util: np.ndarray,
+    tcp: TcpParameters,
+    z_fill: np.ndarray,
+    z_var: np.ndarray,
+    need_loss_event: bool = True,
+) -> _TransferArrays:
+    """Vector twin of ``FluidPathSimulator._transfer``.
+
+    Branch selection is computed for the whole trace at once; each
+    branch's arithmetic then runs on its compressed index subset, where
+    it evaluates exactly the scalar branch's expression tree.
+
+    ``need_loss_event=False`` skips the congestion branch's PFTK loss
+    inversion (a pure function of already-computed columns — no RNG)
+    and leaves ``loss_event_rate`` meaningless; callers that only read
+    the throughput column use this to avoid the dominant bisection
+    cost.
+    """
+    n = util.size
+    capacity = cfg.capacity_mbps
+    base_rtt = cfg.base_rtt_s
+    availbw = capacity * (1.0 - util)
+    dq_light = ctx.pk_factor * mm1k_mean_queue_delay_s_array(
+        util, ctx.k_packets, ctx.mu_pps
+    )
+    window_cap = tcp.max_window_bytes * 8.0 / (base_rtt + dq_light) / 1e6
+    window_mask = window_cap < WINDOW_LIMITED_MARGIN * availbw
+
+    throughput = np.empty(n)
+    loss_event = np.empty(n)
+    rtt_during = np.empty(n)
+    dq_during = np.empty(n)
+    regime = np.empty(n, dtype=np.uint8)
+    out = _TransferArrays(throughput, loss_event, rtt_during, dq_during, regime)
+
+    index_w = np.nonzero(window_mask)[0]
+    if index_w.size:
+        _window_limited_arrays(out, index_w, ctx, cfg, util[index_w], tcp, z_var[index_w])
+
+    index_nw = np.nonzero(~window_mask)[0]
+    if index_nw.size:
+        share = _bandwidth_share_arrays(ctx, cfg, util[index_nw], base_rtt)
+        rto_guess = max(1.0, 2.0 * base_rtt)
+        if cfg.random_loss > 0:
+            loss_cap = pftk_throughput_array(
+                base_rtt + dq_light[index_nw], cfg.random_loss, rto_guess, tcp
+            )
+            loss_mask = loss_cap < share
+        else:
+            loss_cap = np.empty(0)
+            loss_mask = np.zeros(index_nw.size, dtype=bool)
+        index_l = index_nw[loss_mask]
+        if index_l.size:
+            _loss_limited_arrays(
+                out, index_l, ctx, cfg, util[index_l], loss_cap[loss_mask], z_var[index_l]
+            )
+        index_c = index_nw[~loss_mask]
+        if index_c.size:
+            _congestion_limited_arrays(
+                out,
+                index_c,
+                ctx,
+                cfg,
+                util[index_c],
+                tcp,
+                share[~loss_mask],
+                z_fill[index_c],
+                z_var[index_c],
+                need_loss_event,
+            )
+    return out
+
+
+def _window_limited_arrays(
+    out: _TransferArrays,
+    index: np.ndarray,
+    ctx: _TraceContext,
+    cfg: PathConfig,
+    util: np.ndarray,
+    tcp: TcpParameters,
+    z_var: np.ndarray,
+) -> None:
+    window_mbps = tcp.max_window_bytes * 8.0 / cfg.base_rtt_s / 1e6
+    util_total = np.minimum(0.98, util + window_mbps / cfg.capacity_mbps)
+    dq = ctx.pk_factor * mm1k_mean_queue_delay_s_array(
+        util_total, ctx.k_packets, ctx.mu_pps
+    )
+    rtt_d = cfg.base_rtt_s + dq
+    mean_rate = tcp.max_window_bytes * 8.0 / rtt_d / 1e6
+
+    loss = np.minimum(
+        0.4, cfg.random_loss + mm1k_loss_probability_array(util_total, ctx.k_packets)
+    )
+    lossy = np.nonzero(loss > 0)[0]
+    if lossy.size:
+        rto = np.maximum(1.0, 2.0 * rtt_d[lossy])
+        mean_rate[lossy] = np.minimum(
+            mean_rate[lossy], pftk_throughput_array(rtt_d[lossy], loss[lossy], rto, tcp)
+        )
+
+    sigma = 0.03 + 1.5 * np.sqrt(loss)
+    sample = mean_rate * np.exp(np.minimum(sigma, 0.35) * z_var)
+    sample = np.minimum(sample, window_mbps)
+    sample = np.minimum(sample, CAPACITY_MEASUREMENT_SLACK * cfg.capacity_mbps)
+    out.throughput_mbps[index] = np.maximum(sample, 1e-3)
+    out.loss_event_rate[index] = loss
+    out.rtt_during_s[index] = rtt_d
+    out.queue_delay_during_s[index] = dq
+    out.regime[index] = _WINDOW
+
+
+def _loss_limited_arrays(
+    out: _TransferArrays,
+    index: np.ndarray,
+    ctx: _TraceContext,
+    cfg: PathConfig,
+    util: np.ndarray,
+    loss_cap_mbps: np.ndarray,
+    z_var: np.ndarray,
+) -> None:
+    util_total = np.minimum(0.99, util + loss_cap_mbps / cfg.capacity_mbps)
+    dq = ctx.pk_factor * mm1k_mean_queue_delay_s_array(
+        util_total, ctx.k_packets, ctx.mu_pps
+    )
+    rtt_d = cfg.base_rtt_s + dq
+    sigma = 0.07 + 0.5 * np.sqrt(cfg.random_loss)
+    sample = loss_cap_mbps * np.exp(min(sigma, 0.4) * z_var)
+    sample = np.minimum(sample, CAPACITY_MEASUREMENT_SLACK * cfg.capacity_mbps)
+    out.throughput_mbps[index] = np.maximum(sample, 1e-3)
+    out.loss_event_rate[index] = cfg.random_loss
+    out.rtt_during_s[index] = rtt_d
+    out.queue_delay_during_s[index] = dq
+    out.regime[index] = _LOSS
+
+
+def _congestion_limited_arrays(
+    out: _TransferArrays,
+    index: np.ndarray,
+    ctx: _TraceContext,
+    cfg: PathConfig,
+    util: np.ndarray,
+    tcp: TcpParameters,
+    share_mbps: np.ndarray,
+    z_fill: np.ndarray,
+    z_var: np.ndarray,
+    need_loss_event: bool = True,
+) -> None:
+    bdp_bytes = share_mbps * 1e6 * cfg.base_rtt_s / 8.0
+    eta = 0.55 + 0.35 * np.minimum(1.0, cfg.buffer_bytes / np.maximum(bdp_bytes, 1.0))
+    mean_rate = share_mbps * eta
+
+    fill = np.minimum(0.9, np.maximum(0.15, 0.25 + 0.35 * util + 0.08 * z_fill))
+    dq = fill * ctx.k_packets / ctx.mu_pps
+    rtt_d = cfg.base_rtt_s + dq
+    mean_rate = np.minimum(mean_rate, tcp.max_window_bytes * 8.0 / rtt_d / 1e6)
+
+    sigma = 0.03 + 0.35 * util * util / math.sqrt(max(1, cfg.n_cross_flows))
+    sample = mean_rate * np.exp(np.minimum(sigma, 0.5) * z_var)
+    sample = np.minimum(sample, CAPACITY_MEASUREMENT_SLACK * cfg.capacity_mbps)
+    sample = np.maximum(sample, 1e-3)
+
+    if need_loss_event:
+        rto = np.maximum(1.0, 2.0 * rtt_d)
+        p_event = pftk_loss_for_throughput_array(sample, rtt_d, rto, tcp)
+        p_event = np.maximum(p_event, cfg.random_loss)
+        out.loss_event_rate[index] = p_event
+    else:
+        out.loss_event_rate[index] = 0.0
+
+    out.throughput_mbps[index] = sample
+    out.rtt_during_s[index] = rtt_d
+    out.queue_delay_during_s[index] = dq
+    out.regime[index] = _CONGESTION
+
+
+def _probe_observed_loss_arrays(
+    cfg: PathConfig, outcome: _TransferArrays, z_mismatch: np.ndarray
+) -> np.ndarray:
+    """Vector twin of ``FluidPathSimulator._probe_observed_loss``."""
+    observed = outcome.loss_event_rate.copy()
+    index_c = np.nonzero(outcome.regime == _CONGESTION)[0]
+    if index_c.size:
+        packet_loss = outcome.loss_event_rate[index_c] * cfg.burst_factor
+        mismatch = np.exp(PROBE_LOSS_LOGNORMAL_SIGMA * z_mismatch[index_c])
+        observed[index_c] = (
+            cfg.random_loss + cfg.probe_loss_factor * mismatch * packet_loss
+        )
+    return np.minimum(0.5, np.maximum(0.0, observed))
+
+
+def _assemble_trace(
+    path_id: str,
+    trace_index: int,
+    start_time_s: float,
+    dt_list: list,
+    ahat_mbps: np.ndarray,
+    phat: np.ndarray,
+    that_s: np.ndarray,
+    ptilde: np.ndarray,
+    ttilde_s: np.ndarray,
+    outcome: _TransferArrays,
+    smallw: np.ndarray | None,
+    checkpoint_cols: list[np.ndarray],
+    util_pre: np.ndarray,
+    util_during: np.ndarray,
+    outliers: list[bool],
+) -> Trace:
+    """Build the Trace from column arrays, bypassing dataclass ``__init__``.
+
+    At a million epochs per campaign sweep, frozen-dataclass
+    construction (``object.__setattr__`` per field) is a measurable
+    cost; validation is done on the whole columns first, then records
+    are assembled through ``__dict__`` with plain Python floats (NumPy
+    scalars would change the CSV writer's ``repr`` output).
+    """
+    throughput = outcome.throughput_mbps
+    valid = (
+        float(throughput.min()) > 0.0
+        and 0.0 <= float(phat.min())
+        and float(phat.max()) < 1.0
+        and 0.0 <= float(ptilde.min())
+        and float(ptilde.max()) < 1.0
+    )
+    n_epochs = int(throughput.size)
+
+    ahat_l = ahat_mbps.tolist()
+    phat_l = phat.tolist()
+    that_l = that_s.tolist()
+    thr_l = throughput.tolist()
+    ptilde_l = ptilde.tolist()
+    ttilde_l = ttilde_s.tolist()
+    smallw_l = smallw.tolist() if smallw is not None else None
+    cp_rows = (
+        list(zip(*(col.tolist() for col in checkpoint_cols)))
+        if checkpoint_cols
+        else None
+    )
+    util_pre_l = util_pre.tolist()
+    util_during_l = util_during.tolist()
+    loss_event_l = outcome.loss_event_rate.tolist()
+    regime_l = [_REGIMES[code] for code in outcome.regime.tolist()]
+
+    if smallw_l is None:
+        smallw_l = [None] * n_epochs
+    if cp_rows is None:
+        cp_rows = [()] * n_epochs
+
+    measurement_new = EpochMeasurement.__new__
+    truth_new = EpochTruth.__new__
+    oset = object.__setattr__  # both record types are frozen dataclasses
+    epochs: list[EpochMeasurement] = []
+    append = epochs.append
+    time_s = start_time_s
+    rows = zip(
+        dt_list,
+        ahat_l,
+        phat_l,
+        that_l,
+        thr_l,
+        ptilde_l,
+        ttilde_l,
+        smallw_l,
+        cp_rows,
+        util_pre_l,
+        util_during_l,
+        loss_event_l,
+        regime_l,
+        outliers,
+    )
+    for e, (dt, ahat, ph, th, thr, pt, tt, sw, cps, up, ud, le, rg, ol) in enumerate(
+        rows
+    ):
+        time_s += dt
+        truth = truth_new(EpochTruth)
+        oset(truth, "__dict__", {
+            "utilization_pre": up,
+            "utilization_during": ud,
+            "loss_event_rate": le,
+            "regime": rg,
+            "outlier": ol,
+        })
+        fields = {
+            "path_id": path_id,
+            "trace_index": trace_index,
+            "epoch_index": e,
+            "start_time_s": time_s,
+            "ahat_mbps": ahat,
+            "phat": ph,
+            "that_s": th,
+            "throughput_mbps": thr,
+            "ptilde": pt,
+            "ttilde_s": tt,
+            "smallw_throughput_mbps": sw,
+            "duration_throughputs_mbps": cps,
+            "truth": truth,
+        }
+        if not valid:
+            # Rare: route through the validating constructor so the
+            # offending epoch raises the scalar engine's exact DataError.
+            append(EpochMeasurement(**fields))
+            continue
+        record = measurement_new(EpochMeasurement)
+        oset(record, "__dict__", fields)
+        append(record)
+    return Trace(path_id=path_id, trace_index=trace_index, epochs=epochs)

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.core.errors import PredictionError
 from repro.core.units import BITS_PER_BYTE, MEGA
 from repro.formulas.params import TcpParameters
@@ -128,6 +130,124 @@ def pftk_loss_for_throughput(
         if p_hi / p_lo < 1.0001:
             break
     return math.sqrt(p_lo * p_hi)
+
+
+def pftk_throughput_array(
+    rtt_s,
+    loss_rate,
+    rto_s,
+    tcp: TcpParameters | None = None,
+    timeout_factor: float = 1.0,
+) -> np.ndarray:
+    """:func:`pftk_throughput` over arrays (broadcasting), in Mbps.
+
+    Bit-identical to the scalar form element by element: the scalar
+    form's ``math.sqrt``/``min`` round exactly like ``np.sqrt``/
+    ``np.minimum``, and both evaluate the same expression tree.  Loss
+    rates must be strictly positive (the vector engine only calls this
+    on its ``loss > 0`` subsets).
+    """
+    tcp = tcp or TcpParameters()
+    b = tcp.ack_every
+    p = loss_rate
+    fast_retransmit_term = rtt_s * np.sqrt(2.0 * b * p / 3.0)
+    timeout_term = (
+        rto_s
+        * np.minimum(1.0, timeout_factor * np.sqrt(3.0 * b * p / 8.0))
+        * p
+        * (1.0 + 32.0 * p * p)
+    )
+    congestion_limited = 1.0 / (fast_retransmit_term + timeout_term)
+    window_limited = tcp.max_window_segments / rtt_s
+    segments = np.minimum(congestion_limited, window_limited)
+    return segments * tcp.mss_bytes * BITS_PER_BYTE / MEGA
+
+
+def pftk_loss_for_throughput_array(
+    throughput_mbps: np.ndarray,
+    rtt_s: np.ndarray,
+    rto_s: np.ndarray,
+    tcp: TcpParameters | None = None,
+    p_bounds: tuple[float, float] = (1e-8, 0.49),
+) -> np.ndarray:
+    """:func:`pftk_loss_for_throughput` over whole epoch batches.
+
+    Replicates the scalar geometric bisection exactly, including its
+    per-element early exit: an element leaves the active set the
+    iteration after its bracket ratio drops below 1.0001, precisely
+    when the scalar loop would ``break`` — so every element's bracket
+    sees the same update sequence as a scalar call, and the result is
+    bit-identical.
+    """
+    tcp = tcp or TcpParameters()
+    target = np.asarray(throughput_mbps, dtype=np.float64)
+    rtt = np.broadcast_to(np.asarray(rtt_s, dtype=np.float64), target.shape)
+    rto = np.broadcast_to(np.asarray(rto_s, dtype=np.float64), target.shape)
+    if target.size and float(target.min()) <= 0:
+        raise ValueError("throughput_mbps must be positive")
+    p_lo_bound, p_hi_bound = p_bounds
+    out = np.empty_like(target)
+
+    # Bracket-end shortcuts, exactly as the scalar form takes them.
+    at_lo = pftk_throughput_array(rtt, p_lo_bound, rto, tcp) <= target
+    at_hi = pftk_throughput_array(rtt, p_hi_bound, rto, tcp) >= target
+    out[at_lo] = p_lo_bound
+    out[at_hi & ~at_lo] = p_hi_bound
+
+    pos = np.nonzero(~(at_lo | at_hi))[0]
+    if pos.size:
+        lo = np.full(pos.size, p_lo_bound)
+        hi = np.full(pos.size, p_hi_bound)
+        tgt = target[pos]
+        r = rtt[pos]
+        t0 = rto[pos]
+        # Everything hoisted here is invariant across iterations (or a
+        # scalar the left-associated expression evaluates first), so
+        # computing it once is bit-neutral; the loop body below is
+        # pftk_throughput_array's expression, inlined with ``mid`` as
+        # the loss rate (the ``timeout_factor * `` multiply is dropped —
+        # ``1.0 * x`` is an IEEE identity, and ``np.copyto`` writes the
+        # same values ``np.where`` would select).
+        fr_scale = 2.0 * tcp.ack_every
+        to_scale = 3.0 * tcp.ack_every
+        mss = float(tcp.mss_bytes)
+        window_limited = tcp.max_window_segments / r
+        remaining = True
+        for _ in range(80):
+            mid = np.sqrt(lo * hi)
+            fast_retransmit_term = r * np.sqrt(fr_scale * mid / 3.0)
+            timeout_term = (
+                t0
+                * np.minimum(1.0, np.sqrt(to_scale * mid / 8.0))
+                * mid
+                * (1.0 + 32.0 * mid * mid)
+            )
+            segments = np.minimum(
+                1.0 / (fast_retransmit_term + timeout_term), window_limited
+            )
+            above = segments * mss * BITS_PER_BYTE / MEGA > tgt
+            np.copyto(lo, mid, where=above)
+            np.copyto(hi, mid, where=~above)
+            keep = hi / lo >= 1.0001
+            if keep.all():
+                continue
+            done = ~keep
+            out[pos[done]] = np.sqrt(lo[done] * hi[done])
+            if not keep.any():
+                remaining = False
+                break
+            pos = pos[keep]
+            lo = lo[keep]
+            hi = hi[keep]
+            tgt = tgt[keep]
+            r = r[keep]
+            t0 = t0[keep]
+            window_limited = window_limited[keep]
+        if remaining:
+            # Elements still bracketed after 80 halvings, exactly as the
+            # scalar loop leaves them.
+            out[pos] = np.sqrt(lo * hi)
+    return out
 
 
 def expected_window(loss_rate: float, ack_every: int) -> float:

@@ -149,6 +149,17 @@ class SampleBuffer(list):
             self.dropped += 1
 
     def extend(self, values: Iterable[float]) -> None:
+        if not isinstance(values, (list, tuple)):
+            values = list(values)
+        # Bulk-extend whatever fits below capacity; only samples that
+        # would wrap the ring go through the overwrite path.
+        room = self.maxlen - list.__len__(self)
+        if room >= len(values):
+            list.extend(self, values)
+            return
+        if room > 0:
+            list.extend(self, values[:room])
+            values = values[room:]
         for value in values:
             self.append(value)
 

@@ -236,6 +236,57 @@ class Telemetry:
             event.update(extra)
         self.events.append(event)
 
+    def record_epoch_batch(
+        self,
+        kind: str,
+        path_id: str,
+        trace_index: int,
+        phases: dict[str, float],
+        extras: list[dict[str, Any]],
+    ) -> None:
+        """Record a whole trace of epochs sharing one phase breakdown.
+
+        The vectorized fluid engine times its array kernels once per
+        trace and attributes an equal per-epoch share to every epoch;
+        this emits exactly the timers and events ``len(extras)``
+        individual :meth:`record_epoch` calls would (epoch indices
+        ``0..n-1``, ``extras[e]`` merged into epoch ``e``'s event) while
+        paying the handle lookups and phase iteration only once.
+        """
+        if not obs_enabled():
+            return
+        n_epochs = len(extras)
+        handles = self._epoch_handles
+        if handles is None:
+            handles = self._epoch_handles = _EpochHandles(self.metrics)
+        by_phase = handles.phases
+        base = {"kind": kind, **self.context}
+        base["path"] = path_id
+        base["trace"] = trace_index
+        base["epoch"] = 0
+        elapsed = 0.0
+        phase_fields: list[tuple[str, float]] = []
+        for phase, seconds in phases.items():
+            entry = by_phase.get(phase)
+            if entry is None:
+                entry = by_phase[phase] = (
+                    self.metrics.timer("epoch.phase_s", phase=phase),
+                    phase + "_s",
+                )
+            entry[0].samples.extend([seconds] * n_epochs)
+            base[entry[1]] = seconds
+            elapsed += seconds
+        handles.wall.samples.extend([elapsed] * n_epochs)
+        handles.count.value += n_epochs
+        base["elapsed_s"] = elapsed
+        events = self.events
+        for epoch_index, extra in enumerate(extras):
+            event = dict(base)
+            event["epoch"] = epoch_index
+            if extra:
+                event.update(extra)
+            events.append(event)
+
     # -- snapshot / merge ----------------------------------------------
 
     def drain(self) -> dict[str, Any]:

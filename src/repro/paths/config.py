@@ -420,6 +420,31 @@ def scaled_catalog(catalog: list[PathConfig], n_paths: int) -> list[PathConfig]:
     return [catalog[int(i * stride)] for i in range(n_paths)]
 
 
+def expanded_catalog(catalog: list[PathConfig], n_paths: int) -> list[PathConfig]:
+    """Grow ``catalog`` to ``n_paths`` entries by cloning paths round-robin.
+
+    Clones get fresh ids (``{orig}x{k}``, e.g. ``p03x2``), so every path
+    draws from its own named RNG streams and a 1000-path sweep measures
+    1000 *independent* realizations of the catalog's heterogeneity —
+    the scale knob behind the large-catalog experiments in
+    ``EXPERIMENTS.md``.  ``n_paths <= len(catalog)`` falls back to the
+    stratified subsample of :func:`scaled_catalog`.
+    """
+    if n_paths <= len(catalog):
+        return scaled_catalog(catalog, n_paths)
+    expanded = list(catalog)
+    clone_round = 1
+    while len(expanded) < n_paths:
+        for config in catalog:
+            if len(expanded) >= n_paths:
+                break
+            expanded.append(
+                replace(config, path_id=f"{config.path_id}x{clone_round}")
+            )
+        clone_round += 1
+    return expanded
+
+
 def with_dataset(config: PathConfig, dataset: str) -> PathConfig:
     """A copy of ``config`` assigned to another dataset label."""
     return replace(config, dataset=dataset)

@@ -270,8 +270,21 @@ class ShardedStateStore:
         across ``--shards`` settings); per-path predictor state is
         restored bit-for-bit.  Returns the number of paths restored.
 
+        Restore is **best effort per path**: a snapshot written under a
+        different configuration (renamed predictors, smaller capacity)
+        or partially corrupted must not take the server down on start.
+        Unusable entries — invalid key, malformed entry, corrupt
+        predictor state, a shard already at capacity — are skipped and
+        counted (``serve.snapshot_skipped`` counter, one
+        ``serve.snapshot_skip`` event each); snapshot predictors no
+        longer registered on this store are dropped the same way while
+        the rest of the path still restores, and registered predictors
+        missing from the snapshot start fresh.
+
         Raises:
-            DataError: malformed or future-versioned snapshot.
+            DataError: structurally unusable snapshot (non-object
+                document, bad version, missing ``paths``) — per-entry
+                damage never raises.
         """
         if not isinstance(doc, dict):
             raise DataError("store snapshot must be a JSON object")
@@ -288,16 +301,41 @@ class ShardedStateStore:
             raise DataError("store snapshot has no 'paths' object")
         for shard in self._shards:
             shard.clear()
+        tele = get_telemetry()
+
+        def skip(key: Any, reason: str) -> None:
+            tele.counter("serve.snapshot_skipped").inc()
+            tele.emit("serve.snapshot_skip", key=repr(key), reason=reason)
+
         restored = 0
         for key, states_doc in paths.items():
-            validate_key(key)
+            try:
+                validate_key(key)
+            except DataError:
+                skip(key, "invalid-key")
+                continue
             if not isinstance(states_doc, dict):
-                raise DataError(f"snapshot entry for {key!r} is not an object")
-            states: PathStates = {
-                name: StreamingPredictorState.restore(state_doc)
-                for name, state_doc in states_doc.items()
-            }
-            self._shards[self.shard_index(key)][key] = states
+                skip(key, "malformed-entry")
+                continue
+            shard = self._shards[self.shard_index(key)]
+            if len(shard) >= self.max_paths_per_shard:
+                skip(key, "shard-full")
+                continue
+            for name in states_doc:
+                if name not in self.specs:
+                    skip(key, f"unregistered-predictor:{name}")
+            states: PathStates = {}
+            try:
+                for name, spec in self.specs.items():
+                    state_doc = states_doc.get(name)
+                    if state_doc is None:
+                        states[name] = StreamingPredictorState(spec)
+                    else:
+                        states[name] = StreamingPredictorState.restore(state_doc)
+            except (DataError, KeyError, TypeError, ValueError):
+                skip(key, "corrupt-state")
+                continue
+            shard[key] = states
             restored += 1
         return restored
 

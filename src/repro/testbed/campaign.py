@@ -17,6 +17,8 @@ from dataclasses import dataclass
 from repro.core.errors import ConfigurationError
 from repro.core.rng import RngStreams
 from repro.fastpath.pathsim import FluidPathSimulator
+from repro.fastpath.sites import FluidSites
+from repro.fastpath.vector import fluid_vector_enabled, run_fluid_trace
 from repro.formulas.params import TcpParameters
 from repro.paths.config import PathConfig
 from repro.paths.records import Dataset, Trace
@@ -96,7 +98,7 @@ class Campaign:
         checkpoint=None,
         run_key: str | None = None,
         resume: bool = False,
-        chunk_size: int = 1,
+        chunk_size: int | None = None,
     ) -> Dataset:
         """Execute the campaign and return the collected dataset.
 
@@ -122,7 +124,10 @@ class Campaign:
                 the result is bit-identical to an uninterrupted run.
             chunk_size: (path, trace) units per parallel job; larger
                 chunks amortize dispatch overhead for short traces.
-                Bit-identical for every value; ignored when serial.
+                ``None`` (the default) picks one job per *path* on the
+                vectorized fluid engine and per-trace jobs on the
+                scalar engine.  Bit-identical for every value; ignored
+                when serial.
         """
         from repro.testbed.executor import run_campaign
 
@@ -145,15 +150,37 @@ class Campaign:
         trace_index: int,
         settings: CampaignSettings | None = None,
     ) -> Trace:
-        """Collect one trace on one path."""
+        """Collect one trace on one path.
+
+        Runs on the vectorized fluid engine by default; setting
+        ``REPRO_FLUID_VECTOR=0`` switches to the scalar reference loop.
+        The two engines consume the same named site streams
+        (``{path}/trace{i}/fluid/{site}``) and produce byte-identical
+        traces (``make vector-parity``).
+        """
         settings = settings or CampaignSettings()
-        rng = self.streams.get(f"{config.path_id}/trace{trace_index}")
-        time_s = trace_index * TRACE_GAP_S
-        simulator = FluidPathSimulator(config, rng, start_time_s=time_s)
-        trace = Trace(path_id=config.path_id, trace_index=trace_index)
+        sites = FluidSites.from_streams(self.streams, config.path_id, trace_index)
         small = self.small_tcp if settings.run_small_window else None
+        time_s = trace_index * TRACE_GAP_S
+        if fluid_vector_enabled():
+            dt_s = sites.dt.uniform(
+                *EPOCH_INTERVAL_RANGE_S, settings.epochs_per_trace
+            )
+            return run_fluid_trace(
+                config,
+                sites,
+                trace_index,
+                dt_s,
+                tcp=self.tcp,
+                small_tcp=small,
+                checkpoint_fractions=settings.checkpoint_fractions,
+                transfer_duration_s=settings.transfer_duration_s,
+                start_time_s=time_s,
+            )
+        simulator = FluidPathSimulator(config, sites, start_time_s=time_s)
+        trace = Trace(path_id=config.path_id, trace_index=trace_index)
         for epoch_index in range(settings.epochs_per_trace):
-            dt_s = float(rng.uniform(*EPOCH_INTERVAL_RANGE_S))
+            dt_s = float(sites.dt.uniform(*EPOCH_INTERVAL_RANGE_S))
             time_s += dt_s
             trace.append(
                 simulator.run_epoch(

@@ -67,6 +67,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from repro.core.errors import ConfigurationError, ExecutionError
+from repro.fastpath.vector import fluid_vector_enabled
 from repro.obs import get_telemetry
 from repro.paths.records import Dataset, Trace
 
@@ -825,7 +826,7 @@ def run_campaign(
     checkpoint: "CheckpointStore | None" = None,
     run_key: str | None = None,
     resume: bool = False,
-    chunk_size: int = 1,
+    chunk_size: int | None = None,
 ) -> Dataset:
     """Execute ``campaign`` with ``settings``, optionally in parallel.
 
@@ -839,11 +840,13 @@ def run_campaign(
         retry: retry/backoff/timeout policy (default: a
             :class:`RetryPolicy` with two retries and no job timeout).
         chunk_size: (path, trace) units dispatched per parallel job.
-            1 (the default) keeps per-unit retry/timeout granularity;
-            larger chunks amortize dispatch and result-pickling
-            overhead when traces are short and plentiful.  The result
-            is bit-identical for every chunk size.  Serial execution
-            ignores it.
+            ``None`` (the default) resolves to ``settings.n_traces`` —
+            one job per path — on the vectorized fluid engine (its
+            per-trace wall time is small enough that per-unit dispatch
+            overhead would dominate) and to 1 on the scalar engine,
+            keeping per-unit retry/timeout granularity.  Explicit
+            values override; the result is bit-identical for every
+            chunk size.  Serial execution ignores it.
         checkpoint: when given, every finished trace is persisted here
             under ``run_key``, and the store is cleared once the
             campaign completes.
@@ -868,6 +871,8 @@ def run_campaign(
     """
     n_workers = resolve_workers(n_workers)
     retry = retry or RetryPolicy()
+    if chunk_size is None:
+        chunk_size = settings.n_traces if fluid_vector_enabled() else 1
     if checkpoint is not None and run_key is None:
         from repro.testbed.cache import campaign_cache_key
 

@@ -141,53 +141,60 @@ class PacketEpochRunner:
         # offers the configured elastic share of the load — they yield
         # under congestion but do not saturate the path on their own.
         elastic_flows = []
-        if self._n_elastic:
-            elastic_rate_each = (
-                utilization * cfg.elasticity * cfg.capacity_mbps / self._n_elastic
+        # The stops must also run when the epoch aborts mid-flight
+        # (``max_events`` overrun, injected fault, any exception):
+        # ``source.stop()`` is what rewinds the shared generator past
+        # exactly the consumed pre-drawn exponentials, and a retry that
+        # skipped it would see a desynced RNG and silently produce a
+        # different trace.  Both stops are idempotent.
+        try:
+            if self._n_elastic:
+                elastic_rate_each = (
+                    utilization * cfg.elasticity * cfg.capacity_mbps / self._n_elastic
+                )
+                window_bytes = max(
+                    2920, int(elastic_rate_each * 1e6 * cfg.base_rtt_s * 1.5 / 8)
+                )
+                elastic_flows = [
+                    ElasticCrossFlow(sim, path, max_window_bytes=window_bytes)
+                    for _ in range(self._n_elastic)
+                ]
+            for flow in elastic_flows:
+                flow.start()
+            responder = PingResponder(sim, path, "pingd")
+            path.register("pingd", responder)
+
+            sim.run(until=WARMUP_S)
+            clock.lap("setup")
+
+            # 1. Avail-bw measurement (drives the simulator itself).
+            pathload = measure_availbw(
+                sim, path, max_rate_mbps=cfg.capacity_mbps * 1.2
             )
-            window_bytes = max(
-                2920, int(elastic_rate_each * 1e6 * cfg.base_rtt_s * 1.5 / 8)
+            clock.lap("pathload")
+
+            # 2. Pre-transfer probing.
+            pre_pinger = Pinger(sim, path, "pingd")
+            pre = pre_pinger.measure(pre_probe_duration_s)
+            clock.lap("ping")
+
+            # 3. The target transfer with concurrent probing.
+            during_pinger = Pinger(sim, path, "pingd")
+            during_pinger.start(transfer_duration_s)
+            app = BulkTransferApp(
+                sim,
+                path,
+                max_window_bytes=tcp.max_window_bytes,
+                mss_bytes=tcp.mss_bytes,
+                ack_every=tcp.ack_every,
             )
-            elastic_flows = [
-                ElasticCrossFlow(sim, path, max_window_bytes=window_bytes)
-                for _ in range(self._n_elastic)
-            ]
-        for flow in elastic_flows:
-            flow.start()
-        responder = PingResponder(sim, path, "pingd")
-        path.register("pingd", responder)
-
-        sim.run(until=WARMUP_S)
-        clock.lap("setup")
-
-        # 1. Avail-bw measurement (drives the simulator itself).
-        pathload = measure_availbw(
-            sim, path, max_rate_mbps=cfg.capacity_mbps * 1.2
-        )
-        clock.lap("pathload")
-
-        # 2. Pre-transfer probing.
-        pre_pinger = Pinger(sim, path, "pingd")
-        pre = pre_pinger.measure(pre_probe_duration_s)
-        clock.lap("ping")
-
-        # 3. The target transfer with concurrent probing.
-        during_pinger = Pinger(sim, path, "pingd")
-        during_pinger.start(transfer_duration_s)
-        app = BulkTransferApp(
-            sim,
-            path,
-            max_window_bytes=tcp.max_window_bytes,
-            mss_bytes=tcp.mss_bytes,
-            ack_every=tcp.ack_every,
-        )
-        transfer = app.run(duration_s=transfer_duration_s)
-        during = during_pinger.collect()
-        clock.lap("iperf")
-
-        for flow in elastic_flows:
-            flow.stop()
-        source.stop()
+            transfer = app.run(duration_s=transfer_duration_s)
+            during = during_pinger.collect()
+            clock.lap("iperf")
+        finally:
+            for flow in elastic_flows:
+                flow.stop()
+            source.stop()
 
         if clock.enabled:
             queue_stats = path.forward_queue.stats

@@ -138,6 +138,87 @@ class TestQuality:
         assert "cannot fetch" in capsys.readouterr().err
 
 
+class TestQualityWatch:
+    """``--watch`` against a server that dies and (maybe) comes back."""
+
+    URL = "http://127.0.0.1:8710"
+
+    def _patch(self, monkeypatch, outcomes, max_sleeps=100):
+        """Script the poll sequence: each outcome is a quality doc or None
+        (a failed fetch).  ``time.sleep`` is a no-op that interrupts the
+        watch once the script runs out."""
+        calls = {"fetch": 0, "sleep": 0}
+
+        def fake_fetch(url, include_paths):
+            index = calls["fetch"]
+            calls["fetch"] += 1
+            if index >= len(outcomes) or outcomes[index] is None:
+                raise obs._FetchError(f"cannot fetch {url}/quality: down")
+            return outcomes[index]
+
+        def fake_sleep(seconds):
+            calls["sleep"] += 1
+            if calls["fetch"] >= len(outcomes) or calls["sleep"] >= max_sleeps:
+                raise KeyboardInterrupt
+
+        monkeypatch.setattr(obs, "_fetch_quality", fake_fetch)
+        monkeypatch.setattr(obs.time, "sleep", fake_sleep)
+        return calls
+
+    def test_restart_prints_notice_and_keeps_polling(
+        self, monkeypatch, capsys
+    ):
+        doc = small_tracker().summary(include_paths=True)
+        calls = self._patch(monkeypatch, [doc, None, None, doc])
+        assert obs.main(["quality", self.URL, "--watch"]) == 0
+        captured = capsys.readouterr()
+        notices = [
+            line for line in captured.err.splitlines()
+            if line.startswith("connection lost")
+        ]
+        assert len(notices) == 2
+        assert "[1/5]" in notices[0] and "[2/5]" in notices[1]
+        assert captured.out.count("quality: 1 path(s), 1 scored") == 2
+        assert calls["fetch"] == 4
+
+    def test_exits_2_after_consecutive_failures(self, monkeypatch, capsys):
+        calls = self._patch(
+            monkeypatch, [None] * 10, max_sleeps=100
+        )
+        code = obs.main(
+            ["quality", self.URL, "--watch", "--watch-retries", "3"]
+        )
+        assert code == 2
+        captured = capsys.readouterr()
+        assert calls["fetch"] == 3  # stops exactly at the retry budget
+        assert "3 consecutive failures" in captured.err
+        assert (
+            len([l for l in captured.err.splitlines()
+                 if l.startswith("connection lost")]) == 2
+        )
+
+    def test_success_resets_failure_counter(self, monkeypatch, capsys):
+        doc = small_tracker().summary(include_paths=True)
+        # 2 failures, recovery, 2 more failures, recovery: never reaches
+        # 3 *consecutive* failures, so the watch survives.
+        calls = self._patch(
+            monkeypatch, [None, None, doc, None, None, doc]
+        )
+        code = obs.main(
+            ["quality", self.URL, "--watch", "--watch-retries", "3"]
+        )
+        assert code == 0
+        assert calls["fetch"] == 6
+        assert capsys.readouterr().out.count("1 scored") == 2
+
+    def test_rejects_bad_watch_retries(self, capsys):
+        code = obs.main(
+            ["quality", self.URL, "--watch", "--watch-retries", "0"]
+        )
+        assert code == 2
+        assert "--watch-retries must be >= 1" in capsys.readouterr().err
+
+
 class TestCompareQuality:
     def test_quality_deltas_with_new_and_na(self, tmp_path, capsys):
         a = write_serve_manifest(

@@ -6,6 +6,7 @@ import pytest
 
 from repro.core.errors import ConfigurationError, DataError
 from repro.hb.streaming import PredictorSpec
+from repro.obs.telemetry import ENV_OBS, get_telemetry
 from repro.serve.state import ShardedStateStore, default_specs, validate_key
 
 
@@ -135,9 +136,97 @@ class TestSnapshotRestore:
             {"snapshot_version": "x", "paths": {}},
             {"snapshot_version": 99, "paths": {}},
             {"snapshot_version": 1},
-            {"snapshot_version": 1, "paths": {"p1": "nope"}},
         ],
     )
     def test_restore_malformed_documents(self, doc):
         with pytest.raises(DataError):
             small_store().restore(doc)
+
+
+class TestRestoreSkips:
+    """Per-entry damage is skipped and counted, never fatal."""
+
+    @pytest.fixture(autouse=True)
+    def _telemetry(self, monkeypatch):
+        monkeypatch.delenv(ENV_OBS, raising=False)
+        get_telemetry().reset()
+        yield
+        get_telemetry().reset()
+
+    def _skip_events(self):
+        return [
+            e for e in get_telemetry().drain()["events"]
+            if e["kind"] == "serve.snapshot_skip"
+        ]
+
+    def _skipped(self):
+        return get_telemetry().counter("serve.snapshot_skipped").value
+
+    def test_malformed_entry_skipped_not_raised(self):
+        store = small_store()
+        store.ingest("good", [10.0, 11.0])
+        doc = store.snapshot()
+        doc["paths"]["bad"] = "nope"
+        clone = small_store()
+        assert clone.restore(doc) == 1
+        assert "good" in clone and "bad" not in clone
+        assert self._skipped() == 1
+        assert self._skip_events()[0]["reason"] == "malformed-entry"
+
+    def test_invalid_key_skipped(self):
+        store = small_store()
+        store.ingest("good", [10.0])
+        doc = store.snapshot()
+        entry = doc["paths"]["good"]
+        doc["paths"]["has space"] = entry
+        doc["paths"][""] = entry
+        clone = small_store()
+        assert clone.restore(doc) == 1
+        assert clone.keys() == ["good"]
+        assert self._skipped() == 2
+        assert all(e["reason"] == "invalid-key" for e in self._skip_events())
+
+    def test_unregistered_predictor_dropped_path_survives(self):
+        store = ShardedStateStore(specs=default_specs(["ma5", "ewma"]))
+        store.ingest("p1", [10.0, 11.0, 10.5])
+        doc = store.snapshot()
+        clone = small_store()  # only ma5 registered
+        assert clone.restore(doc) == 1
+        states = clone.get("p1")
+        assert sorted(states) == ["ma5"]
+        assert states["ma5"].prediction() == store.get("p1")["ma5"].prediction()
+        assert self._skipped() == 1
+        assert self._skip_events()[0]["reason"] == "unregistered-predictor:ewma"
+
+    def test_missing_predictor_starts_fresh(self):
+        store = small_store()  # ma5 only
+        store.ingest("p1", [10.0, 11.0])
+        doc = store.snapshot()
+        clone = ShardedStateStore(specs=default_specs(["ma5", "ewma"]))
+        assert clone.restore(doc) == 1
+        states = clone.get("p1")
+        assert sorted(states) == ["ewma", "ma5"]
+        assert states["ewma"].n_invalid == 0
+        assert self._skipped() == 0  # a grown catalog is not damage
+
+    def test_corrupt_predictor_state_skips_path(self):
+        store = small_store()
+        store.ingest("p1", [10.0])
+        store.ingest("p2", [11.0])
+        doc = store.snapshot()
+        doc["paths"]["p1"]["ma5"] = {"bogus": True}
+        clone = small_store()
+        assert clone.restore(doc) == 1
+        assert "p2" in clone and "p1" not in clone
+        assert self._skip_events()[0]["reason"] == "corrupt-state"
+
+    def test_shard_capacity_skips_overflow(self):
+        store = small_store(n_shards=1, max_paths_per_shard=16)
+        for i in range(5):
+            store.ingest(f"k{i}", [10.0])
+        doc = store.snapshot()
+        clone = small_store(n_shards=1, max_paths_per_shard=2)
+        assert clone.restore(doc) == 2
+        assert len(clone) == 2
+        assert self._skipped() == 3
+        assert all(e["reason"] == "shard-full" for e in self._skip_events())

@@ -115,6 +115,44 @@ class TestTelemetry:
         assert snapshot["events"] == []
 
 
+class TestAbortRngRewind:
+    """An aborted epoch must leave the shared generator exactly where an
+    unbatched abort would.
+
+    ``source.stop()`` is what rewinds the generator past the *consumed*
+    pre-drawn exponentials; it has to run on every exit path (injected
+    fault, ``max_events`` overrun), or the next consumer of the shared
+    generator — a retry, the following epoch — silently sees different
+    bits depending on whether batching was on.
+    """
+
+    @staticmethod
+    def _aborted_rng_tail(monkeypatch, batch):
+        import repro.testbed.packet_epoch as pe
+        from repro.apps.iperf import BulkTransferApp
+
+        monkeypatch.setattr(pe, "POISSON_BATCH", batch)
+
+        def injected_fault(self, duration_s):
+            raise RuntimeError("injected mid-epoch fault")
+
+        monkeypatch.setattr(BulkTransferApp, "run", injected_fault)
+        rng = np.random.default_rng(7)
+        runner = PacketEpochRunner(config("p12", random_loss=0.0), rng)
+        with pytest.raises(RuntimeError, match="injected"):
+            runner.run_epoch(
+                utilization=0.4,
+                transfer_duration_s=5.0,
+                pre_probe_duration_s=5.0,
+            )
+        return rng.random(10).tolist()
+
+    def test_abort_rewinds_partial_predraw_batch(self, monkeypatch):
+        batched = self._aborted_rng_tail(monkeypatch, 512)
+        scalar = self._aborted_rng_tail(monkeypatch, 1)
+        assert batched == scalar
+
+
 class TestPoissonBatchingGate:
     """The epoch runner's batching opt-in must be bit-exact and gated."""
 

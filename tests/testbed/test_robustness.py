@@ -139,9 +139,16 @@ class TestSerialAttemptIsolation:
 
     @staticmethod
     def _arm_mid_trace_fault(monkeypatch):
-        """Make the 2nd run_epoch call of the run raise, once."""
+        """Make the 2nd run_epoch call of the run raise, once.
+
+        The hook lives on the scalar engine's per-epoch entry point, so
+        the faulted run is pinned to it; the unfaulted reference may run
+        on either engine — they are bit-identical (``make
+        vector-parity``).
+        """
         from repro.fastpath.pathsim import FluidPathSimulator
 
+        monkeypatch.setenv("REPRO_FLUID_VECTOR", "0")
         real_run_epoch = FluidPathSimulator.run_epoch
         calls = {"n": 0}
 
@@ -173,6 +180,40 @@ class TestSerialAttemptIsolation:
         assert counter_value(telemetry, "epochs.simulated") == 12
         # Only successful attempts record a trace timer sample.
         assert telemetry.metrics.timer("campaign.trace_s").count == 4
+
+
+class TestVectorEngineRetry:
+    """The crash-injection suite, pinned to the vectorized fluid engine.
+
+    A vectorized job pre-draws whole per-trace site streams up front; an
+    abandoned attempt must not leave any of that state behind — the
+    retry re-derives every stream from the campaign seed, so the result
+    must match a never-failed run bit for bit.
+    """
+
+    def test_serial_retry_bit_identical(self, telemetry, inject, monkeypatch):
+        monkeypatch.setenv("REPRO_FLUID_VECTOR", "1")
+        clean = small_campaign(seed=5).run(SETTINGS)
+        telemetry.drain()
+        inject("p01/1:raise:1")
+        dataset = small_campaign(seed=5).run(SETTINGS, retry=FAST_RETRY)
+        assert dataset == clean
+        assert counter_value(telemetry, "campaign.retries") == 1
+
+    def test_parallel_chunked_retry_bit_identical(
+        self, telemetry, inject, monkeypatch
+    ):
+        """Default chunking packs each path's traces into one vector job;
+        a fault in one unit retries just that unit."""
+        monkeypatch.setenv("REPRO_FLUID_VECTOR", "1")
+        clean = small_campaign(seed=5).run(SETTINGS)
+        telemetry.drain()
+        inject("p18/1:raise:1")
+        dataset = small_campaign(seed=5).run(
+            SETTINGS, n_workers=2, retry=FAST_RETRY
+        )
+        assert dataset == clean
+        assert counter_value(telemetry, "campaign.retries") == 1
 
 
 class TestWorkerCrash:
@@ -211,6 +252,8 @@ class TestJobTimeout:
         than the 4 s job timeout — but no single job exceeds it, so a
         timeout measured from dispatch (not submission) never fires.
         ``max_retries=0`` turns any spurious expiry into a hard abort.
+        ``chunk_size=1`` pins the 12-single-trace-job shape the timing
+        argument rests on (the default packs each path into one job).
         """
         inject("*:nap:0.75", counted=False)
         policy = RetryPolicy(max_retries=0, backoff_s=0.0, job_timeout_s=4.0)
@@ -218,6 +261,7 @@ class TestJobTimeout:
             CampaignSettings(n_traces=6, epochs_per_trace=2),
             n_workers=2,
             retry=policy,
+            chunk_size=1,
         )
         assert len(dataset.traces) == 12
         assert counter_value(telemetry, "campaign.job_failures") == 0

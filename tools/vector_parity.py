@@ -1,0 +1,137 @@
+"""``make vector-parity``: prove the two fluid engines byte-identical.
+
+Runs the same campaign twice — once on the scalar reference loop
+(``REPRO_FLUID_VECTOR=0``, serial) and once on the vectorized engine at
+each requested worker count — saves every run through the CSV writer,
+and compares sha256 digests.  Any mismatch exits 1 and names the run.
+
+The default invocation covers the acceptance bar of the vectorization
+work: the full default catalog (may2004, 35 paths x 7 traces x 150
+epochs, seed 0) must hash identically between engines at every worker
+count.  ``--paths/--traces/--epochs`` shrink the campaign for quick
+iteration; the reduced grid is what ``make test`` runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.fastpath.vector import ENV_FLUID_VECTOR  # noqa: E402
+from repro.paths.config import (  # noqa: E402
+    expanded_catalog,
+    march_2006_catalog,
+    may_2004_catalog,
+)
+from repro.testbed.campaign import Campaign, CampaignSettings  # noqa: E402
+from repro.testbed.io import save_dataset  # noqa: E402
+
+CATALOGS = {
+    "may2004": may_2004_catalog,
+    "march2006": march_2006_catalog,
+}
+
+
+def campaign_digest(
+    engine: str,
+    n_workers: int,
+    catalog,
+    settings: CampaignSettings,
+    seed: int,
+    workdir: Path,
+) -> str:
+    """Run the campaign on one engine and hash its CSV bytes."""
+    os.environ[ENV_FLUID_VECTOR] = "1" if engine == "vector" else "0"
+    try:
+        dataset = Campaign(catalog, seed=seed).run(
+            settings, n_workers=n_workers
+        )
+    finally:
+        del os.environ[ENV_FLUID_VECTOR]
+    path = workdir / f"{engine}-w{n_workers}.csv"
+    save_dataset(dataset, path)
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff scalar vs vectorized fluid-engine CSV digests."
+    )
+    parser.add_argument(
+        "--catalog",
+        choices=sorted(CATALOGS),
+        default="may2004",
+        help="path catalog (default: may2004)",
+    )
+    parser.add_argument(
+        "--paths", type=int, default=None, metavar="N",
+        help="restrict/expand the catalog to N paths (default: all)",
+    )
+    parser.add_argument(
+        "--traces", type=int, default=7, metavar="N",
+        help="traces per path (default: 7, the paper's)",
+    )
+    parser.add_argument(
+        "--epochs", type=int, default=150, metavar="N",
+        help="epochs per trace (default: 150, the paper's)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4],
+        metavar="N",
+        help="worker counts for the vectorized runs (default: 1 2 4)",
+    )
+    args = parser.parse_args(argv)
+
+    catalog = CATALOGS[args.catalog]()
+    if args.paths is not None:
+        catalog = expanded_catalog(catalog, args.paths)
+    is_2006 = args.catalog == "march2006"
+    settings = CampaignSettings(
+        n_traces=args.traces,
+        epochs_per_trace=args.epochs,
+        transfer_duration_s=120.0 if is_2006 else 50.0,
+        run_small_window=not is_2006,
+        checkpoint_fractions=(0.25, 0.5, 1.0) if is_2006 else (),
+    )
+    shape = (
+        f"{args.catalog}: {len(catalog)} paths x {args.traces} traces "
+        f"x {args.epochs} epochs, seed {args.seed}"
+    )
+    print(f"vector-parity {shape}")
+
+    failed = False
+    with tempfile.TemporaryDirectory(prefix="vector-parity-") as tmp:
+        workdir = Path(tmp)
+        reference = campaign_digest(
+            "scalar", 1, catalog, settings, args.seed, workdir
+        )
+        print(f"  scalar  workers=1  {reference}")
+        for n_workers in args.workers:
+            digest = campaign_digest(
+                "vector", n_workers, catalog, settings, args.seed, workdir
+            )
+            match = digest == reference
+            verdict = "ok" if match else "MISMATCH"
+            print(f"  vector  workers={n_workers}  {digest}  {verdict}")
+            failed = failed or not match
+    if failed:
+        print("vector-parity FAILED: engines disagree", file=sys.stderr)
+        return 1
+    print("vector-parity OK (CSV sha256 identical for every run)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
