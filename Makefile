@@ -9,16 +9,18 @@ BENCH_CHECK_DIR := .bench-check
 PERF_SMOKE_DIR := .perf-smoke
 SERVE_SMOKE_DIR := .serve-smoke
 BENCH_SERVE_DIR := .bench-serve
+TRACE_SMOKE_DIR := .trace-smoke
 
 .PHONY: install test test-fast campaign-smoke obs-smoke resume-smoke \
 	analyze-obs-smoke bench-check perf-smoke serve-smoke bench-serve \
-	vector-parity lint bench bench-full bench-obs bench-perf examples clean
+	trace-smoke vector-parity lint bench bench-full bench-obs bench-perf \
+	examples clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test: lint campaign-smoke obs-smoke resume-smoke analyze-obs-smoke bench-check \
-		perf-smoke serve-smoke bench-serve vector-parity
+		perf-smoke serve-smoke bench-serve trace-smoke vector-parity
 	$(PYTHON) -m pytest tests/
 
 test-fast:
@@ -143,6 +145,14 @@ bench-serve:
 		$(BENCH_SERVE_DIR)/BENCH_serve.json --name serve_baseline --tolerance 0.9
 	@echo "serve bench OK (serving throughput within tolerance of committed baseline)"
 
+# Span-tracing end-to-end check: a tiny campaign and a live repro-serve
+# round trip, both rendered by `repro-obs trace`; the Chrome trace-event
+# exports must pass validate_chrome_trace and the campaign's critical
+# path must be non-empty (see docs/observability.md, "Tracing").
+trace-smoke:
+	rm -rf $(TRACE_SMOKE_DIR)
+	$(PYTHON) tools/trace_smoke.py --workdir $(TRACE_SMOKE_DIR)
+
 # The fluid-engine bit-identity gate: the default-catalog campaign CSV
 # must hash identically between the scalar reference loop and the
 # vectorized engine at every worker count (see docs/performance.md,
@@ -181,5 +191,5 @@ examples:
 clean:
 	rm -rf build dist src/repro.egg-info .pytest_cache $(SMOKE_DIR) $(OBS_SMOKE_DIR) \
 		$(RESUME_SMOKE_DIR) $(ANALYZE_SMOKE_DIR) $(BENCH_CHECK_DIR) \
-		$(PERF_SMOKE_DIR) $(SERVE_SMOKE_DIR) $(BENCH_SERVE_DIR)
+		$(PERF_SMOKE_DIR) $(SERVE_SMOKE_DIR) $(BENCH_SERVE_DIR) $(TRACE_SMOKE_DIR)
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -22,6 +22,14 @@ repository root:
 * ``campaign_serial`` / ``campaign_parallel`` — the full campaign loop
   (catalog x traces x epochs through the executor, checkpointing and
   caching off) serially and with two workers, reported as wall time.
+* ``fluid_traced`` / ``fluid_vector_traced`` / ``packet_epoch_traced``
+  — the same per-engine workloads run *inside an open unit span*, so
+  epoch/phase span synthesis (:func:`repro.obs.spans.record_epoch_spans`)
+  is live.  Each reports ``overhead_frac`` against a paired,
+  interleaved untraced measurement; the run **fails** if any traced
+  fixture exceeds the 5% overhead budget (``TRACED_OVERHEAD_BUDGET``),
+  which is the enforcement teeth behind docs/observability.md's
+  "tracing costs <5%" claim.
 
 Every fixture's workload is deterministic (fixed seeds, fixed event
 counts), so the ``epochs``/``events`` counts are exact across runs and
@@ -70,6 +78,12 @@ ENGINE_CHAINS = 8
 #: usual microbenchmark practice: the minimum is the least noisy
 #: estimator of the true cost on a shared machine).
 REPEATS = 3
+
+#: Traced-overhead gate: span synthesis may cost at most this fraction
+#: of the untraced wall time, measured pairwise (interleaved repeats,
+#: best-of on both sides so scheduler noise largely cancels).
+TRACED_OVERHEAD_BUDGET = 0.05
+TRACED_REPEATS = 5
 
 
 def bench_engine_micro() -> dict:
@@ -180,11 +194,111 @@ def _bench_campaign(n_workers: int) -> dict:
     }
 
 
+def _bench_fluid_traced(engine: str) -> dict:
+    """Fluid throughput inside a live unit span, vs a paired untraced run.
+
+    Traced and untraced runs interleave, and ``overhead_frac`` comes
+    from adjacent pairs (each traced run ratioed against the untraced
+    run just before it, best pair wins): a host-speed swing lands on
+    both sides of a pair, so it cancels, while a real span-cost
+    regression shows up in every pair.
+    """
+    from repro.fastpath.vector import ENV_FLUID_VECTOR
+
+    catalog = may_2004_catalog()[:4]
+    settings = CampaignSettings(n_traces=1, epochs_per_trace=150)
+    telemetry = get_telemetry()
+
+    def run_once(traced: bool) -> tuple[int, float]:
+        campaign = Campaign(catalog, seed=0, label="perf-fluid")
+        telemetry.drain()
+        epochs = 0
+        started = time.perf_counter()
+        for config in catalog:
+            if traced:
+                with telemetry.span("trace", path=config.path_id, trace=0):
+                    epochs += len(campaign.run_trace(config, 0, settings))
+            else:
+                epochs += len(campaign.run_trace(config, 0, settings))
+        wall = time.perf_counter() - started
+        telemetry.drain()
+        return epochs, wall
+
+    saved = os.environ.get(ENV_FLUID_VECTOR)
+    os.environ[ENV_FLUID_VECTOR] = "1" if engine == "vector" else "0"
+    try:
+        untraced_walls, traced_walls = [], []
+        for _ in range(TRACED_REPEATS):
+            _, wall = run_once(False)
+            untraced_walls.append(wall)
+            epochs, wall = run_once(True)
+            traced_walls.append(wall)
+    finally:
+        if saved is None:
+            del os.environ[ENV_FLUID_VECTOR]
+        else:
+            os.environ[ENV_FLUID_VECTOR] = saved
+    wall, untraced = min(traced_walls), min(untraced_walls)
+    ratio = min(t / u for u, t in zip(untraced_walls, traced_walls))
+    return {
+        "epochs": epochs,
+        "wall_time_s": round(wall, 4),
+        "epochs_per_s": round(epochs / wall, 1),
+        "untraced_wall_s": round(untraced, 4),
+        "overhead_frac": round(max(0.0, ratio - 1.0), 4),
+    }
+
+
+def bench_packet_epoch_traced() -> dict:
+    """One traced packet epoch vs a paired untraced one."""
+    config = next(c for c in may_2004_catalog() if c.path_id == "p12")
+    telemetry = get_telemetry()
+
+    def run_once(traced: bool) -> float:
+        telemetry.drain()
+        runner = PacketEpochRunner(config, np.random.default_rng(0))
+        started = time.perf_counter()
+        if traced:
+            with telemetry.span("trace", path=config.path_id, trace=0):
+                runner.run_epoch(
+                    utilization=0.4,
+                    transfer_duration_s=10.0,
+                    pre_probe_duration_s=10.0,
+                )
+        else:
+            runner.run_epoch(
+                utilization=0.4,
+                transfer_duration_s=10.0,
+                pre_probe_duration_s=10.0,
+            )
+        wall = time.perf_counter() - started
+        telemetry.drain()
+        return wall
+
+    untraced_walls, traced_walls = [], []
+    for _ in range(REPEATS):
+        untraced_walls.append(run_once(False))
+        traced_walls.append(run_once(True))
+    wall, untraced = min(traced_walls), min(untraced_walls)
+    # Adjacent-pair overhead, as in _bench_fluid_traced: host-speed
+    # swings cancel within a pair instead of masquerading as span cost.
+    ratio = min(t / u for u, t in zip(untraced_walls, traced_walls))
+    return {
+        "epochs": 1,
+        "wall_time_s": round(wall, 4),
+        "untraced_wall_s": round(untraced, 4),
+        "overhead_frac": round(max(0.0, ratio - 1.0), 4),
+    }
+
+
 FIXTURES = {
     "engine_micro": bench_engine_micro,
     "packet_epoch": bench_packet_epoch,
     "fluid_trace": lambda: _bench_fluid("scalar"),
     "fluid_vector": lambda: _bench_fluid("vector"),
+    "fluid_traced": lambda: _bench_fluid_traced("scalar"),
+    "fluid_vector_traced": lambda: _bench_fluid_traced("vector"),
+    "packet_epoch_traced": bench_packet_epoch_traced,
     "campaign_serial": lambda: _bench_campaign(1),
     "campaign_parallel": lambda: _bench_campaign(2),
 }
@@ -231,12 +345,18 @@ def main(argv: list[str] | None = None) -> int:
         "machine": platform.machine(),
         "fixtures": {},
     }
+    over_budget = []
     for name in sorted(args.fixtures):
         report["fixtures"][name] = FIXTURES[name]()
         entry = report["fixtures"][name]
         rate = entry.get("events_per_s") or entry.get("epochs_per_s") or ""
         unit = "events/s" if "events_per_s" in entry else "epochs/s"
         note = f" ({rate:,} {unit})" if rate else ""
+        overhead = entry.get("overhead_frac")
+        if overhead is not None:
+            note += f" [span overhead {overhead * 100:.1f}%]"
+            if overhead > TRACED_OVERHEAD_BUDGET:
+                over_budget.append((name, overhead))
         print(f"  {name}: {entry['wall_time_s']}s{note}")
 
     if args.pre_change:
@@ -251,6 +371,14 @@ def main(argv: list[str] | None = None) -> int:
     output.parent.mkdir(parents=True, exist_ok=True)
     output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {output}")
+    if over_budget:
+        for name, overhead in over_budget:
+            print(
+                f"error: {name} span overhead {overhead * 100:.1f}% exceeds "
+                f"the {TRACED_OVERHEAD_BUDGET * 100:.0f}% budget",
+                file=sys.stderr,
+            )
+        return 1
     return 0
 
 

@@ -14,8 +14,21 @@ Measures the three layers of ``repro-serve`` and writes
 * ``http_load`` — end-to-end requests/s over real sockets: keep-alive
   connections alternating sample ingest (POST) and forecast reads
   (GET) against the full app, single process — with per-request
-  tracing (access log to a temp dir) and quality scoring ON, so the
+  tracing (access log to a temp dir), request *span* emission at the
+  default ``REPRO_TRACE_SAMPLE=1.0``, and quality scoring ON, so the
   number gates the fully-instrumented configuration.
+* ``http_load_untraced`` — the same load with span sampling off
+  (``trace_sample=0.0``); the delta to ``http_load`` is what span
+  synthesis costs per request.  The two are measured interleaved and
+  the span overhead taken from adjacent pairs, so host-speed swings
+  cancel.  The run **fails** when the untraced rate clears
+  ``HTTP_FLOOR_RPS`` (10k requests/s) but the traced rate — measured,
+  and projected from the untraced rate plus the paired overhead —
+  cannot: that means span emission itself broke the serving floor.  A
+  machine that cannot reach the floor even untraced only warns
+  (shared-runner throughput here swings 2x between runs; an
+  unconditional absolute floor would gate on the hypervisor's mood,
+  not on this code).
 * ``quality`` — scores/s through :class:`QualityTracker` across many
   paths (the per-ingest cost the quality layer adds).
 * ``access_log`` — records/s through :class:`AccessLog` including
@@ -52,6 +65,7 @@ if str(_SRC) not in sys.path:
 
 from repro._version import __version__  # noqa: E402
 from repro.hb.streaming import PredictorSpec, StreamingPredictorState  # noqa: E402
+from repro.obs import get_telemetry  # noqa: E402
 from repro.obs.quality import QualityConfig, QualityTracker  # noqa: E402
 from repro.serve.accesslog import AccessLog  # noqa: E402
 from repro.serve.app import ServeApp  # noqa: E402
@@ -71,6 +85,10 @@ ACCESS_RECORDS = 10_000
 #: Best-of repetitions (min is the least noisy estimator on a shared
 #: machine).
 REPEATS = 3
+
+#: The fully-traced serving floor: ``http_load`` (request spans ON)
+#: must clear this rate on any machine whose untraced rate clears it.
+HTTP_FLOOR_RPS = 10_000
 
 
 def synthetic_stream(n: int, seed: int = 3) -> list[float]:
@@ -155,6 +173,9 @@ def bench_access_log() -> dict:
     """records/s through the AccessLog, rotation included."""
 
     def run_once(directory: str) -> float:
+        # Spans ride the singleton's event buffer now; drain so repeats
+        # measure from the same starting state (and memory stays flat).
+        get_telemetry().drain()
         log = AccessLog(Path(directory) / "access.jsonl", max_bytes=1024 * 1024)
         traces = []
         for _ in range(ACCESS_RECORDS):
@@ -222,12 +243,17 @@ async def _http_client(port: int, requests: int, offset: int) -> None:
     await writer.wait_closed()
 
 
-async def _run_http_load(log_dir: str) -> float:
+async def _run_http_load(log_dir: str, trace_sample: float | None) -> float:
     # The fully-instrumented configuration: quality scoring (the store's
-    # default tracker) plus per-request tracing into an access log.
+    # default tracker) plus per-request tracing into an access log —
+    # request spans at trace_sample (None = the REPRO_TRACE_SAMPLE
+    # default, i.e. every request).
+    get_telemetry().drain()
     store = ShardedStateStore(specs=default_specs(["ma10", "ewma"]))
     app = ServeApp(store, label="serve-bench")
-    access_log = AccessLog(Path(log_dir) / "access.jsonl")
+    access_log = AccessLog(
+        Path(log_dir) / "access.jsonl", trace_sample=trace_sample
+    )
     server = await serve_app(app.handle, port=0, access_log=access_log)
     port = server.sockets[0].getsockname()[1]
     per_client = HTTP_REQUESTS // HTTP_CONNECTIONS
@@ -245,22 +271,62 @@ async def _run_http_load(log_dir: str) -> float:
     return wall
 
 
-def bench_http_load() -> dict:
-    """End-to-end requests/s over keep-alive sockets, single process."""
+def _measure_http_pair() -> dict[str, dict]:
+    """Measure traced and untraced http_load interleaved.
+
+    The two configurations alternate within one pass (untraced, traced,
+    untraced, traced, ...) so a host-speed swing lands on both equally;
+    measuring them as back-to-back fixtures made the traced/untraced
+    delta track the hypervisor, not the span code.
+    """
     with tempfile.TemporaryDirectory(prefix="serve-bench-") as log_dir:
-        wall = min(asyncio.run(_run_http_load(log_dir)) for _ in range(REPEATS))
+        untraced_walls, traced_walls = [], []
+        for _ in range(REPEATS):
+            untraced_walls.append(asyncio.run(_run_http_load(log_dir, 0.0)))
+            traced_walls.append(asyncio.run(_run_http_load(log_dir, None)))
+    get_telemetry().drain()
+
+    def entry(wall: float) -> dict:
+        return {
+            "epochs": HTTP_REQUESTS,
+            "wall_time_s": round(wall, 4),
+            "requests_per_s": round(HTTP_REQUESTS / wall),
+            "connections": HTTP_CONNECTIONS,
+        }
+
+    # Overhead from adjacent pairs: each traced run is ratioed against
+    # the untraced run that just preceded it, so both sides of the
+    # ratio saw the same host-speed window.  min-of-mins would compare
+    # runs from different windows and report the hypervisor's swing
+    # (routinely 30%+) as span cost.
+    ratios = [t / u for u, t in zip(untraced_walls, traced_walls)]
+    traced = entry(min(traced_walls))
+    traced["overhead_frac"] = round(max(0.0, min(ratios) - 1.0), 4)
     return {
-        "epochs": HTTP_REQUESTS,
-        "wall_time_s": round(wall, 4),
-        "requests_per_s": round(HTTP_REQUESTS / wall),
-        "connections": HTTP_CONNECTIONS,
+        "http_load": traced,
+        "http_load_untraced": entry(min(untraced_walls)),
     }
+
+
+_HTTP_PAIR: dict[str, dict] = {}
+
+
+def bench_http_load(name: str = "http_load") -> dict:
+    """End-to-end requests/s over keep-alive sockets, single process.
+
+    Both HTTP fixtures come from one interleaved measurement; whichever
+    is requested first runs the pair and the second reads the cache.
+    """
+    if not _HTTP_PAIR:
+        _HTTP_PAIR.update(_measure_http_pair())
+    return _HTTP_PAIR[name]
 
 
 FIXTURES = {
     "streaming_ingest": bench_streaming_ingest,
     "store_ops": bench_store_ops,
     "http_load": bench_http_load,
+    "http_load_untraced": lambda: bench_http_load("http_load_untraced"),
     "quality": bench_quality,
     "access_log": bench_access_log,
 }
@@ -311,6 +377,41 @@ def main(argv: list[str] | None = None) -> int:
     output.parent.mkdir(parents=True, exist_ok=True)
     output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {output}")
+    traced = report["fixtures"].get("http_load")
+    untraced = report["fixtures"].get("http_load_untraced")
+    if traced and traced["requests_per_s"] < HTTP_FLOOR_RPS:
+        if untraced and untraced["requests_per_s"] >= HTTP_FLOOR_RPS:
+            # The machine can reach the floor untraced; project what
+            # its best window sustains with spans on (paired overhead)
+            # before blaming tracing — the traced best-of may simply
+            # have missed the fast window the untraced best-of caught.
+            projected = round(
+                untraced["requests_per_s"] / (1.0 + traced["overhead_frac"])
+            )
+            if projected < HTTP_FLOOR_RPS:
+                print(
+                    f"error: fully-traced http_load sustains at most "
+                    f"{projected:,} requests/s "
+                    f"({traced['overhead_frac']:.1%} span overhead on the "
+                    f"{untraced['requests_per_s']:,} untraced rate), below "
+                    f"the {HTTP_FLOOR_RPS:,} floor",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                f"note: traced http_load measured "
+                f"{traced['requests_per_s']:,} requests/s but projects to "
+                f"{projected:,} at the untraced run's host speed — floor ok",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"warning: http_load at {traced['requests_per_s']:,} "
+                f"requests/s is below the {HTTP_FLOOR_RPS:,} floor, but so "
+                "is the untraced load — machine too slow to attribute the "
+                "miss to tracing",
+                file=sys.stderr,
+            )
     return 0
 
 

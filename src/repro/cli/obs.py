@@ -15,6 +15,11 @@ turns those files back into reports and machine formats:
 * ``quality SOURCE`` — the prediction-quality report of a
   ``kind: "serve"`` run, or of a *live* server when ``SOURCE`` is a
   base URL (``http://host:port``); ``--watch`` polls and re-renders;
+* ``trace SOURCE`` — the span timeline of a run (or of a *live*
+  server's recent requests when ``SOURCE`` is a base URL): indented
+  per-trace text trees plus the aggregated critical-path table, or
+  Chrome/Perfetto trace-event JSON with ``--format chrome`` (load the
+  file in ``ui.perfetto.dev``);
 * ``export RUN --format openmetrics|json`` — OpenMetrics/Prometheus
   text exposition or flat JSON, for scraping and dashboards;
 * ``bench record SOURCE --name NAME`` / ``bench check SOURCE`` — the
@@ -34,6 +39,8 @@ Examples::
     repro-obs compare baseline.csv optimized.csv
     repro-obs quality serve.manifest.json --paths
     repro-obs quality http://127.0.0.1:8710 --watch
+    repro-obs trace may.csv
+    repro-obs trace http://127.0.0.1:8710 --format chrome -o spans.json
     repro-obs export may.csv --format openmetrics
     repro-obs bench record BENCH_obs.json --name obs_baseline
     repro-obs bench check BENCH_obs.json
@@ -66,6 +73,11 @@ from repro.obs.render import (
     quality_report,
     slowest_report,
     summary_report,
+)
+from repro.obs.traceview import (
+    render_critical_path,
+    render_timeline,
+    to_chrome_trace,
 )
 
 
@@ -130,6 +142,46 @@ def build_parser() -> argparse.ArgumentParser:
         "non-zero; each failure prints a one-line reconnect notice and "
         "polling continues, so a server restart does not kill the watch "
         "(default: 5)",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="span timeline + critical path of a run or a live server",
+    )
+    trace.add_argument(
+        "source",
+        help="RUN (manifest/dataset/directory) or a live server base "
+        "URL (http://host:port) serving GET /trace",
+    )
+    trace.add_argument(
+        "--format",
+        choices=("text", "chrome"),
+        default="text",
+        dest="fmt",
+        help="text timeline + critical-path table (default), or "
+        "Chrome/Perfetto trace-event JSON",
+    )
+    trace.add_argument(
+        "--trace",
+        default=None,
+        metavar="ID",
+        dest="trace_id",
+        help="restrict to one trace id (e.g. a request's X-Request-Id)",
+    )
+    trace.add_argument(
+        "--max-children",
+        type=int,
+        default=10,
+        metavar="N",
+        help="children shown per span in the text timeline before "
+        "eliding (0 shows all; default: 10)",
+    )
+    trace.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write to FILE instead of stdout",
     )
 
     export = sub.add_parser(
@@ -248,6 +300,54 @@ def _fetch_quality(url: str, include_paths: bool) -> dict:
     return doc
 
 
+def _fetch_spans(url: str) -> list:
+    """``GET {url}/trace`` from a live server: its recent span events."""
+    base = url.rstrip("/")
+    try:
+        with urllib.request.urlopen(f"{base}/trace", timeout=10) as resp:
+            doc = json.load(resp)
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        raise _FetchError(f"cannot fetch {base}/trace: {exc}") from None
+    if not isinstance(doc, dict) or not isinstance(doc.get("spans"), list):
+        raise DataError(f"{base}/trace returned an unexpected document")
+    if doc.get("enabled") is False:
+        raise DataError(
+            "tracing is disabled on this server (REPRO_OBS=0, or no "
+            "span ring installed)"
+        )
+    return doc["spans"]
+
+
+def _span_events(source: str) -> list:
+    """Span events of a live server URL or a recorded run's sidecar."""
+    if source.startswith(("http://", "https://")):
+        return _fetch_spans(source)
+    return read_events(resolve_manifest(source))
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    events = _span_events(args.source)
+    if args.fmt == "chrome":
+        if args.trace_id is not None:
+            events = [
+                e for e in events
+                if e.get("kind") != "span" or e.get("trace_id") == args.trace_id
+            ]
+        text = json.dumps(to_chrome_trace(events), sort_keys=True) + "\n"
+    else:
+        text = render_timeline(
+            events, trace=args.trace_id, max_children=args.max_children
+        )
+        if args.trace_id is None:
+            text += "\n" + render_critical_path(events)
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def _quality_document(source: str, include_paths: bool) -> dict:
     """The quality document of a live server URL or a serve manifest."""
     if source.startswith(("http://", "https://")):
@@ -326,6 +426,8 @@ def main(argv: list[str] | None = None) -> int:
             print(compare_report(manifest_a, manifest_b))
         elif args.command == "quality":
             return _run_quality(args)
+        elif args.command == "trace":
+            return _run_trace(args)
         elif args.command == "export":
             manifest = load_manifest(resolve_manifest(args.run))
             render = to_openmetrics if args.fmt == "openmetrics" else to_flat_json

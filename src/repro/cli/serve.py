@@ -33,6 +33,7 @@ from repro.hb.streaming import BASE_PREDICTORS, DEFAULT_SERVE_PREDICTORS
 from repro.obs import RunRecorder
 from repro.obs.quality import QualityConfig, QualityTracker
 from repro.obs.recorder import write_manifest
+from repro.obs.spans import install_span_ring
 from repro.serve.accesslog import DEFAULT_MAX_BYTES, AccessLog
 from repro.serve.app import ServeApp
 from repro.serve.http import serve_app
@@ -119,6 +120,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="rotate the access log past N bytes "
         f"(default {DEFAULT_MAX_BYTES})",
     )
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="fraction of requests whose span tree is recorded "
+        "(default: REPRO_TRACE_SAMPLE, or 1.0); requires --access-log",
+    )
     return parser
 
 
@@ -168,9 +177,16 @@ async def run_service(args: argparse.Namespace) -> int:
 
     recorder = RunRecorder(label=args.label, kind="serve").start()
     app = ServeApp(store, label=args.label)
+    # The ring backs GET /trace with the most recent spans regardless
+    # of uptime; the manifest's events stop at REPRO_TRACE_MAX_SPANS.
+    install_span_ring()
     access_log = None
     if args.access_log:
-        access_log = AccessLog(args.access_log, max_bytes=args.access_log_max_bytes)
+        access_log = AccessLog(
+            args.access_log,
+            max_bytes=args.access_log_max_bytes,
+            trace_sample=args.trace_sample,
+        )
     server = await serve_app(
         app.handle, host=args.host, port=args.port, access_log=access_log
     )

@@ -67,6 +67,7 @@ from repro.fastpath.sites import (
 )
 from repro.formulas.params import TcpParameters
 from repro.obs import get_telemetry
+from repro.obs.spans import record_epoch_spans
 from repro.formulas.pftk import pftk_loss_for_throughput, pftk_throughput
 from repro.paths.config import PathConfig
 from repro.paths.records import EpochMeasurement, EpochTruth
@@ -290,6 +291,12 @@ class FluidPathSimulator:
                 epoch_index,
                 clock.phases,
                 regime=outcome.regime,
+            )
+            # Under an open unit span, the laps also become an epoch
+            # span with phase children (no extra clock reads).
+            record_epoch_spans(
+                telemetry, "epoch", path_id, trace_index, epoch_index,
+                clock.phases,
             )
 
         return EpochMeasurement(

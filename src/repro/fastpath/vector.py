@@ -78,6 +78,7 @@ from repro.fastpath.sites import (
 from repro.formulas.params import TcpParameters
 from repro.formulas.pftk import pftk_loss_for_throughput_array, pftk_throughput_array
 from repro.obs import get_telemetry
+from repro.obs.spans import record_trace_phase_spans
 from repro.paths.config import PathConfig
 from repro.paths.records import EpochMeasurement, EpochTruth, Trace
 
@@ -292,6 +293,10 @@ def run_fluid_trace(
             per_epoch_phases,
             [{"regime": _REGIMES[code]} for code in outcome.regime.tolist()],
         )
+        # Spans stay at the granularity the engine measured: one child
+        # span per whole-trace phase under the open unit span.  A span
+        # per epoch (~14 us each) would cost more than the epoch.
+        record_trace_phase_spans(telemetry, clock.phases, n_epochs)
     return trace
 
 

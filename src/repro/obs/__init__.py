@@ -13,6 +13,12 @@ Three layers, each usable on its own:
   ``events.jsonl`` sidecars written next to datasets (and cache
   entries), consumed by the ``repro-obs`` CLI.
 
+On top of them, :mod:`repro.obs.spans` adds causal structure — spans
+(trace/span/parent ids) recorded as ordinary telemetry events via
+``Telemetry.span(name, **tags)`` — and :mod:`repro.obs.traceview`
+renders the recorded trees (text timelines, critical paths,
+Chrome/Perfetto export) behind ``repro-obs trace``.
+
 Typical instrumentation site::
 
     from repro.obs import get_telemetry
@@ -59,12 +65,26 @@ from repro.obs.regress import (
     load_baseline,
     record_baseline,
 )
+from repro.obs.spans import (
+    ENV_TRACE_MAX_SPANS,
+    ENV_TRACE_SAMPLE,
+    Span,
+    reparent_spans,
+    start_span,
+    trace_sample_rate,
+)
 from repro.obs.telemetry import (
     ENV_OBS,
     PhaseClock,
     Telemetry,
     get_telemetry,
     obs_enabled,
+)
+from repro.obs.traceview import (
+    build_traces,
+    critical_path,
+    render_timeline,
+    to_chrome_trace,
 )
 
 __all__ = [
@@ -97,4 +117,14 @@ __all__ = [
     "check_against_baseline",
     "load_baseline",
     "record_baseline",
+    "ENV_TRACE_SAMPLE",
+    "ENV_TRACE_MAX_SPANS",
+    "Span",
+    "start_span",
+    "reparent_spans",
+    "trace_sample_rate",
+    "build_traces",
+    "render_timeline",
+    "critical_path",
+    "to_chrome_trace",
 ]

@@ -35,6 +35,8 @@ from repro.obs.telemetry import Telemetry, get_telemetry
 
 __all__ = [
     "MANIFEST_VERSION",
+    "ENV_EVENTS_MAX_BYTES",
+    "DEFAULT_EVENTS_MAX_BYTES",
     "CORE_COUNTERS",
     "ANALYSIS_CORE_COUNTERS",
     "SERVE_CORE_COUNTERS",
@@ -46,6 +48,22 @@ __all__ = [
     "resolve_manifest",
     "read_events",
 ]
+
+#: Size cap of a written ``*.events.jsonl`` sidecar (bytes); events past
+#: it are dropped and counted, same policy as the access log's rotation
+#: bound — a span-heavy run cannot write an unbounded sidecar.
+ENV_EVENTS_MAX_BYTES = "REPRO_EVENTS_MAX_BYTES"
+DEFAULT_EVENTS_MAX_BYTES = 64 * 1024 * 1024
+
+
+def _events_max_bytes() -> int:
+    raw = os.environ.get(ENV_EVENTS_MAX_BYTES)
+    if not raw:
+        return DEFAULT_EVENTS_MAX_BYTES
+    try:
+        return max(4096, int(raw))
+    except ValueError:
+        return DEFAULT_EVENTS_MAX_BYTES
 
 #: Schema version of manifest.json (bump on incompatible layout changes).
 #: v2 adds the ``kind`` field ("campaign" | "analysis" | "serve"); v1
@@ -287,14 +305,43 @@ def write_manifest(
     leave a torn ``*.manifest.json`` / ``*.events.jsonl`` behind for
     ``repro-obs summary`` to choke on — either the old sidecar survives
     intact or the new one is complete.
+
+    The events file is size-capped (``REPRO_EVENTS_MAX_BYTES``, default
+    64 MiB): the head of the stream is kept, the tail dropped, and the
+    manifest records the truncation (``events.written`` /
+    ``events.dropped`` plus an ``events.dropped`` counter) so consumers
+    see the cut instead of inferring it from a count mismatch.
     """
     manifest_path = Path(manifest_path)
     events_path = Path(events_path)
     manifest = dict(manifest)
-    manifest["events"] = {**manifest.get("events", {}), "path": events_path.name}
+    max_bytes = _events_max_bytes()
+    lines: list[str] = []
+    size = 0
+    written = 0
+    for event in events:
+        line = json.dumps(event, sort_keys=True) + "\n"
+        # ensure_ascii output: one byte per character.
+        if size + len(line) > max_bytes:
+            break
+        lines.append(line)
+        size += len(line)
+        written += 1
+    dropped = len(events) - written
+    manifest["events"] = {
+        **manifest.get("events", {}),
+        "path": events_path.name,
+        "written": written,
+        "dropped": dropped,
+    }
+    if dropped:
+        counters = list(manifest.get("counters", ()))
+        counters.append(
+            {"name": "events.dropped", "tags": {}, "value": dropped}
+        )
+        manifest["counters"] = counters
     manifest_path.parent.mkdir(parents=True, exist_ok=True)
-    events_text = "".join(json.dumps(event, sort_keys=True) + "\n" for event in events)
-    _atomic_write_text(events_path, events_text)
+    _atomic_write_text(events_path, "".join(lines))
     _atomic_write_text(
         manifest_path, json.dumps(manifest, indent=2, sort_keys=True) + "\n"
     )
@@ -401,7 +448,12 @@ def read_events(manifest_path: str | Path) -> list[dict[str, Any]]:
     """Load the events.jsonl referenced by a manifest.
 
     Returns an empty list when the manifest records no events file or
-    the file is absent; raises :class:`DataError` on malformed lines.
+    the file is absent.  Malformed lines — typically a torn trailing
+    line from a crash mid-append — are skipped and counted
+    (``events.skipped_lines`` counter + one ``events.skipped`` telemetry
+    event per file), mirroring ``ShardedStateStore.restore``'s
+    skip-and-count convention: a damaged sidecar degrades to partial
+    data instead of refusing to render at all.
     """
     manifest_path = Path(manifest_path)
     manifest = load_manifest(manifest_path)
@@ -412,13 +464,34 @@ def read_events(manifest_path: str | Path) -> list[dict[str, Any]]:
     if not events_path.is_file():
         return []
     events = []
+    skipped = 0
+    first_bad = 0
     for lineno, line in enumerate(
-        events_path.read_text(encoding="utf-8").splitlines(), start=1
+        events_path.read_text(encoding="utf-8", errors="replace").splitlines(),
+        start=1,
     ):
         if not line.strip():
             continue
         try:
-            events.append(json.loads(line))
-        except json.JSONDecodeError as exc:
-            raise DataError(f"{events_path}:{lineno}: bad JSONL line: {exc}") from exc
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            skipped += 1
+            if not first_bad:
+                first_bad = lineno
+            continue
+        if isinstance(event, dict):
+            events.append(event)
+        else:
+            skipped += 1
+            if not first_bad:
+                first_bad = lineno
+    if skipped:
+        tele = get_telemetry()
+        tele.counter("events.skipped_lines").inc(skipped)
+        tele.emit(
+            "events.skipped",
+            path=str(events_path),
+            lines=skipped,
+            first_line=first_bad,
+        )
     return events

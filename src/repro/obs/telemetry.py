@@ -142,6 +142,9 @@ class Telemetry:
         self.events: list[dict[str, Any]] = []
         self.context: dict[str, Any] = {}
         self._epoch_handles: _EpochHandles | None = None
+        #: span events buffered since the last drain/reset, checked
+        #: against REPRO_TRACE_MAX_SPANS by repro.obs.spans.
+        self.span_events = 0
 
     @property
     def enabled(self) -> bool:
@@ -166,6 +169,20 @@ class Telemetry:
 
     def phase_clock(self) -> PhaseClock:
         return PhaseClock(obs_enabled())
+
+    def span(self, name: str, sample_key: str | None = None, **tags: Any):
+        """Open a tracing span (see :mod:`repro.obs.spans`).
+
+        Use as a context manager; on exit the completed span is
+        buffered as a ``kind: "span"`` event.  Spans opened while this
+        one is active become its children (thread- and task-local via
+        :mod:`contextvars`).  ``sample_key`` makes the span subject to
+        ``REPRO_TRACE_SAMPLE``; disabled telemetry returns a shared
+        no-op span.
+        """
+        from repro.obs.spans import start_span
+
+        return start_span(self, name, sample_key, **tags)
 
     # -- events --------------------------------------------------------
 
@@ -297,15 +314,18 @@ class Telemetry:
         """
         snapshot = self.metrics.snapshot()
         snapshot["events"] = self.events
+        snapshot["span_events"] = self.span_events
         self.metrics = MetricsRegistry()
         self.events = []
         self._epoch_handles = None
+        self.span_events = 0
         return snapshot
 
     def merge(self, snapshot: dict[str, Any]) -> None:
         """Fold a drained snapshot into this collector."""
         self.metrics.merge(snapshot)
         self.events.extend(snapshot.get("events", ()))
+        self.span_events += snapshot.get("span_events", 0)
 
     def reset(self) -> None:
         """Drop all collected data and context."""
@@ -313,6 +333,7 @@ class Telemetry:
         self.events = []
         self.context = {}
         self._epoch_handles = None
+        self.span_events = 0
 
 
 _TELEMETRY = Telemetry()

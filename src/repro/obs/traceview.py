@@ -1,0 +1,383 @@
+"""Rendering span trees: timelines, critical paths, Perfetto export.
+
+The consumer side of :mod:`repro.obs.spans`.  Input is the flat list of
+``kind: "span"`` events a run recorded (from an ``*.events.jsonl``
+sidecar via :func:`repro.obs.recorder.read_events`, or a live server's
+``GET /trace``); output is one of:
+
+* :func:`render_timeline` — an indented text tree per trace, children
+  in start-time order, durations and tags inline;
+* :func:`critical_path` / :func:`critical_path_table` — the longest
+  chain of child spans from a trace's root (at every node, descend
+  into the child with the greatest duration), and the per-name
+  aggregation over it: where would optimization effort pay off;
+* :func:`to_chrome_trace` — Chrome trace-event JSON (``ph: "X"``
+  complete events, microsecond timestamps), loadable in
+  ``ui.perfetto.dev`` or ``chrome://tracing``.
+
+Span events arrive flat and unordered; :func:`build_traces` groups them
+by ``trace_id`` and rebuilds parent/child structure from the ids.  A
+span whose parent is missing (sampled out, dropped past the span cap,
+or lost with a crashed worker) is treated as a root of its trace rather
+than discarded — a damaged timeline renders partially, like a damaged
+events sidecar loads partially.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = [
+    "SpanNode",
+    "build_traces",
+    "render_timeline",
+    "critical_path",
+    "critical_path_table",
+    "render_critical_path",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+]
+
+#: Span-event bookkeeping fields; everything else on the event is a tag.
+_CORE_FIELDS = frozenset(
+    ("kind", "trace_id", "span_id", "parent_id", "name", "ts", "dur_s", "run")
+)
+
+
+class SpanNode:
+    """One span in a rebuilt tree."""
+
+    __slots__ = ("event", "children")
+
+    def __init__(self, event: dict[str, Any]) -> None:
+        self.event = event
+        self.children: list[SpanNode] = []
+
+    @property
+    def name(self) -> str:
+        return str(self.event.get("name", "?"))
+
+    @property
+    def ts(self) -> float:
+        return float(self.event.get("ts", 0.0))
+
+    @property
+    def dur_s(self) -> float:
+        return float(self.event.get("dur_s", 0.0))
+
+    @property
+    def tags(self) -> dict[str, Any]:
+        return {
+            k: v for k, v in self.event.items() if k not in _CORE_FIELDS
+        }
+
+
+def build_traces(
+    events: list[dict[str, Any]],
+) -> dict[str, list[SpanNode]]:
+    """Group span events by trace and rebuild each trace's tree(s).
+
+    Returns ``{trace_id: [root SpanNode, ...]}`` in first-seen trace
+    order; each trace's roots and every node's children are sorted by
+    start time (ties broken by insertion order, which follows the
+    recorded event order).  Non-span events are ignored, so the whole
+    events sidecar can be passed in unfiltered.
+    """
+    nodes: dict[str, dict[str, SpanNode]] = {}
+    order: list[str] = []
+    for event in events:
+        if event.get("kind") != "span":
+            continue
+        trace_id = str(event.get("trace_id", ""))
+        span_id = event.get("span_id")
+        if not trace_id or not isinstance(span_id, str):
+            continue
+        per_trace = nodes.get(trace_id)
+        if per_trace is None:
+            per_trace = nodes[trace_id] = {}
+            order.append(trace_id)
+        per_trace[span_id] = SpanNode(event)
+    traces: dict[str, list[SpanNode]] = {}
+    for trace_id in order:
+        per_trace = nodes[trace_id]
+        roots: list[SpanNode] = []
+        for node in per_trace.values():
+            parent = per_trace.get(node.event.get("parent_id"))
+            if parent is None or parent is node:
+                roots.append(node)
+            else:
+                parent.children.append(node)
+        for node in per_trace.values():
+            node.children.sort(key=lambda n: n.ts)
+        roots.sort(key=lambda n: n.ts)
+        traces[trace_id] = roots
+    return traces
+
+
+def _format_tags(tags: dict[str, Any]) -> str:
+    if not tags:
+        return ""
+    return "  " + " ".join(f"{k}={v}" for k, v in sorted(tags.items()))
+
+
+def _format_dur(dur_s: float) -> str:
+    if dur_s >= 1.0:
+        return f"{dur_s:.3f}s"
+    if dur_s >= 1e-3:
+        return f"{dur_s * 1e3:.3f}ms"
+    return f"{dur_s * 1e6:.0f}us"
+
+
+def _render_node(
+    node: SpanNode,
+    depth: int,
+    lines: list[str],
+    max_children: int,
+) -> None:
+    lines.append(
+        f"{'  ' * depth}{node.name}  {_format_dur(node.dur_s)}"
+        f"{_format_tags(node.tags)}"
+    )
+    shown = node.children
+    hidden = 0
+    if max_children > 0 and len(shown) > max_children:
+        hidden = len(shown) - max_children
+        shown = shown[:max_children]
+    for child in shown:
+        _render_node(child, depth + 1, lines, max_children)
+    if hidden:
+        lines.append(f"{'  ' * (depth + 1)}... (+{hidden} more)")
+
+
+def render_timeline(
+    events: list[dict[str, Any]],
+    trace: str | None = None,
+    max_children: int = 10,
+) -> str:
+    """Render span events as indented per-trace text timelines.
+
+    Args:
+        events: flat event list (non-span events ignored).
+        trace: restrict to one trace id.
+        max_children: children shown per node before eliding with a
+            ``(+N more)`` line; ``0`` shows everything.  Keeps a
+            1000-path campaign's timeline scrollable.
+    """
+    traces = build_traces(events)
+    if trace is not None:
+        traces = {t: r for t, r in traces.items() if t == trace}
+        if not traces:
+            return f"no spans for trace {trace!r}\n"
+    if not traces:
+        return "no spans recorded\n"
+    lines: list[str] = []
+    for trace_id, roots in traces.items():
+        n_spans = _count_nodes(roots)
+        total = sum(r.dur_s for r in roots)
+        lines.append(
+            f"trace {trace_id}  ({n_spans} span(s), {_format_dur(total)})"
+        )
+        for root in roots:
+            _render_node(root, 1, lines, max_children)
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _count_nodes(roots: list[SpanNode]) -> int:
+    count = 0
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        count += 1
+        stack.extend(node.children)
+    return count
+
+
+def critical_path(roots: list[SpanNode]) -> list[SpanNode]:
+    """The longest chain of child spans from a trace's dominant root.
+
+    Starting from the longest root, descend at every node into the
+    child with the greatest duration until a leaf.  The returned chain
+    is the sequence of spans that bounds the trace's wall time: making
+    anything *off* it faster cannot make the trace faster.
+    """
+    if not roots:
+        return []
+    node = max(roots, key=lambda n: n.dur_s)
+    chain = [node]
+    while node.children:
+        node = max(node.children, key=lambda n: n.dur_s)
+        chain.append(node)
+    return chain
+
+
+def critical_path_table(
+    traces: dict[str, list[SpanNode]],
+) -> list[dict[str, Any]]:
+    """Aggregate every trace's critical path into a per-name table.
+
+    For each span on a critical path, its **exclusive** time is its
+    duration minus the chosen child's — the share only that span can
+    account for.  Rows sum exclusive time per span name across all
+    traces and come back sorted by it, descending: the top row is where
+    optimization effort pays off first.
+    """
+    rows: dict[str, dict[str, Any]] = {}
+    for roots in traces.values():
+        chain = critical_path(roots)
+        for i, node in enumerate(chain):
+            child_dur = chain[i + 1].dur_s if i + 1 < len(chain) else 0.0
+            row = rows.get(node.name)
+            if row is None:
+                row = rows[node.name] = {
+                    "name": node.name,
+                    "count": 0,
+                    "total_s": 0.0,
+                    "exclusive_s": 0.0,
+                }
+            row["count"] += 1
+            row["total_s"] += node.dur_s
+            row["exclusive_s"] += max(0.0, node.dur_s - child_dur)
+    return sorted(
+        rows.values(), key=lambda r: r["exclusive_s"], reverse=True
+    )
+
+
+def render_critical_path(events: list[dict[str, Any]]) -> str:
+    """The aggregated who's-on-the-critical-path table as text."""
+    traces = build_traces(events)
+    table = critical_path_table(traces)
+    if not table:
+        return "no spans recorded\n"
+    width = max(len(r["name"]) for r in table)
+    width = max(width, len("span"))
+    lines = [
+        f"critical path across {len(traces)} trace(s):",
+        f"  {'span':<{width}}  {'count':>7}  {'exclusive':>11}  {'total':>11}",
+    ]
+    for row in table:
+        lines.append(
+            f"  {row['name']:<{width}}  {row['count']:>7}"
+            f"  {_format_dur(row['exclusive_s']):>11}"
+            f"  {_format_dur(row['total_s']):>11}"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def to_chrome_trace(events: list[dict[str, Any]]) -> dict[str, Any]:
+    """Convert span events to Chrome trace-event JSON.
+
+    One ``ph: "X"`` (complete) event per span, timestamps/durations in
+    microseconds normalized to the earliest span; one process per
+    trace (``pid``), named by a ``process_name`` metadata event; one
+    thread (``tid``) per direct child of a trace's root, so sibling
+    subtrees that genuinely overlapped in wall time (parallel campaign
+    units) land on separate tracks and nest cleanly within them.  Load
+    the output in ``ui.perfetto.dev`` or ``chrome://tracing``.
+    """
+    traces = build_traces(events)
+    out: list[dict[str, Any]] = []
+    t0 = None
+    for roots in traces.values():
+        for root in roots:
+            start = root.ts
+            if t0 is None or start < t0:
+                t0 = start
+    if t0 is None:
+        t0 = 0.0
+    for pid, (trace_id, roots) in enumerate(traces.items(), start=1):
+        out.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": f"trace {trace_id}"},
+            }
+        )
+        next_tid = 0
+        for root in roots:
+            tid = next_tid
+            next_tid += 1
+            _emit_chrome(root, pid, tid, t0, out)
+            for child in root.children:
+                tid = next_tid
+                next_tid += 1
+                label = child.name + _format_tags(child.tags)
+                out.append(
+                    {
+                        "ph": "M",
+                        "pid": pid,
+                        "tid": tid,
+                        "name": "thread_name",
+                        "args": {"name": label},
+                    }
+                )
+                _emit_subtree(child, pid, tid, t0, out)
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def _emit_chrome(
+    node: SpanNode, pid: int, tid: int, t0: float, out: list[dict[str, Any]]
+) -> None:
+    """Emit one span as a complete event (no recursion into children)."""
+    out.append(
+        {
+            "ph": "X",
+            "pid": pid,
+            "tid": tid,
+            "name": node.name,
+            "cat": "span",
+            "ts": round((node.ts - t0) * 1e6, 3),
+            "dur": round(node.dur_s * 1e6, 3),
+            "args": node.tags,
+        }
+    )
+
+
+def _emit_subtree(
+    node: SpanNode, pid: int, tid: int, t0: float, out: list[dict[str, Any]]
+) -> None:
+    _emit_chrome(node, pid, tid, t0, out)
+    for child in node.children:
+        _emit_subtree(child, pid, tid, t0, out)
+
+
+def validate_chrome_trace(doc: Any) -> list[str]:
+    """Schema-check a Chrome trace document; returns problem strings.
+
+    Used by the trace smoke test: an empty list means the document is
+    loadable by Perfetto's trace-event importer.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return ["document must be an object with a traceEvents list"]
+    entries = doc["traceEvents"]
+    if not isinstance(entries, list):
+        return ["traceEvents must be a list"]
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            problems.append(f"traceEvents[{i}] is not an object")
+            continue
+        ph = entry.get("ph")
+        if ph not in ("X", "M"):
+            problems.append(f"traceEvents[{i}] has unexpected ph {ph!r}")
+            continue
+        for field in ("pid", "tid", "name"):
+            if field not in entry:
+                problems.append(f"traceEvents[{i}] is missing {field!r}")
+        if ph == "X":
+            for field in ("ts", "dur"):
+                value = entry.get(field)
+                if not isinstance(value, (int, float)) or value < 0:
+                    problems.append(
+                        f"traceEvents[{i}].{field} must be a non-negative "
+                        f"number, got {value!r}"
+                    )
+        try:
+            json.dumps(entry)
+        except (TypeError, ValueError) as exc:
+            problems.append(f"traceEvents[{i}] is not JSON-able: {exc}")
+    return problems

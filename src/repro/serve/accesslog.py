@@ -51,6 +51,11 @@ from time import time
 from typing import Any, BinaryIO
 
 from repro.obs.metrics import Counter
+from repro.obs.spans import (
+    record_request_spans,
+    sample_decision,
+    trace_sample_rate,
+)
 from repro.obs.telemetry import PhaseClock, get_telemetry, obs_enabled
 
 __all__ = ["AccessLog", "RequestTrace", "DEFAULT_MAX_BYTES"]
@@ -68,9 +73,9 @@ _escape = json.encoder.encode_basestring_ascii
 class RequestTrace:
     """One request's identity + phase clock + annotations."""
 
-    __slots__ = ("request_id", "clock", "fields", "lap")
+    __slots__ = ("request_id", "clock", "fields", "lap", "sampled")
 
-    def __init__(self, request_id: str) -> None:
+    def __init__(self, request_id: str, sampled: bool = True) -> None:
         self.request_id = request_id
         self.clock = PhaseClock(enabled=True)
         #: route/key/error annotations added by the router and handlers.
@@ -78,6 +83,9 @@ class RequestTrace:
         #: ``lap("phase")`` attributes time since the previous lap; bound
         #: straight to the clock so the per-request hot path skips a frame.
         self.lap = self.clock.lap
+        #: whether this request's span tree is recorded (the
+        #: ``REPRO_TRACE_SAMPLE`` decision, made once at begin()).
+        self.sampled = sampled
 
     def annotate(self, **fields: Any) -> None:
         """Attach fields (route, key, error) to the eventual record."""
@@ -91,10 +99,17 @@ class AccessLog:
         path: log file path, or ``"-"`` for stdout.
         max_bytes: rotate when the file would exceed this size
             (ignored for stdout).
+        trace_sample: fraction of requests whose span tree is recorded
+            (``None`` reads ``REPRO_TRACE_SAMPLE``, default 1.0).  The
+            decision hashes the request id, so a given request's fate
+            is reproducible from its ``X-Request-Id``.
     """
 
     def __init__(
-        self, path: str | Path, max_bytes: int = DEFAULT_MAX_BYTES
+        self,
+        path: str | Path,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        trace_sample: float | None = None,
     ) -> None:
         if max_bytes < 4096:
             raise ValueError(f"max_bytes must be >= 4096, got {max_bytes}")
@@ -108,6 +123,10 @@ class AccessLog:
         self.n_records = 0
         self.n_rotations = 0
         self._records_counter: Counter | None = None
+        self.trace_sample = (
+            trace_sample_rate() if trace_sample is None
+            else min(1.0, max(0.0, trace_sample))
+        )
 
     @property
     def enabled(self) -> bool:
@@ -117,7 +136,10 @@ class AccessLog:
     def begin(self) -> RequestTrace:
         """Start a trace for a request whose head just arrived."""
         self._sequence += 1
-        return RequestTrace(f"{self._prefix}-{self._sequence:08d}")
+        request_id = f"{self._prefix}-{self._sequence:08d}"
+        rate = self.trace_sample
+        sampled = rate >= 1.0 or sample_decision(request_id, rate)
+        return RequestTrace(request_id, sampled)
 
     def record(
         self,
@@ -154,6 +176,13 @@ class AccessLog:
             sys.stdout.write(line)
         else:
             self._write(line.encode("utf-8"))
+        if trace.sampled:
+            # The request id is the trace id: a client holding the
+            # X-Request-Id header can find this exact tree in /trace
+            # output or the shutdown manifest's events.
+            record_request_spans(
+                trace.fields, trace.request_id, phases, method, path, status
+            )
         # The counter handle is re-fetched every 64 records: the
         # registry get-or-create stays off the per-request path, and a
         # drained/reset telemetry registry heals within one batch.

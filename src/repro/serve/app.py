@@ -15,6 +15,7 @@ Routes
 ``GET /healthz``                             liveness + store occupancy
 ``GET /metrics``                             OpenMetrics exposition (live)
 ``GET /quality``                             prediction-quality summary
+``GET /trace``                               recent request span trees
 ``POST /predict/fb``                         stateless FB prediction (Eq. 3)
 ``POST /paths/{key}/samples``                ingest throughput samples
 ``GET /paths/{key}/predict?predictor=NAME``  current HB forecast(s)
@@ -40,6 +41,7 @@ from repro.formulas.fb_predictor import MODEL_VARIANTS, FormulaBasedPredictor
 from repro.formulas.params import PathEstimates, TcpParameters, fb_input_errors
 from repro.obs import get_telemetry, to_openmetrics
 from repro.obs.metrics import Timer
+from repro.obs.spans import span_ring_enabled, span_ring_snapshot
 from repro.obs.telemetry import obs_enabled
 from repro.serve.http import HttpError, HttpRequest, RawResponse
 from repro.serve.state import ShardedStateStore
@@ -122,6 +124,9 @@ class ServeApp:
         if path == "/quality":
             self._require(method, "GET")
             return "quality", self._quality
+        if path == "/trace":
+            self._require(method, "GET")
+            return "trace", self._trace
         if path == "/predict/fb":
             self._require(method, "POST")
             return "predict_fb", self._predict_fb
@@ -182,6 +187,35 @@ class ServeApp:
         doc = quality.summary(include_paths=include_paths)
         doc["enabled"] = True
         return 200, doc
+
+    def _trace(self, request: HttpRequest) -> tuple[int, Any]:
+        """Recent request span trees (the live tracing window).
+
+        Query params: ``trace=<X-Request-Id>`` restricts to one tree;
+        ``limit=N`` bounds the span count (most recent last).  Spans
+        come from the in-process ring the CLI installs at boot, so the
+        window is the last ~4096 spans regardless of uptime.
+        """
+        if not obs_enabled() or not span_ring_enabled():
+            return 200, {"enabled": False, "spans": []}
+        limit_raw = request.query.get("limit")
+        limit = None
+        if limit_raw is not None:
+            try:
+                limit = max(0, int(limit_raw))
+            except ValueError:
+                raise HttpError(400, f"limit must be an integer, got {limit_raw!r}")
+        trace_id = request.query.get("trace")
+        if trace_id is not None:
+            spans = [
+                s for s in span_ring_snapshot()
+                if s.get("trace_id") == trace_id
+            ]
+            if limit is not None:
+                spans = spans[-limit:]
+        else:
+            spans = span_ring_snapshot(limit)
+        return 200, {"enabled": True, "spans": spans}
 
     def _path_quality(self, request: HttpRequest, key: str) -> tuple[int, Any]:
         self._states_or_404(key)  # unknown path -> 404, like /paths/{key}

@@ -29,6 +29,13 @@ an ``X-Request-Id`` response header and the completed request is
 written to the access log — including error responses; only
 protocol-level failures that abort the connection before a request
 exists go unrecorded.
+
+The same laps feed the tracing pipeline: for sampled requests
+(``REPRO_TRACE_SAMPLE``) the access log also records a span tree —
+a root ``"request"`` span whose trace id **is** the ``X-Request-Id``,
+with the phase laps as child spans — into the telemetry event stream
+(see :mod:`repro.obs.spans`), servable live at ``GET /trace`` and
+renderable with ``repro-obs trace``.
 """
 
 from __future__ import annotations

@@ -69,6 +69,7 @@ from typing import TYPE_CHECKING, Any
 from repro.core.errors import ConfigurationError, ExecutionError
 from repro.fastpath.vector import fluid_vector_enabled
 from repro.obs import get_telemetry
+from repro.obs.spans import reparent_spans
 from repro.paths.records import Dataset, Trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
@@ -326,12 +327,22 @@ def _run_chunk_job(units: tuple) -> list[tuple[Trace, dict[str, Any]]]:
         config = catalog[catalog_index]
         telemetry.drain()  # leftovers from a crashed/failed prior unit
         try:
-            maybe_inject_fault(config.path_id, trace_index)
-            campaign = Campaign(
-                [config], seed=seed, label=label, tcp=tcp, small_tcp=small_tcp
-            )
-            with telemetry.timer("campaign.trace_s"):
-                trace = campaign.run_trace(config, trace_index, settings)
+            # The unit span starts a fresh trace here (workers inherit
+            # no span context); the parent re-parents it under the
+            # campaign span at merge time.  The sample key matches the
+            # serial path's, so both sample identical units.
+            with telemetry.span(
+                "trace",
+                sample_key=f"{config.path_id}/{trace_index}",
+                path=config.path_id,
+                trace=trace_index,
+            ):
+                maybe_inject_fault(config.path_id, trace_index)
+                campaign = Campaign(
+                    [config], seed=seed, label=label, tcp=tcp, small_tcp=small_tcp
+                )
+                with telemetry.timer("campaign.trace_s"):
+                    trace = campaign.run_trace(config, trace_index, settings)
         except Exception as exc:
             if len(units) == 1:
                 raise
@@ -536,18 +547,29 @@ class _CampaignRun:
             while True:
                 held = self.telemetry.drain()
                 try:
-                    maybe_inject_fault(config.path_id, trace_index)
-                    attempt_campaign = Campaign(
-                        [config],
-                        seed=seed,
-                        label=campaign.label,
-                        tcp=campaign.tcp,
-                        small_tcp=campaign.small_tcp,
-                    )
-                    with self.telemetry.timer("campaign.trace_s"):
-                        trace = attempt_campaign.run_trace(
-                            config, trace_index, settings
+                    # The unit span nests under the campaign span (the
+                    # context survives the drain above); its event lands
+                    # in the attempt's collector, so a failed attempt's
+                    # span is discarded with the rest — exactly one
+                    # span survives per completed unit, as with workers.
+                    with self.telemetry.span(
+                        "trace",
+                        sample_key=f"{config.path_id}/{trace_index}",
+                        path=config.path_id,
+                        trace=trace_index,
+                    ):
+                        maybe_inject_fault(config.path_id, trace_index)
+                        attempt_campaign = Campaign(
+                            [config],
+                            seed=seed,
+                            label=campaign.label,
+                            tcp=campaign.tcp,
+                            small_tcp=campaign.small_tcp,
                         )
+                        with self.telemetry.timer("campaign.trace_s"):
+                            trace = attempt_campaign.run_trace(
+                                config, trace_index, settings
+                            )
                 except ExecutionError:
                     self.telemetry.drain()
                     self.telemetry.merge(held)
@@ -888,16 +910,36 @@ def run_campaign(
     run.telemetry.counter("campaign.traces_attempted").inc(len(remaining))
 
     if remaining:
-        if n_workers == 1 or len(remaining) == 1:
-            run.run_serial(remaining)
-        else:
-            run.run_parallel(remaining, n_workers)
-        # Merge worker telemetry in job order (not completion order) so
-        # the merged events.jsonl line order is independent of
-        # scheduling.  Resumed/serial traces contribute no snapshot.
-        for snapshot in run.snapshots:
-            if snapshot is not None:
-                run.telemetry.merge(snapshot)
+        # The campaign span is the root of the run's trace; unit spans
+        # hang under it — directly (serial: the context is ambient) or
+        # via re-parenting (parallel: workers' spans come back as roots
+        # of private traces).  Tags must not depend on worker count or
+        # chunking, or the parity guarantee (parallel tree == serial
+        # tree) would break.
+        with run.telemetry.span(
+            "campaign",
+            label=campaign.label,
+            paths=len(campaign.catalog),
+            traces=settings.n_traces,
+            epochs=settings.epochs_per_trace,
+        ) as campaign_span:
+            if n_workers == 1 or len(remaining) == 1:
+                run.run_serial(remaining)
+            else:
+                run.run_parallel(remaining, n_workers)
+            # Merge worker telemetry in job order (not completion order)
+            # so the merged events.jsonl line order is independent of
+            # scheduling.  Resumed/serial traces contribute no snapshot.
+            trace_id = getattr(campaign_span, "trace_id", None)
+            for snapshot in run.snapshots:
+                if snapshot is not None:
+                    if trace_id is not None:
+                        reparent_spans(
+                            snapshot.get("events", ()),
+                            trace_id,
+                            campaign_span.span_id,
+                        )
+                    run.telemetry.merge(snapshot)
 
     dataset = Dataset(label=campaign.label)
     for trace in run.traces:

@@ -31,6 +31,7 @@ from repro.apps.pinger import PingResponder, Pinger
 from repro.core.units import Bandwidth
 from repro.formulas.params import TcpParameters
 from repro.obs import get_telemetry
+from repro.obs.spans import record_epoch_spans
 from repro.paths.config import PathConfig
 from repro.paths.records import EpochMeasurement, EpochTruth
 from repro.simnet.engine import Simulator
@@ -215,6 +216,16 @@ class PacketEpochRunner:
                 retransmits=transfer.retransmissions,
                 timeouts=transfer.timeouts,
                 utilization=round(utilization, 6),
+            )
+            # Under an open unit span, the laps also become a
+            # packet_epoch span with phase children.
+            record_epoch_spans(
+                telemetry,
+                "packet_epoch",
+                path_id or cfg.path_id,
+                trace_index,
+                epoch_index,
+                clock.phases,
             )
 
         that_s = pre.rtt_mean_s if pre.rtt_mean_s is not None else cfg.base_rtt_s

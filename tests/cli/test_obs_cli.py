@@ -377,3 +377,46 @@ class TestBench:
             ["bench", "check", str(dataset), "--baselines-dir", str(bl), "-v"]
         ) == 0
         assert "ok counter:epochs.simulated" in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_text_timeline_from_dataset(self, tmp_path, capsys):
+        dataset = run_campaign(tmp_path, "ds.csv")
+        assert obs.main(["trace", str(dataset)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign" in out
+        assert "critical path across" in out
+
+    def test_chrome_export_validates(self, tmp_path, capsys):
+        import json as _json
+
+        from repro.obs.traceview import validate_chrome_trace
+
+        dataset = run_campaign(tmp_path, "ds.csv")
+        out_file = tmp_path / "chrome.json"
+        assert obs.main(
+            ["trace", str(dataset), "--format", "chrome", "-o", str(out_file)]
+        ) == 0
+        doc = _json.loads(out_file.read_text())
+        assert validate_chrome_trace(doc) == []
+        assert any(
+            e.get("name") == "campaign" for e in doc["traceEvents"]
+        )
+
+    def test_trace_filter_to_one_trace(self, tmp_path, capsys):
+        from repro.obs import read_events, resolve_manifest
+
+        dataset = run_campaign(tmp_path, "ds.csv")
+        events = read_events(resolve_manifest(dataset))
+        trace_id = next(
+            e["trace_id"] for e in events if e.get("kind") == "span"
+        )
+        assert obs.main(["trace", str(dataset), "--trace", trace_id]) == 0
+        out = capsys.readouterr().out
+        assert f"trace {trace_id}" in out
+        assert obs.main(["trace", str(dataset), "--trace", "nope"]) == 0
+        assert "no spans for trace" in capsys.readouterr().out
+
+    def test_missing_manifest_exits_2(self, tmp_path, capsys):
+        assert obs.main(["trace", str(tmp_path / "ghost.csv")]) == 2
+        assert "error:" in capsys.readouterr().err

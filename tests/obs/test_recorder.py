@@ -355,3 +355,126 @@ class TestRendering:
         report = compare_report(manifest_b, manifest_a)
         line = next(l for l in report.splitlines() if "predict.wall_s" in l)
         assert "n/a" in line
+
+
+class TestEventsSizeCap:
+    """The ``*.events.jsonl`` sidecar is byte-capped like the access log."""
+
+    def write_run(self, tele, tmp_path, name="may.csv"):
+        recorder = record_small_run(tele)
+        dataset = tmp_path / name
+        dataset.write_text("csv\n")
+        recorder.write(dataset)
+        return dataset
+
+    def test_uncapped_run_records_zero_dropped(self, tele, tmp_path):
+        dataset = self.write_run(tele, tmp_path)
+        manifest = load_manifest(dataset.with_name("may.manifest.json"))
+        assert manifest["events"]["dropped"] == 0
+        assert manifest["events"]["written"] == manifest["events"]["count"]
+        names = [c["name"] for c in manifest["counters"]]
+        assert "events.dropped" not in names
+
+    def test_cap_keeps_head_and_counts_tail(self, tele, tmp_path, monkeypatch):
+        # The floor is 4096 bytes, so record enough epochs to overflow it.
+        monkeypatch.setenv("REPRO_EVENTS_MAX_BYTES", "4096")
+        tele2 = Telemetry()
+        recorder = make_recorder(tele2).start()
+        for epoch in range(60):
+            tele2.record_epoch("epoch", "p01", 0, epoch, {"iperf": 0.03})
+        recorder.finish(cache_hit=False, n_paths=1, n_traces=1, n_epochs=60)
+        capped = tmp_path / "capped.csv"
+        capped.write_text("csv\n")
+        recorder.write(capped)
+        manifest = load_manifest(capped.with_name("capped.manifest.json"))
+        written = manifest["events"]["written"]
+        dropped = manifest["events"]["dropped"]
+        assert dropped > 0
+        assert written + dropped == manifest["events"]["count"]
+        kept = capped.with_name("capped.events.jsonl").read_text()
+        assert len(kept.splitlines()) == written
+        dropped_counters = [
+            c for c in manifest["counters"] if c["name"] == "events.dropped"
+        ]
+        assert [c["value"] for c in dropped_counters] == [dropped]
+
+    def test_floor_and_garbage_tolerance(self, monkeypatch):
+        from repro.obs.recorder import _events_max_bytes
+
+        monkeypatch.setenv("REPRO_EVENTS_MAX_BYTES", "10")
+        assert _events_max_bytes() == 4096  # floored
+        monkeypatch.setenv("REPRO_EVENTS_MAX_BYTES", "banana")
+        assert _events_max_bytes() == 64 * 1024 * 1024
+        monkeypatch.delenv("REPRO_EVENTS_MAX_BYTES")
+        assert _events_max_bytes() == 64 * 1024 * 1024
+
+
+class TestReadEventsSkips:
+    """Malformed / torn trailing lines load partially, like
+    ``ShardedStateStore.restore``: skip, count, keep going."""
+
+    def write_run(self, tele, tmp_path):
+        recorder = record_small_run(tele)
+        dataset = tmp_path / "may.csv"
+        dataset.write_text("csv\n")
+        recorder.write(dataset)
+        return dataset.with_name("may.manifest.json")
+
+    def damage(self, manifest_path, *lines):
+        events_file = manifest_path.with_suffix(".json").with_name(
+            "may.events.jsonl"
+        )
+        with open(events_file, "a") as handle:
+            for line in lines:
+                handle.write(line)
+        return events_file
+
+    def test_torn_trailing_line_skipped_and_counted(self, tele, tmp_path):
+        from repro.obs.telemetry import get_telemetry
+
+        manifest_path = self.write_run(tele, tmp_path)
+        intact = read_events(manifest_path)
+        self.damage(manifest_path, '{"kind": "epo')  # crash mid-append
+        singleton = get_telemetry()
+        singleton.drain()
+        events = read_events(manifest_path)
+        assert events == intact
+        assert singleton.metrics.counter("events.skipped_lines").value == 1
+        skip_notes = [
+            e for e in singleton.events if e.get("kind") == "events.skipped"
+        ]
+        assert len(skip_notes) == 1
+        assert skip_notes[0]["lines"] == 1
+        assert skip_notes[0]["first_line"] == len(intact) + 1
+        singleton.drain()
+
+    def test_interior_garbage_and_non_objects_skipped(self, tele, tmp_path):
+        from repro.obs.telemetry import get_telemetry
+
+        manifest_path = self.write_run(tele, tmp_path)
+        intact = read_events(manifest_path)
+        self.damage(
+            manifest_path,
+            "not json at all\n",
+            '["a", "list"]\n',
+            '{"kind": "tail", "ok": true}\n',
+        )
+        singleton = get_telemetry()
+        singleton.drain()
+        events = read_events(manifest_path)
+        assert events[: len(intact)] == intact
+        assert events[-1] == {"kind": "tail", "ok": True}
+        assert singleton.metrics.counter("events.skipped_lines").value == 2
+        singleton.drain()
+
+    def test_blank_lines_ignored_silently(self, tele, tmp_path):
+        from repro.obs.telemetry import get_telemetry
+
+        manifest_path = self.write_run(tele, tmp_path)
+        intact = read_events(manifest_path)
+        self.damage(manifest_path, "\n", "   \n")
+        singleton = get_telemetry()
+        singleton.drain()
+        assert read_events(manifest_path) == intact
+        assert singleton.metrics.counter("events.skipped_lines").value == 0
+        singleton.drain()

@@ -1,0 +1,307 @@
+"""The span subsystem: context, sampling, caps, synthesis, re-parenting."""
+
+import pytest
+
+from repro.obs import spans as spans_mod
+from repro.obs.spans import (
+    ENV_TRACE_MAX_SPANS,
+    ENV_TRACE_SAMPLE,
+    NULL_SPAN,
+    record_epoch_spans,
+    record_request_spans,
+    reparent_spans,
+    sample_decision,
+    span_ring_snapshot,
+    start_span,
+    trace_sample_rate,
+)
+from repro.obs.telemetry import ENV_OBS, get_telemetry
+
+
+@pytest.fixture()
+def tele(monkeypatch):
+    """The live singleton, drained around the test, tracing env clean."""
+    monkeypatch.delenv(ENV_OBS, raising=False)
+    monkeypatch.delenv(ENV_TRACE_SAMPLE, raising=False)
+    monkeypatch.delenv(ENV_TRACE_MAX_SPANS, raising=False)
+    instance = get_telemetry()
+    instance.drain()
+    yield instance
+    instance.drain()
+
+
+def span_events(tele):
+    return [e for e in tele.events if e.get("kind") == "span"]
+
+
+class TestSpanBasics:
+    def test_root_span_records_event(self, tele):
+        with tele.span("campaign", label="may2004"):
+            pass
+        (event,) = span_events(tele)
+        assert event["name"] == "campaign"
+        assert event["label"] == "may2004"
+        assert event["parent_id"] is None
+        assert event["trace_id"]
+        assert event["span_id"]
+        assert event["dur_s"] >= 0.0
+        assert event["ts"] > 0.0
+        assert tele.span_events == 1
+
+    def test_nested_spans_share_trace_and_link_parent(self, tele):
+        with tele.span("outer") as outer:
+            with tele.span("inner"):
+                pass
+        inner, out = sorted(span_events(tele), key=lambda e: e["name"])
+        assert inner["trace_id"] == out["trace_id"] == outer.trace_id
+        assert inner["parent_id"] == out["span_id"]
+        assert out["parent_id"] is None
+
+    def test_children_recorded_before_parent(self, tele):
+        # Spans complete inside-out, so the event order is leaf-first;
+        # consumers rebuild structure from ids, not order.
+        with tele.span("outer"):
+            with tele.span("inner"):
+                pass
+        names = [e["name"] for e in span_events(tele)]
+        assert names == ["inner", "outer"]
+
+    def test_exception_tags_error_and_propagates(self, tele):
+        with pytest.raises(ValueError):
+            with tele.span("job"):
+                raise ValueError("boom")
+        (event,) = span_events(tele)
+        assert event["error"] == "ValueError"
+
+    def test_context_restored_after_exception(self, tele):
+        with pytest.raises(RuntimeError):
+            with tele.span("a"):
+                raise RuntimeError
+        with tele.span("b"):
+            pass
+        b = [e for e in span_events(tele) if e["name"] == "b"][0]
+        assert b["parent_id"] is None  # "a" did not leak its context
+
+    def test_annotate_adds_tags(self, tele):
+        with tele.span("job") as span:
+            span.annotate(status="ok", n=3)
+        (event,) = span_events(tele)
+        assert event["status"] == "ok"
+        assert event["n"] == 3
+
+    def test_disabled_telemetry_returns_shared_null_span(
+        self, tele, monkeypatch
+    ):
+        monkeypatch.setenv(ENV_OBS, "0")
+        span = tele.span("campaign")
+        assert span is NULL_SPAN
+        with span:
+            pass
+        assert tele.events == []
+
+    def test_span_ids_unique_across_spans(self, tele):
+        for _ in range(50):
+            with tele.span("s"):
+                pass
+        ids = [e["span_id"] for e in span_events(tele)]
+        assert len(set(ids)) == 50
+
+    def test_drain_resets_span_count_and_merge_restores(self, tele):
+        with tele.span("a"):
+            pass
+        snapshot = tele.drain()
+        assert tele.span_events == 0
+        assert snapshot["span_events"] == 1
+        tele.merge(snapshot)
+        assert tele.span_events == 1
+        assert len(span_events(tele)) == 1
+
+
+class TestSampling:
+    def test_rate_default_is_one(self, monkeypatch):
+        monkeypatch.delenv(ENV_TRACE_SAMPLE, raising=False)
+        assert trace_sample_rate() == 1.0
+
+    def test_rate_clamped_and_garbage_tolerated(self, monkeypatch):
+        monkeypatch.setenv(ENV_TRACE_SAMPLE, "7")
+        assert trace_sample_rate() == 1.0
+        monkeypatch.setenv(ENV_TRACE_SAMPLE, "-1")
+        assert trace_sample_rate() == 0.0
+        monkeypatch.setenv(ENV_TRACE_SAMPLE, "zebra")
+        assert trace_sample_rate() == 1.0
+
+    def test_decision_is_deterministic_and_rate_respecting(self):
+        keys = [f"p{i:02d}/{j}" for i in range(40) for j in range(5)]
+        kept = [k for k in keys if sample_decision(k, 0.5)]
+        assert kept == [k for k in keys if sample_decision(k, 0.5)]
+        assert 0 < len(kept) < len(keys)
+        assert all(sample_decision(k, 1.0) for k in keys)
+        assert not any(sample_decision(k, 0.0) for k in keys)
+
+    def test_lower_rate_keeps_subset(self):
+        keys = [f"p{i:02d}/{j}" for i in range(40) for j in range(5)]
+        at_half = {k for k in keys if sample_decision(k, 0.5)}
+        at_tenth = {k for k in keys if sample_decision(k, 0.1)}
+        assert at_tenth <= at_half
+
+    def test_sampled_out_span_records_nothing(self, tele, monkeypatch):
+        monkeypatch.setenv(ENV_TRACE_SAMPLE, "0")
+        with tele.span("trace", sample_key="p01/0"):
+            pass
+        assert tele.events == []
+
+    def test_sampled_out_span_blocks_descendants(self, tele, monkeypatch):
+        monkeypatch.setenv(ENV_TRACE_SAMPLE, "0")
+        with tele.span("root"):  # keyless root at rate 0: kill switch
+            with tele.span("child"):
+                record_epoch_spans(tele, "epoch", "p01", 0, 0, {"iperf": 0.1})
+        assert tele.events == []
+
+    def test_unsampled_subtree_does_not_attach_to_outer_span(
+        self, tele, monkeypatch
+    ):
+        # key chosen so a 0.5 hash decision drops it: find one such key.
+        dropped = next(
+            k for k in (f"p{i}/0" for i in range(100))
+            if not sample_decision(k, 0.5)
+        )
+        monkeypatch.setenv(ENV_TRACE_SAMPLE, "0.5")
+        with tele.span("campaign"):
+            with tele.span("trace", sample_key=dropped):
+                with tele.span("epoch"):
+                    pass
+        names = [e["name"] for e in span_events(tele)]
+        assert names == ["campaign"]
+
+    def test_keyless_child_inherits_sampled_parent(self, tele, monkeypatch):
+        monkeypatch.setenv(ENV_TRACE_SAMPLE, "0.5")
+        kept = next(
+            k for k in (f"p{i}/0" for i in range(100))
+            if sample_decision(k, 0.5)
+        )
+        with tele.span("campaign"):
+            with tele.span("trace", sample_key=kept):
+                with tele.span("epoch"):
+                    pass
+        names = sorted(e["name"] for e in span_events(tele))
+        assert names == ["campaign", "epoch", "trace"]
+
+
+class TestSpanCap:
+    def test_cap_drops_and_counts(self, tele, monkeypatch):
+        monkeypatch.setenv(ENV_TRACE_MAX_SPANS, "3")
+        for _ in range(5):
+            with tele.span("s"):
+                pass
+        assert len(span_events(tele)) == 3
+        assert tele.metrics.counter("spans.dropped").value == 2
+
+    def test_cap_applies_per_drain_window(self, tele, monkeypatch):
+        monkeypatch.setenv(ENV_TRACE_MAX_SPANS, "2")
+        with tele.span("a"):
+            pass
+        tele.drain()
+        with tele.span("b"):
+            pass
+        assert len(span_events(tele)) == 1  # fresh budget after drain
+
+    def test_garbage_cap_falls_back_to_default(self, tele, monkeypatch):
+        monkeypatch.setenv(ENV_TRACE_MAX_SPANS, "many")
+        with tele.span("s"):
+            pass
+        assert len(span_events(tele)) == 1
+
+
+class TestRing:
+    def test_ring_sees_spans_past_the_cap(self, tele, monkeypatch):
+        monkeypatch.setenv(ENV_TRACE_MAX_SPANS, "1")
+        monkeypatch.setattr(spans_mod, "_RING", None)
+        spans_mod.install_span_ring(maxlen=8)
+        for _ in range(5):
+            with tele.span("s"):
+                pass
+        assert len(span_events(tele)) == 1  # buffered: capped
+        assert len(span_ring_snapshot()) == 5  # ring: everything recent
+        assert len(span_ring_snapshot(limit=2)) == 2
+
+    def test_ring_bounded_by_maxlen(self, tele, monkeypatch):
+        monkeypatch.setattr(spans_mod, "_RING", None)
+        spans_mod.install_span_ring(maxlen=3)
+        for i in range(6):
+            with tele.span(f"s{i}"):
+                pass
+        assert [e["name"] for e in span_ring_snapshot()] == ["s3", "s4", "s5"]
+
+
+class TestReparent:
+    def test_roots_move_under_parent_and_trace_rewrites(self, tele):
+        with tele.span("unit"):
+            with tele.span("epoch"):
+                pass
+        snapshot = tele.drain()
+        reparent_spans(snapshot["events"], "T", "P")
+        unit = [e for e in snapshot["events"] if e["name"] == "unit"][0]
+        epoch = [e for e in snapshot["events"] if e["name"] == "epoch"][0]
+        assert unit["trace_id"] == epoch["trace_id"] == "T"
+        assert unit["parent_id"] == "P"
+        assert epoch["parent_id"] == unit["span_id"]  # interior untouched
+
+    def test_non_span_events_untouched(self, tele):
+        events = [{"kind": "epoch", "path": "p01"}]
+        reparent_spans(events, "T", "P")
+        assert events == [{"kind": "epoch", "path": "p01"}]
+
+
+class TestSynthesis:
+    def test_epoch_spans_only_under_open_context(self, tele):
+        record_epoch_spans(tele, "epoch", "p01", 0, 0, {"iperf": 0.1})
+        assert tele.events == []  # no open span: nothing to hang on
+
+    def test_epoch_spans_synthesize_phase_children(self, tele):
+        phases = {"load": 0.01, "iperf": 0.04}
+        with tele.span("trace") as unit:
+            record_epoch_spans(tele, "epoch", "p01", 2, 7, phases)
+        events = span_events(tele)
+        epoch = [e for e in events if e["name"] == "epoch"][0]
+        assert epoch["parent_id"] == unit.span_id
+        assert epoch["path"] == "p01"
+        assert epoch["trace"] == 2
+        assert epoch["epoch"] == 7
+        assert epoch["dur_s"] == pytest.approx(0.05)
+        children = [e for e in events if e["parent_id"] == epoch["span_id"]]
+        assert {c["name"] for c in children} == {"load", "iperf"}
+        # Laid end to end: children tile the epoch span.
+        load = [c for c in children if c["name"] == "load"][0]
+        iperf = [c for c in children if c["name"] == "iperf"][0]
+        assert load["ts"] == pytest.approx(epoch["ts"], abs=1e-5)
+        assert iperf["ts"] == pytest.approx(load["ts"] + 0.01, abs=1e-5)
+
+    def test_request_spans_use_request_id_as_trace_id(self, tele):
+        record_request_spans(
+            {"route": "ingest", "key": "k1"},
+            "req-0001",
+            {"parse": 0.001, "ingest": 0.002},
+            "POST",
+            "/paths/k1/samples",
+            200,
+        )
+        events = span_events(tele)
+        root = [e for e in events if e["name"] == "request"][0]
+        assert root["trace_id"] == "req-0001"
+        assert root["parent_id"] is None
+        assert root["route"] == "ingest"
+        assert root["status"] == 200
+        children = {e["name"] for e in events if e["parent_id"] == root["span_id"]}
+        assert children == {"parse", "ingest"}
+        assert all(e["trace_id"] == "req-0001" for e in events)
+
+    def test_request_spans_respect_kill_switch(self, tele, monkeypatch):
+        monkeypatch.setenv(ENV_OBS, "0")
+        record_request_spans({}, "req-1", {"parse": 0.001}, "GET", "/x", 200)
+        assert tele.events == []
+
+
+class TestStartSpanDirect:
+    def test_start_span_on_disabled_returns_null(self, tele, monkeypatch):
+        monkeypatch.setenv(ENV_OBS, "0")
+        assert start_span(tele, "x") is NULL_SPAN

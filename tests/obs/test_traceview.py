@@ -1,0 +1,210 @@
+"""Trace rendering: tree rebuild, timelines, critical path, Chrome export."""
+
+import json
+
+from repro.obs.traceview import (
+    build_traces,
+    critical_path,
+    critical_path_table,
+    render_critical_path,
+    render_timeline,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+
+
+def span(trace_id, span_id, parent_id, name, ts, dur_s, **tags):
+    return {
+        "kind": "span",
+        "trace_id": trace_id,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "name": name,
+        "ts": ts,
+        "dur_s": dur_s,
+        **tags,
+    }
+
+
+def campaign_events():
+    """A two-unit campaign trace, events in leaf-first recorded order."""
+    return [
+        span("T", "e1", "u1", "epoch", 10.0, 0.2, epoch=0),
+        span("T", "e2", "u1", "epoch", 10.2, 0.3, epoch=1),
+        span("T", "u1", "c", "trace", 10.0, 0.5, path="p01"),
+        span("T", "e3", "u2", "epoch", 10.5, 0.4, epoch=0),
+        span("T", "u2", "c", "trace", 10.5, 0.4, path="p02"),
+        span("T", "c", None, "campaign", 10.0, 1.0, label="may2004"),
+    ]
+
+
+class TestBuildTraces:
+    def test_rebuilds_tree_from_flat_events(self):
+        traces = build_traces(campaign_events())
+        assert list(traces) == ["T"]
+        (root,) = traces["T"]
+        assert root.name == "campaign"
+        assert [c.name for c in root.children] == ["trace", "trace"]
+        assert [c.tags["path"] for c in root.children] == ["p01", "p02"]
+        assert [e.name for e in root.children[0].children] == ["epoch", "epoch"]
+
+    def test_children_sorted_by_start_time(self):
+        events = [
+            span("T", "b", "r", "late", 5.0, 0.1),
+            span("T", "a", "r", "early", 1.0, 0.1),
+            span("T", "r", None, "root", 1.0, 5.0),
+        ]
+        (root,) = build_traces(events)["T"]
+        assert [c.name for c in root.children] == ["early", "late"]
+
+    def test_orphan_becomes_root_not_discarded(self):
+        events = [span("T", "x", "gone-parent", "orphan", 1.0, 0.1)]
+        (root,) = build_traces(events)["T"]
+        assert root.name == "orphan"
+
+    def test_non_span_events_ignored(self):
+        events = [{"kind": "epoch", "path": "p01"}, {"kind": "metric"}]
+        assert build_traces(events) == {}
+
+    def test_traces_keep_first_seen_order(self):
+        events = [
+            span("B", "b1", None, "rb", 2.0, 0.1),
+            span("A", "a1", None, "ra", 1.0, 0.1),
+        ]
+        assert list(build_traces(events)) == ["B", "A"]
+
+    def test_tags_exclude_core_fields(self):
+        (root,) = build_traces(
+            [span("T", "s", None, "n", 1.0, 0.1, run="r001", path="p01")]
+        )["T"]
+        assert root.tags == {"path": "p01"}  # run is bookkeeping, not a tag
+
+
+class TestTimeline:
+    def test_renders_indented_tree_with_tags(self):
+        text = render_timeline(campaign_events())
+        lines = text.splitlines()
+        assert lines[0].startswith("trace T  (6 span(s)")
+        assert "  campaign  1.000s  label=may2004" in lines
+        assert "    trace  500.000ms  path=p01" in lines
+        assert "      epoch  200.000ms  epoch=0" in lines
+
+    def test_trace_filter(self):
+        events = campaign_events() + [span("U", "z", None, "other", 0.0, 0.1)]
+        assert "other" not in render_timeline(events, trace="T")
+        assert "campaign" not in render_timeline(events, trace="U")
+        assert "no spans for trace 'Z'" in render_timeline(events, trace="Z")
+
+    def test_empty_events(self):
+        assert render_timeline([]) == "no spans recorded\n"
+
+    def test_elision_of_wide_fanout(self):
+        events = [span("T", "r", None, "root", 0.0, 10.0)]
+        events += [
+            span("T", f"c{i}", "r", f"child{i}", float(i), 0.5)
+            for i in range(15)
+        ]
+        text = render_timeline(events, max_children=10)
+        assert "... (+5 more)" in text
+        assert "child9" in text and "child10" not in text
+        assert "child14" in render_timeline(events, max_children=0)
+
+
+class TestCriticalPath:
+    def test_descends_longest_child(self):
+        traces = build_traces(campaign_events())
+        chain = critical_path(traces["T"])
+        # campaign(1.0) -> trace p01 (0.5) -> epoch 1 (0.3)
+        assert [n.name for n in chain] == ["campaign", "trace", "epoch"]
+        assert chain[1].tags["path"] == "p01"
+        assert chain[2].tags["epoch"] == 1
+
+    def test_empty_roots(self):
+        assert critical_path([]) == []
+
+    def test_table_exclusive_times(self):
+        table = critical_path_table(build_traces(campaign_events()))
+        rows = {r["name"]: r for r in table}
+        assert rows["campaign"]["exclusive_s"] == 0.5  # 1.0 - 0.5
+        assert rows["trace"]["exclusive_s"] == 0.2  # 0.5 - 0.3
+        assert rows["epoch"]["exclusive_s"] == 0.3  # leaf keeps it all
+        # Sorted by exclusive descending.
+        assert [r["name"] for r in table] == ["campaign", "epoch", "trace"]
+
+    def test_render_table(self):
+        text = render_critical_path(campaign_events())
+        assert "critical path across 1 trace(s):" in text
+        assert "exclusive" in text
+        assert "campaign" in text
+        assert render_critical_path([]) == "no spans recorded\n"
+
+
+class TestChromeTrace:
+    def test_export_is_valid_and_normalized(self):
+        doc = to_chrome_trace(campaign_events())
+        assert validate_chrome_trace(doc) == []
+        assert doc["displayTimeUnit"] == "ms"
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 6
+        root = [e for e in spans if e["name"] == "campaign"][0]
+        assert root["ts"] == 0.0  # normalized to earliest root
+        assert root["dur"] == 1e6
+        assert root["args"] == {"label": "may2004"}
+
+    def test_units_subtrees_get_own_threads(self):
+        doc = to_chrome_trace(campaign_events())
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        units = [e for e in spans if e["name"] == "trace"]
+        assert len({e["tid"] for e in units}) == 2
+        names = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert len(names) == 2
+        # Epochs inherit their unit's track.
+        for unit in units:
+            epochs = [
+                e for e in spans
+                if e["name"] == "epoch" and e["tid"] == unit["tid"]
+            ]
+            assert epochs
+
+    def test_one_pid_per_trace_with_process_names(self):
+        events = campaign_events() + [span("U", "z", None, "other", 0.0, 0.1)]
+        doc = to_chrome_trace(events)
+        assert validate_chrome_trace(doc) == []
+        pids = {e["pid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert pids == {1, 2}
+        procs = [
+            e["args"]["name"] for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        ]
+        assert procs == ["trace T", "trace U"]
+
+    def test_document_round_trips_through_json(self):
+        doc = to_chrome_trace(campaign_events())
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_empty_events(self):
+        doc = to_chrome_trace([])
+        assert doc["traceEvents"] == []
+        assert validate_chrome_trace(doc) == []
+
+
+class TestValidate:
+    def test_flags_structural_problems(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({"traceEvents": "nope"}) != []
+        problems = validate_chrome_trace(
+            {
+                "traceEvents": [
+                    {"ph": "Q", "pid": 1, "tid": 0, "name": "x"},
+                    {"ph": "X", "pid": 1, "name": "y", "ts": -1, "dur": 2},
+                    "not-an-object",
+                ]
+            }
+        )
+        assert any("unexpected ph" in p for p in problems)
+        assert any("missing 'tid'" in p for p in problems)
+        assert any(".ts must be" in p for p in problems)
+        assert any("not an object" in p for p in problems)

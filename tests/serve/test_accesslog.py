@@ -208,3 +208,140 @@ class TestTracedServer:
         assert "x-request-id" not in headers
         assert not log_path.exists()
         assert access_log.n_records == 0
+
+
+def span_events():
+    return [
+        e for e in get_telemetry().events if e.get("kind") == "span"
+    ]
+
+
+class TestRequestSpans:
+    """Sampled requests emit a span tree whose trace id is the request id."""
+
+    def test_record_emits_request_span_tree(self, tmp_path):
+        log = AccessLog(tmp_path / "a.jsonl")
+        trace = fill_trace(log.begin())
+        assert trace.sampled
+        log.record(trace, "POST", "/paths/p1/samples", 200, 48, 391)
+        events = span_events()
+        root = [e for e in events if e["name"] == "request"][0]
+        assert root["trace_id"] == trace.request_id
+        assert root["parent_id"] is None
+        assert root["method"] == "POST"
+        assert root["status"] == 200
+        assert root["route"] == "ingest"
+        children = {
+            e["name"] for e in events if e["parent_id"] == root["span_id"]
+        }
+        assert children == {"parse", "render"}
+
+    def test_zero_sample_rate_logs_but_does_not_span(self, tmp_path):
+        log = AccessLog(tmp_path / "a.jsonl", trace_sample=0.0)
+        trace = fill_trace(log.begin())
+        assert not trace.sampled
+        log.record(trace, "GET", "/x", 200, 0, 10)
+        log.close()
+        assert span_events() == []
+        # The access-log line itself is not sampled away.
+        assert len((tmp_path / "a.jsonl").read_text().splitlines()) == 1
+
+    def test_fractional_rate_is_deterministic_per_request_id(self, tmp_path):
+        log = AccessLog(tmp_path / "a.jsonl", trace_sample=0.5)
+        decisions = [log.begin().sampled for _ in range(200)]
+        assert any(decisions) and not all(decisions)
+        from repro.obs.spans import sample_decision
+
+        log2 = AccessLog(tmp_path / "b.jsonl", trace_sample=0.5)
+        for _ in range(200):
+            trace = log2.begin()
+            assert trace.sampled == sample_decision(trace.request_id, 0.5)
+
+    def test_env_rate_is_the_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "0")
+        log = AccessLog(tmp_path / "a.jsonl")
+        assert log.trace_sample == 0.0
+        monkeypatch.delenv("REPRO_TRACE_SAMPLE")
+        assert AccessLog(tmp_path / "b.jsonl").trace_sample == 1.0
+
+    def test_explicit_rate_clamped(self, tmp_path):
+        assert AccessLog(tmp_path / "a.jsonl", trace_sample=7.0).trace_sample == 1.0
+        assert AccessLog(tmp_path / "b.jsonl", trace_sample=-1.0).trace_sample == 0.0
+
+
+class TestTraceEndpoint:
+    def test_live_trace_endpoint_serves_ring(self, tmp_path, monkeypatch):
+        from repro.obs import spans as spans_mod
+
+        monkeypatch.setattr(spans_mod, "_RING", None)
+        spans_mod.install_span_ring()
+        access_log = AccessLog(tmp_path / "access.jsonl")
+
+        async def scenario(port):
+            status, headers, _ = await send(
+                port, "POST", "/paths/p1/samples",
+                {"samples": [10.0, 10.5, 9.8, 10.2, 10.1]},
+            )
+            request_id = headers["x-request-id"]
+            all_spans = await send(port, "GET", "/trace")
+            one = await send(port, "GET", f"/trace?trace={request_id}")
+            limited = await send(port, "GET", "/trace?limit=2")
+            bad = await send(port, "GET", "/trace?limit=banana")
+            return request_id, all_spans, one, limited, bad
+
+        request_id, all_spans, one, limited, bad = serve_scenario(
+            scenario, access_log
+        )
+        access_log.close()
+
+        status, _, body = all_spans
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["enabled"] is True
+        names = {s["name"] for s in doc["spans"]}
+        assert "request" in names and "ingest" in names
+
+        status, _, body = one
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["spans"]
+        assert all(s["trace_id"] == request_id for s in doc["spans"])
+        roots = [s for s in doc["spans"] if s["parent_id"] is None]
+        assert [s["name"] for s in roots] == ["request"]
+
+        status, _, body = limited
+        assert status == 200
+        assert len(json.loads(body)["spans"]) == 2
+
+        status, _, _ = bad
+        assert status == 400
+
+    def test_trace_endpoint_without_ring_reports_disabled(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.obs import spans as spans_mod
+
+        monkeypatch.setattr(spans_mod, "_RING", None)
+        access_log = AccessLog(tmp_path / "access.jsonl")
+
+        async def scenario(port):
+            return await send(port, "GET", "/trace")
+
+        status, _, body = serve_scenario(scenario, access_log)
+        access_log.close()
+        assert status == 200
+        doc = json.loads(body)
+        assert doc == {"enabled": False, "spans": []}
+
+    def test_trace_endpoint_rejects_post(self, tmp_path, monkeypatch):
+        from repro.obs import spans as spans_mod
+
+        monkeypatch.setattr(spans_mod, "_RING", None)
+        access_log = AccessLog(tmp_path / "access.jsonl")
+
+        async def scenario(port):
+            return await send(port, "POST", "/trace", {})
+
+        status, _, _ = serve_scenario(scenario, access_log)
+        access_log.close()
+        assert status == 405

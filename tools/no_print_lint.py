@@ -37,7 +37,7 @@ ALLOWLIST: frozenset[str] = frozenset({
     # AccessLog's `path="-"` mode: the operator explicitly routed the
     # JSONL access log to stdout (supervisor-owned log routing); the
     # record stream *is* the output, not diagnostics.
-    "src/repro/serve/accesslog.py:154",
+    "src/repro/serve/accesslog.py:176",
 })
 
 
