@@ -13,14 +13,15 @@ TRACE_SMOKE_DIR := .trace-smoke
 
 .PHONY: install test test-fast campaign-smoke obs-smoke resume-smoke \
 	analyze-obs-smoke bench-check perf-smoke serve-smoke bench-serve \
-	trace-smoke vector-parity lint bench bench-full bench-obs bench-perf \
-	examples clean
+	trace-smoke vector-parity analyze-parity lint bench bench-full bench-obs \
+	bench-perf examples clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test: lint campaign-smoke obs-smoke resume-smoke analyze-obs-smoke bench-check \
-		perf-smoke serve-smoke bench-serve trace-smoke vector-parity
+		perf-smoke serve-smoke bench-serve trace-smoke vector-parity \
+		analyze-parity
 	$(PYTHON) -m pytest tests/
 
 test-fast:
@@ -161,6 +162,17 @@ trace-smoke:
 vector-parity:
 	PYTHONPATH=src $(PYTHON) tools/vector_parity.py
 	@echo "vector parity OK (scalar and vector engine CSVs byte-identical)"
+
+# The HB-analysis bit-identity gate: repro-analyze stdout must hash
+# identically between the scalar oracle and the vectorized evaluation
+# path at workers 1/2/4, and a warm rerun against the populated
+# evaluation cache must match while computing zero walks (see
+# docs/performance.md, "The vectorized analysis path").  The reduced
+# grid keeps `make test` quick; the tool's default invocation (no
+# flags) covers the full default catalog.
+analyze-parity:
+	PYTHONPATH=src $(PYTHON) tools/analyze_parity.py --paths 6 --traces 2 --epochs 60
+	@echo "analyze parity OK (scalar/vector/parallel/cached outputs byte-identical)"
 
 # Library code must report through repro.obs, not print().
 lint:

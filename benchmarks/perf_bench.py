@@ -22,6 +22,15 @@ repository root:
 * ``campaign_serial`` / ``campaign_parallel`` — the full campaign loop
   (catalog x traces x epochs through the executor, checkpointing and
   caching off) serially and with two workers, reported as wall time.
+* ``hb_eval`` — walk-forward HB evaluation (the analysis hot path
+  behind Figs. 16-23): the Fig. 16/17-style predictor set, LSO-wrapped
+  and bare, over four 150-epoch campaign traces.  Reported as walked
+  epochs/s; the ``forecasts`` counter is deterministic because predictor
+  readiness is structural (history length), not value-dependent.
+* ``lso_segmentation`` — the full-trace LSO pass behind Fig. 20's CoV
+  and outlier exclusion, on three long synthetic traces with level
+  shifts and outlier spikes; the O(n^2) -> O(n) rewrite is measured
+  here.  The ``detections`` counter pins the exact LSO structure found.
 * ``fluid_traced`` / ``fluid_vector_traced`` / ``packet_epoch_traced``
   — the same per-engine workloads run *inside an open unit span*, so
   epoch/phase span synthesis (:func:`repro.obs.spans.record_epoch_spans`)
@@ -194,6 +203,97 @@ def _bench_campaign(n_workers: int) -> dict:
     }
 
 
+def _campaign_series(n_paths: int = 4, n_epochs: int = 150) -> list:
+    """Deterministic throughput traces for the HB-analysis fixtures."""
+    from repro.core.timeseries import TimeSeries
+
+    catalog = may_2004_catalog()[:n_paths]
+    settings = CampaignSettings(n_traces=1, epochs_per_trace=n_epochs)
+    campaign = Campaign(catalog, seed=0, label="perf-hb")
+    series = []
+    for config in catalog:
+        epochs = campaign.run_trace(config, 0, settings)
+        series.append(
+            TimeSeries.from_values(
+                [e.throughput_mbps for e in epochs],
+                period=180.0,
+                name=config.path_id,
+            )
+        )
+    return series
+
+
+def bench_hb_eval() -> dict:
+    """Walk-forward HB evaluation over the Fig. 16/17-style predictor set."""
+    from repro.analysis.hb_eval import ewma, hw, ma, with_lso
+    from repro.hb.evaluate import evaluate_predictor
+
+    predictors = {
+        "1-MA": ma(1),
+        "10-MA": ma(10),
+        "0.8-EWMA": ewma(0.8),
+        "HW": hw(),
+        "10-MA-LSO": with_lso(ma(10)),
+        "HW-LSO": with_lso(hw()),
+    }
+    traces = _campaign_series()
+    n_epochs = sum(len(series) for series in traces)
+
+    def run_once() -> tuple[int, float]:
+        forecasts = 0
+        started = time.perf_counter()
+        for series in traces:
+            for factory in predictors.values():
+                evaluation = evaluate_predictor(series, factory)
+                forecasts += int(
+                    np.count_nonzero(~np.isnan(evaluation.predictions))
+                )
+        return forecasts, time.perf_counter() - started
+
+    forecasts, wall = min((run_once() for _ in range(REPEATS)), key=lambda r: r[1])
+    epochs = n_epochs * len(predictors)
+    return {
+        "epochs": epochs,
+        "forecasts": forecasts,
+        "wall_time_s": round(wall, 4),
+        "epochs_per_s": round(epochs / wall, 1),
+    }
+
+
+def bench_lso_segmentation() -> dict:
+    """Full-trace LSO segmentation over long synthetic traces."""
+    from repro.hb.evaluate import lso_segmentation
+
+    rng = np.random.default_rng(987)
+    traces = []
+    for t in range(3):
+        base = 30.0 + 5.0 * t
+        n = 1500
+        vals = base + rng.normal(0.0, 0.05 * base, size=n)
+        vals[n // 3 :] *= 1.7
+        vals[2 * n // 3 :] *= 0.55
+        vals[::97] *= 2.4
+        np.maximum(vals, 0.1, out=vals)
+        traces.append(vals)
+    epochs = sum(len(vals) for vals in traces)
+
+    def run_once() -> tuple[int, float]:
+        detections = 0
+        started = time.perf_counter()
+        for vals in traces:
+            seg = lso_segmentation(vals)
+            detections += len(seg.outlier_indices) + len(seg.shift_indices)
+        return detections, time.perf_counter() - started
+
+    detections, wall = min((run_once() for _ in range(REPEATS)), key=lambda r: r[1])
+    return {
+        "epochs": epochs,
+        "detections": detections,
+        "wall_time_s": round(wall, 4),
+        "epochs_per_s": round(epochs / wall, 1),
+    }
+
+
 def _bench_fluid_traced(engine: str) -> dict:
     """Fluid throughput inside a live unit span, vs a paired untraced run.
 
@@ -301,6 +401,8 @@ FIXTURES = {
     "packet_epoch_traced": bench_packet_epoch_traced,
     "campaign_serial": lambda: _bench_campaign(1),
     "campaign_parallel": lambda: _bench_campaign(2),
+    "hb_eval": bench_hb_eval,
+    "lso_segmentation": bench_lso_segmentation,
 }
 
 

@@ -19,7 +19,12 @@ errors and RMSRE used by every HB figure of the paper.
 
 from repro.hb.autoregressive import AutoRegressive
 from repro.hb.base import HistoryPredictor, PredictorFactory
-from repro.hb.evaluate import HbEvaluation, evaluate_predictor
+from repro.hb.evaluate import (
+    HbEvaluation,
+    active_eval_cache,
+    evaluate_predictor,
+    set_active_eval_cache,
+)
 from repro.hb.ewma import Ewma
 from repro.hb.hybrid import HybridPredictor
 from repro.hb.holt_winters import HoltWinters
@@ -40,9 +45,11 @@ from repro.hb.streaming import (
     StreamingPredictorState,
     offline_twin,
 )
+from repro.hb.vector_eval import ENV_HB_VECTOR, hb_vector_enabled, vector_walk
 from repro.hb.wrappers import LsoPredictor
 
 __all__ = [
+    "ENV_HB_VECTOR",
     "AdaptiveEnsemble",
     "AutoRegressive",
     "BASE_PREDICTORS",
@@ -61,8 +68,12 @@ __all__ = [
     "PredictorSpec",
     "StreamingLso",
     "StreamingPredictorState",
+    "active_eval_cache",
     "detect_level_shift",
     "detect_outliers",
     "evaluate_predictor",
+    "hb_vector_enabled",
     "offline_twin",
+    "set_active_eval_cache",
+    "vector_walk",
 ]

@@ -6,17 +6,34 @@ for the trace) forecasts the next throughput from the history so far,
 the relative error (Eq. 4) is recorded, and the trace's accuracy is
 summarised with RMSRE (Eq. 5).
 
+Two engines produce those numbers:
+
+* the **scalar oracle** — a per-epoch Python loop calling the
+  predictor's ``forecast()``/``update()`` directly; and
+* the **vector walk** (:mod:`repro.hb.vector_eval`) — array recurrences
+  for the registered predictor families, bit-identical to the oracle
+  and dispatched by default.  ``REPRO_HB_VECTOR=0`` pins the oracle.
+
 :func:`lso_segmentation` re-runs the paper's LSO heuristics over a whole
 trace and reports the final outlier indices and stationary segments —
 what Section 6.1.3 needs to compute a trace's CoV (weighted across
 stationary periods, outliers excluded) and to exclude outliers from the
-RMSRE of Fig. 20.
+RMSRE of Fig. 20.  It follows the same split: an incremental O(n) pass
+with precheck-gated detector calls by default, the original
+re-scan-everything loop as the oracle.
+
+An evaluation cache (:mod:`repro.analysis.evalcache`) can be installed
+with :func:`set_active_eval_cache`; :func:`evaluate_predictor` then
+consults it before walking and records fresh results after.  The hook
+lives here (rather than in the analysis layer) so cache activation does
+not create an hb -> analysis import cycle.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
+from typing import Protocol
 
 import numpy as np
 
@@ -25,6 +42,12 @@ from repro.core.metrics import relative_error, rmsre, segmented_cov
 from repro.core.timeseries import TimeSeries
 from repro.hb.base import PredictorFactory
 from repro.hb.lso import LsoConfig, detect_level_shift, detect_outliers
+from repro.hb.vector_eval import (
+    hb_vector_enabled,
+    lso_segmentation_fast,
+    vector_errors,
+    vector_walk,
+)
 from repro.obs import get_telemetry
 
 
@@ -79,6 +102,50 @@ class HbEvaluation:
         return float(np.mean(np.abs(errors)))
 
 
+class EvaluationCacheHook(Protocol):
+    """What :func:`evaluate_predictor` asks of an installed cache."""
+
+    def lookup(
+        self,
+        series: TimeSeries,
+        predictor: object,
+        lso_config: LsoConfig | None,
+    ) -> "HbEvaluation | None":
+        """A previously recorded evaluation, or None on a miss."""
+        ...
+
+    def record(
+        self,
+        series: TimeSeries,
+        predictor: object,
+        lso_config: LsoConfig | None,
+        evaluation: "HbEvaluation",
+    ) -> None:
+        """Persist a freshly computed evaluation."""
+        ...
+
+
+_ACTIVE_EVAL_CACHE: EvaluationCacheHook | None = None
+
+
+def set_active_eval_cache(
+    cache: EvaluationCacheHook | None,
+) -> EvaluationCacheHook | None:
+    """Install (or clear, with ``None``) the process-wide evaluation cache.
+
+    Returns the previously installed cache so callers can restore it.
+    """
+    global _ACTIVE_EVAL_CACHE
+    previous = _ACTIVE_EVAL_CACHE
+    _ACTIVE_EVAL_CACHE = cache
+    return previous
+
+
+def active_eval_cache() -> EvaluationCacheHook | None:
+    """The currently installed evaluation cache, if any."""
+    return _ACTIVE_EVAL_CACHE
+
+
 def evaluate_predictor(
     series: TimeSeries,
     factory: PredictorFactory,
@@ -96,45 +163,78 @@ def evaluate_predictor(
 
     Returns:
         The per-epoch forecasts and errors.
+
+    Raises:
+        DataError: when the trace carries a non-positive sample — named
+            by epoch, up front, before any predictor sees it.
     """
-    predictor = factory()
     values = series.values
-    n = len(series)
-    predictions = np.full(n, np.nan)
-    errors = np.full(n, np.nan)
+    nonpositive = np.flatnonzero(values <= 0)
+    if nonpositive.size:
+        epoch = int(nonpositive[0])
+        raise DataError(
+            f"throughput must be positive, got {float(values[epoch])} "
+            f"at epoch {epoch} of series {series.name!r}"
+        )
+
+    predictor = factory()
+    name = getattr(predictor, "name", type(predictor).__name__)
+
+    cache = _ACTIVE_EVAL_CACHE
+    if cache is not None:
+        cached = cache.lookup(series, predictor, lso_config)
+        if cached is not None:
+            return cached
+
+    started = perf_counter()
+    predictions = vector_walk(values, predictor) if hb_vector_enabled() else None
+    if predictions is not None:
+        errors = vector_errors(predictions, values)
+    else:
+        predictions, errors = _scalar_walk(values, predictor)
+    elapsed = perf_counter() - started
+
     tele = get_telemetry()
     if tele.enabled:
-        name = getattr(predictor, "name", type(predictor).__name__)
-        wall = tele.metrics.timer("predict.wall_s", predictor=name)
-        made = tele.metrics.counter("predictions.made", predictor=name)
-        for i in range(n):
-            if predictor.ready:
-                started = perf_counter()
-                forecast = predictor.forecast()
-                wall.observe(perf_counter() - started)
-                made.inc()
-                predictions[i] = forecast
-                errors[i] = relative_error(forecast, float(values[i]))
-            predictor.update(float(values[i]))
-    else:
-        for i in range(n):
-            if predictor.ready:
-                forecast = predictor.forecast()
-                predictions[i] = forecast
-                errors[i] = relative_error(forecast, float(values[i]))
-            predictor.update(float(values[i]))
+        made = int(np.count_nonzero(~np.isnan(predictions)))
+        if made:
+            # One sample per walk (covering every forecast of the trace)
+            # and one counter bump for all of them: the instrumented path
+            # no longer pays per-epoch clock reads and handle lookups.
+            tele.metrics.timer("predict.wall_s", predictor=name).observe(elapsed)
+            tele.metrics.counter("predictions.made", predictor=name).inc(made)
 
     outliers: frozenset[int] = frozenset()
     if lso_config is not None:
         outliers = frozenset(lso_segmentation(values, lso_config).outlier_indices)
 
-    return HbEvaluation(
-        predictor_name=getattr(predictor, "name", type(predictor).__name__),
+    evaluation = HbEvaluation(
+        predictor_name=name,
         series_name=series.name,
         predictions=predictions,
         errors=errors,
         outlier_indices=outliers,
     )
+    if cache is not None:
+        cache.record(series, predictor, lso_config, evaluation)
+    return evaluation
+
+
+def _scalar_walk(
+    values: np.ndarray, predictor: object
+) -> tuple[np.ndarray, np.ndarray]:
+    """The reference per-epoch loop — the oracle the vector walk must match."""
+    n = len(values)
+    predictions = np.full(n, np.nan)
+    errors = np.full(n, np.nan)
+    for i in range(n):
+        value = float(values[i])
+        if predictor.ready:
+            forecast = predictor.forecast()
+            predictions[i] = forecast
+            errors[i] = relative_error(forecast, value)
+        predictor.update(value)
+    return predictions, errors
 
 
 @dataclass(frozen=True)
@@ -166,13 +266,29 @@ def lso_segmentation(
     Replays the same online algorithm the :class:`LsoPredictor` uses,
     but keeps track of original indices so the caller learns *which*
     epochs were outliers and where the stationary segments lie.
+
+    By default runs the O(n) incremental pass (sorted-mirror medians,
+    precheck-gated detector calls); ``REPRO_HB_VECTOR=0`` selects the
+    original quadratic re-scan loop, the oracle both must match.
     """
     config = config or LsoConfig()
+    vals = np.asarray(values, dtype=float)
+    if hb_vector_enabled():
+        outlier_indices, shift_indices = lso_segmentation_fast(vals, config)
+    else:
+        outlier_indices, shift_indices = _segmentation_scalar(vals, config)
+    return _assemble_segmentation(vals, outlier_indices, shift_indices)
+
+
+def _segmentation_scalar(
+    vals: np.ndarray, config: LsoConfig
+) -> tuple[list[int], list[int]]:
+    """The reference pass: both detectors over the full history, each epoch."""
     history: list[tuple[int, float]] = []  # (original index, value)
     outlier_indices: list[int] = []
     shift_indices: list[int] = []
 
-    for idx, raw in enumerate(np.asarray(values, dtype=float)):
+    for idx, raw in enumerate(vals):
         value = float(raw)
         if value <= 0:
             raise DataError(f"throughput must be positive, got {value} at epoch {idx}")
@@ -189,13 +305,18 @@ def lso_segmentation(
             shift_indices.append(history[shift][0])
             history = history[shift:]
 
-    # Build segments: non-outlier indices partitioned at shift boundaries.
+    return outlier_indices, shift_indices
+
+
+def _assemble_segmentation(
+    vals: np.ndarray, outlier_indices: list[int], shift_indices: list[int]
+) -> LsoSegmentation:
+    """Build segments: non-outlier indices partitioned at shift boundaries."""
     outlier_set = set(outlier_indices)
-    n = len(np.asarray(values))
+    n = len(vals)
     boundaries = sorted(set(shift_indices))
     segments: list[tuple[float, ...]] = []
     start = 0
-    vals = np.asarray(values, dtype=float)
     for boundary in [*boundaries, n]:
         segment = tuple(
             float(vals[i]) for i in range(start, boundary) if i not in outlier_set

@@ -1,0 +1,65 @@
+"""The warm-phase planner and executor behind ``repro-analyze --workers``."""
+
+import numpy as np
+
+from repro.analysis.evalcache import EvaluationCache
+from repro.analysis.hb_eval import hw, ma_family, predictor_cdfs, with_lso
+from repro.analysis.parallel import plan_units, warm_eval_cache
+from repro.hb.lso import LsoConfig
+
+
+def test_plan_covers_requested_figures_only(dataset):
+    none = plan_units(dataset, [2, 3, 7])
+    assert none == []
+    fig19 = plan_units(dataset, [19])
+    assert len(fig19) == len(dataset.traces)
+    assert all(u.spec[0] == "lso" for u in fig19)
+    fig20 = plan_units(dataset, [20])
+    assert all(u.lso == LsoConfig() for u in fig20)
+    fig22 = plan_units(dataset, [22])
+    assert {u.small_window for u in fig22} == {False, True}
+    fig23 = plan_units(dataset, [23])
+    assert {u.downsample for u in fig23} == {1, 2, 8, 15}
+
+
+def test_plan_is_trace_major_and_deduplicated(dataset):
+    units = plan_units(dataset, [19, 21, 23])
+    ordinals = [u.trace_ordinal for u in units]
+    assert ordinals == sorted(ordinals)
+    assert len(set(units)) == len(units)
+    # Fig. 19's HW-LSO walk and Fig. 23's factor-1 walk are one unit.
+    per_trace = [u for u in units if u.trace_ordinal == 0]
+    hw_lso_plain = [
+        u for u in per_trace if u.spec[0] == "lso" and u.downsample == 1 and not u.lso
+    ]
+    assert len(hw_lso_plain) == 1
+
+
+def test_warm_then_figures_equal_cold(dataset, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_EVAL_CACHE_DIR", str(tmp_path / "unused"))
+    subset = type(dataset)(label=dataset.label, traces=dataset.traces[:4])
+    cold = predictor_cdfs(subset, ma_family((1, 10)))
+
+    cache = EvaluationCache(tmp_path / "cache")
+    stats = warm_eval_cache(subset, "", [16], cache, n_workers=1)
+    assert stats.planned == 4 * len(ma_family((1, 5, 10, 20)))
+    assert stats.computed == stats.planned
+    assert stats.cached == 0
+    with cache.activated():
+        warm = predictor_cdfs(subset, ma_family((1, 10)))
+    for name in cold:
+        assert cold[name].sorted_values.tobytes() == warm[name].sorted_values.tobytes()
+
+    again = warm_eval_cache(subset, "", [16], cache, n_workers=1)
+    assert again.computed == 0
+    assert again.cached == again.planned
+
+
+def test_memory_only_cache_still_shares_walks(dataset):
+    subset = type(dataset)(label=dataset.label, traces=dataset.traces[:2])
+    cache = EvaluationCache(memory_only=True)
+    stats = warm_eval_cache(subset, "", [19], cache, n_workers=1)
+    assert stats.computed == len(subset.traces)
+    with cache.activated():
+        warm = predictor_cdfs(subset, {"HW-LSO": with_lso(hw())})
+    assert warm

@@ -1,0 +1,241 @@
+"""Bit-parity of the vectorized HB analysis path against the scalar oracle.
+
+Every registered predictor family — plain and LSO-wrapped, at several
+LsoConfigs — is walked over a grid of traces (noisy, spiky,
+level-shifted, tiny) by both engines, and the per-epoch predictions and
+errors must compare equal *as bytes*, not approximately.  The same bar
+applies to the O(n) ``lso_segmentation`` rewrite and to evaluations
+served from the evaluation cache.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.evalcache import EvaluationCache, derive_spec, spec_factory
+from repro.core.errors import DataError
+from repro.core.timeseries import TimeSeries
+from repro.hb.autoregressive import AutoRegressive
+from repro.hb.evaluate import evaluate_predictor, lso_segmentation
+from repro.hb.ewma import Ewma
+from repro.hb.holt_winters import HoltWinters
+from repro.hb.lso import LsoConfig
+from repro.hb.moving_average import MovingAverage
+from repro.hb.vector_eval import ENV_HB_VECTOR, hb_vector_enabled, vector_walk
+from repro.hb.wrappers import LsoPredictor
+
+# ---------------------------------------------------------------------
+# Trace grid
+# ---------------------------------------------------------------------
+
+
+def _noisy(seed: int, n: int, spikes: bool = False, shifts: bool = False):
+    rng = np.random.default_rng(seed)
+    values = 40.0 + rng.normal(0.0, 3.0, n)
+    if shifts:
+        values[n // 3 :] *= 1.8
+        values[2 * n // 3 :] *= 0.45
+    if spikes:
+        values[::29] *= 2.6
+    return np.abs(values) + 0.5
+
+
+TRACES = {
+    "noisy": _noisy(1, 240),
+    "spiky": _noisy(2, 240, spikes=True),
+    "shifted": _noisy(3, 240, shifts=True),
+    "adversarial": _noisy(4, 300, spikes=True, shifts=True),
+    "clean-shift": np.array([10.0] * 30 + [30.0] * 30),
+    "tiny1": np.array([5.0]),
+    "tiny2": np.array([5.0, 6.0]),
+    "tiny4": np.array([5.0, 6.0, 4.0, 7.0]),
+}
+
+FACTORIES = {
+    "1-MA": lambda: MovingAverage(1),
+    "10-MA": lambda: MovingAverage(10),
+    "20-MA": lambda: MovingAverage(20),
+    "0.3-EWMA": lambda: Ewma(0.3),
+    "0.8-EWMA": lambda: Ewma(0.8),
+    "HW": lambda: HoltWinters(0.8, 0.2),
+    "0.2-HW": lambda: HoltWinters(0.2, 0.5),
+    "AR3": lambda: AutoRegressive(3),
+    "AR2-short": lambda: AutoRegressive(2, max_history=16, ridge=1e-2),
+}
+
+
+def _lso_variants(factory):
+    return {
+        "lso": lambda: LsoPredictor(factory),
+        "lso-soft": lambda: LsoPredictor(factory, harden=False),
+        "lso-tight": lambda: LsoPredictor(factory, LsoConfig(0.2, 0.3)),
+    }
+
+
+def series(values, name="parity"):
+    return TimeSeries.from_values(values, period=180.0, name=name)
+
+
+def run_engine(monkeypatch, engine, values, factory, lso_config=None):
+    monkeypatch.setenv(ENV_HB_VECTOR, "1" if engine == "vector" else "0")
+    return evaluate_predictor(series(values), factory, lso_config=lso_config)
+
+
+# ---------------------------------------------------------------------
+# evaluate_predictor parity
+# ---------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("trace_name", sorted(TRACES))
+@pytest.mark.parametrize("family", sorted(FACTORIES))
+def test_families_bit_identical(monkeypatch, trace_name, family):
+    values = TRACES[trace_name]
+    factory = FACTORIES[family]
+    scalar = run_engine(monkeypatch, "scalar", values, factory)
+    vector = run_engine(monkeypatch, "vector", values, factory)
+    assert scalar.predictions.tobytes() == vector.predictions.tobytes()
+    assert scalar.errors.tobytes() == vector.errors.tobytes()
+
+
+@pytest.mark.parametrize("trace_name", ["spiky", "adversarial", "clean-shift"])
+@pytest.mark.parametrize("family", ["1-MA", "10-MA", "0.8-EWMA", "HW", "AR3"])
+@pytest.mark.parametrize("variant", ["lso", "lso-soft", "lso-tight"])
+def test_lso_wrappers_bit_identical(monkeypatch, trace_name, family, variant):
+    values = TRACES[trace_name]
+    factory = _lso_variants(FACTORIES[family])[variant]
+    scalar = run_engine(monkeypatch, "scalar", values, factory)
+    vector = run_engine(monkeypatch, "vector", values, factory)
+    assert scalar.predictions.tobytes() == vector.predictions.tobytes()
+    assert scalar.errors.tobytes() == vector.errors.tobytes()
+
+
+def test_rmsre_bit_identical_including_outlier_exclusion(monkeypatch):
+    values = TRACES["adversarial"]
+    factory = _lso_variants(FACTORIES["HW"])["lso"]
+    scalar = run_engine(monkeypatch, "scalar", values, factory, LsoConfig())
+    vector = run_engine(monkeypatch, "vector", values, factory, LsoConfig())
+    assert scalar.outlier_indices == vector.outlier_indices
+    assert scalar.rmsre() == vector.rmsre()
+    assert scalar.rmsre(exclude_outliers=True) == vector.rmsre(
+        exclude_outliers=True
+    )
+
+
+def test_unregistered_predictor_falls_back_to_scalar(monkeypatch):
+    class TweakedMa(MovingAverage):
+        def forecast(self):
+            return super().forecast() * 1.5
+
+    values = TRACES["noisy"]
+    assert vector_walk(values, TweakedMa(5)) is None
+    scalar = run_engine(monkeypatch, "scalar", values, lambda: TweakedMa(5))
+    vector = run_engine(monkeypatch, "vector", values, lambda: TweakedMa(5))
+    assert scalar.predictions.tobytes() == vector.predictions.tobytes()
+
+
+def test_kill_switch(monkeypatch):
+    monkeypatch.setenv(ENV_HB_VECTOR, "0")
+    assert not hb_vector_enabled()
+    monkeypatch.setenv(ENV_HB_VECTOR, "1")
+    assert hb_vector_enabled()
+    monkeypatch.delenv(ENV_HB_VECTOR)
+    assert hb_vector_enabled()
+
+
+@pytest.mark.parametrize("engine", ["scalar", "vector"])
+def test_nonpositive_sample_named_by_epoch(monkeypatch, engine):
+    values = np.array([4.0, 5.0, 6.0, -1.0, 7.0])
+    with pytest.raises(DataError, match=r"epoch 3"):
+        run_engine(monkeypatch, engine, values, FACTORIES["10-MA"])
+
+
+# ---------------------------------------------------------------------
+# lso_segmentation parity
+# ---------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("trace_name", sorted(TRACES))
+@pytest.mark.parametrize("config", [None, LsoConfig(0.2, 0.3)])
+def test_segmentation_bit_identical(monkeypatch, trace_name, config):
+    values = TRACES[trace_name]
+    monkeypatch.setenv(ENV_HB_VECTOR, "0")
+    scalar = lso_segmentation(values, config)
+    monkeypatch.setenv(ENV_HB_VECTOR, "1")
+    fast = lso_segmentation(values, config)
+    assert scalar.outlier_indices == fast.outlier_indices
+    assert scalar.shift_indices == fast.shift_indices
+    assert scalar.segments == fast.segments
+
+
+@pytest.mark.parametrize("engine", ["scalar", "vector"])
+def test_segmentation_rejects_nonpositive(monkeypatch, engine):
+    monkeypatch.setenv(ENV_HB_VECTOR, "1" if engine == "vector" else "0")
+    with pytest.raises(DataError, match=r"epoch 2"):
+        lso_segmentation([4.0, 5.0, 0.0, 6.0])
+
+
+# ---------------------------------------------------------------------
+# Evaluation cache
+# ---------------------------------------------------------------------
+
+
+def test_cache_hit_is_bit_identical_to_cold_walk(tmp_path):
+    values = TRACES["adversarial"]
+    factory = _lso_variants(FACTORIES["HW"])["lso"]
+    cold = evaluate_predictor(series(values), factory, lso_config=LsoConfig())
+    cache = EvaluationCache(tmp_path)
+    with cache.activated():
+        recorded = evaluate_predictor(series(values), factory, lso_config=LsoConfig())
+    # A fresh cache object forces the disk round trip rather than the memo.
+    with EvaluationCache(tmp_path).activated():
+        hit = evaluate_predictor(series(values), factory, lso_config=LsoConfig())
+    for result in (recorded, hit):
+        assert result.predictions.tobytes() == cold.predictions.tobytes()
+        assert result.errors.tobytes() == cold.errors.tobytes()
+        assert result.outlier_indices == cold.outlier_indices
+        assert result.predictor_name == cold.predictor_name
+        assert result.series_name == cold.series_name
+
+
+def test_cache_key_separates_series_spec_and_config(tmp_path):
+    cache = EvaluationCache(tmp_path)
+    with cache.activated():
+        a = evaluate_predictor(series(TRACES["noisy"]), FACTORIES["10-MA"])
+        b = evaluate_predictor(series(TRACES["spiky"]), FACTORIES["10-MA"])
+        c = evaluate_predictor(series(TRACES["noisy"]), FACTORIES["1-MA"])
+    assert a.predictions.tobytes() != b.predictions.tobytes()
+    assert a.predictions.tobytes() != c.predictions.tobytes()
+
+
+def test_corrupt_cache_entry_reads_as_miss(tmp_path):
+    cache = EvaluationCache(tmp_path)
+    with cache.activated():
+        evaluate_predictor(series(TRACES["noisy"]), FACTORIES["10-MA"])
+    entries = list(tmp_path.glob("*.npz"))
+    assert entries
+    entries[0].write_bytes(b"not an npz")
+    fresh = EvaluationCache(tmp_path)
+    assert fresh.get(entries[0].stem) is None
+    assert entries[0].with_name(entries[0].name + ".corrupt").exists()
+
+
+def test_spec_round_trip():
+    for factory in FACTORIES.values():
+        spec = derive_spec(factory())
+        assert spec is not None
+        rebuilt = spec_factory(spec)()
+        assert derive_spec(rebuilt) == spec
+    wrapped = LsoPredictor(FACTORIES["HW"], LsoConfig(0.2, 0.3), harden=False)
+    spec = derive_spec(wrapped)
+    assert spec == ("lso", ("hw", 0.8, 0.2), 0.2, 0.3, False)
+    assert derive_spec(spec_factory(spec)()) == spec
+
+
+def test_unknown_predictor_type_is_not_cached(tmp_path):
+    class Custom(MovingAverage):
+        pass
+
+    assert derive_spec(Custom(5)) is None
+    cache = EvaluationCache(tmp_path)
+    with cache.activated():
+        evaluate_predictor(series(TRACES["noisy"]), lambda: Custom(5))
+    assert not list(tmp_path.glob("*.npz"))
